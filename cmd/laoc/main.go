@@ -1,0 +1,128 @@
+// Command laoc is a miniature Linear Assembly Optimizer driver: it
+// parses LAI text, converts to pruned SSA, optimizes, translates out of
+// SSA with a selectable algorithm, and prints the final code and move
+// statistics.
+//
+// Usage:
+//
+//	laoc [-exp Lphi,ABI+C] [-dump-ssa] [-run a,b,c] file.lai
+//	laoc -list-exps
+//
+// With no file, laoc reads LAI from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/ssa"
+)
+
+func main() {
+	exp := flag.String("exp", pipeline.ExpLphiABIC, "experiment configuration (see -list-exps)")
+	listExps := flag.Bool("list-exps", false, "list experiment configurations and exit")
+	dumpSSA := flag.Bool("dump-ssa", false, "also print the pinned SSA form")
+	runArgs := flag.String("run", "", "comma-separated integer arguments: interpret the result")
+	flag.Parse()
+
+	if *listExps {
+		var names []string
+		for n := range pipeline.Configs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	conf, ok := pipeline.Configs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "laoc: unknown experiment %q (see -list-exps)\n", *exp)
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() >= 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laoc:", err)
+		os.Exit(1)
+	}
+
+	funcs, err := lai.ParseFile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laoc:", err)
+		os.Exit(1)
+	}
+
+	var args []int64
+	if *runArgs != "" {
+		for _, tok := range strings.Split(*runArgs, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "laoc: bad -run argument %q\n", tok)
+				os.Exit(2)
+			}
+			args = append(args, v)
+		}
+	}
+
+	for _, f := range funcs {
+		var before *ir.ExecResult
+		if *runArgs != "" {
+			before, err = ir.Exec(f.Clone(), args, 1_000_000)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "laoc: %s: pre-pipeline execution: %v\n", f.Name, err)
+				os.Exit(1)
+			}
+		}
+
+		if *dumpSSA {
+			g := f.Clone()
+			ssa.Build(g)
+			fmt.Printf("; ---- %s: pruned SSA ----\n%s\n", g.Name, g)
+		}
+
+		res, err := pipeline.Run(f, conf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "laoc: %s: %v\n", f.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("; ---- %s: final code (%s) ----\n%s", f.Name, *exp, f)
+		fmt.Printf("; moves=%d weighted=%d instrs=%d\n", res.Moves, res.WeightedMoves, res.Instrs)
+		if res.Leung != nil {
+			fmt.Printf("; out-of-pinned-SSA: %d phi move slots, %d pin moves, %d repairs\n",
+				res.Leung.PhiMoves, res.Leung.PinMoves, res.Leung.Repairs)
+		}
+		if res.Coalesce != nil {
+			fmt.Printf("; pinning-phi: gain %d of %d slots\n", res.Coalesce.Gain, res.Coalesce.PhiSlots)
+		}
+		if before != nil {
+			after, err := ir.Exec(f, args, 2_000_000)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "laoc: %s: post-pipeline execution: %v\n", f.Name, err)
+				os.Exit(1)
+			}
+			status := "MATCH"
+			if !before.Equal(after) {
+				status = "MISMATCH"
+			}
+			fmt.Printf("; run(%v) = %v [%s]\n", args, after.Outputs, status)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,69 @@
+// Command ssabench regenerates the evaluation tables of Rastello, de
+// Ferrière and Guillon, "Optimizing Translation Out of SSA Using
+// Renaming Constraints" (CGO 2004) over this repository's workload
+// suites.
+//
+// Usage:
+//
+//	ssabench            # all tables
+//	ssabench -table 3   # one table
+//	ssabench -list      # list suites and sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"outofssa/internal/stats"
+	"outofssa/internal/workload"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1-5); 0 means all")
+	list := flag.Bool("list", false, "list the workload suites and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-12s %4d functions, %6d instructions\n",
+				s.Name, len(s.Funcs), s.NumInstrs())
+		}
+		return
+	}
+
+	run := func(fn func() (*stats.Table, error)) {
+		t, err := fn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssabench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+
+	switch *table {
+	case 0:
+		fmt.Println(stats.Table1())
+		ts, err := stats.AllTables()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssabench:", err)
+			os.Exit(1)
+		}
+		for _, t := range ts {
+			fmt.Println(t)
+		}
+	case 1:
+		fmt.Println(stats.Table1())
+	case 2:
+		run(stats.Table2)
+	case 3:
+		run(stats.Table3)
+	case 4:
+		run(stats.Table4)
+	case 5:
+		run(stats.Table5)
+	default:
+		fmt.Fprintf(os.Stderr, "ssabench: no table %d (have 1-5)\n", *table)
+		os.Exit(2)
+	}
+}

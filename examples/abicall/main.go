@@ -1,0 +1,80 @@
+// abicall reproduces the paper's Figure 1 and Figure 3 scenarios from
+// LAI text: function parameter passing rules, a 2-operand autoadd, a
+// make/more immediate pair, and a value that must be repaired because a
+// call result evicts it from R0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/pipeline"
+)
+
+const figure1 = `
+.func figure1
+.input C:R0, P:P0
+entry:
+    load    A, @P
+    autoadd Q, P, 1
+    load    B, @Q
+    call    D = f(A, B)
+    add     E, C, D
+    make    L, 0x00A1
+    more    K, L, 0x2BFA
+    sub     F, E, K
+    ret     F
+.endfunc
+`
+
+const figure3 = `
+.func figure3
+.input x, y
+entry:
+    const k, 3
+loop:
+    add  y, y, k
+    call t = g(x, y)
+    blt  t, k, loop
+    ret  x
+.endfunc
+`
+
+func main() {
+	for _, src := range []string{figure1, figure3} {
+		f, err := lai.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s ====\n", f.Name)
+		fmt.Println("---- LAI input ----")
+		fmt.Print(f)
+
+		ref := f.Clone()
+		res, err := pipeline.Run(f, pipeline.Configs[pipeline.ExpLphiABIC])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\n---- after Lphi,ABI+C ----")
+		fmt.Print(f)
+		fmt.Printf("\nmoves=%d  repairs=%d  pin moves=%d  phi move slots=%d\n",
+			res.Moves, res.Leung.Repairs, res.Leung.PinMoves, res.Leung.PhiMoves)
+
+		args := []int64{7, 1000}
+		want, err := ir.Exec(ref, args, 100000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := ir.Exec(f, args, 200000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "MATCH"
+		if !want.Equal(got) {
+			status = "MISMATCH"
+		}
+		fmt.Printf("run(%v): %v [%s]\n\n", args, got.Outputs, status)
+	}
+}

@@ -1,0 +1,66 @@
+// compare runs the paper's hand-crafted figures (the example1-8 suite)
+// through the main algorithm comparisons and prints per-example move
+// counts — the qualitative claims [CC1], [CS1-3] as a table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/workload"
+)
+
+func main() {
+	exps := []string{
+		pipeline.ExpLphiABIC,
+		pipeline.ExpSphiLABIC,
+		pipeline.ExpLABIC,
+		pipeline.ExpC3,
+	}
+
+	fmt.Printf("%-12s", "example")
+	for _, e := range exps {
+		fmt.Printf("%14s", e)
+	}
+	fmt.Println()
+
+	n := len(workload.Examples().Funcs)
+	totals := make([]int, len(exps))
+	for i := 0; i < n; i++ {
+		name := workload.Examples().Funcs[i].Name
+		fmt.Printf("%-12s", name)
+
+		ref := workload.Examples().Funcs[i]
+		args := []int64{5, 9, 3}
+		want, err := ir.Exec(ref, args, 200000)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for j, e := range exps {
+			f := workload.Examples().Funcs[i]
+			res, err := pipeline.Run(f, pipeline.Configs[e])
+			if err != nil {
+				log.Fatalf("%s/%s: %v", name, e, err)
+			}
+			got, err := ir.Exec(f, args, 400000)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", name, e, err)
+			}
+			if !want.Equal(got) {
+				log.Fatalf("%s/%s: behaviour changed", name, e)
+			}
+			fmt.Printf("%14d", res.Moves)
+			totals[j] += res.Moves
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-12s", "TOTAL")
+	for _, t := range totals {
+		fmt.Printf("%14d", t)
+	}
+	fmt.Println()
+	fmt.Println("\n(all outputs verified against the reference interpreter)")
+}

@@ -1,0 +1,103 @@
+// dspkernel runs a realistic DSP kernel (a FIR filter with 2-operand
+// pointer auto-increment and a multiply-accumulate chain) through every
+// experiment configuration and compares the resulting move counts —
+// a one-function preview of the paper's Tables 2-4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/pipeline"
+)
+
+const fir = `
+.func fir8
+.input px:P0, ph:P1, n:R0
+entry:
+    const  y, 0
+    const  i, 0
+    const  eight, 8
+    min    n, n, eight
+outer:
+    blt    i, n, body
+    ret    y
+body:
+    mov    xp, px
+    mov    hp, ph
+    add    xp, xp, i
+    const  acc, 0
+    const  j, 0
+    const  four, 4
+inner:
+    blt    j, four, tap
+    add    y, y, acc
+    const  one2, 1
+    add    i, i, one2
+    jump   outer
+tap:
+    load   xv, @xp
+    autoadd xp, xp, 1
+    load   hv, @hp
+    autoadd hp, hp, 1
+    mac    acc, acc, xv, hv
+    const  one, 1
+    add    j, j, one
+    jump   inner
+.endfunc
+`
+
+func main() {
+	base, err := lai.Parse(fir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("---- FIR kernel (LAI) ----")
+	fmt.Print(base)
+
+	args := []int64{1000, 2000, 6}
+	want, err := ir.Exec(base.Clone(), args, 200000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var names []string
+	for n := range pipeline.Configs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("\n%-14s %8s %10s\n", "experiment", "moves", "weighted")
+	var best string
+	bestMoves := 1 << 30
+	for _, name := range names {
+		f := base.Clone()
+		res, err := pipeline.Run(f, pipeline.Configs[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := ir.Exec(f, args, 400000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !want.Equal(got) {
+			log.Fatalf("%s changed the kernel's behaviour", name)
+		}
+		fmt.Printf("%-14s %8d %10d\n", name, res.Moves, res.WeightedMoves)
+		if res.Moves < bestMoves {
+			bestMoves, best = res.Moves, name
+		}
+	}
+	fmt.Printf("\nbest: %s with %d moves (all configurations verified against the interpreter)\n",
+		best, bestMoves)
+
+	f := base.Clone()
+	if _, err := pipeline.Run(f, pipeline.Configs[pipeline.ExpLphiABIC]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n---- final code under Lphi,ABI+C ----")
+	fmt.Print(f)
+}

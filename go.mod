@@ -1,0 +1,3 @@
+module outofssa
+
+go 1.22

@@ -1,0 +1,37 @@
+package cfg
+
+import "outofssa/internal/ir"
+
+// RemoveUnreachable deletes blocks not reachable from the entry,
+// unlinking them from the Preds lists of reachable blocks and dropping φ
+// arguments that flowed in from removed predecessors.
+func RemoveUnreachable(f *ir.Func) int {
+	reach := Reachable(f)
+	removed := 0
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			kept = append(kept, b)
+			continue
+		}
+		removed++
+		for _, s := range b.Succs {
+			if !reach[s.ID] {
+				continue
+			}
+			// Drop the φ argument positions corresponding to b.
+			for {
+				pi := s.PredIndex(b)
+				if pi < 0 {
+					break
+				}
+				s.Preds = append(s.Preds[:pi], s.Preds[pi+1:]...)
+				for _, phi := range s.Phis() {
+					phi.Uses = append(phi.Uses[:pi], phi.Uses[pi+1:]...)
+				}
+			}
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

@@ -1,0 +1,387 @@
+// Package interference implements the paper's interference machinery
+// (§3.2-3.3) on SSA form: variable kills (Classes 1-2), strong
+// interference (Classes 3-4), and their lifting to resources
+// (Resource_killed, Resource_interfere). It also provides the fuzzy
+// optimistic/pessimistic Class-1 variants of Algorithm 4 used by the
+// Table 5 ablation.
+package interference
+
+import (
+	"outofssa/internal/bitset"
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+	"outofssa/internal/pin"
+)
+
+// Mode selects the Class-1 kill test precision (paper Algorithm 4).
+type Mode int
+
+const (
+	// Exact uses per-program-point liveness: b is killed by a iff b's def
+	// dominates a's def and b is live just after a's definition.
+	Exact Mode = iota
+	// Optimistic approximates with block live-out: interferences whose
+	// later variable dies inside the block are missed (fewer
+	// interferences, cheaper; Table 5 "opt").
+	Optimistic
+	// Pessimistic approximates with block live-in plus same-block
+	// co-definition: spurious interferences are reported (Table 5 "pess").
+	Pessimistic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Optimistic:
+		return "opt"
+	case Pessimistic:
+		return "pess"
+	}
+	return "exact"
+}
+
+// Analysis answers variable-level interference queries on an SSA
+// function. The underlying IR must not change while the analysis is in
+// use (resource classes may change freely — they are not consulted here).
+type Analysis struct {
+	fn   *ir.Func
+	live *liveness.Info
+	dom  *cfg.DomTree
+	mode Mode
+
+	defs   []*ir.Instr // value ID -> unique SSA def
+	defIdx []int       // value ID -> index of def within its block
+
+	liveAfter map[*ir.Instr]*bitset.Set // lazily cached per definition
+}
+
+// New builds an analysis. live and dom must describe the current f.
+func New(f *ir.Func, live *liveness.Info, dom *cfg.DomTree, mode Mode) *Analysis {
+	a := &Analysis{
+		fn:        f,
+		live:      live,
+		dom:       dom,
+		mode:      mode,
+		defs:      make([]*ir.Instr, f.NumValues()),
+		defIdx:    make([]int, f.NumValues()),
+		liveAfter: make(map[*ir.Instr]*bitset.Set),
+	}
+	for _, b := range f.Blocks {
+		for idx, in := range b.Instrs {
+			for _, d := range in.Defs {
+				a.defs[d.Val.ID] = in
+				a.defIdx[d.Val.ID] = idx
+			}
+		}
+	}
+	return a
+}
+
+// Def returns the unique SSA definition of v, or nil (e.g. physical
+// registers have none).
+func (a *Analysis) Def(v *ir.Value) *ir.Instr { return a.defs[v.ID] }
+
+// instrDominates reports whether definition x dominates definition y
+// strictly (x's value is available when y executes). φ definitions act at
+// block entry.
+func (a *Analysis) instrDominates(x, y *ir.Instr, xIdx, yIdx int) bool {
+	bx, by := x.Block(), y.Block()
+	if bx != by {
+		return a.dom.StrictlyDominates(bx, by)
+	}
+	if x.Op == ir.Phi && y.Op == ir.Phi {
+		return false // parallel at block entry
+	}
+	if x.Op == ir.Phi {
+		return true
+	}
+	if y.Op == ir.Phi {
+		return false
+	}
+	return xIdx < yIdx
+}
+
+// liveAfterDef returns (cached) the set of values live immediately after
+// def executes; for φ defs, the live-in set of the φ's block.
+func (a *Analysis) liveAfterDef(def *ir.Instr) *bitset.Set {
+	if s, ok := a.liveAfter[def]; ok {
+		return s
+	}
+	var s *bitset.Set
+	b := def.Block()
+	if def.Op == ir.Phi {
+		s = a.live.LiveInSet(b).Copy()
+	} else {
+		idx := -1
+		for i, in := range b.Instrs {
+			if in == def {
+				idx = i
+				break
+			}
+		}
+		s = a.live.LiveAfter(b, idx)
+	}
+	a.liveAfter[def] = s
+	return s
+}
+
+// Kills implements Variable_kills(a, b) — "a kills b" — of Algorithm 2
+// (mode Exact) and Algorithm 4 (Optimistic/Pessimistic):
+//
+//	Case 1: b's definition dominates v's definition and b is still live
+//	        when v is defined — defining v in a common resource would
+//	        overwrite b's value.
+//	Case 2: v is a φ and b is live out of a predecessor contributing an
+//	        argument other than b — the φ move at the end of that
+//	        predecessor would overwrite b. Note b == v is possible here:
+//	        this is the lost-copy self-kill.
+func (an *Analysis) Kills(v, b *ir.Value) bool {
+	defV, defB := an.defs[v.ID], an.defs[b.ID]
+	// Case 1.
+	if v != b && defV != nil && defB != nil &&
+		an.instrDominates(defB, defV, an.defIdx[b.ID], an.defIdx[v.ID]) {
+		switch an.mode {
+		case Exact:
+			if an.liveAfterDef(defV).Has(b.ID) {
+				return true
+			}
+		case Optimistic:
+			if an.live.LiveOut(b, defV.Block()) {
+				return true
+			}
+		case Pessimistic:
+			if an.live.LiveIn(b, defV.Block()) || defV.Block() == defB.Block() {
+				return true
+			}
+		}
+	}
+	// Case 2.
+	if defV != nil && defV.Op == ir.Phi {
+		blk := defV.Block()
+		for i, u := range defV.Uses {
+			if b != u.Val && an.live.LiveOut(b, blk.Preds[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StronglyInterfere implements Variable_stronglyInterfere (Classes 3-4):
+// strong interferences cannot be repaired, so pinning the two variables
+// together would be incorrect.
+func (an *Analysis) StronglyInterfere(a, b *ir.Value) bool {
+	if a == b {
+		return false
+	}
+	defA, defB := an.defs[a.ID], an.defs[b.ID]
+	if defA == nil || defB == nil {
+		return false
+	}
+	if defA.Op == ir.Phi && defB.Op == ir.Phi {
+		ba, bb := defA.Block(), defB.Block()
+		if ba == bb {
+			return true // Case 4: φs of one block execute in parallel
+		}
+		// Case 3: arguments flowing from a shared predecessor must agree.
+		for i, u := range defA.Uses {
+			pred := ba.Preds[i]
+			j := bb.PredIndex(pred)
+			if j >= 0 && u.Val != defB.Uses[j].Val {
+				return true
+			}
+		}
+		return false
+	}
+	if defA == defB {
+		return true // two results of one instruction
+	}
+	return false
+}
+
+// Interfere is the classic SSA interference test used by the Sreedhar
+// algorithm and by register coalescing at SSA level: a and b interfere
+// iff the dominator-wise earlier one is live at the definition of the
+// other (Budimlic et al.).
+func (an *Analysis) Interfere(a, b *ir.Value) bool {
+	if a == b {
+		return false
+	}
+	defA, defB := an.defs[a.ID], an.defs[b.ID]
+	if defA == nil || defB == nil {
+		return false
+	}
+	if an.instrDominates(defA, defB, an.defIdx[a.ID], an.defIdx[b.ID]) {
+		return an.liveAfterDef(defB).Has(a.ID)
+	}
+	if an.instrDominates(defB, defA, an.defIdx[b.ID], an.defIdx[a.ID]) {
+		return an.liveAfterDef(defA).Has(b.ID)
+	}
+	// Same instruction or parallel φs: both values born together.
+	if defA == defB {
+		return true
+	}
+	if defA.Op == ir.Phi && defB.Op == ir.Phi && defA.Block() == defB.Block() {
+		// Parallel φ defs of one block: live ranges both start at entry;
+		// they interfere if both are live somewhere, which is true unless
+		// one is dead — conservatively report interference.
+		return true
+	}
+	return false
+}
+
+// PinSite records a textual use pinned to a resource. Enforcing the pin
+// writes the resource just before the instruction, so any other variable
+// of that resource still live after the instruction is killed there —
+// the ABI analogue of the Class-2 φ-argument clobber.
+type PinSite struct {
+	// Pin is the resource the use is pinned to (resolve through the
+	// union-find at query time).
+	Pin *ir.Value
+	// Val is the value being read into the resource.
+	Val *ir.Value
+	// In is the instruction carrying the pinned use.
+	In *ir.Instr
+	// LiveAfter is the live set immediately after the instruction.
+	LiveAfter *bitset.Set
+}
+
+// kills reports whether enforcing this pin site clobbers m: m must be
+// live across the instruction — values defined by the instruction itself
+// are born after the clobber, and values dying at the instruction are
+// rescued locally by the translator.
+func (s PinSite) kills(m *ir.Value) bool {
+	return m != s.Val && s.LiveAfter.Has(m.ID) && !s.In.HasDef(m)
+}
+
+// ResourceGraph lifts variable interference to resources (§3.3). It
+// consults pin.Resources for membership, so queries remain correct as
+// the coalescer merges classes.
+type ResourceGraph struct {
+	An  *Analysis
+	Res *pin.Resources
+
+	// Sites are the pinned-use clobber points of the function (φ uses
+	// excluded — those are Class 2).
+	Sites []PinSite
+}
+
+// NewResourceGraph pairs an analysis with resource classes and collects
+// the pinned-use clobber sites.
+func NewResourceGraph(an *Analysis, res *pin.Resources) *ResourceGraph {
+	g := &ResourceGraph{An: an, Res: res}
+	for _, b := range an.fn.Blocks {
+		for idx, in := range b.Instrs {
+			if in.Op == ir.Phi {
+				continue
+			}
+			var after *bitset.Set
+			for _, u := range in.Uses {
+				if u.Pin == nil {
+					continue
+				}
+				if after == nil {
+					after = an.live.LiveAfter(b, idx)
+				}
+				g.Sites = append(g.Sites, PinSite{Pin: u.Pin, Val: u.Val, In: in, LiveAfter: after})
+			}
+		}
+	}
+	return g
+}
+
+// Killed implements Resource_killed: the members of v's resource that are
+// killed by some other member (or by themselves, for the lost-copy case),
+// or by a pinned use writing the resource while they are live.
+func (g *ResourceGraph) Killed(v *ir.Value) map[*ir.Value]bool {
+	root := g.Res.Find(v)
+	members := g.Res.Members(root)
+	killed := make(map[*ir.Value]bool)
+	for _, ai := range members {
+		if ai.IsPhys() {
+			continue
+		}
+		for _, aj := range members {
+			if aj.IsPhys() {
+				continue
+			}
+			if g.An.Kills(aj, ai) {
+				killed[ai] = true
+				break
+			}
+		}
+	}
+	for _, site := range g.Sites {
+		if g.Res.Find(site.Pin) != root {
+			continue
+		}
+		for _, m := range members {
+			if m.IsPhys() || killed[m] {
+				continue
+			}
+			if site.kills(m) {
+				killed[m] = true
+			}
+		}
+	}
+	return killed
+}
+
+// Interfere implements Resource_interfere(A, B): merging the two
+// resources would create a new simple interference (a repair not already
+// needed) or a strong interference (incorrect code).
+func (g *ResourceGraph) Interfere(a, b *ir.Value) bool {
+	ra, rb := g.Res.Find(a), g.Res.Find(b)
+	if ra == rb {
+		return false
+	}
+	if ra.IsPhys() && rb.IsPhys() {
+		return true // distinct dedicated registers
+	}
+	ma, mb := g.Res.Members(ra), g.Res.Members(rb)
+	killedA := g.Killed(ra)
+	killedB := g.Killed(rb)
+	for _, x := range ma {
+		if x.IsPhys() {
+			continue
+		}
+		for _, y := range mb {
+			if y.IsPhys() {
+				continue
+			}
+			if !killedA[x] && g.An.Kills(y, x) {
+				return true
+			}
+			if !killedB[y] && g.An.Kills(x, y) {
+				return true
+			}
+			if g.An.StronglyInterfere(x, y) {
+				return true
+			}
+		}
+	}
+	// A pinned use writing one resource kills live members of the other
+	// once merged.
+	for _, site := range g.Sites {
+		rs := g.Res.Find(site.Pin)
+		var victims []*ir.Value
+		var killedV map[*ir.Value]bool
+		switch rs {
+		case ra:
+			victims, killedV = mb, killedB
+		case rb:
+			victims, killedV = ma, killedA
+		default:
+			continue
+		}
+		for _, m := range victims {
+			if m.IsPhys() || killedV[m] {
+				continue
+			}
+			if site.kills(m) {
+				return true
+			}
+		}
+	}
+	return false
+}

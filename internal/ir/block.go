@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line instruction sequence ended by a
+// terminator (Br, Jump or Output). Phi instructions, when present, form a
+// prefix of the block and their Uses are parallel to Preds.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []*Instr
+	Preds  []*Block
+	Succs  []*Block
+
+	// LoopDepth is the loop nesting depth computed by cfg.ComputeLoopDepth;
+	// 0 means not inside any loop. The paper weights moves by 5^depth and
+	// processes confluence points inner-to-outer.
+	LoopDepth int
+
+	fn *Func
+}
+
+// Func returns the function containing the block.
+func (b *Block) Func() *Func { return b.fn }
+
+func (b *Block) String() string {
+	if b == nil {
+		return "<nil>"
+	}
+	if b.Name != "" {
+		return b.Name
+	}
+	return fmt.Sprintf("b%d", b.ID)
+}
+
+// Append adds in at the end of the block.
+func (b *Block) Append(in *Instr) {
+	in.blk = b
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertAt inserts in at position i within the block.
+func (b *Block) InsertAt(i int, in *Instr) {
+	in.blk = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// RemoveAt removes and returns the instruction at position i.
+func (b *Block) RemoveAt(i int) *Instr {
+	in := b.Instrs[i]
+	copy(b.Instrs[i:], b.Instrs[i+1:])
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	in.blk = nil
+	return in
+}
+
+// Terminator returns the block's final instruction if it is a terminator,
+// else nil.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// InsertBeforeTerminator inserts in just before the block terminator, or
+// at the end if the block has none. This is where φ-related copies land:
+// "semantically, the use takes place at the end of the predecessor block"
+// (paper §3.2 Class 2).
+func (b *Block) InsertBeforeTerminator(in *Instr) {
+	if b.Terminator() != nil {
+		b.InsertAt(len(b.Instrs)-1, in)
+		return
+	}
+	b.Append(in)
+}
+
+// Phis returns the block's φ instructions (the Phi prefix of the block).
+func (b *Block) Phis() []*Instr {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == Phi {
+		n++
+	}
+	return b.Instrs[:n]
+}
+
+// FirstNonPhi returns the index of the first non-φ instruction.
+func (b *Block) FirstNonPhi() int {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == Phi {
+		n++
+	}
+	return n
+}
+
+// PredIndex returns the position of p in b.Preds, or -1.
+func (b *Block) PredIndex(p *Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// SuccIndex returns the position of s in b.Succs, or -1.
+func (b *Block) SuccIndex(s *Block) int {
+	for i, q := range b.Succs {
+		if q == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReplacePred substitutes newPred for oldPred in b.Preds (φ uses keep
+// their positions, so φ argument correspondence is preserved).
+func (b *Block) ReplacePred(oldPred, newPred *Block) {
+	for i, q := range b.Preds {
+		if q == oldPred {
+			b.Preds[i] = newPred
+			return
+		}
+	}
+	panic(fmt.Sprintf("ir: %v is not a predecessor of %v", oldPred, b))
+}
+
+// ReplaceSucc substitutes newSucc for oldSucc in b.Succs.
+func (b *Block) ReplaceSucc(oldSucc, newSucc *Block) {
+	for i, q := range b.Succs {
+		if q == oldSucc {
+			b.Succs[i] = newSucc
+			return
+		}
+	}
+	panic(fmt.Sprintf("ir: %v is not a successor of %v", oldSucc, b))
+}

@@ -1,0 +1,77 @@
+package ir
+
+// Clone returns a deep copy of f. Value and block IDs are preserved, so
+// analyses computed on the clone are index-compatible with the original.
+// The experiment pipelines clone the post-SSA function once per algorithm
+// so every algorithm sees the same input.
+func (f *Func) Clone() *Func {
+	nf := &Func{Name: f.Name, nextID: f.nextID, nextBB: f.nextBB}
+
+	vmap := make([]*Value, f.nextID)
+	nf.values = make([]*Value, len(f.values))
+	for i, v := range f.values {
+		nv := &Value{ID: v.ID, Name: v.Name, Kind: v.Kind}
+		nf.values[i] = nv
+		vmap[v.ID] = nv
+	}
+	mapVal := func(v *Value) *Value {
+		if v == nil {
+			return nil
+		}
+		return vmap[v.ID]
+	}
+	mapVals := func(vs []*Value) []*Value {
+		out := make([]*Value, len(vs))
+		for i, v := range vs {
+			out[i] = mapVal(v)
+		}
+		return out
+	}
+
+	t := f.Target
+	nf.Target = &Target{
+		R:          mapVals(t.R),
+		P:          mapVals(t.P),
+		SP:         mapVal(t.SP),
+		ArgRegs:    mapVals(t.ArgRegs),
+		RetRegs:    mapVals(t.RetRegs),
+		PtrArgRegs: mapVals(t.PtrArgRegs),
+	}
+
+	bmap := make([]*Block, f.nextBB)
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name, LoopDepth: b.LoopDepth, fn: nf}
+		bmap[b.ID] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	mapBlocks := func(bs []*Block) []*Block {
+		out := make([]*Block, len(bs))
+		for i, b := range bs {
+			out[i] = bmap[b.ID]
+		}
+		return out
+	}
+	mapOps := func(os []Operand) []Operand {
+		out := make([]Operand, len(os))
+		for i, o := range os {
+			out[i] = Operand{Val: mapVal(o.Val), Pin: mapVal(o.Pin)}
+		}
+		return out
+	}
+
+	for _, b := range f.Blocks {
+		nb := bmap[b.ID]
+		nb.Preds = mapBlocks(b.Preds)
+		nb.Succs = mapBlocks(b.Succs)
+		for _, in := range b.Instrs {
+			nb.Append(&Instr{
+				Op:     in.Op,
+				Defs:   mapOps(in.Defs),
+				Uses:   mapOps(in.Uses),
+				Imm:    in.Imm,
+				Callee: in.Callee,
+			})
+		}
+	}
+	return nf
+}

@@ -1,0 +1,171 @@
+package ir
+
+import "fmt"
+
+// Func is a single function: a control flow graph of basic blocks over a
+// set of values. Blocks[0] is the entry block.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Target *Target
+
+	values []*Value
+	nextID int
+	nextBB int
+}
+
+// NewFunc creates an empty function with a fresh ST120-like target.
+func NewFunc(name string) *Func {
+	f := &Func{Name: name}
+	f.Target = newTarget(f)
+	return f
+}
+
+func (f *Func) newValue(name string, kind ValueKind) *Value {
+	v := &Value{ID: f.nextID, Name: name, Kind: kind}
+	f.nextID++
+	f.values = append(f.values, v)
+	return v
+}
+
+// NewValue creates a fresh virtual register. If name is empty a unique
+// name is generated.
+func (f *Func) NewValue(name string) *Value {
+	if name == "" {
+		name = "v" + itoa64(int64(f.nextID))
+	}
+	return f.newValue(name, Virtual)
+}
+
+// Values returns all values of the function (physical and virtual) in ID
+// order. The returned slice must not be mutated.
+func (f *Func) Values() []*Value { return f.values }
+
+// NumValues returns the exclusive upper bound of value IDs; suitable for
+// sizing dense per-value tables.
+func (f *Func) NumValues() int { return f.nextID }
+
+// NewBlock creates a block and appends it to the function.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: f.nextBB, Name: name, fn: f}
+	f.nextBB++
+	if b.Name == "" {
+		b.Name = "b" + itoa64(int64(b.ID))
+	}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		panic("ir: function has no blocks")
+	}
+	return f.Blocks[0]
+}
+
+// NumBlocks returns the exclusive upper bound of block IDs.
+func (f *Func) NumBlocks() int { return f.nextBB }
+
+// AddEdge records a CFG edge from b to s, keeping Preds/Succs consistent.
+func (f *Func) AddEdge(b, s *Block) {
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// NumInstrs counts instructions across all blocks.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// CountMoves returns the number of Copy instructions in the function —
+// the metric of the paper's Tables 2-4. A ParCopy counts one move per
+// destination that differs from its source; callers that care about the
+// exact cost of copy cycles should sequentialize ParCopies first.
+func (f *Func) CountMoves() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case Copy:
+				if in.Def(0) != in.Use(0) {
+					n++
+				}
+			case ParCopy:
+				for i := range in.Defs {
+					if in.Defs[i].Val != in.Uses[i].Val {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// WeightedMoves returns the 5^depth weighted move count of Table 5: each
+// move weighs 5^d where d is the loop depth of its block ("a static
+// approximation where each loop would contain 5 iterations").
+func (f *Func) WeightedMoves() int64 {
+	var n int64
+	for _, b := range f.Blocks {
+		w := int64(1)
+		for i := 0; i < b.LoopDepth; i++ {
+			w *= 5
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case Copy:
+				if in.Def(0) != in.Use(0) {
+					n += w
+				}
+			case ParCopy:
+				for i := range in.Defs {
+					if in.Defs[i].Val != in.Uses[i].Val {
+						n += w
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// DefSites returns, for each value ID, the instructions defining it.
+func (f *Func) DefSites() map[*Value][]*Instr {
+	defs := make(map[*Value][]*Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				defs[d.Val] = append(defs[d.Val], in)
+			}
+		}
+	}
+	return defs
+}
+
+// SSADefs returns a dense table mapping each value ID to its unique
+// definition. It panics if some virtual value has more than one
+// definition (i.e. the function is not in SSA form).
+func (f *Func) SSADefs() []*Instr {
+	defs := make([]*Instr, f.NumValues())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if d.Val.IsPhys() {
+					continue
+				}
+				if defs[d.Val.ID] != nil {
+					panic(fmt.Sprintf("ir: value %v defined twice (not SSA): %v and %v",
+						d.Val, defs[d.Val.ID], in))
+				}
+				defs[d.Val.ID] = in
+			}
+		}
+	}
+	return defs
+}

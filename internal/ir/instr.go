@@ -1,0 +1,255 @@
+package ir
+
+import "strings"
+
+// Op is an instruction opcode. The set is a small ST120-flavoured subset:
+// enough arithmetic and memory traffic to write realistic DSP kernels,
+// plus the constrained instructions the paper's evaluation depends on
+// (2-operand autoadd/more, ABI-constrained call/input/output).
+type Op uint16
+
+const (
+	Nop Op = iota
+
+	// Phi merges values at a confluence point. Uses[i] flows in from
+	// Block.Preds[i]. Phi instructions must form a prefix of their block.
+	Phi
+	// Psi is the predicated merge of psi-SSA (Stoutchinin & de Ferrière):
+	// d = psi(p1?a1, ..., pn?an). Converted to psi-conventional form
+	// (2-operand-like pinning) before translation out of SSA.
+	Psi
+
+	// Copy is a register move: Defs[0] = Uses[0]. Move counting — the
+	// paper's entire evaluation metric — counts exactly these.
+	Copy
+	// ParCopy is a parallel copy: (d1,...,dn) = (s1,...,sn) with all
+	// sources read before any destination is written. Sequentialized into
+	// Copy chains by package parcopy.
+	ParCopy
+
+	// Const materializes Imm into Defs[0].
+	Const
+	// Make loads the high 16 bits of an immediate (ST120 make).
+	Make
+	// More completes a make with the low 16 bits; 2-operand: the
+	// destination must use the same resource as Uses[0] (paper Fig. 1 S6).
+	More
+
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Neg
+	Not
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	Min
+	Max
+	// Mac is a multiply-accumulate: d = u0 + u1*u2, 2-operand on the
+	// accumulator (d and u0 share a resource).
+	Mac
+	// Select is d = u0 != 0 ? u1 : u2 (fully predicated ST120 style).
+	Select
+
+	// AutoAdd is the auto-modifying address computation of Fig. 1 S1:
+	// d = u0 + Imm where d and u0 must share a resource (2-operand).
+	AutoAdd
+
+	// Load reads Defs[0] = mem[Uses[0]].
+	Load
+	// Store writes mem[Uses[0]] = Uses[1].
+	Store
+
+	// Call invokes Callee; Uses are arguments (ABI-pinned to parameter
+	// registers), Defs are results (ABI-pinned to return registers).
+	Call
+
+	// Input is the function prologue pseudo-instruction (.input): Defs are
+	// the formal parameters, ABI-pinned to parameter registers.
+	Input
+	// Output is the function epilogue pseudo-instruction (.output): Uses
+	// are the return values, ABI-pinned to return registers.
+	Output
+
+	// Br is a conditional branch on Uses[0] != 0: control goes to
+	// Block.Succs[0] when taken, Block.Succs[1] otherwise.
+	Br
+	// Jump is an unconditional branch to Block.Succs[0].
+	Jump
+
+	opCount
+)
+
+var opNames = [...]string{
+	Nop:     "nop",
+	Phi:     "phi",
+	Psi:     "psi",
+	Copy:    "mov",
+	ParCopy: "pcopy",
+	Const:   "const",
+	Make:    "make",
+	More:    "more",
+	Add:     "add",
+	Sub:     "sub",
+	Mul:     "mul",
+	Div:     "div",
+	Rem:     "rem",
+	And:     "and",
+	Or:      "or",
+	Xor:     "xor",
+	Shl:     "shl",
+	Shr:     "shr",
+	Neg:     "neg",
+	Not:     "not",
+	CmpEQ:   "cmpeq",
+	CmpNE:   "cmpne",
+	CmpLT:   "cmplt",
+	CmpLE:   "cmple",
+	CmpGT:   "cmpgt",
+	CmpGE:   "cmpge",
+	Min:     "min",
+	Max:     "max",
+	Mac:     "mac",
+	Select:  "select",
+	AutoAdd: "autoadd",
+	Load:    "load",
+	Store:   "store",
+	Call:    "call",
+	Input:   ".input",
+	Output:  ".output",
+	Br:      "br",
+	Jump:    "jump",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// IsTwoOperand reports whether op constrains Defs[0] and Uses[0] to the
+// same resource (ISA renaming constraint, paper §2.1).
+func (op Op) IsTwoOperand() bool {
+	switch op {
+	case More, AutoAdd, Mac:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool {
+	switch op {
+	case Br, Jump, Output:
+		return true
+	}
+	return false
+}
+
+// Instr is a single IR instruction. Defs and Uses are ordered operand
+// lists; for Phi, Uses is parallel to the containing block's Preds.
+type Instr struct {
+	Op     Op
+	Defs   []Operand
+	Uses   []Operand
+	Imm    int64
+	Callee string
+
+	blk *Block
+}
+
+// Block returns the basic block containing the instruction, or nil if the
+// instruction is detached.
+func (in *Instr) Block() *Block { return in.blk }
+
+// Def returns the i-th defined value.
+func (in *Instr) Def(i int) *Value { return in.Defs[i].Val }
+
+// Use returns the i-th used value.
+func (in *Instr) Use(i int) *Value { return in.Uses[i].Val }
+
+// HasDef reports whether v appears among the instruction's definitions.
+func (in *Instr) HasDef(v *Value) bool {
+	for _, d := range in.Defs {
+		if d.Val == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasUse reports whether v appears among the instruction's uses.
+func (in *Instr) HasUse(v *Value) bool {
+	for _, u := range in.Uses {
+		if u.Val == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMove reports whether the instruction is a (sequential) register move.
+func (in *Instr) IsMove() bool { return in.Op == Copy }
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	sep := " "
+	for _, d := range in.Defs {
+		b.WriteString(sep)
+		b.WriteString(d.String())
+		sep = ", "
+	}
+	if len(in.Defs) > 0 && len(in.Uses) > 0 {
+		b.WriteString(" =")
+		sep = " "
+	}
+	for _, u := range in.Uses {
+		b.WriteString(sep)
+		b.WriteString(u.String())
+		sep = ", "
+	}
+	switch in.Op {
+	case Const, Make, More, AutoAdd:
+		b.WriteString(sep)
+		b.WriteString(itoa64(in.Imm))
+	case Call:
+		b.WriteString(sep)
+		b.WriteString("@" + in.Callee)
+	}
+	return b.String()
+}
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [24]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,267 @@
+package ir
+
+import "fmt"
+
+// ExecResult captures the externally observable behaviour of one
+// execution: the values returned through .output, every store performed
+// (in order), and the step count. Two semantically equivalent functions
+// must produce identical ExecResults for the same inputs — this is the
+// oracle the out-of-SSA property tests use.
+type ExecResult struct {
+	Outputs []int64
+	Stores  []StoreEvent
+	Steps   int
+}
+
+// StoreEvent records one memory write.
+type StoreEvent struct {
+	Addr, Val int64
+}
+
+// ErrStepLimit is returned when execution does not reach .output within
+// the step budget.
+var ErrStepLimit = fmt.Errorf("ir: execution step limit exceeded")
+
+// Exec interprets f with the given arguments. Loads from addresses never
+// stored to yield a deterministic hash of the address; calls yield a
+// deterministic hash of the callee name and argument values, so that two
+// equivalent programs observe identical values everywhere.
+func Exec(f *Func, args []int64, maxSteps int) (*ExecResult, error) {
+	env := make([]int64, f.NumValues())
+	mem := make(map[int64]int64)
+	res := &ExecResult{}
+
+	get := func(o Operand) int64 { return env[o.Val.ID] }
+	set := func(o Operand, v int64) { env[o.Val.ID] = v }
+
+	blk := f.Entry()
+	var prev *Block
+	for {
+		// Evaluate the φ prefix in parallel.
+		phis := blk.Phis()
+		if len(phis) > 0 {
+			pi := blk.PredIndex(prev)
+			if pi < 0 {
+				return nil, fmt.Errorf("ir: entered %v from non-predecessor %v", blk, prev)
+			}
+			tmp := make([]int64, len(phis))
+			for i, in := range phis {
+				tmp[i] = get(in.Uses[pi])
+			}
+			for i, in := range phis {
+				set(in.Defs[0], tmp[i])
+			}
+		}
+
+		branched := false
+		for _, in := range blk.Instrs[len(phis):] {
+			res.Steps++
+			if res.Steps > maxSteps {
+				return nil, ErrStepLimit
+			}
+			switch in.Op {
+			case Nop:
+			case Copy:
+				set(in.Defs[0], get(in.Uses[0]))
+			case ParCopy:
+				tmp := make([]int64, len(in.Uses))
+				for i, u := range in.Uses {
+					tmp[i] = get(u)
+				}
+				for i, d := range in.Defs {
+					set(d, tmp[i])
+				}
+			case Const:
+				set(in.Defs[0], in.Imm)
+			case Make:
+				set(in.Defs[0], in.Imm<<16)
+			case More:
+				set(in.Defs[0], get(in.Uses[0])|(in.Imm&0xFFFF))
+			case Add:
+				set(in.Defs[0], get(in.Uses[0])+get(in.Uses[1]))
+			case Sub:
+				set(in.Defs[0], get(in.Uses[0])-get(in.Uses[1]))
+			case Mul:
+				set(in.Defs[0], get(in.Uses[0])*get(in.Uses[1]))
+			case Div:
+				d := get(in.Uses[1])
+				if d == 0 {
+					set(in.Defs[0], 0)
+				} else {
+					set(in.Defs[0], get(in.Uses[0])/d)
+				}
+			case Rem:
+				d := get(in.Uses[1])
+				if d == 0 {
+					set(in.Defs[0], 0)
+				} else {
+					set(in.Defs[0], get(in.Uses[0])%d)
+				}
+			case And:
+				set(in.Defs[0], get(in.Uses[0])&get(in.Uses[1]))
+			case Or:
+				set(in.Defs[0], get(in.Uses[0])|get(in.Uses[1]))
+			case Xor:
+				set(in.Defs[0], get(in.Uses[0])^get(in.Uses[1]))
+			case Shl:
+				set(in.Defs[0], get(in.Uses[0])<<(uint64(get(in.Uses[1]))&63))
+			case Shr:
+				set(in.Defs[0], get(in.Uses[0])>>(uint64(get(in.Uses[1]))&63))
+			case Neg:
+				set(in.Defs[0], -get(in.Uses[0]))
+			case Not:
+				set(in.Defs[0], ^get(in.Uses[0]))
+			case CmpEQ:
+				set(in.Defs[0], b2i(get(in.Uses[0]) == get(in.Uses[1])))
+			case CmpNE:
+				set(in.Defs[0], b2i(get(in.Uses[0]) != get(in.Uses[1])))
+			case CmpLT:
+				set(in.Defs[0], b2i(get(in.Uses[0]) < get(in.Uses[1])))
+			case CmpLE:
+				set(in.Defs[0], b2i(get(in.Uses[0]) <= get(in.Uses[1])))
+			case CmpGT:
+				set(in.Defs[0], b2i(get(in.Uses[0]) > get(in.Uses[1])))
+			case CmpGE:
+				set(in.Defs[0], b2i(get(in.Uses[0]) >= get(in.Uses[1])))
+			case Min:
+				a, b := get(in.Uses[0]), get(in.Uses[1])
+				if b < a {
+					a = b
+				}
+				set(in.Defs[0], a)
+			case Max:
+				a, b := get(in.Uses[0]), get(in.Uses[1])
+				if b > a {
+					a = b
+				}
+				set(in.Defs[0], a)
+			case Mac:
+				set(in.Defs[0], get(in.Uses[0])+get(in.Uses[1])*get(in.Uses[2]))
+			case Select:
+				if get(in.Uses[0]) != 0 {
+					set(in.Defs[0], get(in.Uses[1]))
+				} else {
+					set(in.Defs[0], get(in.Uses[2]))
+				}
+			case Psi:
+				// d = value of the last pair whose predicate is true, else 0.
+				var v int64
+				for i := 0; i+1 < len(in.Uses); i += 2 {
+					if get(in.Uses[i]) != 0 {
+						v = get(in.Uses[i+1])
+					}
+				}
+				set(in.Defs[0], v)
+			case AutoAdd:
+				set(in.Defs[0], get(in.Uses[0])+in.Imm)
+			case Load:
+				addr := get(in.Uses[0])
+				v, ok := mem[addr]
+				if !ok {
+					v = hash2("mem", addr)
+				}
+				set(in.Defs[0], v)
+			case Store:
+				addr := get(in.Uses[0])
+				v := get(in.Uses[1])
+				mem[addr] = v
+				res.Stores = append(res.Stores, StoreEvent{addr, v})
+			case Call:
+				h := hashStr(in.Callee)
+				for _, u := range in.Uses {
+					h = hashMix(h, get(u))
+				}
+				for i, d := range in.Defs {
+					set(d, int64(hashMix(h, int64(i))))
+				}
+			case Input:
+				// Only declared parameters (the first Imm defs) receive
+				// arguments; implicit entry definitions added by SSA
+				// construction are zero-initialized.
+				for i, d := range in.Defs {
+					if i < len(args) && i < int(in.Imm) {
+						set(d, args[i])
+					} else {
+						set(d, 0)
+					}
+				}
+			case Output:
+				for _, u := range in.Uses {
+					res.Outputs = append(res.Outputs, get(u))
+				}
+				return res, nil
+			case Br:
+				prev = blk
+				if get(in.Uses[0]) != 0 {
+					blk = blk.Succs[0]
+				} else {
+					blk = blk.Succs[1]
+				}
+			case Jump:
+				prev = blk
+				blk = blk.Succs[0]
+			default:
+				return nil, fmt.Errorf("ir: cannot interpret %q", in)
+			}
+			if in.Op == Br || in.Op == Jump {
+				branched = true
+				break
+			}
+		}
+		if !branched {
+			return nil, fmt.Errorf("ir: fell off the end of block %v", blk)
+		}
+	}
+}
+
+// Equal reports whether two execution results are observably identical.
+func (r *ExecResult) Equal(o *ExecResult) bool {
+	if len(r.Outputs) != len(o.Outputs) || len(r.Stores) != len(o.Stores) {
+		return false
+	}
+	for i := range r.Outputs {
+		if r.Outputs[i] != o.Outputs[i] {
+			return false
+		}
+	}
+	for i := range r.Stores {
+		if r.Stores[i] != o.Stores[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+func hashStr(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashMix(h uint64, v int64) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= (u >> (8 * uint(i))) & 0xFF
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hash2(tag string, v int64) int64 {
+	return int64(hashMix(hashStr(tag), v))
+}

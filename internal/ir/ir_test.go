@@ -1,0 +1,233 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/testprog"
+)
+
+func TestVerifyStructured(t *testing.T) {
+	for _, f := range testprog.All() {
+		if err := f.Verify(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	bld := ir.NewBuilder("bad")
+	bld.Block("entry")
+	v := bld.Val("v")
+	bld.Const(v, 1)
+	if err := bld.Fn.Verify(); err == nil {
+		t.Fatal("expected error for unterminated block")
+	}
+}
+
+func TestVerifyCatchesInconsistentEdges(t *testing.T) {
+	bld := ir.NewBuilder("bad")
+	entry := bld.Block("entry")
+	other := bld.Fn.NewBlock("other")
+	bld.SetBlock(other)
+	bld.Output()
+	bld.SetBlock(entry)
+	bld.Output()
+	entry.Succs = append(entry.Succs, other) // no matching pred
+	if err := bld.Fn.Verify(); err == nil {
+		t.Fatal("expected error for asymmetric edge")
+	}
+}
+
+func TestVerifyCatchesPhiArityMismatch(t *testing.T) {
+	bld := ir.NewBuilder("bad")
+	entry := bld.Block("entry")
+	join := bld.Fn.NewBlock("join")
+	bld.SetBlock(entry)
+	bld.Jump(join)
+	bld.SetBlock(join)
+	x, a, b := bld.Val("x"), bld.Val("a"), bld.Val("b")
+	bld.Phi(x, a, b) // two args, one pred
+	bld.Output(x)
+	if err := bld.Fn.Verify(); err == nil {
+		t.Fatal("expected error for φ arity mismatch")
+	}
+}
+
+func TestExecDiamond(t *testing.T) {
+	f := testprog.Diamond()
+	cases := []struct {
+		a, b, want int64
+	}{
+		{1, 5, 12},  // a<b: (a+b)*2
+		{5, 1, 8},   // else: (a-b)*2
+		{3, 3, 0},   // equal: (a-b)*2 = 0
+		{-4, 2, -4}, // (-4+2)*2
+	}
+	for _, c := range cases {
+		res, err := ir.Exec(f, []int64{c.a, c.b}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Outputs) != 1 || res.Outputs[0] != c.want {
+			t.Errorf("diamond(%d,%d) = %v, want %d", c.a, c.b, res.Outputs, c.want)
+		}
+	}
+}
+
+func TestExecLoop(t *testing.T) {
+	f := testprog.Loop()
+	for n := int64(0); n < 10; n++ {
+		res, err := ir.Exec(f, []int64{n}, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n * (n - 1) / 2
+		if res.Outputs[0] != want {
+			t.Errorf("loop(%d) = %d, want %d", n, res.Outputs[0], want)
+		}
+	}
+}
+
+func TestExecStepLimit(t *testing.T) {
+	f := testprog.Loop()
+	_, err := ir.Exec(f, []int64{1 << 40}, 100)
+	if err != ir.ErrStepLimit {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+}
+
+func TestExecDeterministicCallsAndLoads(t *testing.T) {
+	f := testprog.WithCallsAndStack()
+	r1, err := ir.Exec(f, []int64{7, 100}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ir.Exec(f, []int64{7, 100}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatal("execution is not deterministic")
+	}
+	r3, _ := ir.Exec(f, []int64{8, 100}, 1000)
+	if r1.Equal(r3) {
+		t.Fatal("different inputs produced identical observable behaviour")
+	}
+}
+
+func TestParCopySemantics(t *testing.T) {
+	bld := ir.NewBuilder("pc")
+	bld.Block("entry")
+	a, b := bld.Val("a"), bld.Val("b")
+	bld.Input(a, b)
+	// swap via parallel copy
+	bld.Cur.Append(&ir.Instr{
+		Op:   ir.ParCopy,
+		Defs: []ir.Operand{{Val: a}, {Val: b}},
+		Uses: []ir.Operand{{Val: b}, {Val: a}},
+	})
+	bld.Output(a, b)
+	res, err := ir.Exec(bld.Fn, []int64{1, 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 2 || res.Outputs[1] != 1 {
+		t.Fatalf("parallel copy swap failed: %v", res.Outputs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := testprog.SwapLoop()
+	g := f.Clone()
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ir.Exec(f, []int64{3, 9, 4}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ir.Exec(g, []int64{3, 9, 4}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatal("clone changed observable behaviour")
+	}
+	// Mutating the clone must not affect the original.
+	g.Entry().Instrs = nil
+	if err := f.Verify(); err != nil {
+		t.Fatalf("mutating clone broke original: %v", err)
+	}
+	// Values must be distinct objects.
+	for i, v := range f.Values() {
+		if g.Values() != nil && i < len(g.Values()) && v == g.Values()[i] {
+			t.Fatal("clone shares value objects with original")
+		}
+	}
+}
+
+func TestCountMoves(t *testing.T) {
+	bld := ir.NewBuilder("moves")
+	bld.Block("entry")
+	a, b, c := bld.Val("a"), bld.Val("b"), bld.Val("c")
+	bld.Input(a)
+	bld.Copy(b, a)
+	bld.Copy(c, b)
+	bld.Copy(c, c) // self-move: not counted
+	bld.Cur.Append(&ir.Instr{
+		Op:   ir.ParCopy,
+		Defs: []ir.Operand{{Val: a}, {Val: b}},
+		Uses: []ir.Operand{{Val: b}, {Val: b}},
+	}) // one real move (a=b), one self (b=b)
+	bld.Output(c)
+	if got := bld.Fn.CountMoves(); got != 3 {
+		t.Fatalf("CountMoves = %d, want 3", got)
+	}
+}
+
+func TestWeightedMoves(t *testing.T) {
+	f := testprog.Loop()
+	// Manually: mark body as depth 2, put a copy there.
+	var body *ir.Block
+	for _, b := range f.Blocks {
+		if b.Name == "body" {
+			body = b
+		}
+	}
+	body.LoopDepth = 2
+	v := f.NewValue("tmp")
+	body.InsertAt(0, &ir.Instr{Op: ir.Copy,
+		Defs: []ir.Operand{{Val: v}}, Uses: []ir.Operand{{Val: v}}})
+	// self copy: weight 0; add a real one
+	w := f.NewValue("tmp2")
+	body.InsertAt(0, &ir.Instr{Op: ir.Copy,
+		Defs: []ir.Operand{{Val: w}}, Uses: []ir.Operand{{Val: v}}})
+	if got := f.WeightedMoves(); got != 25 {
+		t.Fatalf("WeightedMoves = %d, want 25", got)
+	}
+}
+
+func TestPrintContainsPins(t *testing.T) {
+	f := testprog.Diamond()
+	in := f.Entry().Instrs[0]
+	ir.PinDef(in, 0, f.Target.R[0])
+	s := f.String()
+	if !strings.Contains(s, "^R0") {
+		t.Fatalf("printed form lacks pin annotation:\n%s", s)
+	}
+}
+
+func TestTwoOperandClassification(t *testing.T) {
+	for _, op := range []ir.Op{ir.More, ir.AutoAdd, ir.Mac} {
+		if !op.IsTwoOperand() {
+			t.Errorf("%v should be 2-operand", op)
+		}
+	}
+	for _, op := range []ir.Op{ir.Add, ir.Copy, ir.Phi, ir.Call} {
+		if op.IsTwoOperand() {
+			t.Errorf("%v should not be 2-operand", op)
+		}
+	}
+}

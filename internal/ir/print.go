@@ -1,0 +1,40 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function in a LAI-like textual form.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".func %s\n", f.Name)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk)
+		if len(blk.Preds) > 0 {
+			b.WriteString(" ; preds=")
+			for i, p := range blk.Preds {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(p.String())
+			}
+		}
+		if blk.LoopDepth > 0 {
+			fmt.Fprintf(&b, " depth=%d", blk.LoopDepth)
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s", in)
+			switch in.Op {
+			case Br:
+				fmt.Fprintf(&b, " -> %s, %s", blk.Succs[0], blk.Succs[1])
+			case Jump:
+				fmt.Fprintf(&b, " -> %s", blk.Succs[0])
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, ".endfunc\n")
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package ir
+
+// Target describes the dedicated-register structure of the machine, in the
+// style of the ST120 DSP targeted by the paper's LAO tool: general-purpose
+// registers R0..R15 of which R0..R3 pass parameters and R0 returns
+// results, pointer registers P0..P7 of which P0..P1 pass pointer
+// parameters, and the stack pointer SP.
+//
+// Target values are created per-Func by NewFunc so that physical register
+// *Value identity is function-local (value IDs are function-local).
+type Target struct {
+	R  []*Value // general-purpose registers R0..
+	P  []*Value // pointer registers P0..
+	SP *Value   // stack pointer
+
+	// ArgRegs are the registers used for integer parameter passing, in
+	// order (R0, R1, ...). RetRegs are the result registers (R0, ...).
+	// PtrArgRegs pass pointer parameters (P0, ...).
+	ArgRegs    []*Value
+	RetRegs    []*Value
+	PtrArgRegs []*Value
+}
+
+const (
+	numR       = 16
+	numP       = 8
+	numArgRegs = 4
+	numRetRegs = 2
+	numPtrArgs = 2
+)
+
+func newTarget(f *Func) *Target {
+	t := &Target{}
+	for i := 0; i < numR; i++ {
+		t.R = append(t.R, f.newValue(regName("R", i), Physical))
+	}
+	for i := 0; i < numP; i++ {
+		t.P = append(t.P, f.newValue(regName("P", i), Physical))
+	}
+	t.SP = f.newValue("SP", Physical)
+	t.ArgRegs = t.R[:numArgRegs]
+	t.RetRegs = t.R[:numRetRegs]
+	t.PtrArgRegs = t.P[:numPtrArgs]
+	return t
+}
+
+// Physicals returns every dedicated register of the target in ID order.
+func (t *Target) Physicals() []*Value {
+	out := make([]*Value, 0, len(t.R)+len(t.P)+1)
+	out = append(out, t.R...)
+	out = append(out, t.P...)
+	out = append(out, t.SP)
+	return out
+}
+
+func regName(prefix string, i int) string {
+	return prefix + itoa64(int64(i))
+}

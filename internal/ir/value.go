@@ -1,0 +1,65 @@
+// Package ir defines a machine-level intermediate representation modeled
+// after the Linear Assembly Input (LAI) language of the STMicroelectronics
+// Linear Assembly Optimizer, as described in Rastello, de Ferrière and
+// Guillon, "Optimizing Translation Out of SSA Using Renaming Constraints"
+// (CGO 2004).
+//
+// The IR supports both pre-SSA (multiple definitions per value) and SSA
+// (single definition, phi instructions) forms. Textual operands can be
+// pinned to resources — either dedicated physical registers (R0, SP, ...)
+// or virtual resources — which is the mechanism the paper's out-of-SSA
+// algorithms use to express renaming constraints and coalescing decisions.
+package ir
+
+import "fmt"
+
+// ValueKind distinguishes virtual registers (variables) from dedicated
+// physical registers.
+type ValueKind uint8
+
+const (
+	// Virtual is a general-purpose virtual register; the paper assumes an
+	// unlimited supply of these, with physical constraints handled later
+	// by register allocation.
+	Virtual ValueKind = iota
+	// Physical is a dedicated machine register (R0, SP, ...). Two distinct
+	// physical registers always strongly interfere.
+	Physical
+)
+
+// Value is a resource in the paper's sense: either a variable (virtual
+// register) or a dedicated physical register. In SSA form each Virtual
+// value has exactly one defining instruction.
+type Value struct {
+	// ID is unique within a Func and totally orders values; all map
+	// iteration in the repository is done in ID order for determinism.
+	ID   int
+	Name string
+	Kind ValueKind
+}
+
+// IsPhys reports whether v is a dedicated physical register.
+func (v *Value) IsPhys() bool { return v.Kind == Physical }
+
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Name
+}
+
+// Operand is a textual occurrence of a value in an instruction, either as
+// a definition or a use. Pin, when non-nil, pre-colors this occurrence to
+// a resource (paper §2.1: "resource pinning is a pre-coloring of operands
+// to resources").
+type Operand struct {
+	Val *Value
+	Pin *Value
+}
+
+func (o Operand) String() string {
+	if o.Pin != nil {
+		return fmt.Sprintf("%s^%s", o.Val, o.Pin)
+	}
+	return o.Val.String()
+}

@@ -1,0 +1,156 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the function:
+//   - Preds/Succs are mutually consistent;
+//   - every block is terminated (Br with 2 successors, Jump with 1,
+//     Output with 0) and terminators appear only in final position;
+//   - φ instructions form a prefix of their block and have exactly one
+//     argument per predecessor;
+//   - operand counts fit the opcode;
+//   - values referenced by instructions belong to the function.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	owned := make(map[*Value]bool, len(f.values))
+	for _, v := range f.values {
+		owned[v] = true
+	}
+	for _, b := range f.Blocks {
+		if b.fn != f {
+			return fmt.Errorf("%s: block %v does not belong to function", f.Name, b)
+		}
+		for _, p := range b.Preds {
+			if p.SuccIndex(b) < 0 {
+				return fmt.Errorf("%s: %v lists pred %v but is not its succ", f.Name, b, p)
+			}
+		}
+		for _, s := range b.Succs {
+			if s.PredIndex(b) < 0 {
+				return fmt.Errorf("%s: %v lists succ %v but is not its pred", f.Name, b, s)
+			}
+		}
+		term := b.Terminator()
+		if term == nil {
+			return fmt.Errorf("%s: block %v is not terminated", f.Name, b)
+		}
+		switch term.Op {
+		case Br:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("%s: %v ends in br but has %d successors", f.Name, b, len(b.Succs))
+			}
+		case Jump:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("%s: %v ends in jump but has %d successors", f.Name, b, len(b.Succs))
+			}
+		case Output:
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("%s: %v ends in .output but has successors", f.Name, b)
+			}
+		}
+		seenNonPhi := false
+		for i, in := range b.Instrs {
+			if in.blk != b {
+				return fmt.Errorf("%s: instruction %q not attached to block %v", f.Name, in, b)
+			}
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("%s: terminator %q not last in block %v", f.Name, in, b)
+			}
+			if in.Op == Phi {
+				if seenNonPhi {
+					return fmt.Errorf("%s: φ %q after non-φ in block %v", f.Name, in, b)
+				}
+				if len(in.Uses) != len(b.Preds) {
+					return fmt.Errorf("%s: φ %q has %d args for %d preds of %v",
+						f.Name, in, len(in.Uses), len(b.Preds), b)
+				}
+			} else {
+				seenNonPhi = true
+			}
+			if err := checkArity(in); err != nil {
+				return fmt.Errorf("%s: block %v: %v", f.Name, b, err)
+			}
+			for _, o := range append(append([]Operand{}, in.Defs...), in.Uses...) {
+				if o.Val == nil {
+					return fmt.Errorf("%s: nil operand in %q", f.Name, in)
+				}
+				if !owned[o.Val] {
+					return fmt.Errorf("%s: foreign value %v in %q", f.Name, o.Val, in)
+				}
+				if o.Pin != nil && !owned[o.Pin] {
+					return fmt.Errorf("%s: foreign pin %v in %q", f.Name, o.Pin, in)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkArity(in *Instr) error {
+	bad := func() error {
+		return fmt.Errorf("bad arity for %q: %d defs, %d uses", in, len(in.Defs), len(in.Uses))
+	}
+	switch in.Op {
+	case Nop:
+	case Phi:
+		if len(in.Defs) != 1 {
+			return bad()
+		}
+	case Psi:
+		if len(in.Defs) != 1 || len(in.Uses) == 0 || len(in.Uses)%2 != 0 {
+			return bad()
+		}
+	case Copy:
+		if len(in.Defs) != 1 || len(in.Uses) != 1 {
+			return bad()
+		}
+	case ParCopy:
+		if len(in.Defs) != len(in.Uses) {
+			return bad()
+		}
+	case Const, Make:
+		if len(in.Defs) != 1 || len(in.Uses) != 0 {
+			return bad()
+		}
+	case More, AutoAdd, Neg, Not, Load:
+		if len(in.Defs) != 1 || len(in.Uses) != 1 {
+			return bad()
+		}
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+		CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, Min, Max:
+		if len(in.Defs) != 1 || len(in.Uses) != 2 {
+			return bad()
+		}
+	case Mac, Select:
+		if len(in.Defs) != 1 || len(in.Uses) != 3 {
+			return bad()
+		}
+	case Store:
+		if len(in.Defs) != 0 || len(in.Uses) != 2 {
+			return bad()
+		}
+	case Call:
+		// any arity
+	case Input:
+		if len(in.Uses) != 0 {
+			return bad()
+		}
+	case Output:
+		if len(in.Defs) != 0 {
+			return bad()
+		}
+	case Br:
+		if len(in.Uses) != 1 {
+			return bad()
+		}
+	case Jump:
+		if len(in.Defs) != 0 || len(in.Uses) != 0 {
+			return bad()
+		}
+	default:
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package lai_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/pipeline"
+)
+
+// TestCorpus parses every LAI file in testdata and pushes it through
+// every experiment configuration, comparing observable behaviour against
+// the freshly parsed original.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.lai")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("corpus too small: %v", files)
+	}
+	argSets := [][]int64{{0, 0}, {1000, 5}, {64, 8}, {4096, 70}}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := lai.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := base.Verify(); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var wants []*ir.ExecResult
+		for _, args := range argSets {
+			w, err := ir.Exec(base.Clone(), args, 300000)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			wants = append(wants, w)
+		}
+		for name, conf := range pipeline.Configs {
+			f := base.Clone()
+			if _, err := pipeline.Run(f, conf); err != nil {
+				t.Fatalf("%s/%s: %v", path, name, err)
+			}
+			for i, args := range argSets {
+				got, err := ir.Exec(f, args, 600000)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", path, name, err)
+				}
+				if !wants[i].Equal(got) {
+					t.Fatalf("%s/%s args=%v: behaviour changed\n%s", path, name, args, f)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusMoveQuality: on the DSP corpus the full pipeline must reach
+// single-digit move counts — these kernels are exactly the code shape the
+// paper's algorithm was built for.
+func TestCorpusMoveQuality(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.lai")
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := lai.Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pipeline.Run(f, pipeline.Configs[pipeline.ExpLphiABIC])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Moves > 9 {
+			t.Errorf("%s: %d moves remain under Lphi,ABI+C:\n%s", path, r.Moves, f)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package liveness computes live-variable information with the φ
+// semantics of the paper (§3.2): a φ instruction "does not occur where it
+// textually appears" — its i-th use occurs at the end of the i-th
+// predecessor block (where the replacement move would go) and its
+// definition occurs at the entry of its own block. Consequently a φ
+// argument not otherwise used is dead at the exit of the predecessor and
+// at the entry of the φ's block.
+package liveness
+
+import (
+	"outofssa/internal/bitset"
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+)
+
+// Info holds per-block liveness sets plus enough structure for precise
+// per-instruction queries.
+type Info struct {
+	fn *ir.Func
+
+	// liveIn[b.ID]: values live at block entry, before φ definitions take
+	// effect (φ defs and φ uses are never live-in).
+	liveIn []*bitset.Set
+	// liveOut[b.ID]: values live at block exit, after the φ-related
+	// parallel-copy point (φ uses flowing out of b are not in liveOut).
+	liveOut []*bitset.Set
+	// exitLive[b.ID] = liveOut[b] plus the φ uses flowing out of b — the
+	// live set just before the parallel-copy point at the end of b.
+	exitLive []*bitset.Set
+}
+
+// Compute runs the backward dataflow to a fixed point.
+func Compute(f *ir.Func) *Info {
+	nb := f.NumBlocks()
+	nv := f.NumValues()
+	info := &Info{
+		fn:       f,
+		liveIn:   make([]*bitset.Set, nb),
+		liveOut:  make([]*bitset.Set, nb),
+		exitLive: make([]*bitset.Set, nb),
+	}
+
+	// Per-block gen (upward-exposed non-φ uses) and kill (all defs,
+	// including φ defs).
+	gen := make([]*bitset.Set, nb)
+	kill := make([]*bitset.Set, nb)
+	for _, b := range f.Blocks {
+		g, k := bitset.New(nv), bitset.New(nv)
+		for _, in := range b.Instrs {
+			if in.Op != ir.Phi {
+				for _, u := range in.Uses {
+					if !k.Has(u.Val.ID) {
+						g.Add(u.Val.ID)
+					}
+				}
+			}
+			for _, d := range in.Defs {
+				k.Add(d.Val.ID)
+			}
+		}
+		gen[b.ID], kill[b.ID] = g, k
+		info.liveIn[b.ID] = bitset.New(nv)
+		info.liveOut[b.ID] = bitset.New(nv)
+		info.exitLive[b.ID] = bitset.New(nv)
+	}
+
+	po := cfg.Postorder(f)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range po {
+			// exitLive = union of successor live-ins + φ uses from b.
+			el := info.exitLive[b.ID]
+			el.Clear()
+			for _, s := range b.Succs {
+				el.UnionWith(info.liveIn[s.ID])
+				pi := s.PredIndex(b)
+				for _, phi := range s.Phis() {
+					el.Add(phi.Uses[pi].Val.ID)
+				}
+			}
+			// liveOut = union of successor live-ins (without the φ uses).
+			lo := info.liveOut[b.ID]
+			lo.Clear()
+			for _, s := range b.Succs {
+				lo.UnionWith(info.liveIn[s.ID])
+			}
+			// liveIn = gen ∪ (exitLive \ kill).
+			li := el.Copy()
+			li.DiffWith(kill[b.ID])
+			li.UnionWith(gen[b.ID])
+			if !li.Equal(info.liveIn[b.ID]) {
+				info.liveIn[b.ID] = li
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// LiveIn reports whether v is live at the entry of b (φ defs of b are not
+// live-in; φ uses flowing into b are not live-in).
+func (l *Info) LiveIn(v *ir.Value, b *ir.Block) bool {
+	return l.liveIn[b.ID].Has(v.ID)
+}
+
+// LiveOut reports whether v is live at the exit of b, after the φ-copy
+// point (paper Class 2 uses exactly this query).
+func (l *Info) LiveOut(v *ir.Value, b *ir.Block) bool {
+	return l.liveOut[b.ID].Has(v.ID)
+}
+
+// LiveInSet returns the live-in set of b (do not mutate).
+func (l *Info) LiveInSet(b *ir.Block) *bitset.Set { return l.liveIn[b.ID] }
+
+// LiveOutSet returns the live-out set of b (do not mutate).
+func (l *Info) LiveOutSet(b *ir.Block) *bitset.Set { return l.liveOut[b.ID] }
+
+// ExitLiveSet returns the set live just before the φ parallel-copy point
+// at the end of b: LiveOut(b) plus φ uses flowing out of b.
+func (l *Info) ExitLiveSet(b *ir.Block) *bitset.Set { return l.exitLive[b.ID] }
+
+// LiveAfter returns the set of values live immediately after the idx-th
+// instruction of b. φ instructions are transparent (their defs are live
+// from block entry; their uses happen in predecessors). The result is
+// freshly allocated.
+func (l *Info) LiveAfter(b *ir.Block, idx int) *bitset.Set {
+	cur := l.exitLive[b.ID].Copy()
+	for i := len(b.Instrs) - 1; i > idx; i-- {
+		in := b.Instrs[i]
+		if in.Op == ir.Phi {
+			break
+		}
+		for _, d := range in.Defs {
+			cur.Remove(d.Val.ID)
+		}
+		for _, u := range in.Uses {
+			cur.Add(u.Val.ID)
+		}
+	}
+	return cur
+}
+
+// LiveAtDef reports whether v is live immediately after the instruction
+// def (exclusive of def's own definitions other than v). This is the
+// precise query behind the exact Class-1 interference test: two SSA
+// values interfere iff the dominator-wise earlier one is live at the
+// definition point of the later one.
+func (l *Info) LiveAtDef(v *ir.Value, def *ir.Instr) bool {
+	b := def.Block()
+	if def.Op == ir.Phi {
+		// φ defs happen at block entry, in parallel: v (not a def of this
+		// block's φ prefix unless v IS another φ def, handled by strong
+		// interference) is live there iff live-in.
+		return l.liveIn[b.ID].Has(v.ID)
+	}
+	for i, in := range b.Instrs {
+		if in == def {
+			return l.LiveAfter(b, i).Has(v.ID)
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+// Package naiveabi satisfies ABI and ISA renaming constraints on non-SSA
+// machine code by inserting move instructions locally around each
+// constrained instruction (the paper's NaiveABI pass). It is the
+// baseline used when the pinningABI collect phase is disabled: every
+// constraint costs its full move price up front, and a later aggressive
+// coalescing pass recovers only what Chaitin-style coalescing can.
+package naiveabi
+
+import "outofssa/internal/ir"
+
+// Stats describes the insertion.
+type Stats struct {
+	// Moves is the number of move instructions inserted.
+	Moves int
+}
+
+// Apply rewrites f in place:
+//
+//   - .input: parameters are received in the argument registers and
+//     immediately moved into their variables;
+//   - .output: results are moved into the return registers;
+//   - call: arguments are moved into the argument registers before the
+//     call, results out of the return registers after it;
+//   - 2-operand instructions: the tied source is moved into the
+//     destination first.
+//
+// Operands already equal to the required register cost nothing.
+func Apply(f *ir.Func) *Stats {
+	st := &Stats{}
+	t := f.Target
+
+	mov := func(d, s *ir.Value) *ir.Instr {
+		st.Moves++
+		return &ir.Instr{Op: ir.Copy,
+			Defs: []ir.Operand{{Val: d}}, Uses: []ir.Operand{{Val: s}}}
+	}
+
+	for _, b := range f.Blocks {
+		for idx := 0; idx < len(b.Instrs); idx++ {
+			in := b.Instrs[idx]
+			switch {
+			case in.Op == ir.Input:
+				n := int(in.Imm)
+				post := 0
+				for i := 0; i < n && i < len(t.ArgRegs) && i < len(in.Defs); i++ {
+					v := in.Defs[i].Val
+					r := t.ArgRegs[i]
+					if v == r {
+						continue
+					}
+					in.Defs[i].Val = r
+					b.InsertAt(idx+1+post, mov(v, r))
+					post++
+				}
+				idx += post
+
+			case in.Op == ir.Output:
+				pre := 0
+				for i := range in.Uses {
+					if i >= len(t.RetRegs) {
+						break
+					}
+					v := in.Uses[i].Val
+					r := t.RetRegs[i]
+					if v == r {
+						continue
+					}
+					in.Uses[i].Val = r
+					b.InsertAt(idx, mov(r, v))
+					pre++
+					idx++
+				}
+
+			case in.Op == ir.Call:
+				pre := 0
+				for i := range in.Uses {
+					if i >= len(t.ArgRegs) {
+						break
+					}
+					v := in.Uses[i].Val
+					r := t.ArgRegs[i]
+					if v == r {
+						continue
+					}
+					in.Uses[i].Val = r
+					b.InsertAt(idx, mov(r, v))
+					pre++
+					idx++
+				}
+				post := 0
+				for i := range in.Defs {
+					if i >= len(t.RetRegs) {
+						break
+					}
+					v := in.Defs[i].Val
+					r := t.RetRegs[i]
+					if v == r {
+						continue
+					}
+					in.Defs[i].Val = r
+					b.InsertAt(idx+1+post, mov(v, r))
+					post++
+				}
+				idx += post
+
+			case in.Op.IsTwoOperand():
+				d := in.Defs[0].Val
+				s := in.Uses[0].Val
+				if d != s {
+					// Other operands still reading d's previous value must
+					// be rescued before d is overwritten by the tie move.
+					var t *ir.Value
+					for i := 1; i < len(in.Uses); i++ {
+						if in.Uses[i].Val != d {
+							continue
+						}
+						if t == nil {
+							t = f.NewValue("")
+							b.InsertAt(idx, mov(t, d))
+							idx++
+						}
+						in.Uses[i].Val = t
+					}
+					b.InsertAt(idx, mov(d, s))
+					in.Uses[0].Val = d
+					idx++
+				}
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,124 @@
+package naiveabi_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/naiveabi"
+	"outofssa/internal/outofssa/naive"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+func TestApplyRewritesConstraints(t *testing.T) {
+	f := testprog.WithCallsAndStack()
+	ssa.Build(f)
+	if _, err := naive.Translate(f); err != nil {
+		t.Fatal(err)
+	}
+	st := naiveabi.Apply(f)
+	if st.Moves == 0 {
+		t.Fatal("expected ABI moves")
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.Call:
+				for i, u := range in.Uses {
+					if i < len(f.Target.ArgRegs) && u.Val != f.Target.ArgRegs[i] {
+						t.Fatalf("call arg %d not in %v: %v", i, f.Target.ArgRegs[i], in)
+					}
+				}
+				for i, d := range in.Defs {
+					if i < len(f.Target.RetRegs) && d.Val != f.Target.RetRegs[i] {
+						t.Fatalf("call result %d not in %v: %v", i, f.Target.RetRegs[i], in)
+					}
+				}
+			case in.Op == ir.Output:
+				if len(in.Uses) > 0 && in.Uses[0].Val != f.Target.RetRegs[0] {
+					t.Fatalf("output not through R0: %v", in)
+				}
+			case in.Op.IsTwoOperand():
+				if in.Defs[0].Val != in.Uses[0].Val {
+					t.Fatalf("2-operand tie unsatisfied: %v", in)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyPreservesSemantics(t *testing.T) {
+	mks := []func() *ir.Func{testprog.WithCallsAndStack, testprog.Diamond}
+	for seed := int64(0); seed < 30; seed++ {
+		s := seed
+		mks = append(mks, func() *ir.Func { return testprog.Rand(s, testprog.DefaultRandOptions()) })
+	}
+	for _, mk := range mks {
+		ref := mk()
+		args := []int64{3, 14, 1}
+		want, err := ir.Exec(ref, args, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := mk()
+		ssa.Build(f)
+		if _, err := naive.Translate(f); err != nil {
+			t.Fatal(err)
+		}
+		naiveabi.Apply(f)
+		if err := f.Verify(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		got, err := ir.Exec(f, args, 1000000)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%s: NaiveABI changed behaviour\n%s", f.Name, f)
+		}
+	}
+}
+
+// TestTwoOperandRescue: an instruction whose second source is the
+// destination's previous value must be rescued into a temp.
+func TestTwoOperandRescue(t *testing.T) {
+	bld := ir.NewBuilder("rescue")
+	bld.Block("entry")
+	acc, a, d := bld.Val("acc"), bld.Val("a"), bld.Val("d")
+	bld.Input(acc, a)
+	// d = mac(acc, d_old?, ...) — craft: d = acc + d*a where d starts as input.
+	bld.Mac(d, acc, d, a) // uses: acc (tied), d, a — d is also the def
+	bld.Output(d)
+	ref := bld.Fn.Clone()
+
+	naiveabi.Apply(bld.Fn)
+	if err := bld.Fn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]int64{{3, 4}, {0, 0}, {7, 2}} {
+		want, err := ir.Exec(ref, args, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ir.Exec(bld.Fn, args, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("rescue failed for %v:\n%s", args, bld.Fn)
+		}
+	}
+}
+
+func TestIdempotentWhenSatisfied(t *testing.T) {
+	f := testprog.WithCallsAndStack()
+	ssa.Build(f)
+	if _, err := naive.Translate(f); err != nil {
+		t.Fatal(err)
+	}
+	naiveabi.Apply(f)
+	st := naiveabi.Apply(f)
+	if st.Moves != 0 {
+		t.Fatalf("second application inserted %d moves; should be idempotent", st.Moves)
+	}
+}

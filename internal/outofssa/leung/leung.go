@@ -1,0 +1,246 @@
+// Package leung implements the out-of-pinned-SSA translation of Leung
+// and George ("Static single assignment form for machine code", PLDI
+// 1999) in the formulation used by Rastello, de Ferrière and Guillon
+// (CGO 2004): a mark phase that detects variables killed within their
+// pinned resource, and a reconstruction phase that renames variables to
+// their resources, inserts repair copies after killed definitions,
+// enforces use pins with parallel copies, and replaces φ instructions by
+// parallel copies at the end of predecessor blocks.
+//
+// All φ-related and constraint-related copies are emitted as parallel
+// copies and then sequentialized, which resolves the swap and lost-copy
+// problems of the naive translation.
+package leung
+
+import (
+	"fmt"
+
+	"outofssa/internal/cfg"
+	"outofssa/internal/interference"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+	"outofssa/internal/parcopy"
+	"outofssa/internal/pin"
+)
+
+// Stats reports what the translation did.
+type Stats struct {
+	// Repairs is the number of repair copies inserted for killed
+	// variables (paper §2.3, Fig. 3: x'3 = R0).
+	Repairs int
+	// PhiMoves is the number of non-trivial φ-replacement move slots
+	// (before sequentialization; cycles may add temps on top).
+	PhiMoves int
+	// PinMoves is the number of moves inserted to satisfy use pins (ABI
+	// argument slots, 2-operand reads).
+	PinMoves int
+	// EdgesSplit is the number of critical edges split up front.
+	EdgesSplit int
+}
+
+// Translate converts the pinned SSA function f out of SSA form in place.
+// Definition pins become the variables' home resources; use pins are
+// enforced with copies; killed variables are repaired. The result
+// contains no φ and no ParCopy instructions.
+func Translate(f *ir.Func) (*Stats, error) {
+	st := &Stats{}
+	st.EdgesSplit = cfg.SplitCriticalEdges(f)
+
+	res, err := pin.NewResources(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := pin.Validate(f, res); err != nil {
+		return nil, fmt.Errorf("leung: invalid pinning: %v", err)
+	}
+
+	live := liveness.Compute(f)
+	dom := cfg.Dominators(f)
+	an := interference.New(f, live, dom, interference.Exact)
+	rg := interference.NewResourceGraph(an, res)
+
+	// ---- Mark phase: which variables are killed within their resource?
+	killed := make(map[*ir.Value]bool)
+	seenRoot := make(map[*ir.Value]bool)
+	for _, v := range f.Values() {
+		if v.IsPhys() {
+			continue
+		}
+		root := res.Find(v)
+		if seenRoot[root] {
+			continue
+		}
+		seenRoot[root] = true
+		for k := range rg.Killed(root) {
+			killed[k] = true
+		}
+	}
+
+	// Only killed variables with at least one use need a repair variable.
+	used := make(map[*ir.Value]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				used[u.Val] = true
+			}
+		}
+	}
+	repair := make(map[*ir.Value]*ir.Value) // permanent: killed var -> repair var
+	for _, v := range f.Values() {
+		if killed[v] && used[v] {
+			repair[v] = f.NewValue(v.Name + "'")
+		}
+	}
+	st.Repairs = len(repair)
+
+	home := func(v *ir.Value) *ir.Value { return res.Find(v) }
+	// src yields the location holding v's value at any point dominated by
+	// its repair snapshot: the repair variable if v was killed, else its
+	// home resource.
+	src := func(v *ir.Value) *ir.Value {
+		if r, ok := repair[v]; ok {
+			return r
+		}
+		return home(v)
+	}
+
+	// Instructions created by the translation carry final names and must
+	// not be rewritten again when their block is processed later.
+	emitted := make(map[*ir.Instr]bool)
+	newCopy := func(d, s *ir.Value) *ir.Instr {
+		c := &ir.Instr{Op: ir.Copy,
+			Defs: []ir.Operand{{Val: d}}, Uses: []ir.Operand{{Val: s}}}
+		emitted[c] = true
+		return c
+	}
+
+	// ---- Reconstruct phase.
+	for _, b := range f.Blocks {
+		// Replace the φs of b by parallel copies at the end of each pred.
+		phis := b.Phis()
+		if len(phis) > 0 {
+			for pi, pred := range b.Preds {
+				pc := &ir.Instr{Op: ir.ParCopy}
+				for _, phi := range phis {
+					dst := home(phi.Def(0))
+					s := src(phi.Uses[pi].Val)
+					if dst == s {
+						continue // coalesced: no move needed (the "gain")
+					}
+					pc.Defs = append(pc.Defs, ir.Operand{Val: dst})
+					pc.Uses = append(pc.Uses, ir.Operand{Val: s})
+				}
+				if len(pc.Defs) > 0 {
+					st.PhiMoves += len(pc.Defs)
+					emitted[pc] = true
+					pred.InsertBeforeTerminator(pc)
+				}
+			}
+			// Remove the φs; killed φ results (lost-copy self-kill) get
+			// their snapshot right after the φ point, before anything can
+			// clobber the resource.
+			var snaps []*ir.Instr
+			for _, phi := range phis {
+				x := phi.Def(0)
+				if r, ok := repair[x]; ok {
+					snaps = append(snaps, newCopy(r, home(x)))
+				}
+			}
+			b.Instrs = b.Instrs[len(phis):]
+			for k, c := range snaps {
+				b.InsertAt(k, c)
+			}
+		}
+
+		for idx := 0; idx < len(b.Instrs); idx++ {
+			in := b.Instrs[idx]
+			if emitted[in] {
+				continue
+			}
+
+			// Enforce use pins: needed (resource <- location) moves
+			// execute in parallel just before the instruction.
+			pre := &ir.Instr{Op: ir.ParCopy}
+			scheduled := make(map[*ir.Value]*ir.Value) // dst -> src
+			pinnedIdx := make(map[int]bool)            // operand indexes rewritten to pinned resources
+			for ui := range in.Uses {
+				u := &in.Uses[ui]
+				v := u.Val
+				if u.Pin == nil {
+					u.Val = src(v)
+					continue
+				}
+				pinnedIdx[ui] = true
+				want := res.Find(u.Pin)
+				u.Pin = nil
+				u.Val = want
+				if home(v) == want && repair[v] == nil {
+					continue // value already lives in the pinned resource
+				}
+				s := src(v)
+				if s == want {
+					continue
+				}
+				if prev, ok := scheduled[want]; ok {
+					if prev != s {
+						return nil, fmt.Errorf("leung: conflicting pinned uses %v=%v vs %v=%v in %q",
+							want, prev, want, s, in)
+					}
+					continue
+				}
+				scheduled[want] = s
+				pre.Defs = append(pre.Defs, ir.Operand{Val: want})
+				pre.Uses = append(pre.Uses, ir.Operand{Val: s})
+			}
+			if len(pre.Defs) > 0 {
+				// The parallel pre-copy writes pinned resources. Any other
+				// operand of this instruction still reading one of those
+				// resources must be rescued into a temporary first (the
+				// kill analysis works at definition granularity and does
+				// not see values that die exactly at this instruction).
+				rescued := make(map[*ir.Value]*ir.Value)
+				for ui := range in.Uses {
+					u := &in.Uses[ui]
+					s, clobbered := scheduled[u.Val]
+					if !clobbered || s == u.Val {
+						continue
+					}
+					if !pinnedIdx[ui] {
+						t := rescued[u.Val]
+						if t == nil {
+							t = f.NewValue("")
+							rescued[u.Val] = t
+							b.InsertAt(idx, newCopy(t, u.Val))
+							idx++
+							st.PinMoves++
+						}
+						u.Val = t
+					}
+				}
+				st.PinMoves += len(pre.Defs)
+				emitted[pre] = true
+				b.InsertAt(idx, pre)
+				idx++
+			}
+
+			// Rewrite definitions to their home resources; snapshot killed
+			// definitions immediately after the instruction.
+			post := 0
+			for di := range in.Defs {
+				d := &in.Defs[di]
+				v := d.Val
+				h := home(v)
+				d.Val = h
+				d.Pin = nil
+				if r, ok := repair[v]; ok {
+					b.InsertAt(idx+1+post, newCopy(r, h))
+					post++
+				}
+			}
+			idx += post
+		}
+	}
+
+	parcopy.Sequentialize(f)
+	return st, nil
+}

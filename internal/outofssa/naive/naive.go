@@ -1,0 +1,68 @@
+// Package naive implements the classic out-of-SSA translation of Cytron
+// et al. as repaired by Briggs et al.: each φ is replaced by one copy per
+// predecessor, with the copies of one edge grouped into a parallel copy
+// (avoiding the swap problem) and critical edges split (avoiding the
+// lost-copy problem). No coalescing is attempted: every φ operand slot
+// costs a move; the paper's Table 4 "φ moves" column measures exactly
+// this naive cost.
+package naive
+
+import (
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+	"outofssa/internal/parcopy"
+)
+
+// Stats describes the translation.
+type Stats struct {
+	// PhiMoves is the number of φ operand slots turned into copies.
+	PhiMoves int
+	// EdgesSplit is the number of critical edges split.
+	EdgesSplit int
+}
+
+// Translate replaces every φ of f with copies in the predecessor blocks.
+// Pins are ignored (and cleared): use NaiveABI afterwards to satisfy
+// renaming constraints with local moves. The input must be in SSA form.
+func Translate(f *ir.Func) (*Stats, error) {
+	st := &Stats{EdgesSplit: cfg.SplitCriticalEdges(f)}
+
+	for _, b := range f.Blocks {
+		phis := b.Phis()
+		if len(phis) == 0 {
+			continue
+		}
+		for pi, pred := range b.Preds {
+			pc := &ir.Instr{Op: ir.ParCopy}
+			for _, phi := range phis {
+				dst, src := phi.Def(0), phi.Uses[pi].Val
+				if dst == src {
+					continue
+				}
+				pc.Defs = append(pc.Defs, ir.Operand{Val: dst})
+				pc.Uses = append(pc.Uses, ir.Operand{Val: src})
+			}
+			if len(pc.Defs) > 0 {
+				st.PhiMoves += len(pc.Defs)
+				pred.InsertBeforeTerminator(pc)
+			}
+		}
+		b.Instrs = b.Instrs[len(phis):]
+	}
+
+	// The naive translation leaves the pins unenforced; drop them so the
+	// result is plain non-SSA code.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i := range in.Defs {
+				in.Defs[i].Pin = nil
+			}
+			for i := range in.Uses {
+				in.Uses[i].Pin = nil
+			}
+		}
+	}
+
+	parcopy.Sequentialize(f)
+	return st, nil
+}

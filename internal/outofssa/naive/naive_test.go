@@ -1,0 +1,85 @@
+package naive_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/outofssa/naive"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+func TestTranslatePreservesSemantics(t *testing.T) {
+	mks := []func() *ir.Func{
+		testprog.Diamond, testprog.Loop, testprog.NestedLoops,
+		testprog.SwapLoop, testprog.LostCopy, testprog.WithCallsAndStack,
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		s := seed
+		mks = append(mks, func() *ir.Func { return testprog.Rand(s, testprog.DefaultRandOptions()) })
+	}
+	for _, mk := range mks {
+		ref := mk()
+		args := []int64{4, 9, 2}
+		want, err := ir.Exec(ref, args, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := mk()
+		ssa.Build(f)
+		st, err := naive.Translate(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if err := f.Verify(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.Phi || in.Op == ir.ParCopy {
+					t.Fatalf("%s: %v remains", f.Name, in.Op)
+				}
+				for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
+					if o.Pin != nil {
+						t.Fatalf("%s: pin survived naive translation: %v", f.Name, in)
+					}
+				}
+			}
+		}
+		got, err := ir.Exec(f, args, 1000000)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%s: naive translation changed behaviour", f.Name)
+		}
+		_ = st
+	}
+}
+
+// TestNaiveCostsFullPhiPrice: every φ slot with distinct source costs a
+// move — no coalescing at all.
+func TestNaiveCostsFullPhiPrice(t *testing.T) {
+	f := testprog.Loop()
+	ssa.Build(f)
+	slots := 0
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			for _, u := range phi.Uses {
+				if u.Val != phi.Def(0) {
+					slots++
+				}
+			}
+		}
+	}
+	st, err := naive.Translate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PhiMoves != slots {
+		t.Fatalf("naive φ moves = %d, want all %d slots", st.PhiMoves, slots)
+	}
+	if f.CountMoves() < slots {
+		t.Fatalf("move count %d below slot count %d", f.CountMoves(), slots)
+	}
+}

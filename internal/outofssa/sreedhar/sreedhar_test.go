@@ -1,0 +1,206 @@
+package sreedhar_test
+
+import (
+	"testing"
+
+	"outofssa/internal/cfg"
+	"outofssa/internal/interference"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+	"outofssa/internal/outofssa/sreedhar"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+// verifyCSSA checks the defining property of conventional SSA: no two
+// members of a φ congruence class interfere.
+func verifyCSSA(t *testing.T, f *ir.Func, classes map[*ir.Value]*ir.Value) {
+	t.Helper()
+	an := interference.New(f, liveness.Compute(f), cfg.Dominators(f), interference.Exact)
+	byRoot := make(map[*ir.Value][]*ir.Value)
+	for v, r := range classes {
+		byRoot[r] = append(byRoot[r], v)
+	}
+	for root, members := range byRoot {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if an.Interfere(a, b) {
+					t.Errorf("CSSA violated: %v and %v in class %v interfere\n%s",
+						a, b, root, f)
+				}
+			}
+		}
+	}
+}
+
+func TestConvertStructured(t *testing.T) {
+	for _, mk := range []func() *ir.Func{
+		testprog.Diamond, testprog.Loop, testprog.NestedLoops,
+		testprog.SwapLoop, testprog.LostCopy,
+	} {
+		f := mk()
+		ssa.Build(f)
+		st, classes, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if err := ssa.Verify(f); err != nil {
+			t.Fatalf("%s: not SSA after conversion: %v", f.Name, err)
+		}
+		verifyCSSA(t, f, classes)
+		if st.PhisProcessed == 0 && f.Name != "diamond" {
+			t.Errorf("%s: no φs processed", f.Name)
+		}
+	}
+}
+
+func TestConvertRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		ssa.Build(f)
+		_, classes, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ssa.Verify(f); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		verifyCSSA(t, f, classes)
+	}
+}
+
+// TestConvertPreservesSemantics: CSSA conversion only inserts copies.
+func TestConvertPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		ref := testprog.Rand(seed, testprog.DefaultRandOptions())
+		args := []int64{seed, 11, seed % 5}
+		want, err := ir.Exec(ref, args, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		ssa.Build(f)
+		_, _, err = sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ir.Exec(f, args, 1000000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("seed %d: conversion changed behaviour", seed)
+		}
+	}
+}
+
+// TestSwapNeedsCopies: a true φ swap cycle — two φs of one block
+// exchanging each other's results around the back edge — is not
+// conventional, so the conversion must insert copies and the result must
+// still behave like a swap.
+func TestSwapNeedsCopies(t *testing.T) {
+	build := func() *ir.Func {
+		bld := ir.NewBuilder("phiswap")
+		entry := bld.Block("entry")
+		head := bld.Fn.NewBlock("head")
+		body := bld.Fn.NewBlock("body")
+		exit := bld.Fn.NewBlock("exit")
+
+		a0, b0, n := bld.Val("a0"), bld.Val("b0"), bld.Val("n")
+		a1, b1 := bld.Val("a1"), bld.Val("b1")
+		i0, i1, i2 := bld.Val("i0"), bld.Val("i1"), bld.Val("i2")
+		c, one, r := bld.Val("c"), bld.Val("one"), bld.Val("r")
+
+		bld.SetBlock(entry)
+		bld.Input(a0, b0, n)
+		bld.Const(i0, 0)
+		bld.Const(one, 1)
+		bld.Jump(head)
+
+		bld.SetBlock(head)
+		bld.Phi(a1, a0, b1) // swap: a gets previous b
+		bld.Phi(b1, b0, a1) // swap: b gets previous a
+		bld.Phi(i1, i0, i2)
+		bld.Binary(ir.CmpLT, c, i1, n)
+		bld.Br(c, body, exit)
+
+		bld.SetBlock(body)
+		bld.Binary(ir.Add, i2, i1, one)
+		bld.Jump(head)
+
+		bld.SetBlock(exit)
+		bld.Binary(ir.Sub, r, a1, b1)
+		bld.Output(r)
+		return bld.Fn
+	}
+
+	f := build()
+	if err := ssa.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	st, classes, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CopiesInserted == 0 {
+		t.Fatal("swap φ cycle requires copies to become conventional")
+	}
+	verifyCSSA(t, f, classes)
+	for _, n := range []int64{0, 1, 2, 5} {
+		want, err := ir.Exec(build(), []int64{3, 9, n}, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ir.Exec(f, []int64{3, 9, n}, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("φ swap broken for n=%d", n)
+		}
+	}
+}
+
+// TestNoCopiesWhenConventional: a simple diamond φ with non-interfering
+// operands is already conventional — zero copies.
+func TestNoCopiesWhenConventional(t *testing.T) {
+	f := testprog.Diamond()
+	ssa.Build(f)
+	st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CopiesInserted != 0 {
+		t.Fatalf("diamond needed %d copies, want 0:\n%s", st.CopiesInserted, f)
+	}
+}
+
+// TestUnsplittableRedirection: when one side of an interference is an
+// unsplittable web, the copy must land on the other side.
+func TestUnsplittableRedirection(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		info := ssa.Build(f)
+		st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
+			Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st.IllegalSplits > 0 {
+			t.Errorf("seed %d: %d illegal splits on a well-formed program", seed, st.IllegalSplits)
+		}
+		// No inserted copy may target an SP-derived variable's web.
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.Copy {
+					continue
+				}
+				if info.OrigPhys(in.Use(0)) != nil {
+					t.Errorf("seed %d: SP web split by copy %v", seed, in)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package parcopy sequentializes parallel copies. Replacing φ
+// instructions produces parallel copies at predecessor block ends (all
+// sources read before any destination is written); hardware has only
+// sequential moves, so cycles — the classic swap problem — must be broken
+// with a temporary (Briggs et al.).
+package parcopy
+
+import "outofssa/internal/ir"
+
+// Sequentialize lowers every ParCopy instruction of f into an equivalent
+// sequence of Copy instructions, allocating at most one temporary per
+// copy cycle. Self copies are dropped. Returns the number of Copy
+// instructions emitted.
+func Sequentialize(f *ir.Func) int {
+	emitted := 0
+	for _, b := range f.Blocks {
+		for idx := 0; idx < len(b.Instrs); idx++ {
+			in := b.Instrs[idx]
+			if in.Op != ir.ParCopy {
+				continue
+			}
+			seq := Lower(f, in)
+			b.RemoveAt(idx)
+			for k, c := range seq {
+				b.InsertAt(idx+k, c)
+			}
+			idx += len(seq) - 1
+			emitted += len(seq)
+		}
+	}
+	return emitted
+}
+
+// Lower returns the sequential Copy list equivalent to the parallel copy
+// pc. The algorithm repeatedly emits copies whose destination is not a
+// pending source; when none exists every pending destination is also a
+// source — a cycle — which is broken by saving one destination to a fresh
+// temporary.
+func Lower(f *ir.Func, pc *ir.Instr) []*ir.Instr {
+	type cp struct{ dst, src *ir.Value }
+	var pending []cp
+	for i := range pc.Defs {
+		d, s := pc.Defs[i].Val, pc.Uses[i].Val
+		if d != s {
+			pending = append(pending, cp{d, s})
+		}
+	}
+	var out []*ir.Instr
+	emit := func(d, s *ir.Value) {
+		out = append(out, &ir.Instr{
+			Op:   ir.Copy,
+			Defs: []ir.Operand{{Val: d}},
+			Uses: []ir.Operand{{Val: s}},
+		})
+	}
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); {
+			d := pending[i].dst
+			isSrc := false
+			for j, p := range pending {
+				if j != i && p.src == d {
+					isSrc = true
+					break
+				}
+			}
+			if isSrc {
+				i++
+				continue
+			}
+			emit(d, pending[i].src)
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+		}
+		if !progress && len(pending) > 0 {
+			// Pure cycle(s): break one by parking a destination in a temp.
+			tmp := f.NewValue("")
+			broken := pending[0]
+			emit(tmp, broken.dst)
+			for j := range pending {
+				if pending[j].src == broken.dst {
+					pending[j].src = tmp
+				}
+			}
+		}
+	}
+	return out
+}

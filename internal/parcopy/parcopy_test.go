@@ -1,0 +1,133 @@
+package parcopy_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/parcopy"
+)
+
+// buildParCopyFunc creates input(v0..vn-1); pcopy(perm); output(all).
+func buildParCopyFunc(n int, dst, src []int) *ir.Func {
+	bld := ir.NewBuilder("pc")
+	bld.Block("entry")
+	vals := make([]*ir.Value, n)
+	for i := range vals {
+		vals[i] = bld.Val("")
+	}
+	bld.Input(vals...)
+	pc := &ir.Instr{Op: ir.ParCopy}
+	for i := range dst {
+		pc.Defs = append(pc.Defs, ir.Operand{Val: vals[dst[i]]})
+		pc.Uses = append(pc.Uses, ir.Operand{Val: vals[src[i]]})
+	}
+	bld.Cur.Append(pc)
+	bld.Output(vals...)
+	return bld.Fn
+}
+
+func runBoth(t *testing.T, n int, dst, src []int, args []int64) bool {
+	t.Helper()
+	ref := buildParCopyFunc(n, dst, src)
+	want, err := ir.Exec(ref, args, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := buildParCopyFunc(n, dst, src)
+	parcopy.Sequentialize(f)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.ParCopy {
+				t.Fatal("ParCopy survived sequentialization")
+			}
+		}
+	}
+	got, err := ir.Exec(f, args, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want.Equal(got)
+}
+
+func TestSwapCycle(t *testing.T) {
+	// (a,b) = (b,a): a 2-cycle needs a temp, 3 copies.
+	if !runBoth(t, 2, []int{0, 1}, []int{1, 0}, []int64{10, 20}) {
+		t.Fatal("swap broken")
+	}
+	f := buildParCopyFunc(2, []int{0, 1}, []int{1, 0})
+	n := parcopy.Sequentialize(f)
+	if n != 3 {
+		t.Fatalf("2-cycle lowered to %d copies, want 3", n)
+	}
+}
+
+func TestLongCycle(t *testing.T) {
+	// (a,b,c) = (c,a,b)
+	if !runBoth(t, 3, []int{0, 1, 2}, []int{2, 0, 1}, []int64{1, 2, 3}) {
+		t.Fatal("3-cycle broken")
+	}
+	f := buildParCopyFunc(3, []int{0, 1, 2}, []int{2, 0, 1})
+	if n := parcopy.Sequentialize(f); n != 4 {
+		t.Fatalf("3-cycle lowered to %d copies, want 4", n)
+	}
+}
+
+func TestChain(t *testing.T) {
+	// (a,b,c) = (b,c,c): chain, no cycle, no temp needed.
+	if !runBoth(t, 3, []int{0, 1}, []int{1, 2}, []int64{1, 2, 3}) {
+		t.Fatal("chain broken")
+	}
+	f := buildParCopyFunc(3, []int{0, 1}, []int{1, 2})
+	if n := parcopy.Sequentialize(f); n != 2 {
+		t.Fatalf("chain lowered to %d copies, want 2", n)
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	// (a,b) = (c,c): one source feeding two destinations.
+	if !runBoth(t, 3, []int{0, 1}, []int{2, 2}, []int64{5, 6, 7}) {
+		t.Fatal("fan-out broken")
+	}
+}
+
+func TestSelfCopiesDropped(t *testing.T) {
+	f := buildParCopyFunc(2, []int{0, 1}, []int{0, 1})
+	if n := parcopy.Sequentialize(f); n != 0 {
+		t.Fatalf("self parallel copy emitted %d copies, want 0", n)
+	}
+}
+
+// Property: an arbitrary parallel assignment (random dst permutation
+// fragment, random sources) is sequentialized correctly.
+func TestRandomAssignments(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		// Distinct destinations.
+		perm := rng.Perm(n)
+		k := 1 + rng.Intn(n)
+		dst := perm[:k]
+		src := make([]int, k)
+		for i := range src {
+			src[i] = rng.Intn(n)
+		}
+		args := make([]int64, n)
+		for i := range args {
+			args[i] = int64(rng.Intn(1000))
+		}
+		return runBoth(t, n, dst, src, args)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mixed cycles and chains in one parallel copy.
+func TestCycleAndChainMix(t *testing.T) {
+	// (a,b,c,d) = (b,a,a,c): swap a<->b plus chain into c,d.
+	if !runBoth(t, 4, []int{0, 1, 2, 3}, []int{1, 0, 0, 2}, []int64{1, 2, 3, 4}) {
+		t.Fatal("mixed parallel copy broken")
+	}
+}

@@ -1,0 +1,189 @@
+package pin
+
+import (
+	"outofssa/internal/ir"
+	"outofssa/internal/ssa"
+)
+
+// CollectSP pins every SSA value renamed from a dedicated register back
+// to that register (the paper's pinningSP phase, run unconditionally:
+// "it was not possible to ignore those renaming constraints during the
+// out-of-SSA phase and to treat them afterwards").
+//
+// Only the definitions are pinned; φ webs over SP-derived values then
+// join SP's resource transitively.
+func CollectSP(f *ir.Func, info *ssa.Info) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, d := range in.Defs {
+				if d.Pin != nil {
+					continue
+				}
+				if phys := info.OrigPhys(d.Val); phys != nil {
+					in.Defs[i].Pin = phys
+				}
+			}
+		}
+	}
+}
+
+// CollectABI pins operands according to the ST120-like ABI and ISA
+// renaming constraints (the paper's pinningABI phase, Fig. 1):
+//
+//   - .input parameter i is defined in ArgRegs[i];
+//   - .output result i is read from RetRegs[i];
+//   - call argument i is read from ArgRegs[i], call result i is defined
+//     in RetRegs[i];
+//   - 2-operand instructions (more, autoadd, mac) read their first source
+//     from the resource of their destination.
+//
+// Parameters beyond the register-passed ones are left unpinned (they
+// would live on the stack).
+func CollectABI(f *ir.Func) {
+	t := f.Target
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.Input:
+				// Imm records the declared parameter count; implicit defs
+				// added by SSA construction (including SP) are not
+				// parameters.
+				n := int(in.Imm)
+				for i := 0; i < n && i < len(t.ArgRegs) && i < len(in.Defs); i++ {
+					if in.Defs[i].Pin == nil {
+						in.Defs[i].Pin = t.ArgRegs[i]
+					}
+				}
+			case in.Op == ir.Output:
+				for i := range in.Uses {
+					if i < len(t.RetRegs) && in.Uses[i].Pin == nil {
+						in.Uses[i].Pin = t.RetRegs[i]
+					}
+				}
+			case in.Op == ir.Call:
+				for i := range in.Uses {
+					if i < len(t.ArgRegs) && in.Uses[i].Pin == nil {
+						in.Uses[i].Pin = t.ArgRegs[i]
+					}
+				}
+				for i := range in.Defs {
+					if i < len(t.RetRegs) && in.Defs[i].Pin == nil {
+						in.Defs[i].Pin = t.RetRegs[i]
+					}
+				}
+			case in.Op.IsTwoOperand():
+				// Pin the tied source to the destination's resource: the
+				// def's existing pin if any, else the defined value itself
+				// (paper Fig. 1 S1: autoadd Q^Q, P^Q).
+				dst := in.Defs[0].Pin
+				if dst == nil {
+					dst = in.Defs[0].Val
+				}
+				if in.Uses[0].Pin == nil {
+					in.Uses[0].Pin = dst
+				}
+			}
+		}
+	}
+}
+
+// StrongChecker reports whether two values must never share a resource
+// (strong interference); interference.Analysis.StronglyInterfere
+// satisfies it.
+type StrongChecker interface {
+	StronglyInterfere(a, b *ir.Value) bool
+}
+
+// CollectPhiCSSA pins, for every φ, the definitions of the φ result and
+// of every φ argument to a common resource (the paper's pinningCSSA
+// phase). The input should be in conventional SSA form — φ operands not
+// interfering — otherwise the resulting pinned code is over-constrained
+// in exactly the way Fig. 2 warns about; it is used to turn the
+// out-of-pinned-SSA phase into an out-of-CSSA phase after Sreedhar's
+// algorithm has inserted its copies.
+//
+// Renaming constraints collected earlier (SP, ABI) may make a web union
+// illegal: merging two dedicated registers, or merging classes holding
+// strongly interfering variables (e.g. two φ results of one block both
+// holding call results pinned to R0). Such slots are left unpinned — the
+// out-of-pinned-SSA phase then emits a move for them, which is the cost
+// of treating the ABI separately from φ congruence ([CS3]). Pass a nil
+// checker to skip the strong-interference test.
+//
+// Def pins are rewritten through the union-find so every member of a φ
+// web ends up pinned to the web's representative. Returns the resources
+// and the number of slots left unpinned.
+func CollectPhiCSSA(f *ir.Func, strong StrongChecker) (*Resources, int, error) {
+	res, err := NewResources(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	unpinned := 0
+	canMerge := func(a, b *ir.Value) bool {
+		ra, rb := res.Find(a), res.Find(b)
+		if ra == rb {
+			return true
+		}
+		if ra.IsPhys() && rb.IsPhys() {
+			return false
+		}
+		if strong == nil {
+			return true
+		}
+		for _, ma := range res.Members(ra) {
+			if ma.IsPhys() {
+				continue
+			}
+			for _, mb := range res.Members(rb) {
+				if mb.IsPhys() {
+					continue
+				}
+				if strong.StronglyInterfere(ma, mb) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			x := phi.Def(0)
+			for _, u := range phi.Uses {
+				if !canMerge(x, u.Val) {
+					unpinned++
+					continue
+				}
+				if _, err := res.Union(x, u.Val); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	// Materialize the classes as definition pins.
+	RepinDefs(f, res)
+	return res, unpinned, nil
+}
+
+// RepinDefs rewrites every definition pin (and every use pin that names a
+// merged resource) to the current class representative, and pins every
+// value belonging to a multi-member class. This is the "update of pinning
+// performed only once, just before the mark phase" of §3.5.
+func RepinDefs(f *ir.Func, res *Resources) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, d := range in.Defs {
+				root := res.Find(d.Val)
+				if root != d.Val {
+					in.Defs[i].Pin = root
+				} else if d.Pin != nil {
+					in.Defs[i].Pin = root // self-rooted: drop stale pin names
+				}
+			}
+			for i, u := range in.Uses {
+				if u.Pin != nil {
+					in.Uses[i].Pin = res.Find(u.Pin)
+				}
+			}
+		}
+	}
+}

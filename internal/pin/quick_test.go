@@ -1,0 +1,93 @@
+package pin_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pin"
+)
+
+// TestResourcesQuick checks the union-find against a naive map-based
+// model under random operation sequences, including the physical-root
+// invariants.
+func TestResourcesQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := ir.NewFunc("q")
+		var vals []*ir.Value
+		for i := 0; i < 12; i++ {
+			vals = append(vals, f.NewValue(""))
+		}
+		vals = append(vals, f.Target.R[0], f.Target.R[1], f.Target.SP)
+
+		res, err := pin.NewResources(f)
+		if err != nil {
+			return false
+		}
+		// Model: class id per value.
+		model := make(map[*ir.Value]int)
+		for i, v := range vals {
+			model[v] = i
+		}
+		classPhys := func(c int) *ir.Value {
+			for v, cv := range model {
+				if cv == c && v.IsPhys() {
+					return v
+				}
+			}
+			return nil
+		}
+		for op := 0; op < 60; op++ {
+			a := vals[rng.Intn(len(vals))]
+			b := vals[rng.Intn(len(vals))]
+			pa, pb := classPhys(model[a]), classPhys(model[b])
+			_, err := res.Union(a, b)
+			wantErr := pa != nil && pb != nil && pa != pb
+			if wantErr != (err != nil) {
+				return false
+			}
+			if err == nil {
+				// Merge in the model.
+				ca, cb := model[a], model[b]
+				for v, c := range model {
+					if c == cb {
+						model[v] = ca
+					}
+				}
+			}
+			// Invariants after every op.
+			for _, x := range vals {
+				for _, y := range vals {
+					if (model[x] == model[y]) != res.Same(x, y) {
+						return false
+					}
+				}
+				root := res.Find(x)
+				if p := classPhys(model[x]); p != nil {
+					if root != p {
+						return false // physical register must be the representative
+					}
+				} else if root.IsPhys() {
+					return false
+				}
+				// Members must be exactly the model class.
+				m := res.Members(x)
+				count := 0
+				for _, v := range vals {
+					if model[v] == model[x] {
+						count++
+					}
+				}
+				if len(m) != count {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package pin implements the paper's pinning mechanism (§2.1): operands
+// are pre-colored to resources, where a resource is either a dedicated
+// physical register or a virtual register standing for an equivalence
+// class of variables pinned together.
+//
+// Variable pinning (pinning a definition) merges the variable into the
+// resource's class; the Resources union-find tracks these classes. Use
+// pinning (ABI argument slots, 2-operand reads) constrains only the
+// textual occurrence and is read directly from ir.Operand.Pin by the
+// reconstruction phase.
+package pin
+
+import (
+	"fmt"
+	"sort"
+
+	"outofssa/internal/ir"
+)
+
+// Resources is a union-find over the values of a function, where each
+// class is a resource: the set of variables pinned together, possibly
+// anchored by one dedicated physical register.
+type Resources struct {
+	fn      *ir.Func
+	parent  []int
+	rank    []int
+	members map[int][]*ir.Value // root ID -> member values
+}
+
+// NewResources builds the classes implied by the current definition pins
+// of f: for every definition operand with Pin != nil, the defined value
+// joins the pin's class.
+func NewResources(f *ir.Func) (*Resources, error) {
+	r := &Resources{
+		fn:      f,
+		parent:  make([]int, f.NumValues()),
+		rank:    make([]int, f.NumValues()),
+		members: make(map[int][]*ir.Value),
+	}
+	for i := range r.parent {
+		r.parent[i] = i
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if d.Pin == nil {
+					continue
+				}
+				if _, err := r.Union(d.Val, d.Pin); err != nil {
+					return nil, fmt.Errorf("%s: %q: %v", f.Name, in, err)
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// grow admits values created after the Resources was built (repair
+// variables, parallel-copy temporaries); they start as singletons.
+func (r *Resources) grow(id int) {
+	for len(r.parent) <= id {
+		r.parent = append(r.parent, len(r.parent))
+		r.rank = append(r.rank, 0)
+	}
+}
+
+func (r *Resources) find(id int) int {
+	r.grow(id)
+	for r.parent[id] != id {
+		r.parent[id] = r.parent[r.parent[id]]
+		id = r.parent[id]
+	}
+	return id
+}
+
+// Find returns the representative value of v's resource. Physical
+// registers are always their class's representative.
+func (r *Resources) Find(v *ir.Value) *ir.Value {
+	return r.fn.Values()[r.find(v.ID)]
+}
+
+// Same reports whether a and b are pinned to the same resource.
+func (r *Resources) Same(a, b *ir.Value) bool {
+	return r.find(a.ID) == r.find(b.ID)
+}
+
+// Union merges the resources of a and b and returns the representative.
+// Merging two classes that both contain a physical register is an error
+// (two distinct dedicated registers always strongly interfere).
+func (r *Resources) Union(a, b *ir.Value) (*ir.Value, error) {
+	ra, rb := r.find(a.ID), r.find(b.ID)
+	if ra == rb {
+		return r.fn.Values()[ra], nil
+	}
+	va, vb := r.fn.Values()[ra], r.fn.Values()[rb]
+	if va.IsPhys() && vb.IsPhys() {
+		return nil, fmt.Errorf("pin: cannot merge physical registers %v and %v", va, vb)
+	}
+	// The physical register, if any, must be the root so Find reports it.
+	switch {
+	case vb.IsPhys():
+		ra, rb = rb, ra
+	case va.IsPhys():
+		// keep
+	case r.rank[ra] < r.rank[rb]:
+		ra, rb = rb, ra
+	}
+	r.parent[rb] = ra
+	if r.rank[ra] == r.rank[rb] {
+		r.rank[ra]++
+	}
+	ma := r.members[ra]
+	if ma == nil {
+		ma = []*ir.Value{r.fn.Values()[ra]}
+	}
+	mb := r.members[rb]
+	if mb == nil {
+		mb = []*ir.Value{r.fn.Values()[rb]}
+	}
+	r.members[ra] = append(ma, mb...)
+	delete(r.members, rb)
+	return r.fn.Values()[ra], nil
+}
+
+// Members returns every value in v's resource class, in ID order.
+// Singleton classes return just the value itself.
+func (r *Resources) Members(v *ir.Value) []*ir.Value {
+	root := r.find(v.ID)
+	m := r.members[root]
+	if m == nil {
+		return []*ir.Value{r.fn.Values()[root]}
+	}
+	out := append([]*ir.Value(nil), m...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IsPhysResource reports whether v's resource contains a dedicated
+// register.
+func (r *Resources) IsPhysResource(v *ir.Value) bool {
+	return r.Find(v).IsPhys()
+}
+
+// Roots returns the representative of every multi-member or pinned class,
+// plus singletons on demand; used by tests.
+func (r *Resources) Roots() []*ir.Value {
+	var out []*ir.Value
+	for id := range r.members {
+		out = append(out, r.fn.Values()[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,86 @@
+package pin
+
+import (
+	"fmt"
+
+	"outofssa/internal/ir"
+)
+
+// Validate checks the pin-correctness rules of the paper's Figure 4 on a
+// pinned SSA function:
+//
+//	Case 1: two definitions of one instruction pinned to the same
+//	        resource (unless they are the same variable);
+//	Case 2: two uses of one instruction pinned to the same resource but
+//	        carrying different values;
+//	Case 3: two φ definitions in the same block pinned to the same
+//	        resource (φs execute in parallel);
+//	Case 4: a def and a use of the same instruction sharing a resource is
+//	        ALLOWED (2-operand constraint);
+//	Case 5: a φ argument explicitly pinned to a resource different from
+//	        the φ result's resource (all φ arguments are implicitly
+//	        pinned to the result's resource);
+//	Case 6 (Fig. 2): handled by the strong-interference analysis, not
+//	        here — over-constrained parallel φ webs are detected when
+//	        resources are interference-checked.
+func Validate(f *ir.Func, res *Resources) error {
+	resOf := func(o ir.Operand) *ir.Value {
+		if o.Pin != nil {
+			return res.Find(o.Pin)
+		}
+		return res.Find(o.Val)
+	}
+	for _, b := range f.Blocks {
+		// Case 3: φ defs of one block.
+		seen := make(map[*ir.Value]*ir.Instr)
+		for _, phi := range b.Phis() {
+			r := resOf(phi.Defs[0])
+			if prev, ok := seen[r]; ok {
+				return fmt.Errorf("%s: φ defs %q and %q in %v pinned to common resource %v (Fig.4 case 3)",
+					f.Name, prev, phi, b, r)
+			}
+			seen[r] = phi
+		}
+		for _, in := range b.Instrs {
+			// Case 1: defs of one instruction.
+			for i := 0; i < len(in.Defs); i++ {
+				for j := i + 1; j < len(in.Defs); j++ {
+					if in.Defs[i].Val != in.Defs[j].Val &&
+						resOf(in.Defs[i]) == resOf(in.Defs[j]) {
+						return fmt.Errorf("%s: defs %v and %v of %q pinned to common resource (Fig.4 case 1)",
+							f.Name, in.Defs[i].Val, in.Defs[j].Val, in)
+					}
+				}
+			}
+			// Case 2: uses of one instruction. Only explicitly pinned uses
+			// are constrained to be *in* the resource at the same time.
+			for i := 0; i < len(in.Uses); i++ {
+				if in.Uses[i].Pin == nil {
+					continue
+				}
+				for j := i + 1; j < len(in.Uses); j++ {
+					if in.Uses[j].Pin == nil {
+						continue
+					}
+					if in.Uses[i].Val != in.Uses[j].Val &&
+						res.Find(in.Uses[i].Pin) == res.Find(in.Uses[j].Pin) {
+						return fmt.Errorf("%s: uses %v and %v of %q pinned to common resource (Fig.4 case 2)",
+							f.Name, in.Uses[i].Val, in.Uses[j].Val, in)
+					}
+				}
+			}
+			// Case 5: explicitly pinned φ argument disagreeing with the
+			// φ result's resource.
+			if in.Op == ir.Phi {
+				rdef := resOf(in.Defs[0])
+				for _, u := range in.Uses {
+					if u.Pin != nil && res.Find(u.Pin) != rdef {
+						return fmt.Errorf("%s: φ arg %v pinned to %v but φ result resource is %v (Fig.4 case 5)",
+							f.Name, u.Val, u.Pin, rdef)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

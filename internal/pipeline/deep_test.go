@@ -1,0 +1,48 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/testprog"
+)
+
+// TestDeepSeedSweep widens the differential corpus beyond the quick
+// loops: larger generator options and a longer seed range, skipped under
+// -short. Every configuration must keep observable behaviour on every
+// program.
+func TestDeepSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep skipped in -short mode")
+	}
+	opts := []testprog.RandOptions{
+		testprog.DefaultRandOptions(),
+		{MaxDepth: 5, Vars: 5, StmtsPerBlock: 5, Calls: true, Stack: true},
+		{MaxDepth: 2, Vars: 12, StmtsPerBlock: 8, Calls: true, Stack: false},
+		{MaxDepth: 4, Vars: 4, StmtsPerBlock: 3, Calls: false, Stack: true},
+	}
+	for oi, opt := range opts {
+		for seed := int64(100); seed < 140; seed++ {
+			ref := testprog.Rand(seed, opt)
+			args := []int64{seed, seed % 9, 7}
+			want, err := ir.Exec(ref, args, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, conf := range pipeline.Configs {
+				f := testprog.Rand(seed, opt)
+				if _, err := pipeline.Run(f, conf); err != nil {
+					t.Fatalf("opt %d seed %d %s: %v", oi, seed, name, err)
+				}
+				got, err := ir.Exec(f, args, 3_000_000)
+				if err != nil {
+					t.Fatalf("opt %d seed %d %s: %v", oi, seed, name, err)
+				}
+				if !want.Equal(got) {
+					t.Fatalf("opt %d seed %d: %s changed behaviour\n%s", oi, seed, name, f)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/naiveabi"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/regalloc"
+	"outofssa/internal/ssa"
+)
+
+// figure8 builds the [CC1] partial-coalescing scenario: a variable z with
+// two independent defs (webs), the second web spanning a later redefinition
+// of R0. Chaitin-style coalescing sees one variable z interfering with R0
+// and keeps every copy; SSA-level pinning splits the webs and coalesces
+// the first one for free.
+//
+//	z = call f1   (result in R0)
+//	use z
+//	z = call f2   (result in R0)
+//	w = call f3   (result in R0; z still live!)
+//	use z, w
+func figure8() *ir.Func {
+	bld := ir.NewBuilder("fig8")
+	bld.Block("entry")
+	z, w, u1, u2 := bld.Val("z"), bld.Val("w"), bld.Val("u1"), bld.Val("u2")
+	one := bld.Val("one")
+	bld.Const(one, 1)
+	bld.Call("f1", []*ir.Value{z})
+	bld.Binary(ir.Add, u1, z, one) // use of web 1
+	bld.Call("f2", []*ir.Value{z})
+	bld.Call("f3", []*ir.Value{w}) // kills R0 while web-2 z is live
+	bld.Binary(ir.Add, u2, z, w)
+	r := bld.Val("r")
+	bld.Binary(ir.Add, r, u1, u2)
+	bld.Output(r)
+	return bld.Fn
+}
+
+// TestPaperFigure8PartialCoalescing: the pinned translation must beat a
+// Chaitin-style baseline that never goes through SSA: there z is a single
+// variable interfering with R0, so neither of its copies can be
+// coalesced, while SSA pinning splits the webs and pins the
+// non-conflicting one to R0 for free ("partial coalescing", [CC1]).
+func TestPaperFigure8PartialCoalescing(t *testing.T) {
+	fp := figure8()
+	rp, err := pipeline.Run(fp, pipeline.Configs[pipeline.ExpLphiABIC])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-SSA Chaitin baseline: satisfy the ABI locally, then coalesce.
+	fc := figure8()
+	naiveabi.Apply(fc)
+	regalloc.AggressiveCoalesce(fc)
+	ccount := fc.CountMoves()
+	if rp.Moves >= ccount {
+		t.Fatalf("partial coalescing failed: pinned=%d moves, chaitin=%d moves\npinned:\n%s\nchaitin:\n%s",
+			rp.Moves, ccount, fp, fc)
+	}
+	if rp.Moves != 1 {
+		t.Fatalf("pinned translation should need exactly 1 move (the web-2 repair), got %d:\n%s",
+			rp.Moves, fp)
+	}
+
+	// Both must behave identically.
+	a, err := ir.Exec(figure8(), nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ir.Exec(fp, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ir.Exec(fc, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) || !a.Equal(c) {
+		t.Fatal("figure 8 pipelines changed behaviour")
+	}
+}
+
+// figure10 is the swap loop of [CS2]: x and y are exchanged around the
+// back edge, producing a φ cycle. Parallel-copy placement sequentializes
+// the cycle optimally; Sreedhar's sequential copy insertion costs extra.
+func figure10() *ir.Func {
+	bld := ir.NewBuilder("fig10")
+	entry := bld.Block("entry")
+	head := bld.Fn.NewBlock("head")
+	body := bld.Fn.NewBlock("body")
+	exit := bld.Fn.NewBlock("exit")
+
+	x, y, n, i, c, one := bld.Val("x"), bld.Val("y"), bld.Val("n"), bld.Val("i"), bld.Val("c"), bld.Val("one")
+	t1 := bld.Val("t1")
+	bld.SetBlock(entry)
+	bld.Input(x, y, n)
+	bld.Const(i, 0)
+	bld.Const(one, 1)
+	bld.Jump(head)
+	bld.SetBlock(head)
+	bld.Binary(ir.CmpLT, c, i, n)
+	bld.Br(c, body, exit)
+	bld.SetBlock(body)
+	// swap x and y
+	bld.Copy(t1, x)
+	bld.Copy(x, y)
+	bld.Copy(y, t1)
+	bld.Binary(ir.Add, i, i, one)
+	bld.Jump(head)
+	bld.SetBlock(exit)
+	r := bld.Val("r")
+	bld.Binary(ir.Sub, r, x, y)
+	bld.Output(r)
+	return bld.Fn
+}
+
+// TestPaperFigure10ParallelCopies: on the swap loop our translation must
+// not cost more moves than the Sreedhar composition, and both must keep
+// the semantics (the swap cycle requires correct sequentialization).
+func TestPaperFigure10ParallelCopies(t *testing.T) {
+	fo := figure10()
+	ro, err := pipeline.Run(fo, pipeline.Configs[pipeline.ExpLphiC])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := figure10()
+	rs, err := pipeline.Run(fs, pipeline.Configs[pipeline.ExpSphiC])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Moves > rs.Moves {
+		t.Fatalf("[CS2] violated: ours=%d vs sreedhar=%d moves", ro.Moves, rs.Moves)
+	}
+	for _, n := range []int64{0, 1, 2, 5} {
+		want, err := ir.Exec(figure10(), []int64{3, 9, n}, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, err := ir.Exec(fo, []int64{3, 9, n}, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ir.Exec(fs, []int64{3, 9, n}, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(g1) || !want.Equal(g2) {
+			t.Fatalf("figure 10 semantics broken for n=%d", n)
+		}
+	}
+}
+
+// figure11 is the [CS3] scenario: B = φ(a, b2) where {a, b2} interfere,
+// and b2 is tied to b1 by a 2-operand autoadd. The ABI-aware coalescer
+// must put the single move on the a-edge, keeping the autoadd tie free.
+func figure11() *ir.Func {
+	bld := ir.NewBuilder("fig11")
+	entry := bld.Block("entry")
+	head := bld.Fn.NewBlock("head")
+	l1 := bld.Fn.NewBlock("L1")
+	l2 := bld.Fn.NewBlock("L2")
+	latch := bld.Fn.NewBlock("latch")
+	exit := bld.Fn.NewBlock("exit")
+
+	a, b0 := bld.Val("a"), bld.Val("b0")
+	b1, b2, bb := bld.Val("b1"), bld.Val("b2"), bld.Val("B")
+	c1, c2 := bld.Val("c1"), bld.Val("c2")
+	k := bld.Val("k")
+
+	bld.SetBlock(entry)
+	bld.Const(a, 100)
+	bld.Call("f1", []*ir.Value{b0})
+	bld.Jump(head)
+
+	bld.SetBlock(head)
+	bld.Phi(b1, b0, bb)
+	bld.AutoAdd(b2, b1, 1)
+	one := bld.Val("one")
+	bld.Const(one, 1)
+	bld.Binary(ir.And, c1, b2, one)
+	bld.Br(c1, l1, l2)
+
+	bld.SetBlock(l1)
+	bld.Jump(latch)
+	bld.SetBlock(l2)
+	bld.Jump(latch)
+
+	bld.SetBlock(latch)
+	bld.Phi(bb, a, b2)
+	bld.Binary(ir.CmpLT, c2, bb, k)
+	bld.Br(c2, head, exit)
+
+	bld.SetBlock(exit)
+	bld.Output(bb)
+
+	// k is live-in without a def: give it one in entry.
+	entry.InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 10,
+		Defs: []ir.Operand{{Val: k}}})
+	return bld.Fn
+}
+
+// TestPaperFigure11ABIChoice: our solution must reach the 1-move optimum
+// (B = a on the a-edge, autoadd tie coalesced) and never lose to the
+// Sreedhar composition.
+func TestPaperFigure11ABIChoice(t *testing.T) {
+	// figure11 is built directly in SSA form: skip SSA construction.
+	fo := figure11()
+	ro, err := pipeline.RunSSA(fo, ssa.EmptyInfo(), pipeline.Configs[pipeline.ExpLphiABIC])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := figure11()
+	rs, err := pipeline.RunSSA(fs, ssa.EmptyInfo(), pipeline.Configs[pipeline.ExpSphiLABIC])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Moves > rs.Moves {
+		t.Fatalf("[CS3] violated: ours=%d vs sreedhar=%d", ro.Moves, rs.Moves)
+	}
+	if ro.Moves != 1 {
+		t.Fatalf("ours should need exactly 1 move on figure 11, got %d:\n%s", ro.Moves, fo)
+	}
+	want, err := ir.Exec(figure11(), nil, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ir.Exec(fo, nil, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("figure 11 semantics broken")
+	}
+}

@@ -1,0 +1,264 @@
+// Package pipeline composes the repository's passes into the exact
+// experiment configurations of the paper's Table 1: which collect phases
+// run (pinningSP, pinningABI, pinningφ, pinningCSSA after Sreedhar),
+// whether the NaiveABI fallback and the aggressive "+C" coalescing
+// post-pass run, and the Table 5 variants of the φ-coalescing algorithm.
+package pipeline
+
+import (
+	"fmt"
+
+	"outofssa/internal/cfg"
+	"outofssa/internal/coalesce"
+	"outofssa/internal/interference"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+	"outofssa/internal/naiveabi"
+	"outofssa/internal/outofssa/leung"
+	"outofssa/internal/outofssa/naive"
+	"outofssa/internal/outofssa/sreedhar"
+	"outofssa/internal/pin"
+	"outofssa/internal/psi"
+	"outofssa/internal/regalloc"
+	"outofssa/internal/ssa"
+	"outofssa/internal/ssaopt"
+)
+
+// Config selects the passes, mirroring the columns of Table 1.
+type Config struct {
+	// Optimize runs the SSA optimization bundle (copy propagation,
+	// constant folding, local value numbering, DCE) first, like the LAO
+	// does; it creates the φ webs the coalescing experiments measure.
+	Optimize bool
+	// Psi runs if-conversion to ψ-SSA followed by the ψ-conventional
+	// lowering (predicated select chains with 2-operand-like ties), the
+	// paper's §5 treatment of predicated code.
+	Psi bool
+	// Sreedhar runs the SSA→CSSA conversion of Sreedhar et al. followed
+	// by pinningCSSA.
+	Sreedhar bool
+	// ABI runs the pinningABI collect phase (renaming constraints handled
+	// by the out-of-pinned-SSA translation).
+	ABI bool
+	// PhiCoalesce runs the paper's pinningφ phase (Program_pinning).
+	PhiCoalesce bool
+	// PrePin runs the [LIM2] pre-pass first: definitions whose uses are
+	// pinned (2-operand ties, ABI slots) are coalesced with the pinned
+	// resource when interference-free.
+	PrePin bool
+	// Coalesce selects the pinningφ variant (mode, depth constraint).
+	Coalesce coalesce.Options
+	// NaiveOut replaces the out-of-pinned-SSA translation by the naive
+	// Cytron/Briggs copy insertion (pins are ignored). Only meaningful
+	// when no pinning phase ran.
+	NaiveOut bool
+	// NaiveABI inserts local moves around constrained instructions after
+	// translation (used when ABI is false but constraints must hold).
+	NaiveABI bool
+	// Chaitin runs the aggressive repeated register coalescer ("+C").
+	Chaitin bool
+}
+
+// Result aggregates the outcome of running one configuration.
+type Result struct {
+	// Opt reports what the SSA optimizer did (nil when disabled).
+	Opt *ssaopt.Stats
+
+	// Moves is the final move-instruction count — the paper's metric for
+	// Tables 2-4.
+	Moves int
+	// WeightedMoves is the 5^depth weighted count of Table 5.
+	WeightedMoves int64
+	// Instrs is the final instruction count.
+	Instrs int
+
+	Psi      *psi.Stats
+	Sreedhar *sreedhar.Stats
+	Coalesce *coalesce.Stats
+	PrePin   *coalesce.PrePinStats
+	Leung    *leung.Stats
+	Naive    *naive.Stats
+	NaiveABI *naiveabi.Stats
+	Chaitin  *regalloc.Stats
+	// CSSAUnpinned counts φ slots pinningCSSA had to leave unpinned.
+	CSSAUnpinned int
+}
+
+// Run converts the pre-SSA function f through SSA and back according to
+// conf, mutating f, and returns the statistics. The typical call site
+// clones the input once per configuration.
+func Run(f *ir.Func, conf Config) (*Result, error) {
+	info := ssa.Build(f)
+	if err := ssa.Verify(f); err != nil {
+		return nil, fmt.Errorf("pipeline: after SSA construction: %v", err)
+	}
+	return RunSSA(f, info, conf)
+}
+
+// RunSSA runs the pass composition on a function already in (pinned or
+// plain) SSA form. info carries the dedicated-register origins for the
+// pinningSP phase; pass ssa.EmptyInfo() for hand-built SSA without
+// renamed dedicated registers.
+func RunSSA(f *ir.Func, info *ssa.Info, conf Config) (*Result, error) {
+	r := &Result{}
+
+	if !conf.ABI {
+		// "Renaming constraints ignored" (Table 2 setup): drop textual
+		// pins to dedicated registers other than SP. Only SP constraints
+		// cannot be ignored (paper §5); the rest are either ignored
+		// entirely or handled later by NaiveABI.
+		stripNonSPPins(f)
+	}
+
+	if conf.Optimize {
+		r.Opt = ssaopt.Optimize(f, info)
+		if err := ssa.Verify(f); err != nil {
+			return nil, fmt.Errorf("pipeline: after SSA optimization: %v", err)
+		}
+	}
+
+	if conf.Psi {
+		st := psi.IfConvert(f)
+		lo := psi.ConvertPsi(f)
+		st.PsisLowered, st.TiesPinned = lo.PsisLowered, lo.TiesPinned
+		r.Psi = st
+		// The ψ-conventional chains seed with constant-true selects; fold
+		// them into copies and drop the dead seeds.
+		ssaopt.FoldSelects(f)
+		ssaopt.EliminateDeadCode(f)
+		if err := ssa.Verify(f); err != nil {
+			return nil, fmt.Errorf("pipeline: after psi conversion: %v", err)
+		}
+	}
+
+	if conf.Sreedhar {
+		st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
+			Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: sreedhar: %v", err)
+		}
+		r.Sreedhar = st
+	}
+
+	pin.CollectSP(f, info)
+	if conf.ABI {
+		pin.CollectABI(f)
+	}
+
+	if conf.Sreedhar {
+		live := liveness.Compute(f)
+		an := interference.New(f, live, cfg.Dominators(f), interference.Exact)
+		_, unpinned, err := pin.CollectPhiCSSA(f, an)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: pinningCSSA: %v", err)
+		}
+		r.CSSAUnpinned = unpinned
+	}
+
+	if conf.PrePin {
+		st, err := coalesce.PrePinDefs(f, conf.Coalesce.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: pre-pinning: %v", err)
+		}
+		r.PrePin = st
+	}
+
+	if conf.PhiCoalesce {
+		st, err := coalesce.ProgramPinning(f, conf.Coalesce)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: pinningφ: %v", err)
+		}
+		r.Coalesce = st
+	}
+
+	if conf.NaiveOut {
+		st, err := naive.Translate(f)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: naive out-of-SSA: %v", err)
+		}
+		r.Naive = st
+	} else {
+		st, err := leung.Translate(f)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: out-of-pinned-SSA: %v", err)
+		}
+		r.Leung = st
+	}
+
+	if conf.NaiveABI {
+		r.NaiveABI = naiveabi.Apply(f)
+	}
+	if conf.Chaitin {
+		r.Chaitin = regalloc.AggressiveCoalesce(f)
+	}
+
+	cfg.ComputeLoopDepth(f)
+	r.Moves = f.CountMoves()
+	r.WeightedMoves = f.WeightedMoves()
+	r.Instrs = f.NumInstrs()
+	return r, nil
+}
+
+// stripNonSPPins removes operand pins to dedicated registers other than
+// SP, implementing the "without renaming constraints" experimental setup.
+func stripNonSPPins(f *ir.Func) {
+	sp := f.Target.SP
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, d := range in.Defs {
+				if d.Pin != nil && d.Pin.IsPhys() && d.Pin != sp {
+					in.Defs[i].Pin = nil
+				}
+			}
+			for i, u := range in.Uses {
+				if u.Pin != nil && u.Pin.IsPhys() && u.Pin != sp {
+					in.Uses[i].Pin = nil
+				}
+			}
+		}
+	}
+}
+
+// The named experiments of Table 1.
+const (
+	// Table 2 (no ABI constraints).
+	ExpLphiC = "Lphi+C" // pinningSP, pinningφ, out-of-pinned-SSA, +C
+	ExpC2    = "C"      // pinningSP, out-of-pinned-SSA, +C
+	ExpSphiC = "Sphi+C" // Sreedhar, pinningCSSA, pinningSP, out, +C
+
+	// Table 3 (with renaming constraints).
+	ExpLphiABIC  = "Lphi,ABI+C"  // pinningSP, pinningABI, pinningφ, out, +C
+	ExpSphiLABIC = "Sphi+LABI+C" // Sreedhar, CSSA, SP, ABI, out, +C
+	ExpLABIC     = "LABI+C"      // SP, ABI, out, +C
+	ExpC3        = "C(naiveABI)" // SP, out, NaiveABI, +C
+
+	// Table 4 (no +C: order-of-magnitude costs).
+	ExpLphiABI = "Lphi,ABI" // SP, ABI, pinningφ, out
+	ExpSphi    = "Sphi"     // Sreedhar, CSSA, SP, out, NaiveABI
+	ExpLABI    = "LABI"     // SP, ABI, out (naive φ cost)
+
+	// Extensions (not part of the paper's tables; see the ablation bench):
+	// the [LIM2] definition pre-pinning pass, and ψ-SSA if-conversion.
+	ExpPrePin = "Lphi,ABI,pre+C"
+	ExpPsi    = "Lphi,ABI,psi+C"
+)
+
+// Configs maps experiment names to pass configurations.
+var Configs = map[string]Config{
+	ExpLphiC: {Optimize: true, PhiCoalesce: true, Chaitin: true},
+	ExpC2:    {Optimize: true, Chaitin: true},
+	ExpSphiC: {Optimize: true, Sreedhar: true, Chaitin: true},
+
+	ExpLphiABIC:  {Optimize: true, ABI: true, PhiCoalesce: true, Chaitin: true},
+	ExpSphiLABIC: {Optimize: true, Sreedhar: true, ABI: true, Chaitin: true},
+	ExpLABIC:     {Optimize: true, ABI: true, Chaitin: true},
+	ExpC3:        {Optimize: true, NaiveABI: true, Chaitin: true},
+
+	ExpPrePin: {Optimize: true, ABI: true, PrePin: true, PhiCoalesce: true, Chaitin: true},
+	ExpPsi:    {Optimize: true, Psi: true, ABI: true, PrePin: true, PhiCoalesce: true, Chaitin: true},
+
+	ExpLphiABI: {Optimize: true, ABI: true, PhiCoalesce: true},
+	ExpSphi:    {Optimize: true, Sreedhar: true, NaiveABI: true},
+	ExpLABI:    {Optimize: true, ABI: true},
+}

@@ -1,0 +1,76 @@
+package pipeline_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/testprog"
+)
+
+// TestQuickDifferential is the repository's fuzz loop in testing/quick
+// form: arbitrary seeds drive the program generator, arbitrary argument
+// triples drive the interpreter, and every experiment configuration must
+// produce observably identical code.
+func TestQuickDifferential(t *testing.T) {
+	maxCount := 60
+	if testing.Short() {
+		maxCount = 10
+	}
+	check := func(seed int64, a0, a1, a2 int32) bool {
+		opts := testprog.DefaultRandOptions()
+		args := []int64{int64(a0), int64(a1), int64(a2)}
+		ref := testprog.Rand(seed, opts)
+		want, err := ir.Exec(ref, args, 500000)
+		if err != nil {
+			return false
+		}
+		for name, conf := range pipeline.Configs {
+			f := testprog.Rand(seed, opts)
+			if _, err := pipeline.Run(f, conf); err != nil {
+				t.Logf("seed %d %s: %v", seed, name, err)
+				return false
+			}
+			got, err := ir.Exec(f, args, 1500000)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, name, err)
+				return false
+			}
+			if !want.Equal(got) {
+				t.Logf("seed %d %s: outputs %v vs %v", seed, name, want.Outputs, got.Outputs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMoveAccounting: for arbitrary programs, the pipeline's
+// reported move count must equal a recount on the final function, and
+// the weighted count must dominate the plain count.
+func TestQuickMoveAccounting(t *testing.T) {
+	check := func(seed int64) bool {
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		r, err := pipeline.Run(f, pipeline.Configs[pipeline.ExpLphiABIC])
+		if err != nil {
+			return false
+		}
+		if r.Moves != f.CountMoves() {
+			return false
+		}
+		if r.WeightedMoves < int64(r.Moves) {
+			return false
+		}
+		if r.Instrs != f.NumInstrs() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package psi implements the ψ-SSA support the paper's toolchain uses
+// for predicated code (§5, after Stoutchinin and de Ferrière, "Efficient
+// static single assignment form for predication", MICRO 2001):
+//
+//   - IfConvert turns small branch diamonds/triangles into straight-line
+//     predicated code, merging values with ψ instructions instead of φs;
+//   - ConvertPsi rewrites each ψ into a chain of predicated selects whose
+//     running operand is tied to the destination — "ψ instructions
+//     introduce constraints similar to 2-operands constraints, and are
+//     handled in our algorithm in a special pass where they are converted
+//     into a 'ψ-conventional' SSA form" (paper §5).
+//
+// After ConvertPsi the function is ordinary pinned SSA; the pinning-based
+// coalescer then merges each chain into a single resource whenever no
+// interference forbids it, exactly as it does for 2-operand ties.
+package psi
+
+import (
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+)
+
+// Stats describes what the passes did.
+type Stats struct {
+	// DiamondsConverted counts if-converted two-arm regions,
+	// TrianglesConverted one-arm regions.
+	DiamondsConverted  int
+	TrianglesConverted int
+	// InstrsSpeculated is the number of instructions hoisted into the
+	// predecessor (executed under both predicates).
+	InstrsSpeculated int
+	// PsisLowered counts ψ instructions rewritten to select chains;
+	// TiesPinned the 2-operand-like pins applied.
+	PsisLowered int
+	TiesPinned  int
+}
+
+// MaxArmInstrs bounds the size of an arm eligible for if-conversion.
+const MaxArmInstrs = 6
+
+// IfConvert performs if-conversion on SSA form f: branch diamonds and
+// triangles whose arms are short and side-effect free become predicated
+// straight-line code, with ψ instructions merging the values. Runs to a
+// fixed point (inner regions collapse first, enabling outer ones).
+func IfConvert(f *ir.Func) *Stats {
+	st := &Stats{}
+	for {
+		if !ifConvertOne(f, st) {
+			break
+		}
+	}
+	return st
+}
+
+// speculable reports whether an instruction may be executed under a
+// false predicate (pure, no memory or control effects).
+func speculable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.Copy, ir.Const, ir.Make, ir.Add, ir.Sub, ir.Mul,
+		ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Neg, ir.Not,
+		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
+		ir.Min, ir.Max, ir.Select, ir.Psi:
+		return true
+	}
+	// Div/Rem excluded: a speculated division changes trap behaviour on
+	// real hardware (the interpreter is total, but the substitution aims
+	// to preserve the realistic constraint).
+	return false
+}
+
+// armOK checks that blk is a single-pred arm of head consisting only of
+// speculable instructions plus a trailing jump to join.
+func armOK(head, blk, join *ir.Block) bool {
+	if len(blk.Preds) != 1 || blk.Preds[0] != head {
+		return false
+	}
+	if len(blk.Succs) != 1 || blk.Succs[0] != join {
+		return false
+	}
+	if len(blk.Instrs) > MaxArmInstrs+1 {
+		return false
+	}
+	for _, in := range blk.Instrs {
+		if in.Op == ir.Jump {
+			continue
+		}
+		if !speculable(in) {
+			return false
+		}
+	}
+	return true
+}
+
+func ifConvertOne(f *ir.Func, st *Stats) bool {
+	for _, head := range f.Blocks {
+		term := head.Terminator()
+		if term == nil || term.Op != ir.Br {
+			continue
+		}
+		taken, fall := head.Succs[0], head.Succs[1]
+		cond := term.Use(0)
+
+		// Diamond: head -> taken/fall -> join.
+		if taken != fall && len(taken.Succs) == 1 && len(fall.Succs) == 1 &&
+			taken.Succs[0] == fall.Succs[0] {
+			join := taken.Succs[0]
+			if join != head && len(join.Preds) == 2 &&
+				armOK(head, taken, join) && armOK(head, fall, join) {
+				convertDiamond(f, head, taken, fall, join, cond, st)
+				return true
+			}
+		}
+
+		// Triangle: head -> arm -> join, head -> join.
+		for _, arm := range []struct {
+			arm, join *ir.Block
+			negate    bool
+		}{{taken, fall, false}, {fall, taken, true}} {
+			a, join := arm.arm, arm.join
+			if a == join || join == head {
+				continue
+			}
+			if len(a.Succs) == 1 && a.Succs[0] == join && len(join.Preds) == 2 &&
+				join.PredIndex(head) >= 0 && armOK(head, a, join) {
+				convertTriangle(f, head, a, join, cond, arm.negate, st)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hoist moves every non-terminator instruction of arm to the end of
+// head (before its terminator).
+func hoist(head, arm *ir.Block, st *Stats) {
+	for _, in := range arm.Instrs {
+		if in.Op == ir.Jump {
+			continue
+		}
+		arm2 := in // reattach
+		head.InsertBeforeTerminator(arm2)
+		st.InstrsSpeculated++
+	}
+	arm.Instrs = nil
+	arm.Append(&ir.Instr{Op: ir.Jump})
+}
+
+// replacePhisWithPsis rewrites the φs of join (which currently merge
+// predIdxA/predIdxB) into ψ instructions predicated on cond.
+func replacePhisWithPsis(f *ir.Func, join *ir.Block, idxIfTrue, idxIfFalse int, cond *ir.Value) {
+	one := f.NewValue("")
+	needOne := false
+	phis := append([]*ir.Instr(nil), join.Phis()...)
+	for _, phi := range phis {
+		vTrue := phi.Uses[idxIfTrue].Val
+		vFalse := phi.Uses[idxIfFalse].Val
+		// ψ semantics: the last pair whose predicate holds wins. The
+		// unconditional (false-path) value goes first under predicate 1.
+		phi.Op = ir.Psi
+		phi.Uses = []ir.Operand{
+			{Val: one}, {Val: vFalse},
+			{Val: cond}, {Val: vTrue},
+		}
+		needOne = true
+	}
+	if needOne {
+		join.InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 1,
+			Defs: []ir.Operand{{Val: one}}})
+	}
+}
+
+func convertDiamond(f *ir.Func, head, taken, fall, join *ir.Block, cond *ir.Value, st *Stats) {
+	st.DiamondsConverted++
+	hoist(head, taken, st)
+	hoist(head, fall, st)
+	idxT := join.PredIndex(taken)
+	idxF := join.PredIndex(fall)
+	replacePhisWithPsis(f, join, idxT, idxF, cond)
+
+	// Rewire: head jumps straight to join; the arms become unreachable.
+	rewireStraight(f, head, join, idxT, idxF)
+	cfg.RemoveUnreachable(f)
+}
+
+func convertTriangle(f *ir.Func, head, arm, join *ir.Block, cond *ir.Value, negate bool, st *Stats) {
+	st.TrianglesConverted++
+	hoist(head, arm, st)
+	idxArm := join.PredIndex(arm)
+	idxHead := join.PredIndex(head)
+	if negate {
+		// Arm runs when cond is false: ψ pairs become (1, armVal),
+		// (cond, headVal) — i.e. the head value wins when cond holds.
+		replacePhisWithPsis(f, join, idxHead, idxArm, cond)
+	} else {
+		replacePhisWithPsis(f, join, idxArm, idxHead, cond)
+	}
+	rewireStraight(f, head, join, idxArm, idxHead)
+	cfg.RemoveUnreachable(f)
+}
+
+// rewireStraight replaces head's terminator with a jump to join and
+// collapses join's two predecessor slots (idxA kept as the slot for
+// head; the ψs no longer use per-edge arguments).
+func rewireStraight(f *ir.Func, head, join *ir.Block, idxA, idxB int) {
+	head.RemoveAt(len(head.Instrs) - 1) // the Br
+	head.Succs = nil
+	head.Append(&ir.Instr{Op: ir.Jump})
+
+	// Remove both old pred slots of join, then connect head -> join.
+	hi, lo := idxA, idxB
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	join.Preds = append(join.Preds[:hi], join.Preds[hi+1:]...)
+	join.Preds = append(join.Preds[:lo], join.Preds[lo+1:]...)
+	f.AddEdge(head, join)
+}
+
+// ConvertPsi rewrites every ψ into ψ-conventional form: a chain of
+// predicated selects where each step's running value is tied to the
+// step's destination (the 2-operand-like renaming constraint), ending in
+// the ψ's original destination.
+func ConvertPsi(f *ir.Func) *Stats {
+	st := &Stats{}
+	for _, b := range f.Blocks {
+		for idx := 0; idx < len(b.Instrs); idx++ {
+			in := b.Instrs[idx]
+			if in.Op != ir.Psi {
+				continue
+			}
+			st.PsisLowered++
+			d := in.Def(0)
+			pairs := in.Uses
+			// Seed: zero, like the interpreter's ψ default.
+			zero := f.NewValue("")
+			b.InsertAt(idx, &ir.Instr{Op: ir.Const, Imm: 0,
+				Defs: []ir.Operand{{Val: zero}}})
+			idx++
+			cur := zero
+			for p := 0; p+1 < len(pairs); p += 2 {
+				last := p+3 >= len(pairs)
+				var dst *ir.Value
+				if last {
+					dst = d
+				} else {
+					dst = f.NewValue(d.Name + ".psi")
+				}
+				sel := &ir.Instr{Op: ir.Select,
+					Defs: []ir.Operand{{Val: dst}},
+					Uses: []ir.Operand{pairs[p], pairs[p+1], {Val: cur}},
+				}
+				// The running operand is tied to the destination: a
+				// predicated machine move modifies its target in place.
+				if cur != zero {
+					ir.PinUse(sel, 2, dst)
+					st.TiesPinned++
+				}
+				b.InsertAt(idx, sel)
+				idx++
+				cur = dst
+			}
+			// Drop the ψ itself.
+			b.RemoveAt(idx)
+			idx--
+		}
+	}
+	return st
+}

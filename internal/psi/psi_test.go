@@ -1,0 +1,203 @@
+package psi_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/psi"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+	"outofssa/internal/workload"
+)
+
+func TestIfConvertDiamond(t *testing.T) {
+	f := testprog.Diamond()
+	ssa.Build(f)
+	st := psi.IfConvert(f)
+	if st.DiamondsConverted != 1 {
+		t.Fatalf("converted %d diamonds, want 1", st.DiamondsConverted)
+	}
+	if err := ssa.Verify(f); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	// Control flow must be straight-line now.
+	for _, b := range f.Blocks {
+		if term := b.Terminator(); term != nil && term.Op == ir.Br {
+			t.Fatalf("branch survived if-conversion:\n%s", f)
+		}
+	}
+	// Behaviour preserved, ψ executed directly by the interpreter.
+	for _, c := range []struct{ a, b, want int64 }{{1, 5, 12}, {5, 1, 8}, {3, 3, 0}} {
+		res, err := ir.Exec(f, []int64{c.a, c.b}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs[0] != c.want {
+			t.Fatalf("diamond(%d,%d) = %v, want %d", c.a, c.b, res.Outputs, c.want)
+		}
+	}
+}
+
+func TestIfConvertSkipsEffects(t *testing.T) {
+	// A diamond whose arm stores must not be converted (the store would
+	// execute unconditionally).
+	bld := ir.NewBuilder("effects")
+	entry := bld.Block("entry")
+	l := bld.Fn.NewBlock("l")
+	r := bld.Fn.NewBlock("r")
+	join := bld.Fn.NewBlock("join")
+	c, a, x1, x2, x3 := bld.Val("c"), bld.Val("a"), bld.Val("x1"), bld.Val("x2"), bld.Val("x3")
+	bld.SetBlock(entry)
+	bld.Input(c, a)
+	bld.Br(c, l, r)
+	bld.SetBlock(l)
+	bld.Const(x1, 1)
+	bld.Store(a, x1) // side effect
+	bld.Jump(join)
+	bld.SetBlock(r)
+	bld.Const(x2, 2)
+	bld.Jump(join)
+	bld.SetBlock(join)
+	bld.Phi(x3, x1, x2)
+	bld.Output(x3)
+
+	st := psi.IfConvert(bld.Fn)
+	if st.DiamondsConverted != 0 {
+		t.Fatal("converted a diamond with a store in its arm")
+	}
+}
+
+func TestIfConvertTriangle(t *testing.T) {
+	bld := ir.NewBuilder("tri")
+	entry := bld.Block("entry")
+	arm := bld.Fn.NewBlock("arm")
+	join := bld.Fn.NewBlock("join")
+	c, x0, x1, x2 := bld.Val("c"), bld.Val("x0"), bld.Val("x1"), bld.Val("x2")
+	bld.SetBlock(entry)
+	bld.Input(c, x0)
+	bld.Br(c, arm, join)
+	bld.SetBlock(arm)
+	bld.Binary(ir.Add, x1, x0, x0)
+	bld.Jump(join)
+	bld.SetBlock(join)
+	bld.Phi(x2, x0, x1) // preds: entry (x0), arm (x1)
+	bld.Output(x2)
+	if err := ssa.Verify(bld.Fn); err != nil {
+		t.Fatal(err)
+	}
+
+	st := psi.IfConvert(bld.Fn)
+	if st.TrianglesConverted != 1 {
+		t.Fatalf("converted %d triangles, want 1\n%s", st.TrianglesConverted, bld.Fn)
+	}
+	if err := ssa.Verify(bld.Fn); err != nil {
+		t.Fatalf("%v\n%s", err, bld.Fn)
+	}
+	for _, c := range []struct{ c, x, want int64 }{{1, 5, 10}, {0, 5, 5}} {
+		res, err := ir.Exec(bld.Fn, []int64{c.c, c.x}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs[0] != c.want {
+			t.Fatalf("tri(%d,%d) = %v, want %d", c.c, c.x, res.Outputs, c.want)
+		}
+	}
+}
+
+func TestConvertPsiTies(t *testing.T) {
+	f := testprog.Diamond()
+	ssa.Build(f)
+	psi.IfConvert(f)
+	st := psi.ConvertPsi(f)
+	if st.PsisLowered != 1 {
+		t.Fatalf("lowered %d ψs, want 1", st.PsisLowered)
+	}
+	if st.TiesPinned == 0 {
+		t.Fatal("no 2-operand-like ties pinned")
+	}
+	if err := ssa.Verify(f); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Psi {
+				t.Fatal("ψ survived lowering")
+			}
+		}
+	}
+	res, err := ir.Exec(f, []int64{1, 5}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 12 {
+		t.Fatalf("got %v, want 12", res.Outputs)
+	}
+}
+
+// TestPsiPipelinePreservesSemantics runs the full ψ pipeline over the
+// structured and random corpora.
+func TestPsiPipelinePreservesSemantics(t *testing.T) {
+	mks := []func() *ir.Func{
+		testprog.Diamond, testprog.Loop, testprog.NestedLoops,
+		testprog.SwapLoop, testprog.LostCopy, testprog.WithCallsAndStack,
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		s := seed
+		mks = append(mks, func() *ir.Func { return testprog.Rand(s, testprog.DefaultRandOptions()) })
+	}
+	for _, mk := range mks {
+		ref := mk()
+		for _, args := range [][]int64{{0, 0, 0}, {3, 8, 2}, {9, 1, 5}} {
+			want, err := ir.Exec(ref, args, 500000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := mk()
+			if _, err := pipeline.Run(f, pipeline.Configs[pipeline.ExpPsi]); err != nil {
+				t.Fatalf("%s: %v", ref.Name, err)
+			}
+			got, err := ir.Exec(f, args, 1000000)
+			if err != nil {
+				t.Fatalf("%s: %v", ref.Name, err)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("%s args=%v: ψ pipeline changed behaviour\n%s", ref.Name, args, f)
+			}
+		}
+	}
+}
+
+// TestPsiOnKernels: the kernel suites are full of small diamonds
+// (argmax, clip, VAD) — if-conversion must fire and the result must
+// still agree with the reference.
+func TestPsiOnKernels(t *testing.T) {
+	converted := 0
+	n := len(workload.VALcc1().Funcs)
+	for i := 0; i < n; i++ {
+		ref := workload.VALcc1().Funcs[i]
+		args := []int64{100, 200, 8, 3}
+		want, err := ir.Exec(ref, args, 300000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := workload.VALcc1().Funcs[i]
+		r, err := pipeline.Run(f, pipeline.Configs[pipeline.ExpPsi])
+		if err != nil {
+			t.Fatalf("%s: %v", ref.Name, err)
+		}
+		if r.Psi != nil {
+			converted += r.Psi.DiamondsConverted + r.Psi.TrianglesConverted
+		}
+		got, err := ir.Exec(f, args, 600000)
+		if err != nil {
+			t.Fatalf("%s: %v", ref.Name, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%s: ψ pipeline changed behaviour", ref.Name)
+		}
+	}
+	if converted < 5 {
+		t.Fatalf("only %d regions if-converted across the kernel suite", converted)
+	}
+}

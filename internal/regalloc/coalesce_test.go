@@ -1,0 +1,152 @@
+package regalloc_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/outofssa/naive"
+	"outofssa/internal/regalloc"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+func TestCoalesceRemovesChain(t *testing.T) {
+	bld := ir.NewBuilder("chain")
+	bld.Block("entry")
+	a, b, c, d := bld.Val("a"), bld.Val("b"), bld.Val("c"), bld.Val("d")
+	bld.Input(a)
+	bld.Copy(b, a)
+	bld.Copy(c, b)
+	bld.Unary(ir.Neg, d, c)
+	bld.Output(d)
+
+	st := regalloc.AggressiveCoalesce(bld.Fn)
+	if st.MovesRemoved != 2 {
+		t.Fatalf("removed %d moves, want 2", st.MovesRemoved)
+	}
+	if bld.Fn.CountMoves() != 0 {
+		t.Fatalf("moves remain:\n%s", bld.Fn)
+	}
+	res, err := ir.Exec(bld.Fn, []int64{5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != -5 {
+		t.Fatalf("semantics broken: %v", res.Outputs)
+	}
+}
+
+func TestCoalesceKeepsInterferingMove(t *testing.T) {
+	bld := ir.NewBuilder("keep")
+	bld.Block("entry")
+	a, b, s := bld.Val("a"), bld.Val("b"), bld.Val("s")
+	bld.Input(a)
+	bld.Copy(b, a)              // b = a
+	bld.Unary(ir.Neg, a, a)     // a redefined while b live
+	bld.Binary(ir.Add, s, a, b) // both live here
+	bld.Output(s)
+
+	st := regalloc.AggressiveCoalesce(bld.Fn)
+	if st.MovesRemoved != 0 {
+		t.Fatalf("removed an interfering move:\n%s", bld.Fn)
+	}
+	res, err := ir.Exec(bld.Fn, []int64{7}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 0 {
+		t.Fatalf("want -7+7=0, got %v", res.Outputs)
+	}
+}
+
+func TestCoalescePhysicalPreference(t *testing.T) {
+	bld := ir.NewBuilder("phys")
+	f := bld.Fn
+	bld.Block("entry")
+	a := bld.Val("a")
+	bld.Input(a)
+	r0 := f.Target.R[0]
+	bld.Cur.Append(&ir.Instr{Op: ir.Copy,
+		Defs: []ir.Operand{{Val: r0}}, Uses: []ir.Operand{{Val: a}}})
+	bld.Cur.Append(&ir.Instr{Op: ir.Output, Uses: []ir.Operand{{Val: r0}}})
+
+	regalloc.AggressiveCoalesce(f)
+	if f.CountMoves() != 0 {
+		t.Fatalf("R0 = a not coalesced:\n%s", f)
+	}
+	// a must have been renamed to R0, not the other way round.
+	for _, in := range f.Entry().Instrs {
+		if in.Op == ir.Input && in.Defs[0].Val != r0 {
+			t.Fatalf("virtual did not take the register name: %v", in)
+		}
+	}
+}
+
+func TestNeverMergesTwoPhysicals(t *testing.T) {
+	bld := ir.NewBuilder("twophys")
+	f := bld.Fn
+	bld.Block("entry")
+	r0, r1 := f.Target.R[0], f.Target.R[1]
+	bld.Cur.Append(&ir.Instr{Op: ir.Input, Defs: []ir.Operand{{Val: r0}}, Imm: 1})
+	bld.Cur.Append(&ir.Instr{Op: ir.Copy,
+		Defs: []ir.Operand{{Val: r1}}, Uses: []ir.Operand{{Val: r0}}})
+	bld.Cur.Append(&ir.Instr{Op: ir.Output, Uses: []ir.Operand{{Val: r1}}})
+	st := regalloc.AggressiveCoalesce(f)
+	if st.MovesRemoved != 0 {
+		t.Fatal("merged two physical registers")
+	}
+}
+
+func TestCoalesceAfterNaivePreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		ref := testprog.Rand(seed, testprog.DefaultRandOptions())
+		args := []int64{seed, 3, 8}
+		want, err := ir.Exec(ref, args, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		ssa.Build(f)
+		if _, err := naive.Translate(f); err != nil {
+			t.Fatal(err)
+		}
+		before := f.CountMoves()
+		st := regalloc.AggressiveCoalesce(f)
+		after := f.CountMoves()
+		if before-after != st.MovesRemoved {
+			t.Fatalf("seed %d: accounting: before=%d after=%d removed=%d",
+				seed, before, after, st.MovesRemoved)
+		}
+		if err := f.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := ir.Exec(f, args, 1000000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("seed %d: coalescing changed behaviour", seed)
+		}
+	}
+}
+
+// TestRepeatedRounds: a move chain that only becomes coalescable after a
+// first merge requires the "repeated" rebuild.
+func TestRepeatedRounds(t *testing.T) {
+	for seed := int64(30); seed < 50; seed++ {
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		ssa.Build(f)
+		if _, err := naive.Translate(f); err != nil {
+			t.Fatal(err)
+		}
+		st := regalloc.AggressiveCoalesce(f)
+		if st.Rounds < 1 {
+			t.Fatal("at least one round expected")
+		}
+		// Fixed point: a second run must find nothing.
+		st2 := regalloc.AggressiveCoalesce(f)
+		if st2.MovesRemoved != 0 {
+			t.Fatalf("seed %d: not at fixed point: %d more removed", seed, st2.MovesRemoved)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"outofssa/internal/bitset"
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+)
+
+// AllocStats describes a register allocation run.
+type AllocStats struct {
+	// ColorsUsed is the number of distinct physical registers assigned.
+	ColorsUsed int
+	// Spills is the number of values spilled to stack slots, SpillLoads
+	// and SpillStores the memory traffic inserted.
+	Spills      int
+	SpillLoads  int
+	SpillStores int
+	// Rounds is the number of build-color rounds until spill-free.
+	Rounds int
+	// MaxPressure is the maximum number of simultaneously live values
+	// observed before allocation.
+	MaxPressure int
+}
+
+// Allocate is a Chaitin-Briggs graph-coloring register allocator for the
+// non-SSA machine code produced by the out-of-SSA translators: it
+// assigns every virtual register to a dedicated register of the target
+// (R0..R15 and P0..P7; SP is reserved for the stack), spilling to
+// SP-relative slots when the graph is uncolorable (Briggs-style
+// optimistic coloring, spill costs weighted by 5^loopdepth and divided
+// by degree).
+//
+// The paper stops before this phase ([LIM4]: "in the case of strong
+// register pressure, the problem becomes different") — the allocator is
+// provided as the natural downstream consumer so the effect of the
+// coalescing decisions on colorability can be measured
+// (BenchmarkRegisterPressure).
+func Allocate(f *ir.Func) (*AllocStats, error) {
+	return AllocateLimited(f, 0)
+}
+
+// AllocateLimited restricts the pool to the first maxRegs allocatable
+// registers (0 means all of them); small pools force the spill path and
+// expose the register-pressure interplay of [LIM4].
+func AllocateLimited(f *ir.Func, maxRegs int) (*AllocStats, error) {
+	st := &AllocStats{}
+	cfg.ComputeLoopDepth(f)
+
+	// Allocatable pool: every dedicated register except SP.
+	var pool []*ir.Value
+	pool = append(pool, f.Target.R...)
+	pool = append(pool, f.Target.P...)
+	if maxRegs > 0 && maxRegs < len(pool) {
+		pool = pool[:maxRegs]
+	}
+	k := len(pool)
+	poolIdx := make(map[*ir.Value]int, k)
+	for i, r := range pool {
+		poolIdx[r] = i
+	}
+
+	// Pre-assign spill slots lazily; the frame grows downward from SP.
+	nextSlot := int64(64) // leave room for the workloads' own SP traffic
+	spillSlot := make(map[*ir.Value]int64)
+	// Reload/store temporaries have minimal live ranges and must never be
+	// spill candidates themselves, or spilling diverges.
+	noSpill := make(map[*ir.Value]bool)
+
+	for {
+		st.Rounds++
+		if st.Rounds > 40 {
+			return nil, fmt.Errorf("regalloc: no fixed point after %d rounds", st.Rounds)
+		}
+		spilled, err := colorRound(f, pool, poolIdx, st, spillSlot, &nextSlot, noSpill)
+		if err != nil {
+			return nil, err
+		}
+		if !spilled {
+			break
+		}
+	}
+	return st, nil
+}
+
+// colorRound builds the interference graph and attempts a coloring;
+// on failure it spills the chosen candidates and reports true.
+func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
+	st *AllocStats, spillSlot map[*ir.Value]int64, nextSlot *int64,
+	noSpill map[*ir.Value]bool) (bool, error) {
+
+	nv := f.NumValues()
+	k := len(pool)
+	live := liveness.Compute(f)
+
+	adj := make([]*bitset.Set, nv)
+	for i := range adj {
+		adj[i] = bitset.New(nv)
+	}
+	addEdge := func(a, b int) {
+		if a != b {
+			adj[a].Add(b)
+			adj[b].Add(a)
+		}
+	}
+	cost := make([]float64, nv)
+	pressure := 0
+	for _, b := range f.Blocks {
+		w := 1.0
+		for d := 0; d < b.LoopDepth; d++ {
+			w *= 5
+		}
+		cur := live.ExitLiveSet(b).Copy()
+		if n := cur.Len(); n > pressure {
+			pressure = n
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			for _, d := range in.Defs {
+				cur.Remove(d.Val.ID)
+				cost[d.Val.ID] += w
+			}
+			for _, d := range in.Defs {
+				dv := d.Val
+				cur.ForEach(func(l int) {
+					if in.Op == ir.Copy && l == in.Use(0).ID {
+						return
+					}
+					addEdge(dv.ID, l)
+				})
+				for _, d2 := range in.Defs {
+					addEdge(dv.ID, d2.Val.ID)
+				}
+			}
+			for _, u := range in.Uses {
+				cur.Add(u.Val.ID)
+				cost[u.Val.ID] += w
+			}
+			if n := cur.Len(); n > pressure {
+				pressure = n
+			}
+		}
+	}
+	if pressure > st.MaxPressure {
+		st.MaxPressure = pressure
+	}
+
+	// Also: every pair of distinct physical registers interferes.
+	vals := f.Values()
+	var virtuals []*ir.Value
+	inUse := make([]bool, nv)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, o := range in.Defs {
+				inUse[o.Val.ID] = true
+			}
+			for _, o := range in.Uses {
+				inUse[o.Val.ID] = true
+			}
+		}
+	}
+	for _, v := range vals {
+		if !v.IsPhys() && inUse[v.ID] {
+			virtuals = append(virtuals, v)
+		}
+	}
+
+	degree := func(v *ir.Value) int { return adj[v.ID].Len() }
+
+	// Simplify with optimistic push (Briggs).
+	removed := make([]bool, nv)
+	var stack []*ir.Value
+	remaining := append([]*ir.Value(nil), virtuals...)
+	for len(remaining) > 0 {
+		// Pick a low-degree node if possible.
+		pick := -1
+		for i, v := range remaining {
+			deg := 0
+			adj[v.ID].ForEach(func(n int) {
+				if !removed[n] {
+					deg++
+				}
+			})
+			if deg < k {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// Spill candidate: minimal cost/degree ratio (deterministic
+			// tie-break by ID); pushed optimistically. Reload temporaries
+			// are never candidates.
+			best, bestRatio := -1, 0.0
+			for i, v := range remaining {
+				if noSpill[v] {
+					continue
+				}
+				d := degree(v)
+				if d == 0 {
+					d = 1
+				}
+				ratio := cost[v.ID] / float64(d)
+				if best < 0 || ratio < bestRatio ||
+					(ratio == bestRatio && v.ID < remaining[best].ID) {
+					best, bestRatio = i, ratio
+				}
+			}
+			if best < 0 {
+				best = 0 // only temporaries remain: push any, optimistically
+			}
+			pick = best
+		}
+		v := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		removed[v.ID] = true
+		stack = append(stack, v)
+	}
+
+	// Select.
+	assign := make(map[*ir.Value]*ir.Value)
+	var mustSpill []*ir.Value
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		taken := make([]bool, k)
+		adj[v.ID].ForEach(func(n int) {
+			nb := vals[n]
+			if nb.IsPhys() {
+				if idx, ok := poolIdx[nb]; ok {
+					taken[idx] = true
+				}
+				return
+			}
+			if r, ok := assign[nb]; ok {
+				taken[poolIdx[r]] = true
+			}
+		})
+		colored := false
+		for c := 0; c < k; c++ {
+			if !taken[c] {
+				assign[v] = pool[c]
+				colored = true
+				break
+			}
+		}
+		if !colored {
+			mustSpill = append(mustSpill, v)
+		}
+	}
+
+	if len(mustSpill) > 0 {
+		sort.Slice(mustSpill, func(i, j int) bool { return mustSpill[i].ID < mustSpill[j].ID })
+		progress := false
+		doSpill := func(v *ir.Value) error {
+			if _, ok := spillSlot[v]; ok {
+				return fmt.Errorf("regalloc: %v spilled twice", v)
+			}
+			spillSlot[v] = *nextSlot
+			*nextSlot += 8
+			st.Spills++
+			spillValue(f, v, spillSlot[v], st, noSpill)
+			progress = true
+			return nil
+		}
+		spilledThisRound := make(map[*ir.Value]bool)
+		for _, v := range mustSpill {
+			if !noSpill[v] {
+				if err := doSpill(v); err != nil {
+					return false, err
+				}
+				spilledThisRound[v] = true
+				continue
+			}
+			// An unspillable reload temporary failed to color: relieve the
+			// pressure by spilling its cheapest ordinary neighbour instead.
+			var best *ir.Value
+			bestRatio := 0.0
+			adj[v.ID].ForEach(func(n int) {
+				nb := vals[n]
+				if nb.IsPhys() || noSpill[nb] || spilledThisRound[nb] {
+					return
+				}
+				if _, ok := spillSlot[nb]; ok {
+					return
+				}
+				d := adj[nb.ID].Len()
+				if d == 0 {
+					d = 1
+				}
+				ratio := cost[nb.ID] / float64(d)
+				if best == nil || ratio < bestRatio || (ratio == bestRatio && nb.ID < best.ID) {
+					best, bestRatio = nb, ratio
+				}
+			})
+			if best != nil {
+				if err := doSpill(best); err != nil {
+					return false, err
+				}
+				spilledThisRound[best] = true
+			}
+		}
+		if !progress {
+			return false, fmt.Errorf("regalloc: %d uncolorable reload temporaries with %d registers",
+				len(mustSpill), len(pool))
+		}
+		return true, nil
+	}
+
+	// Commit: rewrite every virtual operand to its register.
+	used := make(map[*ir.Value]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for idx := range in.Defs {
+				if r, ok := assign[in.Defs[idx].Val]; ok {
+					in.Defs[idx].Val = r
+					used[r] = true
+				} else if in.Defs[idx].Val.IsPhys() {
+					used[in.Defs[idx].Val] = true
+				}
+			}
+			for idx := range in.Uses {
+				if r, ok := assign[in.Uses[idx].Val]; ok {
+					in.Uses[idx].Val = r
+					used[r] = true
+				} else if in.Uses[idx].Val.IsPhys() {
+					used[in.Uses[idx].Val] = true
+				}
+			}
+		}
+	}
+	st.ColorsUsed = len(used)
+	return false, nil
+}
+
+// spillValue rewrites every def of v to store to its slot and every use
+// to reload into a fresh short-lived temporary.
+func spillValue(f *ir.Func, v *ir.Value, slot int64, st *AllocStats, noSpill map[*ir.Value]bool) {
+	sp := f.Target.SP
+	for _, b := range f.Blocks {
+		for idx := 0; idx < len(b.Instrs); idx++ {
+			in := b.Instrs[idx]
+			// Reload before uses.
+			var tmp *ir.Value
+			for ui := range in.Uses {
+				if in.Uses[ui].Val != v {
+					continue
+				}
+				if tmp == nil {
+					tmp = f.NewValue(v.Name + ".r")
+					addr := f.NewValue("")
+					off := f.NewValue("")
+					noSpill[tmp], noSpill[addr], noSpill[off] = true, true, true
+					b.InsertAt(idx, &ir.Instr{Op: ir.Const, Imm: slot,
+						Defs: []ir.Operand{{Val: off}}})
+					b.InsertAt(idx+1, &ir.Instr{Op: ir.Add,
+						Defs: []ir.Operand{{Val: addr}},
+						Uses: []ir.Operand{{Val: sp}, {Val: off}}})
+					b.InsertAt(idx+2, &ir.Instr{Op: ir.Load,
+						Defs: []ir.Operand{{Val: tmp}},
+						Uses: []ir.Operand{{Val: addr}}})
+					idx += 3
+					st.SpillLoads++
+				}
+				in.Uses[ui].Val = tmp
+			}
+			// Store after defs.
+			for di := range in.Defs {
+				if in.Defs[di].Val != v {
+					continue
+				}
+				tmp2 := f.NewValue(v.Name + ".s")
+				in.Defs[di].Val = tmp2
+				addr := f.NewValue("")
+				off := f.NewValue("")
+				noSpill[tmp2], noSpill[addr], noSpill[off] = true, true, true
+				b.InsertAt(idx+1, &ir.Instr{Op: ir.Const, Imm: slot,
+					Defs: []ir.Operand{{Val: off}}})
+				b.InsertAt(idx+2, &ir.Instr{Op: ir.Add,
+					Defs: []ir.Operand{{Val: addr}},
+					Uses: []ir.Operand{{Val: sp}, {Val: off}}})
+				b.InsertAt(idx+3, &ir.Instr{Op: ir.Store,
+					Uses: []ir.Operand{{Val: addr}, {Val: tmp2}}})
+				idx += 3
+				st.SpillStores++
+			}
+		}
+	}
+}

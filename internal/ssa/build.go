@@ -1,0 +1,198 @@
+// Package ssa constructs pruned SSA form (Cytron et al., with φs placed
+// only where the variable is live) over the machine-level IR, and
+// verifies SSA invariants.
+//
+// Dedicated physical registers appearing in pre-SSA code (e.g. SP) are
+// renamed into fresh virtual values exactly like variables; Info.OrigOf
+// records the physical origin of each renamed value so the collect phase
+// (package pin) can pin them back — the paper's pinningSP.
+package ssa
+
+import (
+	"fmt"
+
+	"outofssa/internal/bitset"
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+)
+
+// Info describes the SSA form produced by Build.
+type Info struct {
+	// OrigOf maps each SSA value to the pre-SSA value it renames.
+	// Pre-existing values that were never renamed map to themselves.
+	OrigOf map[*ir.Value]*ir.Value
+	// Dom is the dominator tree of the (unchanged) CFG.
+	Dom *cfg.DomTree
+}
+
+// EmptyInfo returns an Info with no renaming history, for code built
+// directly in SSA form (hand-written tests, figure reproductions).
+func EmptyInfo() *Info {
+	return &Info{OrigOf: map[*ir.Value]*ir.Value{}}
+}
+
+// OrigPhys returns the dedicated physical register v renames, or nil.
+func (i *Info) OrigPhys(v *ir.Value) *ir.Value {
+	o := i.OrigOf[v]
+	if o != nil && o.IsPhys() {
+		return o
+	}
+	return nil
+}
+
+// Build converts f (pre-SSA: values may have multiple definitions,
+// physical registers may appear as operands) into pruned SSA form in
+// place. Unreachable blocks are removed first. Variables that may be used
+// before being defined are given an implicit definition on the entry
+// .input instruction.
+func Build(f *ir.Func) *Info {
+	cfg.RemoveUnreachable(f)
+	ensureEntryDefs(f)
+
+	dom := cfg.Dominators(f)
+	df := cfg.DominanceFrontiers(f, dom)
+	live := liveness.Compute(f)
+
+	// Variables needing renaming: anything defined anywhere.
+	defBlocks := make(map[*ir.Value][]*ir.Block)
+	var order []*ir.Value // deterministic processing order
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if _, ok := defBlocks[d.Val]; !ok {
+					order = append(order, d.Val)
+				}
+				defBlocks[d.Val] = append(defBlocks[d.Val], b)
+			}
+		}
+	}
+
+	// Pruned φ placement: iterated dominance frontier of the def sites,
+	// filtered by live-in.
+	phiFor := make(map[*ir.Instr]*ir.Value) // placed φ -> original variable
+	for _, v := range order {
+		placed := bitset.New(f.NumBlocks())
+		onWork := bitset.New(f.NumBlocks())
+		var work []*ir.Block
+		for _, b := range defBlocks[v] {
+			if !onWork.Has(b.ID) {
+				onWork.Add(b.ID)
+				work = append(work, b)
+			}
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fr := range df[b.ID] {
+				if placed.Has(fr.ID) {
+					continue
+				}
+				placed.Add(fr.ID)
+				if !live.LiveIn(v, fr) {
+					continue // pruned SSA: dead φ not inserted
+				}
+				phi := &ir.Instr{Op: ir.Phi, Defs: []ir.Operand{{Val: v}},
+					Uses: make([]ir.Operand, len(fr.Preds))}
+				for i := range phi.Uses {
+					phi.Uses[i] = ir.Operand{Val: v}
+				}
+				fr.InsertAt(0, phi)
+				phiFor[phi] = v
+				if !onWork.Has(fr.ID) {
+					onWork.Add(fr.ID)
+					work = append(work, fr)
+				}
+			}
+		}
+	}
+
+	// Renaming via dominator-tree walk with stacks.
+	info := &Info{OrigOf: make(map[*ir.Value]*ir.Value), Dom: dom}
+	for _, v := range f.Values() {
+		info.OrigOf[v] = v
+	}
+	stacks := make(map[*ir.Value][]*ir.Value)
+	versions := make(map[*ir.Value]int)
+
+	fresh := func(orig *ir.Value) *ir.Value {
+		versions[orig]++
+		name := fmt.Sprintf("%s.%d", orig.Name, versions[orig])
+		nv := f.NewValue(name)
+		info.OrigOf[nv] = orig
+		return nv
+	}
+	top := func(orig *ir.Value) *ir.Value {
+		s := stacks[orig]
+		if len(s) == 0 {
+			// Use of a never-defined variable on this path; ensureEntryDefs
+			// should have prevented this for reachable uses.
+			panic(fmt.Sprintf("ssa: no reaching definition for %v", orig))
+		}
+		return s[len(s)-1]
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		var pushed []*ir.Value
+		for _, in := range b.Instrs {
+			if in.Op != ir.Phi {
+				for i, u := range in.Uses {
+					in.Uses[i].Val = top(u.Val)
+				}
+			}
+			for i, d := range in.Defs {
+				nv := fresh(d.Val)
+				stacks[d.Val] = append(stacks[d.Val], nv)
+				pushed = append(pushed, d.Val)
+				in.Defs[i].Val = nv
+			}
+		}
+		for _, s := range b.Succs {
+			pi := s.PredIndex(b)
+			for _, phi := range s.Phis() {
+				orig, ok := phiFor[phi]
+				if !ok {
+					continue // pre-existing φ (input already SSA) — leave it
+				}
+				phi.Uses[pi].Val = top(orig)
+			}
+		}
+		for _, c := range dom.Children[b.ID] {
+			rename(c)
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			orig := pushed[i]
+			stacks[orig] = stacks[orig][:len(stacks[orig])-1]
+		}
+	}
+	rename(f.Entry())
+	return info
+}
+
+// ensureEntryDefs gives every variable that is live into the entry block
+// (i.e. possibly used before defined) an implicit definition on the entry
+// .input instruction, creating one if the entry has none.
+func ensureEntryDefs(f *ir.Func) {
+	live := liveness.Compute(f)
+	entry := f.Entry()
+	undef := live.LiveInSet(entry)
+	if undef.Empty() {
+		return
+	}
+	var input *ir.Instr
+	for _, in := range entry.Instrs {
+		if in.Op == ir.Input {
+			input = in
+			break
+		}
+	}
+	if input == nil {
+		input = &ir.Instr{Op: ir.Input}
+		entry.InsertAt(0, input)
+	}
+	vals := f.Values()
+	undef.ForEach(func(id int) {
+		input.Defs = append(input.Defs, ir.Operand{Val: vals[id]})
+	})
+}

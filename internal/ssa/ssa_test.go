@@ -1,0 +1,217 @@
+package ssa_test
+
+import (
+	"testing"
+
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+func blockByName(f *ir.Func, name string) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestBuildDiamond(t *testing.T) {
+	f := testprog.Diamond()
+	info := ssa.Build(f)
+	if err := ssa.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	join := blockByName(f, "join")
+	phis := join.Phis()
+	if len(phis) != 1 {
+		t.Fatalf("join has %d φs, want 1 (only x is live)", len(phis))
+	}
+	phi := phis[0]
+	if info.OrigOf[phi.Def(0)].Name != "x" {
+		t.Fatalf("φ merges %v, want renames of x", phi.Def(0))
+	}
+	for _, u := range phi.Uses {
+		if info.OrigOf[u.Val].Name != "x" {
+			t.Fatalf("φ arg %v does not rename x", u.Val)
+		}
+	}
+}
+
+func TestBuildPruned(t *testing.T) {
+	// A variable dead at the join must not get a φ (pruned SSA).
+	bld := ir.NewBuilder("pruned")
+	entry := bld.Block("entry")
+	l := bld.Fn.NewBlock("l")
+	r := bld.Fn.NewBlock("r")
+	join := bld.Fn.NewBlock("join")
+	c, x, y := bld.Val("c"), bld.Val("x"), bld.Val("y")
+	bld.SetBlock(entry)
+	bld.Input(c)
+	bld.Br(c, l, r)
+	bld.SetBlock(l)
+	bld.Const(x, 1)
+	bld.Binary(ir.Add, y, x, x)
+	bld.Jump(join)
+	bld.SetBlock(r)
+	bld.Const(x, 2)
+	bld.Binary(ir.Mul, y, x, x)
+	bld.Jump(join)
+	bld.SetBlock(join)
+	bld.Output(y) // only y live at join; x must have no φ
+
+	info := ssa.Build(bld.Fn)
+	if err := ssa.Verify(bld.Fn); err != nil {
+		t.Fatal(err)
+	}
+	for _, phi := range join.Phis() {
+		if info.OrigOf[phi.Def(0)].Name == "x" {
+			t.Fatal("dead variable x received a φ — SSA is not pruned")
+		}
+	}
+	if len(join.Phis()) != 1 {
+		t.Fatalf("join should have exactly the φ for y, got %d", len(join.Phis()))
+	}
+}
+
+func TestBuildLoopPhis(t *testing.T) {
+	f := testprog.Loop()
+	ssa.Build(f)
+	if err := ssa.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	head := blockByName(f, "head")
+	if n := len(head.Phis()); n != 2 {
+		t.Fatalf("loop head has %d φs, want 2 (i and s)", n)
+	}
+}
+
+func TestBuildRenamesPhysical(t *testing.T) {
+	f := testprog.WithCallsAndStack()
+	info := ssa.Build(f)
+	if err := ssa.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// SP must no longer appear as an operand value, and its renamed
+	// version must be recorded in OrigOf.
+	foundSPRename := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
+				if o.Val.IsPhys() {
+					t.Fatalf("physical %v still an operand of %q", o.Val, in)
+				}
+				if info.OrigPhys(o.Val) == f.Target.SP {
+					foundSPRename = true
+				}
+			}
+		}
+	}
+	if !foundSPRename {
+		t.Fatal("no renamed SP value found")
+	}
+}
+
+func TestBuildPreservesSemantics(t *testing.T) {
+	for _, mk := range []func() *ir.Func{
+		testprog.Diamond, testprog.Loop, testprog.NestedLoops,
+		testprog.SwapLoop, testprog.LostCopy, testprog.WithCallsAndStack,
+	} {
+		pre := mk()
+		args := []int64{5, 9, 3}
+		want, err := ir.Exec(pre, args, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := mk()
+		ssa.Build(post)
+		got, err := ir.Exec(post, args, 200000)
+		if err != nil {
+			t.Fatalf("%s: %v", post.Name, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%s: SSA construction changed behaviour\npre:\n%v\npost:\n%v",
+				post.Name, want, got)
+		}
+	}
+}
+
+func TestBuildPreservesSemanticsRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		pre := testprog.Rand(seed, testprog.DefaultRandOptions())
+		args := []int64{seed, 13, seed % 5}
+		want, err := ir.Exec(pre, args, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := testprog.Rand(seed, testprog.DefaultRandOptions())
+		ssa.Build(post)
+		if err := ssa.Verify(post); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := ir.Exec(post, args, 1000000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("seed %d: SSA construction changed behaviour", seed)
+		}
+	}
+}
+
+func TestBuildAfterEdgeSplit(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := testprog.Rand(seed, testprog.DefaultRandOptions())
+		ssa.Build(f)
+		cfg.SplitCriticalEdges(f)
+		if err := ssa.Verify(f); err != nil {
+			t.Fatalf("seed %d after split: %v", seed, err)
+		}
+	}
+}
+
+func TestImplicitEntryDef(t *testing.T) {
+	// A use-before-def along one path gets an implicit entry definition.
+	bld := ir.NewBuilder("undef")
+	entry := bld.Block("entry")
+	skip := bld.Fn.NewBlock("skip")
+	join := bld.Fn.NewBlock("join")
+	c, x, y := bld.Val("c"), bld.Val("x"), bld.Val("y")
+	bld.SetBlock(entry)
+	bld.Input(c)
+	bld.Br(c, skip, join)
+	bld.SetBlock(skip)
+	bld.Const(x, 42)
+	bld.Jump(join)
+	bld.SetBlock(join)
+	bld.Binary(ir.Add, y, x, x) // x possibly undefined when c == 0
+	bld.Output(y)
+
+	ssa.Build(bld.Fn)
+	if err := ssa.Verify(bld.Fn); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ir.Exec(bld.Fn, []int64{0}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 0 {
+		t.Fatalf("undefined path should yield 0, got %d", res.Outputs[0])
+	}
+	res, err = ir.Exec(bld.Fn, []int64{1}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 84 {
+		t.Fatalf("defined path should yield 84, got %d", res.Outputs[0])
+	}
+}
+
+func TestVerifyRejectsDoubleDef(t *testing.T) {
+	f := testprog.Loop() // pre-SSA: i and s have two defs
+	if err := ssa.Verify(f); err == nil {
+		t.Fatal("Verify should reject non-SSA input")
+	}
+}

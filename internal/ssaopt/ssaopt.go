@@ -1,0 +1,331 @@
+// Package ssaopt provides the SSA optimizations the paper's toolchain
+// (the LAO) runs before the out-of-SSA translation: copy propagation,
+// constant folding, local value numbering and dead-code elimination.
+// They matter to the evaluation for two reasons: they create the
+// coalescing opportunities (value numbering merges copies into φ webs)
+// and they must be careful around dedicated registers (paper §2.2 —
+// propagating through an SP-pinned web produces incorrect pinned code,
+// Fig. 2).
+package ssaopt
+
+import (
+	"fmt"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/ssa"
+)
+
+// Stats summarizes an optimization run.
+type Stats struct {
+	CopiesPropagated int
+	ConstantsFolded  int
+	CSEHits          int
+	DeadRemoved      int
+	Rounds           int
+}
+
+// Optimize runs the pass bundle to a fixed point on SSA form. info is
+// used to avoid touching webs of dedicated registers.
+func Optimize(f *ir.Func, info *ssa.Info) *Stats {
+	st := &Stats{}
+	for {
+		st.Rounds++
+		n := CopyPropagate(f, info)
+		st.CopiesPropagated += n
+		c := ConstFold(f)
+		c += FoldSelects(f)
+		st.ConstantsFolded += c
+		v := LocalCSE(f, info)
+		st.CSEHits += v
+		d := EliminateDeadCode(f)
+		st.DeadRemoved += d
+		if n+c+v+d == 0 {
+			return st
+		}
+	}
+}
+
+// protected reports whether v belongs to a dedicated-register web or is
+// itself physical: such values are never propagated or merged, per the
+// paper's correctness discussion (§2.2).
+func protected(v *ir.Value, info *ssa.Info) bool {
+	if v.IsPhys() {
+		return true
+	}
+	return info != nil && info.OrigPhys(v) != nil
+}
+
+// CopyPropagate replaces uses of b with a for every copy b = a, when
+// neither side is pinned or protected. The copies themselves become dead
+// and are collected by EliminateDeadCode. Returns the number of copies
+// propagated.
+func CopyPropagate(f *ir.Func, info *ssa.Info) int {
+	repl := make(map[*ir.Value]*ir.Value)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.Copy {
+				continue
+			}
+			d, s := in.Def(0), in.Use(0)
+			if in.Defs[0].Pin != nil || in.Uses[0].Pin != nil {
+				continue
+			}
+			if protected(d, info) || protected(s, info) {
+				continue
+			}
+			repl[d] = s
+		}
+	}
+	if len(repl) == 0 {
+		return 0
+	}
+	resolve := func(v *ir.Value) *ir.Value {
+		seen := 0
+		for {
+			w, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = w
+			if seen++; seen > len(repl) {
+				return v // defensive: cycles cannot occur in SSA copies
+			}
+		}
+	}
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i := range in.Uses {
+				if w := resolve(in.Uses[i].Val); w != in.Uses[i].Val {
+					in.Uses[i].Val = w
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ConstFold evaluates arithmetic over constant operands, rewriting the
+// instruction into a Const. Returns the number of folds.
+func ConstFold(f *ir.Func) int {
+	constOf := make(map[*ir.Value]int64)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Const {
+				constOf[in.Def(0)] = in.Imm
+			}
+		}
+	}
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if len(in.Defs) != 1 || in.Defs[0].Pin != nil {
+				continue
+			}
+			v, ok := foldable(in, constOf)
+			if !ok {
+				continue
+			}
+			in.Op = ir.Const
+			in.Uses = nil
+			in.Imm = v
+			constOf[in.Def(0)] = v
+			n++
+		}
+	}
+	return n
+}
+
+func foldable(in *ir.Instr, constOf map[*ir.Value]int64) (int64, bool) {
+	arg := func(i int) (int64, bool) {
+		if in.Uses[i].Pin != nil {
+			return 0, false
+		}
+		v, ok := constOf[in.Uses[i].Val]
+		return v, ok
+	}
+	bin := func(fn func(a, b int64) int64) (int64, bool) {
+		a, ok := arg(0)
+		if !ok {
+			return 0, false
+		}
+		b, ok := arg(1)
+		if !ok {
+			return 0, false
+		}
+		return fn(a, b), true
+	}
+	switch in.Op {
+	case ir.Add:
+		return bin(func(a, b int64) int64 { return a + b })
+	case ir.Sub:
+		return bin(func(a, b int64) int64 { return a - b })
+	case ir.Mul:
+		return bin(func(a, b int64) int64 { return a * b })
+	case ir.And:
+		return bin(func(a, b int64) int64 { return a & b })
+	case ir.Or:
+		return bin(func(a, b int64) int64 { return a | b })
+	case ir.Xor:
+		return bin(func(a, b int64) int64 { return a ^ b })
+	case ir.CmpLT:
+		return bin(func(a, b int64) int64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		})
+	case ir.Neg:
+		a, ok := arg(0)
+		if !ok {
+			return 0, false
+		}
+		return -a, true
+	}
+	return 0, false
+}
+
+// FoldSelects rewrites select instructions whose condition is a known
+// constant into copies (the ψ-conventional lowering seeds its chains
+// with constant-true predicates). Returns the number of folds.
+func FoldSelects(f *ir.Func) int {
+	constOf := make(map[*ir.Value]int64)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Const {
+				constOf[in.Def(0)] = in.Imm
+			}
+		}
+	}
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.Select || in.Defs[0].Pin != nil {
+				continue
+			}
+			if in.Uses[0].Pin != nil || in.Uses[1].Pin != nil || in.Uses[2].Pin != nil {
+				continue
+			}
+			c, ok := constOf[in.Use(0)]
+			if !ok {
+				continue
+			}
+			src := in.Uses[1]
+			if c == 0 {
+				src = in.Uses[2]
+			}
+			in.Op = ir.Copy
+			in.Uses = []ir.Operand{src}
+			n++
+		}
+	}
+	return n
+}
+
+// LocalCSE performs local value numbering within each block: a pure
+// instruction computing an expression already computed in the block is
+// replaced by a copy of the earlier result (which copy propagation then
+// dissolves). Returns the number of replacements.
+func LocalCSE(f *ir.Func, info *ssa.Info) int {
+	n := 0
+	for _, b := range f.Blocks {
+		avail := make(map[string]*ir.Value)
+		for _, in := range b.Instrs {
+			if !pureOp(in.Op) || len(in.Defs) != 1 {
+				continue
+			}
+			if in.Defs[0].Pin != nil || protected(in.Def(0), info) {
+				continue
+			}
+			pinned := false
+			for _, u := range in.Uses {
+				if u.Pin != nil {
+					pinned = true
+				}
+			}
+			if pinned {
+				continue
+			}
+			key := exprKey(in)
+			if prev, ok := avail[key]; ok {
+				in.Op = ir.Copy
+				in.Uses = []ir.Operand{{Val: prev}}
+				in.Imm = 0
+				n++
+				continue
+			}
+			avail[key] = in.Def(0)
+		}
+	}
+	return n
+}
+
+func pureOp(op ir.Op) bool {
+	switch op {
+	case ir.Const, ir.Make, ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem,
+		ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Neg, ir.Not,
+		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
+		ir.Min, ir.Max, ir.Select:
+		return true
+	}
+	return false
+}
+
+func exprKey(in *ir.Instr) string {
+	key := fmt.Sprintf("%d:%d", in.Op, in.Imm)
+	for _, u := range in.Uses {
+		key += fmt.Sprintf(":%d", u.Val.ID)
+	}
+	return key
+}
+
+// EliminateDeadCode removes pure instructions whose results are unused
+// (including φs), iterating until stable. Returns the number of removed
+// instructions.
+func EliminateDeadCode(f *ir.Func) int {
+	removed := 0
+	for {
+		used := make(map[*ir.Value]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, u := range in.Uses {
+					used[u.Val] = true
+				}
+			}
+		}
+		n := 0
+		for _, b := range f.Blocks {
+			for idx := 0; idx < len(b.Instrs); idx++ {
+				in := b.Instrs[idx]
+				if !removable(in) {
+					continue
+				}
+				live := false
+				for _, d := range in.Defs {
+					if used[d.Val] || d.Pin != nil {
+						live = true
+						break
+					}
+				}
+				if live {
+					continue
+				}
+				b.RemoveAt(idx)
+				idx--
+				n++
+			}
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+func removable(in *ir.Instr) bool {
+	if in.Op == ir.Phi || in.Op == ir.Copy {
+		return true
+	}
+	return pureOp(in.Op)
+}

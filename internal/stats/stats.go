@@ -1,0 +1,231 @@
+// Package stats runs the paper's experiment tables over the workload
+// suites and renders them in the paper's format: an absolute count for
+// the reference column and +/- deltas for the others (Tables 2-5 of the
+// CGO 2004 paper).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"outofssa/internal/coalesce"
+	"outofssa/internal/interference"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/workload"
+)
+
+// Table is one rendered experiment table.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string // first column is the reference
+	Rows    []Row
+}
+
+// Row is one benchmark suite's results; Cells are absolute counts
+// (rendering converts trailing columns to deltas).
+type Row struct {
+	Benchmark string
+	Cells     []int64
+}
+
+// String renders the table with the paper's +delta convention.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	fmt.Fprintf(&b, "%-14s", "benchmark")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Benchmark)
+		for i, v := range r.Cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%14d", v)
+			} else {
+				fmt.Fprintf(&b, "%+14d", v-r.Cells[0])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// suiteBuilders returns the five suites in the paper's order.
+func suiteBuilders() []func() *workload.Suite {
+	return []func() *workload.Suite{
+		workload.VALcc1, workload.VALcc2, workload.Examples,
+		workload.LAILarge, workload.SPECint,
+	}
+}
+
+// runMoves executes an experiment over a freshly built suite and totals
+// the final move count.
+func runMoves(build func() *workload.Suite, exp string) (int64, error) {
+	return runConf(build, pipeline.Configs[exp], false)
+}
+
+func runConf(build func() *workload.Suite, conf pipeline.Config, weighted bool) (int64, error) {
+	s := build()
+	var total int64
+	for _, f := range s.Funcs {
+		r, err := pipeline.Run(f, conf)
+		if err != nil {
+			return 0, fmt.Errorf("%s/%s: %v", s.Name, f.Name, err)
+		}
+		if weighted {
+			total += r.WeightedMoves
+		} else {
+			total += int64(r.Moves)
+		}
+	}
+	return total, nil
+}
+
+func buildTable(title, note string, cols []string, cell func(build func() *workload.Suite, col string) (int64, error)) (*Table, error) {
+	t := &Table{Title: title, Note: note, Columns: cols}
+	for _, build := range suiteBuilders() {
+		name := build().Name
+		row := Row{Benchmark: name}
+		for _, c := range cols {
+			v, err := cell(build, c)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table1 renders the experiment legend — which passes each named
+// experiment activates, mirroring the paper's Table 1.
+func Table1() string {
+	rows := []struct{ name string }{
+		{pipeline.ExpLphiC}, {pipeline.ExpC2}, {pipeline.ExpSphiC},
+		{pipeline.ExpLphiABIC}, {pipeline.ExpSphiLABIC}, {pipeline.ExpLABIC}, {pipeline.ExpC3},
+		{pipeline.ExpLphiABI}, {pipeline.ExpSphi}, {pipeline.ExpLABI},
+		{pipeline.ExpPrePin}, {pipeline.ExpPsi},
+	}
+	cols := []struct {
+		title string
+		on    func(pipeline.Config) bool
+	}{
+		{"Sreedhar", func(c pipeline.Config) bool { return c.Sreedhar }},
+		{"pinCSSA", func(c pipeline.Config) bool { return c.Sreedhar }},
+		{"pinSP", func(c pipeline.Config) bool { return true }},
+		{"pinABI", func(c pipeline.Config) bool { return c.ABI }},
+		{"prePin", func(c pipeline.Config) bool { return c.PrePin }},
+		{"pinPhi", func(c pipeline.Config) bool { return c.PhiCoalesce }},
+		{"psi", func(c pipeline.Config) bool { return c.Psi }},
+		{"out-of-pSSA", func(c pipeline.Config) bool { return !c.NaiveOut }},
+		{"NaiveABI", func(c pipeline.Config) bool { return c.NaiveABI }},
+		{"Coalescing", func(c pipeline.Config) bool { return c.Chaitin }},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: implemented experiment configurations\n")
+	fmt.Fprintf(&b, "%-14s", "experiment")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%12s", c.title)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		conf := pipeline.Configs[r.name]
+		fmt.Fprintf(&b, "%-14s", r.name)
+		for _, c := range cols {
+			mark := ""
+			if c.on(conf) {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%12s", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table2 reproduces "Comparison of move instruction count with no ABI
+// constraint": Lφ+C vs C vs Sφ+C.
+func Table2() (*Table, error) {
+	return buildTable(
+		"Table 2: move instruction count with no ABI constraint",
+		"deltas relative to Lphi+C",
+		[]string{pipeline.ExpLphiC, pipeline.ExpC2, pipeline.ExpSphiC},
+		func(build func() *workload.Suite, col string) (int64, error) {
+			return runMoves(build, col)
+		})
+}
+
+// Table3 reproduces "Comparison of move instruction count with renaming
+// constraints": Lφ,ABI+C vs Sφ+LABI+C vs LABI+C vs C.
+func Table3() (*Table, error) {
+	return buildTable(
+		"Table 3: move instruction count with renaming constraints",
+		"deltas relative to Lphi,ABI+C",
+		[]string{pipeline.ExpLphiABIC, pipeline.ExpSphiLABIC, pipeline.ExpLABIC, pipeline.ExpC3},
+		func(build func() *workload.Suite, col string) (int64, error) {
+			return runMoves(build, col)
+		})
+}
+
+// Table4 reproduces the "order of magnitude" table: moves remaining
+// before any coalescing when φs (Sφ: ABI naive) or the ABI (LABI: φ
+// naive) are handled naively.
+func Table4() (*Table, error) {
+	return buildTable(
+		"Table 4: order of magnitude (no aggressive coalescing)",
+		"Sphi adds naive ABI moves; LABI adds naive phi moves; deltas vs Lphi,ABI",
+		[]string{pipeline.ExpLphiABI, pipeline.ExpSphi, pipeline.ExpLABI},
+		func(build func() *workload.Suite, col string) (int64, error) {
+			return runMoves(build, col)
+		})
+}
+
+// Table5 reproduces the weighted (5^depth) variant comparison of the
+// paper's algorithm: base, depth-constrained, optimistic, pessimistic.
+func Table5() (*Table, error) {
+	variants := []struct {
+		name string
+		opt  coalesce.Options
+	}{
+		{"base", coalesce.Options{}},
+		{"depth", coalesce.Options{DepthConstraint: true}},
+		{"opt", coalesce.Options{Mode: interference.Optimistic}},
+		{"pess", coalesce.Options{Mode: interference.Pessimistic}},
+	}
+	cols := make([]string, len(variants))
+	for i, v := range variants {
+		cols[i] = v.name
+	}
+	return buildTable(
+		"Table 5: weighted (5^depth) move count, variants of the algorithm",
+		"full pipeline Lphi,ABI+C with the pinning-phi variant swapped",
+		cols,
+		func(build func() *workload.Suite, col string) (int64, error) {
+			conf := pipeline.Configs[pipeline.ExpLphiABIC]
+			for _, v := range variants {
+				if v.name == col {
+					conf.Coalesce = v.opt
+				}
+			}
+			return runConf(build, conf, true)
+		})
+}
+
+// AllTables runs Tables 2-5 in order.
+func AllTables() ([]*Table, error) {
+	var out []*Table
+	for _, fn := range []func() (*Table, error){Table2, Table3, Table4, Table5} {
+		t, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"outofssa/internal/stats"
+)
+
+func TestTable1Legend(t *testing.T) {
+	s := stats.Table1()
+	for _, want := range []string{"Lphi+C", "Sphi+LABI+C", "C(naiveABI)", "Coalescing", "pinABI"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("legend missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	tb, err := stats.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("want 5 suite rows, got %d", len(tb.Rows))
+	}
+	if len(tb.Columns) != 3 {
+		t.Fatalf("want 3 columns, got %d", len(tb.Columns))
+	}
+	for _, r := range tb.Rows {
+		if len(r.Cells) != len(tb.Columns) {
+			t.Fatalf("%s: ragged row", r.Benchmark)
+		}
+		for _, c := range r.Cells {
+			if c < 0 {
+				t.Fatalf("%s: negative move count %d", r.Benchmark, c)
+			}
+		}
+	}
+	rendered := tb.String()
+	if !strings.Contains(rendered, "VALcc1") || !strings.Contains(rendered, "SPECint") {
+		t.Fatalf("rendering missing suites:\n%s", rendered)
+	}
+	// The delta convention: later columns render as +N or -N.
+	if !strings.Contains(rendered, "+") {
+		t.Fatalf("no deltas rendered:\n%s", rendered)
+	}
+}
+
+func TestRenderingDeltas(t *testing.T) {
+	tb := &stats.Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    []stats.Row{{Benchmark: "x", Cells: []int64{10, 13}}},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "10") || !strings.Contains(s, "+3") {
+		t.Fatalf("delta rendering wrong:\n%s", s)
+	}
+}

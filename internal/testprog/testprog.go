@@ -1,0 +1,252 @@
+// Package testprog builds small pre-SSA IR programs shared by tests
+// across the repository: structured control-flow shapes (diamond, loop,
+// nested loops) and a seeded random program generator small enough for
+// exhaustive interpretation.
+package testprog
+
+import (
+	"outofssa/internal/ir"
+)
+
+// Diamond builds:
+//
+//	entry: a,b = input; c = a < b; br c -> left, right
+//	left:  x = a + b; jump join
+//	right: x = a - b; jump join
+//	join:  y = x * 2 ; output y
+//
+// x has two defs — SSA construction must place a φ at join.
+func Diamond() *ir.Func {
+	bld := ir.NewBuilder("diamond")
+	entry := bld.Block("entry")
+	left := bld.Fn.NewBlock("left")
+	right := bld.Fn.NewBlock("right")
+	join := bld.Fn.NewBlock("join")
+
+	a, b, c, x, y, two := bld.Val("a"), bld.Val("b"), bld.Val("c"), bld.Val("x"), bld.Val("y"), bld.Val("two")
+
+	bld.SetBlock(entry)
+	bld.Input(a, b)
+	bld.Binary(ir.CmpLT, c, a, b)
+	bld.Br(c, left, right)
+
+	bld.SetBlock(left)
+	bld.Binary(ir.Add, x, a, b)
+	bld.Jump(join)
+
+	bld.SetBlock(right)
+	bld.Binary(ir.Sub, x, a, b)
+	bld.Jump(join)
+
+	bld.SetBlock(join)
+	bld.Const(two, 2)
+	bld.Binary(ir.Mul, y, x, two)
+	bld.Output(y)
+	return bld.Fn
+}
+
+// Loop builds a counted accumulation loop:
+//
+//	entry: n = input; i = 0; s = 0; jump head
+//	head:  c = i < n; br c -> body, exit
+//	body:  s = s + i; i = i + 1; jump head
+//	exit:  output s
+func Loop() *ir.Func {
+	bld := ir.NewBuilder("loop")
+	entry := bld.Block("entry")
+	head := bld.Fn.NewBlock("head")
+	body := bld.Fn.NewBlock("body")
+	exit := bld.Fn.NewBlock("exit")
+
+	n, i, s, c, one := bld.Val("n"), bld.Val("i"), bld.Val("s"), bld.Val("c"), bld.Val("one")
+
+	bld.SetBlock(entry)
+	bld.Input(n)
+	bld.Const(i, 0)
+	bld.Const(s, 0)
+	bld.Const(one, 1)
+	bld.Jump(head)
+
+	bld.SetBlock(head)
+	bld.Binary(ir.CmpLT, c, i, n)
+	bld.Br(c, body, exit)
+
+	bld.SetBlock(body)
+	bld.Binary(ir.Add, s, s, i)
+	bld.Binary(ir.Add, i, i, one)
+	bld.Jump(head)
+
+	bld.SetBlock(exit)
+	bld.Output(s)
+	return bld.Fn
+}
+
+// NestedLoops builds a doubly nested loop with a conditional in the inner
+// body (exercises loop-depth computation and φ placement at several
+// confluence points).
+func NestedLoops() *ir.Func {
+	bld := ir.NewBuilder("nested")
+	entry := bld.Block("entry")
+	ohead := bld.Fn.NewBlock("ohead")
+	ihead := bld.Fn.NewBlock("ihead")
+	ibody := bld.Fn.NewBlock("ibody")
+	then := bld.Fn.NewBlock("then")
+	els := bld.Fn.NewBlock("els")
+	ijoin := bld.Fn.NewBlock("ijoin")
+	ilatch := bld.Fn.NewBlock("ilatch")
+	olatch := bld.Fn.NewBlock("olatch")
+	exit := bld.Fn.NewBlock("exit")
+
+	n := bld.Val("n")
+	i, j, s := bld.Val("i"), bld.Val("j"), bld.Val("s")
+	c1, c2, c3 := bld.Val("c1"), bld.Val("c2"), bld.Val("c3")
+	t, one, two := bld.Val("t"), bld.Val("one"), bld.Val("two")
+
+	bld.SetBlock(entry)
+	bld.Input(n)
+	bld.Const(one, 1)
+	bld.Const(two, 2)
+	bld.Const(i, 0)
+	bld.Const(s, 0)
+	bld.Jump(ohead)
+
+	bld.SetBlock(ohead)
+	bld.Binary(ir.CmpLT, c1, i, n)
+	bld.Br(c1, ihead, exit)
+
+	bld.SetBlock(ihead)
+	bld.Const(j, 0)
+	bld.Jump(ibody)
+
+	bld.SetBlock(ibody)
+	bld.Binary(ir.And, c2, j, one)
+	bld.Br(c2, then, els)
+
+	bld.SetBlock(then)
+	bld.Binary(ir.Add, t, s, j)
+	bld.Jump(ijoin)
+
+	bld.SetBlock(els)
+	bld.Binary(ir.Sub, t, s, j)
+	bld.Jump(ijoin)
+
+	bld.SetBlock(ijoin)
+	bld.Binary(ir.Add, s, t, one)
+	bld.Jump(ilatch)
+
+	bld.SetBlock(ilatch)
+	bld.Binary(ir.Add, j, j, one)
+	bld.Binary(ir.CmpLT, c3, j, two)
+	bld.Br(c3, ibody, olatch)
+
+	bld.SetBlock(olatch)
+	bld.Binary(ir.Add, i, i, one)
+	bld.Jump(ohead)
+
+	bld.SetBlock(exit)
+	bld.Output(s)
+	return bld.Fn
+}
+
+// SwapLoop builds the classic swap-problem program: two variables
+// exchanged around a loop back edge, forcing a φ cycle.
+//
+//	entry: a,b,n = input; i=0; jump head
+//	head:  φ-candidates a,b ; c = i<n ; br c -> body, exit
+//	body:  t=a; a=b; b=t; i=i+1; jump head   (copies folded: a,b = b,a)
+//	exit:  output a, b
+func SwapLoop() *ir.Func {
+	bld := ir.NewBuilder("swap")
+	entry := bld.Block("entry")
+	head := bld.Fn.NewBlock("head")
+	body := bld.Fn.NewBlock("body")
+	exit := bld.Fn.NewBlock("exit")
+
+	a, b, n, i, c, t, one := bld.Val("a"), bld.Val("b"), bld.Val("n"), bld.Val("i"), bld.Val("c"), bld.Val("t"), bld.Val("one")
+
+	bld.SetBlock(entry)
+	bld.Input(a, b, n)
+	bld.Const(i, 0)
+	bld.Const(one, 1)
+	bld.Jump(head)
+
+	bld.SetBlock(head)
+	bld.Binary(ir.CmpLT, c, i, n)
+	bld.Br(c, body, exit)
+
+	bld.SetBlock(body)
+	bld.Copy(t, a)
+	bld.Copy(a, b)
+	bld.Copy(b, t)
+	bld.Binary(ir.Add, i, i, one)
+	bld.Jump(head)
+
+	bld.SetBlock(exit)
+	bld.Binary(ir.Add, t, a, b)
+	bld.Output(t)
+	return bld.Fn
+}
+
+// LostCopy builds the classic lost-copy program: the φ result is used
+// after the loop while the φ argument is redefined inside it.
+func LostCopy() *ir.Func {
+	bld := ir.NewBuilder("lostcopy")
+	entry := bld.Block("entry")
+	head := bld.Fn.NewBlock("head")
+	exit := bld.Fn.NewBlock("exit")
+
+	n, x, y, c, one := bld.Val("n"), bld.Val("x"), bld.Val("y"), bld.Val("c"), bld.Val("one")
+
+	bld.SetBlock(entry)
+	bld.Input(n)
+	bld.Const(one, 1)
+	bld.Const(x, 1)
+	bld.Jump(head)
+
+	bld.SetBlock(head)
+	bld.Copy(y, x) // y holds the pre-increment value, used after the loop
+	bld.Binary(ir.Add, x, x, one)
+	bld.Binary(ir.CmpLT, c, x, n)
+	bld.Br(c, head, exit)
+
+	bld.SetBlock(exit)
+	bld.Output(y)
+	return bld.Fn
+}
+
+// WithCallsAndStack builds a function exercising ABI constraints: two
+// calls whose results feed each other, stack traffic through SP, a
+// 2-operand autoadd pointer walk and a make/more immediate pair —
+// essentially the paper's Figure 1 shape.
+func WithCallsAndStack() *ir.Func {
+	bld := ir.NewBuilder("abifig1")
+	entry := bld.Block("entry")
+
+	f := bld.Fn
+	sp := f.Target.SP
+
+	cc, p := bld.Val("C"), bld.Val("P")
+	a, b, q := bld.Val("A"), bld.Val("B"), bld.Val("Q")
+	d, e, k, l, res := bld.Val("D"), bld.Val("E"), bld.Val("K"), bld.Val("L"), bld.Val("F")
+
+	bld.SetBlock(entry)
+	// SP is a dedicated register available at entry.
+	in := bld.Input(cc, p)
+	in.Defs = append(in.Defs, ir.Operand{Val: sp})
+	bld.Load(a, p)
+	bld.AutoAdd(q, p, 1)
+	bld.Load(b, q)
+	bld.Store(sp, a) // spill A to the stack
+	bld.Call("f", []*ir.Value{d}, a, b)
+	bld.Binary(ir.Add, e, cc, d)
+	bld.Make(l, 0x00A1)
+	bld.More(k, l, 0x2BFA)
+	bld.Binary(ir.Sub, res, e, k)
+	bld.Output(res)
+	return bld.Fn
+}
+
+// All returns every structured test program, freshly built.
+func All() []*ir.Func {
+	return []*ir.Func{Diamond(), Loop(), NestedLoops(), SwapLoop(), LostCopy(), WithCallsAndStack()}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import "outofssa/internal/ir"
+
+// style captures the lowering decisions that differ between the two
+// "compilers" producing VALcc1 and VALcc2.
+type style struct {
+	name string
+	// mac fuses multiply-accumulate into the 2-operand Mac instruction;
+	// otherwise mul+add pairs are emitted.
+	mac bool
+	// autoInc walks arrays with 2-operand AutoAdd pointer updates;
+	// otherwise base+index adds are used.
+	autoInc bool
+	// homeCopies copies incoming parameters into local homes first (some
+	// compilers do this for debug-ability), creating extra coalescing
+	// opportunities.
+	homeCopies bool
+	// rotate emits do-while style loops with a guard test, changing the
+	// confluence-point structure and hence the φ webs.
+	rotate bool
+}
+
+var (
+	styleA = style{name: "A", mac: true, autoInc: true}
+	styleB = style{name: "B", homeCopies: true, rotate: true}
+)
+
+// kb is the kernel builder: ir.Builder plus style-directed helpers.
+type kb struct {
+	*ir.Builder
+	st style
+}
+
+func newKB(name string, st style) *kb {
+	b := ir.NewBuilder(name + "_" + st.name)
+	return &kb{Builder: b, st: st}
+}
+
+// param declares the function parameters (and SP when stack is needed).
+func (k *kb) params(names ...string) []*ir.Value {
+	vs := make([]*ir.Value, len(names))
+	for i, n := range names {
+		vs[i] = k.Val(n)
+	}
+	k.Block("entry")
+	in := k.Input(vs...)
+	if k.st.homeCopies {
+		for i, v := range vs {
+			home := k.Val(names[i] + "_h")
+			k.Copy(home, v)
+			vs[i] = home
+		}
+	}
+	_ = in
+	return vs
+}
+
+// num materializes a constant.
+func (k *kb) num(v int64) *ir.Value {
+	c := k.Val("")
+	k.Const(c, v)
+	return c
+}
+
+// temp returns a fresh destination for an intermediate result.
+func (k *kb) temp() *ir.Value {
+	return k.Val("")
+}
+
+// binOp emits d = a op b into a style-chosen destination.
+func (k *kb) binOp(op ir.Op, a, b *ir.Value) *ir.Value {
+	d := k.temp()
+	k.Binary(op, d, a, b)
+	return d
+}
+
+// macc emits acc += a*b per style: fused Mac (2-operand) or mul+add.
+func (k *kb) macc(acc, a, b *ir.Value) {
+	if k.st.mac {
+		k.Mac(acc, acc, a, b)
+		return
+	}
+	t := k.temp()
+	k.Binary(ir.Mul, t, a, b)
+	k.Binary(ir.Add, acc, acc, t)
+}
+
+// loadStep loads *p and advances p by step per style: AutoAdd on the
+// pointer, or an explicit base+offset add.
+func (k *kb) loadStep(p *ir.Value, step int64) *ir.Value {
+	d := k.Val("")
+	k.Load(d, p)
+	if k.st.autoInc {
+		k.AutoAdd(p, p, step)
+	} else {
+		s := k.num(step)
+		k.Binary(ir.Add, p, p, s)
+	}
+	return d
+}
+
+// storeStep stores v to *p and advances p.
+func (k *kb) storeStep(p, v *ir.Value, step int64) {
+	k.Store(p, v)
+	if k.st.autoInc {
+		k.AutoAdd(p, p, step)
+	} else {
+		s := k.num(step)
+		k.Binary(ir.Add, p, p, s)
+	}
+}
+
+// loop emits a counted loop `for i = 0; i < n; i++ { body(i) }`. Style A
+// tests at the top; style B emits a guarded do-while (rotated) loop. The
+// builder is left in the exit block.
+func (k *kb) loop(n *ir.Value, body func(i *ir.Value)) {
+	f := k.Fn
+	i := k.Val("")
+	one := k.num(1)
+	k.Const(i, 0)
+
+	if k.st.rotate {
+		bodyB := f.NewBlock("")
+		exit := f.NewBlock("")
+		g := k.Val("")
+		k.Binary(ir.CmpLT, g, i, n)
+		k.Br(g, bodyB, exit)
+
+		k.SetBlock(bodyB)
+		body(i)
+		k.Binary(ir.Add, i, i, one)
+		c := k.Val("")
+		k.Binary(ir.CmpLT, c, i, n)
+		k.Br(c, bodyB, exit)
+
+		k.SetBlock(exit)
+		return
+	}
+
+	head := f.NewBlock("")
+	bodyB := f.NewBlock("")
+	exit := f.NewBlock("")
+	k.Jump(head)
+
+	k.SetBlock(head)
+	c := k.Val("")
+	k.Binary(ir.CmpLT, c, i, n)
+	k.Br(c, bodyB, exit)
+
+	k.SetBlock(bodyB)
+	body(i)
+	k.Binary(ir.Add, i, i, one)
+	k.Jump(head)
+
+	k.SetBlock(exit)
+}
+
+// loopDown emits `for i = n-1; i >= 0; i--`.
+func (k *kb) loopDown(n *ir.Value, body func(i *ir.Value)) {
+	f := k.Fn
+	i := k.Val("")
+	one := k.num(1)
+	zero := k.num(0)
+	k.Binary(ir.Sub, i, n, one)
+
+	head := f.NewBlock("")
+	bodyB := f.NewBlock("")
+	exit := f.NewBlock("")
+	k.Jump(head)
+
+	k.SetBlock(head)
+	c := k.Val("")
+	k.Binary(ir.CmpGE, c, i, zero)
+	k.Br(c, bodyB, exit)
+
+	k.SetBlock(bodyB)
+	body(i)
+	k.Binary(ir.Sub, i, i, one)
+	k.Jump(head)
+
+	k.SetBlock(exit)
+}
+
+// ifElse emits a two-way conditional; both arms run with the builder
+// positioned in their block, and the builder ends in the join block.
+func (k *kb) ifElse(cond *ir.Value, then, els func()) {
+	f := k.Fn
+	tb := f.NewBlock("")
+	join := f.NewBlock("")
+	if els == nil {
+		k.Br(cond, tb, join)
+		k.SetBlock(tb)
+		then()
+		k.Jump(join)
+	} else {
+		eb := f.NewBlock("")
+		k.Br(cond, tb, eb)
+		k.SetBlock(tb)
+		then()
+		k.Jump(join)
+		k.SetBlock(eb)
+		els()
+		k.Jump(join)
+	}
+	k.SetBlock(join)
+}
+
+// ret finishes the function.
+func (k *kb) ret(vals ...*ir.Value) *ir.Func {
+	k.Output(vals...)
+	if err := k.Fn.Verify(); err != nil {
+		panic("workload: " + k.Fn.Name + ": " + err.Error())
+	}
+	return k.Fn
+}
+
+// addr computes base+idx (element size 1 for simplicity).
+func (k *kb) addr(base, idx *ir.Value) *ir.Value {
+	return k.binOpFresh(ir.Add, base, idx)
+}
+
+// binOpFresh always uses a fresh destination (for values that must stay
+// live across scratch reuse).
+func (k *kb) binOpFresh(op ir.Op, a, b *ir.Value) *ir.Value {
+	d := k.Val("")
+	k.Binary(op, d, a, b)
+	return d
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/testprog"
+)
+
+// buildExamples assembles example1-8: the paper's hand-crafted scenarios
+// as runnable pre-SSA programs (the LAI-written micro-benchmarks of the
+// evaluation section).
+func buildExamples() []*ir.Func {
+	return []*ir.Func{
+		exFigure1(),
+		exRepairScenario(),
+		exPartialCoalesce(),
+		exTwoPhisSharedArg(),
+		testprog.SwapLoop(),
+		testprog.LostCopy(),
+		exAutoAddLoop(),
+		exDiamondChain(),
+	}
+}
+
+func mustParse(src string) *ir.Func {
+	f, err := lai.Parse(src)
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return f
+}
+
+// exFigure1 is the paper's Figure 1 verbatim: parameter passing,
+// auto-modified addressing, make/more immediate pair.
+func exFigure1() *ir.Func {
+	return mustParse(`
+.func example1
+.input C:R0, P:P0
+entry:
+    load    A, @P
+    autoadd Q, P, 1
+    load    B, @Q
+    call    D = f(A, B)
+    add     E, C, D
+    make    L, 0x00A1
+    more    K, L, 0x2BFA
+    sub     F, E, K
+    ret     F
+.endfunc
+`)
+}
+
+// exRepairScenario is the Figure 3 shape: a value needed in R0 across a
+// call that also returns in R0 (forces a repair).
+func exRepairScenario() *ir.Func {
+	return mustParse(`
+.func example2
+.input x, y, n
+entry:
+    const k, 3
+head:
+    add   y, y, k
+    call  t = g(x, y)
+    blt   t, n, head
+    ret   x
+.endfunc
+`)
+}
+
+// exPartialCoalesce is the Figure 8 shape: two independent webs of one
+// variable, one conflicting with a later call result.
+func exPartialCoalesce() *ir.Func {
+	return mustParse(`
+.func example3
+entry:
+    const one, 1
+    call  z = f1()
+    add   u1, z, one
+    call  z = f2()
+    call  w = f3()
+    add   u2, z, w
+    add   r, u1, u2
+    ret   r
+.endfunc
+`)
+}
+
+// exTwoPhisSharedArg is the Figure 9 shape: two merges sharing an
+// argument at one confluence point.
+func exTwoPhisSharedArg() *ir.Func {
+	return mustParse(`
+.func example4
+.input c
+entry:
+    br    c, p1, p2
+p1:
+    call  x = f1()
+    call  z = f3()
+    mov   xx, x
+    mov   yy, z
+    jump  join
+p2:
+    call  y = f2()
+    mov   xx, y
+    mov   yy, y
+    jump  join
+join:
+    add   r, xx, yy
+    ret   r
+.endfunc
+`)
+}
+
+// exAutoAddLoop is the Figure 11 shape: a φ whose arguments interfere,
+// one of them tied to an autoadd chain.
+func exAutoAddLoop() *ir.Func {
+	return mustParse(`
+.func example7
+entry:
+    const   a, 100
+    const   k, 10
+    call    b = f1()
+head:
+    autoadd b, b, 1
+    and     c1, b, k
+    br      c1, l1, l2
+l1:
+    mov     B, a
+    jump    latch
+l2:
+    mov     B, b
+    jump    latch
+latch:
+    blt     B, k, back
+    ret     B
+back:
+    mov     b, B
+    jump    head
+.endfunc
+`)
+}
+
+// exDiamondChain chains several diamonds so φ webs overlap.
+func exDiamondChain() *ir.Func {
+	return mustParse(`
+.func example8
+.input a, b, c
+entry:
+    blt   a, b, d1t
+    mov   x, a
+    jump  d1j
+d1t:
+    mov   x, b
+    jump  d1j
+d1j:
+    blt   x, c, d2t
+    mov   y, x
+    jump  d2j
+d2t:
+    add   y, x, c
+    jump  d2j
+d2j:
+    blt   y, a, d3t
+    sub   z, y, a
+    jump  d3j
+d3t:
+    mov   z, y
+    jump  d3j
+d3j:
+    add   r, z, x
+    ret   r
+.endfunc
+`)
+}

@@ -1,0 +1,993 @@
+package workload
+
+import "outofssa/internal/ir"
+
+// buildKernels lowers the full kernel set with one style. The population
+// mirrors the paper's description of VALcc1/VALcc2: "about 40 small
+// functions with some basic digital signal processing kernels, integer
+// Discrete Cosine Transform, sorting, searching, and string searching
+// algorithms".
+func buildKernels(st style) []*ir.Func {
+	builders := []func(style) *ir.Func{
+		kDotProd, kFIR4, kIIRBiquad, kVecAdd, kVecScale, kSaxpy,
+		kEnergy, kAbsSum, kMaxSearch, kMinSearch, kArgMax, kClip,
+		kMovingAvg, kConv4, kCorrLag, kDCT4, kIDCT4, kComplexMAC,
+		kBubblePass, kInsertionInner, kSelectionMin, kBinSearch,
+		kLinSearch, kStrLen, kStrCmp, kStrChr, kMemCpy, kMemSet,
+		kCRC8, kParity, kPopCount, kGCD, kFib, kHorner, kMat2Mul,
+		kQuantize, kDeltaEnc, kDeltaDec, kZigzag4, kViterbiACS,
+		kHist4, kPreemph, kRMSCall, kNormalizeCall,
+	}
+	funcs := make([]*ir.Func, 0, len(builders))
+	for _, b := range builders {
+		funcs = append(funcs, b(st))
+	}
+	return funcs
+}
+
+// clampN bounds a parameter-derived trip count so every kernel
+// terminates quickly under any interpreter input.
+func (k *kb) clampN(n *ir.Value, bound int64) *ir.Value {
+	b := k.num(bound)
+	zero := k.num(0)
+	m := k.Val("n_cl")
+	k.Binary(ir.Min, m, n, b)
+	k.Binary(ir.Max, m, m, zero)
+	return m
+}
+
+// walker returns a fresh pointer initialized to base for loadStep walks.
+func (k *kb) walker(base *ir.Value) *ir.Value {
+	p := k.Val("")
+	k.Copy(p, base)
+	return p
+}
+
+// useSP appends the stack pointer to the entry .input so stack-relative
+// code has a defined SP (the ABI guarantees SP on entry).
+func (k *kb) useSP() *ir.Value {
+	in := k.Fn.Entry().Instrs[0]
+	if in.Op != ir.Input {
+		panic("workload: useSP before params")
+	}
+	in.Defs = append(in.Defs, ir.Operand{Val: k.Fn.Target.SP})
+	return k.Fn.Target.SP
+}
+
+func kDotProd(st style) *ir.Func {
+	k := newKB("dotprod", st)
+	ps := k.params("pa", "pb", "n")
+	pa, pb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	acc := k.Val("acc")
+	k.Const(acc, 0)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		b := k.loadStep(wb, 1)
+		k.macc(acc, a, b)
+	})
+	return k.ret(acc)
+}
+
+func kFIR4(st style) *ir.Func {
+	k := newKB("fir4", st)
+	ps := k.params("px", "ph", "py", "n")
+	px, ph, py, n := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 8)
+	wy := k.walker(py)
+	four := k.num(4)
+	k.loop(n, func(i *ir.Value) {
+		acc := k.Val("acc")
+		k.Const(acc, 0)
+		xi := k.addr(px, i)
+		wx, wh := k.walker(xi), k.walker(ph)
+		k.loop(four, func(j *ir.Value) {
+			x := k.loadStep(wx, 1)
+			h := k.loadStep(wh, 1)
+			k.macc(acc, x, h)
+		})
+		k.storeStep(wy, acc, 1)
+	})
+	return k.ret(wy)
+}
+
+func kIIRBiquad(st style) *ir.Func {
+	k := newKB("iir_biquad", st)
+	ps := k.params("px", "n", "a1", "a2")
+	px, n, a1, a2 := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	w1 := k.Val("w1")
+	w2 := k.Val("w2")
+	k.Const(w1, 0)
+	k.Const(w2, 0)
+	wx := k.walker(px)
+	acc := k.Val("y")
+	k.Const(acc, 0)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wx, 1)
+		t := k.binOpFresh(ir.Add, x, w1)
+		k.macc(t, a1, w1)
+		k.macc(t, a2, w2)
+		k.Copy(w2, w1)
+		k.Copy(w1, t)
+		k.Binary(ir.Add, acc, acc, t)
+	})
+	return k.ret(acc)
+}
+
+func kVecAdd(st style) *ir.Func {
+	k := newKB("vec_add", st)
+	ps := k.params("pa", "pb", "pc", "n")
+	pa, pb, pc, n := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	wa, wb, wc := k.walker(pa), k.walker(pb), k.walker(pc)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		b := k.loadStep(wb, 1)
+		s := k.binOp(ir.Add, a, b)
+		k.storeStep(wc, s, 1)
+	})
+	return k.ret(wc)
+}
+
+func kVecScale(st style) *ir.Func {
+	k := newKB("vec_scale", st)
+	ps := k.params("pa", "pc", "n", "s")
+	pa, pc, n, s := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	wa, wc := k.walker(pa), k.walker(pc)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		v := k.binOp(ir.Mul, a, s)
+		k.storeStep(wc, v, 1)
+	})
+	return k.ret(wc)
+}
+
+func kSaxpy(st style) *ir.Func {
+	k := newKB("saxpy", st)
+	ps := k.params("pa", "pb", "n", "s")
+	pa, pb, n, s := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		b := k.Val("")
+		k.Load(b, wb)
+		acc := k.Val("acc")
+		k.Copy(acc, b)
+		k.macc(acc, s, a)
+		k.storeStep(wb, acc, 1)
+	})
+	return k.ret(wb)
+}
+
+func kEnergy(st style) *ir.Func {
+	k := newKB("energy", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 16)
+	acc := k.Val("acc")
+	k.Const(acc, 0)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		k.macc(acc, a, a)
+	})
+	return k.ret(acc)
+}
+
+func kAbsSum(st style) *ir.Func {
+	k := newKB("abs_sum", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 16)
+	acc := k.Val("acc")
+	zero := k.num(0)
+	k.Const(acc, 0)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		isNeg := k.binOpFresh(ir.CmpLT, a, zero)
+		na := k.Val("")
+		k.Unary(ir.Neg, na, a)
+		abs := k.Val("")
+		k.Select(abs, isNeg, na, a)
+		k.Binary(ir.Add, acc, acc, abs)
+	})
+	return k.ret(acc)
+}
+
+func kMaxSearch(st style) *ir.Func {
+	k := newKB("max_search", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 16)
+	best := k.Val("best")
+	k.Const(best, -(1 << 30))
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		k.Binary(ir.Max, best, best, a)
+	})
+	return k.ret(best)
+}
+
+func kMinSearch(st style) *ir.Func {
+	k := newKB("min_search", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 16)
+	best := k.Val("best")
+	k.Const(best, 1<<30)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		k.Binary(ir.Min, best, best, a)
+	})
+	return k.ret(best)
+}
+
+func kArgMax(st style) *ir.Func {
+	k := newKB("argmax", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 16)
+	best := k.Val("best")
+	idx := k.Val("idx")
+	k.Const(best, -(1 << 30))
+	k.Const(idx, 0)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		gt := k.binOpFresh(ir.CmpGT, a, best)
+		k.ifElse(gt, func() {
+			k.Copy(best, a)
+			k.Copy(idx, i)
+		}, nil)
+	})
+	return k.ret(idx, best)
+}
+
+func kClip(st style) *ir.Func {
+	k := newKB("clip", st)
+	ps := k.params("pa", "n", "lo", "hi")
+	pa, n, lo, hi := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	wa := k.walker(pa)
+	count := k.Val("count")
+	k.Const(count, 0)
+	one := k.num(1)
+	k.loop(n, func(i *ir.Value) {
+		a := k.Val("")
+		k.Load(a, wa)
+		cl := k.binOpFresh(ir.Max, a, lo)
+		k.Binary(ir.Min, cl, cl, hi)
+		ne := k.binOpFresh(ir.CmpNE, cl, a)
+		k.ifElse(ne, func() {
+			k.Binary(ir.Add, count, count, one)
+		}, nil)
+		k.storeStep(wa, cl, 1)
+	})
+	return k.ret(count)
+}
+
+func kMovingAvg(st style) *ir.Func {
+	k := newKB("moving_avg", st)
+	ps := k.params("pa", "pb", "n")
+	pa, pb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 12)
+	wa, wb := k.walker(pa), k.walker(pb)
+	four := k.num(4)
+	k.loop(n, func(i *ir.Value) {
+		w := k.walker(wa)
+		acc := k.Val("acc")
+		k.Const(acc, 0)
+		k.loop(four, func(j *ir.Value) {
+			x := k.loadStep(w, 1)
+			k.Binary(ir.Add, acc, acc, x)
+		})
+		avg := k.binOp(ir.Shr, acc, k.num(2))
+		k.storeStep(wb, avg, 1)
+		k.loadStep(wa, 1) // slide the window
+	})
+	return k.ret(wb)
+}
+
+func kConv4(st style) *ir.Func {
+	k := newKB("conv4", st)
+	ps := k.params("pa", "pb", "pc", "n")
+	pa, pb, pc, n := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 8)
+	wc := k.walker(pc)
+	four := k.num(4)
+	k.loop(n, func(i *ir.Value) {
+		acc := k.Val("acc")
+		k.Const(acc, 0)
+		k.loop(four, func(j *ir.Value) {
+			d := k.binOpFresh(ir.Sub, i, j)
+			av := k.Val("")
+			k.Load(av, k.addr(pa, d))
+			bv := k.Val("")
+			k.Load(bv, k.addr(pb, j))
+			k.macc(acc, av, bv)
+		})
+		k.storeStep(wc, acc, 1)
+	})
+	return k.ret(wc)
+}
+
+func kCorrLag(st style) *ir.Func {
+	k := newKB("corr_lag", st)
+	ps := k.params("pa", "n", "lag")
+	pa, n, lag := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	lag = k.clampN(lag, 4)
+	acc := k.Val("acc")
+	k.Const(acc, 0)
+	k.loop(n, func(i *ir.Value) {
+		x := k.Val("")
+		k.Load(x, k.addr(pa, i))
+		sh := k.binOpFresh(ir.Add, i, lag)
+		y := k.Val("")
+		k.Load(y, k.addr(pa, sh))
+		k.macc(acc, x, y)
+	})
+	return k.ret(acc)
+}
+
+// kDCT4 is a 4-point integer DCT butterfly chain (straight-line,
+// register-pressure heavy — the shape the paper's iDCT benchmark has).
+func kDCT4(st style) *ir.Func {
+	k := newKB("dct4", st)
+	ps := k.params("px", "py")
+	px, py := ps[0], ps[1]
+	w := k.walker(px)
+	x0 := k.loadStep(w, 1)
+	x1 := k.loadStep(w, 1)
+	x2 := k.loadStep(w, 1)
+	x3 := k.loadStep(w, 1)
+	s0 := k.binOpFresh(ir.Add, x0, x3)
+	s1 := k.binOpFresh(ir.Add, x1, x2)
+	d0 := k.binOpFresh(ir.Sub, x0, x3)
+	d1 := k.binOpFresh(ir.Sub, x1, x2)
+	c2, c6 := k.num(54), k.num(23) // integer cosine constants
+	y0 := k.binOpFresh(ir.Add, s0, s1)
+	y2 := k.binOpFresh(ir.Sub, s0, s1)
+	t0 := k.binOpFresh(ir.Mul, d0, c2)
+	y1 := k.Val("y1")
+	k.Copy(y1, t0)
+	k.macc(y1, d1, c6)
+	t1 := k.binOpFresh(ir.Mul, d0, c6)
+	y3 := k.Val("y3")
+	k.Copy(y3, t1)
+	nc2 := k.Val("")
+	k.Unary(ir.Neg, nc2, c2)
+	k.macc(y3, d1, nc2)
+	wo := k.walker(py)
+	k.storeStep(wo, y0, 1)
+	k.storeStep(wo, y1, 1)
+	k.storeStep(wo, y2, 1)
+	k.storeStep(wo, y3, 1)
+	return k.ret(y0)
+}
+
+func kIDCT4(st style) *ir.Func {
+	k := newKB("idct4", st)
+	ps := k.params("px", "py")
+	px, py := ps[0], ps[1]
+	w := k.walker(px)
+	y0 := k.loadStep(w, 1)
+	y1 := k.loadStep(w, 1)
+	y2 := k.loadStep(w, 1)
+	y3 := k.loadStep(w, 1)
+	e0 := k.binOpFresh(ir.Add, y0, y2)
+	e1 := k.binOpFresh(ir.Sub, y0, y2)
+	c2, c6 := k.num(54), k.num(23)
+	o0 := k.Val("o0")
+	t := k.binOpFresh(ir.Mul, y1, c2)
+	k.Copy(o0, t)
+	k.macc(o0, y3, c6)
+	o1 := k.Val("o1")
+	t2 := k.binOpFresh(ir.Mul, y1, c6)
+	k.Copy(o1, t2)
+	nc2 := k.Val("")
+	k.Unary(ir.Neg, nc2, c2)
+	k.macc(o1, y3, nc2)
+	x0 := k.binOpFresh(ir.Add, e0, o0)
+	x3 := k.binOpFresh(ir.Sub, e0, o0)
+	x1 := k.binOpFresh(ir.Add, e1, o1)
+	x2 := k.binOpFresh(ir.Sub, e1, o1)
+	wo := k.walker(py)
+	k.storeStep(wo, x0, 1)
+	k.storeStep(wo, x1, 1)
+	k.storeStep(wo, x2, 1)
+	k.storeStep(wo, x3, 1)
+	return k.ret(x0)
+}
+
+func kComplexMAC(st style) *ir.Func {
+	k := newKB("cmplx_mac", st)
+	ps := k.params("pa", "pb", "n")
+	pa, pb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 8)
+	re := k.Val("re")
+	im := k.Val("im")
+	k.Const(re, 0)
+	k.Const(im, 0)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		ar := k.loadStep(wa, 1)
+		ai := k.loadStep(wa, 1)
+		br := k.loadStep(wb, 1)
+		bi := k.loadStep(wb, 1)
+		k.macc(re, ar, br)
+		t := k.binOpFresh(ir.Mul, ai, bi)
+		k.Binary(ir.Sub, re, re, t)
+		k.macc(im, ar, bi)
+		k.macc(im, ai, br)
+	})
+	return k.ret(re, im)
+}
+
+func kBubblePass(st style) *ir.Func {
+	k := newKB("bubble_pass", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 12)
+	one := k.num(1)
+	swaps := k.Val("swaps")
+	k.Const(swaps, 0)
+	m := k.binOpFresh(ir.Sub, n, one)
+	zero := k.num(0)
+	k.Binary(ir.Max, m, m, zero)
+	k.loop(m, func(i *ir.Value) {
+		a0 := k.addr(pa, i)
+		i1 := k.binOpFresh(ir.Add, i, one)
+		a1 := k.addr(pa, i1)
+		x := k.Val("")
+		y := k.Val("")
+		k.Load(x, a0)
+		k.Load(y, a1)
+		gt := k.binOpFresh(ir.CmpGT, x, y)
+		k.ifElse(gt, func() {
+			k.Store(a0, y)
+			k.Store(a1, x)
+			k.Binary(ir.Add, swaps, swaps, one)
+		}, nil)
+	})
+	return k.ret(swaps)
+}
+
+func kInsertionInner(st style) *ir.Func {
+	k := newKB("insertion_inner", st)
+	ps := k.params("pa", "n", "key")
+	pa, n, key := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 12)
+	one := k.num(1)
+	zero := k.num(0)
+	// Shift elements greater than key one slot right, scanning down.
+	j := k.Val("j")
+	k.Binary(ir.Sub, j, n, one)
+
+	f := k.Fn
+	head := f.NewBlock("")
+	body := f.NewBlock("")
+	exit := f.NewBlock("")
+	k.Jump(head)
+	k.SetBlock(head)
+	inRange := k.binOpFresh(ir.CmpGE, j, zero)
+	k.Br(inRange, body, exit)
+	k.SetBlock(body)
+	x := k.Val("")
+	k.Load(x, k.addr(pa, j))
+	gt := k.binOpFresh(ir.CmpGT, x, key)
+	done := f.NewBlock("")
+	cont := f.NewBlock("")
+	k.Br(gt, cont, done)
+	k.SetBlock(cont)
+	j1 := k.binOpFresh(ir.Add, j, one)
+	k.Store(k.addr(pa, j1), x)
+	k.Binary(ir.Sub, j, j, one)
+	k.Jump(head)
+	k.SetBlock(done)
+	k.Jump(exit)
+	k.SetBlock(exit)
+	j1f := k.binOpFresh(ir.Add, j, one)
+	k.Store(k.addr(pa, j1f), key)
+	return k.ret(j1f)
+}
+
+func kSelectionMin(st style) *ir.Func {
+	k := newKB("selection_min", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 8)
+	total := k.Val("total")
+	k.Const(total, 0)
+	k.loop(n, func(i *ir.Value) {
+		bi := k.Val("bi")
+		k.Copy(bi, i)
+		bv := k.Val("bv")
+		k.Load(bv, k.addr(pa, i))
+		k.loop(n, func(j *ir.Value) {
+			after := k.binOpFresh(ir.CmpGT, j, i)
+			k.ifElse(after, func() {
+				x := k.Val("")
+				k.Load(x, k.addr(pa, j))
+				lt := k.binOpFresh(ir.CmpLT, x, bv)
+				k.ifElse(lt, func() {
+					k.Copy(bv, x)
+					k.Copy(bi, j)
+				}, nil)
+			}, nil)
+		})
+		k.Binary(ir.Add, total, total, bv)
+	})
+	return k.ret(total)
+}
+
+func kBinSearch(st style) *ir.Func {
+	k := newKB("binsearch", st)
+	ps := k.params("pa", "n", "key")
+	pa, n, key := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	one := k.num(1)
+	lo := k.Val("lo")
+	hi := k.Val("hi")
+	k.Const(lo, 0)
+	k.Copy(hi, n)
+	found := k.Val("found")
+	k.Const(found, -1)
+
+	f := k.Fn
+	head := f.NewBlock("")
+	body := f.NewBlock("")
+	exit := f.NewBlock("")
+	k.Jump(head)
+	k.SetBlock(head)
+	c := k.binOpFresh(ir.CmpLT, lo, hi)
+	k.Br(c, body, exit)
+	k.SetBlock(body)
+	mid := k.binOpFresh(ir.Add, lo, hi)
+	k.Binary(ir.Shr, mid, mid, one)
+	x := k.Val("")
+	k.Load(x, k.addr(pa, mid))
+	lt := k.binOpFresh(ir.CmpLT, x, key)
+	k.ifElse(lt, func() {
+		k.Binary(ir.Add, lo, mid, one)
+	}, func() {
+		eq := k.binOpFresh(ir.CmpEQ, x, key)
+		k.ifElse(eq, func() {
+			k.Copy(found, mid)
+		}, nil)
+		k.Copy(hi, mid)
+	})
+	eqDone := k.binOpFresh(ir.CmpGE, found, k.num(0))
+	k.ifElse(eqDone, func() {
+		k.Copy(lo, hi) // force exit
+	}, nil)
+	k.Jump(head)
+	k.SetBlock(exit)
+	return k.ret(found)
+}
+
+func kLinSearch(st style) *ir.Func {
+	k := newKB("linsearch", st)
+	ps := k.params("pa", "n", "key")
+	pa, n, key := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	found := k.Val("found")
+	k.Const(found, -1)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wa, 1)
+		eq := k.binOpFresh(ir.CmpEQ, x, key)
+		k.ifElse(eq, func() {
+			notYet := k.binOpFresh(ir.CmpLT, found, k.num(0))
+			k.ifElse(notYet, func() { k.Copy(found, i) }, nil)
+		}, nil)
+	})
+	return k.ret(found)
+}
+
+func kStrLen(st style) *ir.Func {
+	k := newKB("strlen16", st)
+	ps := k.params("p")
+	p := ps[0]
+	bound := k.num(16)
+	lenv := k.Val("len")
+	k.Const(lenv, 0)
+	stop := k.Val("stop")
+	k.Const(stop, 0)
+	one := k.num(1)
+	mask := k.num(0xFF)
+	wp := k.walker(p)
+	k.loop(bound, func(i *ir.Value) {
+		c := k.loadStep(wp, 1)
+		k.Binary(ir.And, c, c, mask)
+		z := k.binOpFresh(ir.CmpEQ, c, k.num(0))
+		k.Binary(ir.Or, stop, stop, z)
+		notStopped := k.binOpFresh(ir.CmpEQ, stop, k.num(0))
+		k.ifElse(notStopped, func() {
+			k.Binary(ir.Add, lenv, lenv, one)
+		}, nil)
+	})
+	return k.ret(lenv)
+}
+
+func kStrCmp(st style) *ir.Func {
+	k := newKB("strcmp16", st)
+	ps := k.params("pa", "pb")
+	pa, pb := ps[0], ps[1]
+	bound := k.num(16)
+	res := k.Val("res")
+	k.Const(res, 0)
+	wa, wb := k.walker(pa), k.walker(pb)
+	mask := k.num(0xFF)
+	k.loop(bound, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		b := k.loadStep(wb, 1)
+		k.Binary(ir.And, a, a, mask)
+		k.Binary(ir.And, b, b, mask)
+		undecided := k.binOpFresh(ir.CmpEQ, res, k.num(0))
+		k.ifElse(undecided, func() {
+			d := k.binOpFresh(ir.Sub, a, b)
+			k.Copy(res, d)
+		}, nil)
+	})
+	return k.ret(res)
+}
+
+func kStrChr(st style) *ir.Func {
+	k := newKB("strchr16", st)
+	ps := k.params("p", "c")
+	p, c := ps[0], ps[1]
+	bound := k.num(16)
+	pos := k.Val("pos")
+	k.Const(pos, -1)
+	wp := k.walker(p)
+	mask := k.num(0xFF)
+	want := k.binOpFresh(ir.And, c, mask)
+	k.loop(bound, func(i *ir.Value) {
+		x := k.loadStep(wp, 1)
+		k.Binary(ir.And, x, x, mask)
+		eq := k.binOpFresh(ir.CmpEQ, x, want)
+		miss := k.binOpFresh(ir.CmpLT, pos, k.num(0))
+		hit := k.binOpFresh(ir.And, eq, miss)
+		k.ifElse(hit, func() { k.Copy(pos, i) }, nil)
+	})
+	return k.ret(pos)
+}
+
+func kMemCpy(st style) *ir.Func {
+	k := newKB("memcpy", st)
+	ps := k.params("pd", "psrc", "n")
+	pd, psrc, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	wd, ws := k.walker(pd), k.walker(psrc)
+	k.loop(n, func(i *ir.Value) {
+		v := k.loadStep(ws, 1)
+		k.storeStep(wd, v, 1)
+	})
+	return k.ret(wd)
+}
+
+func kMemSet(st style) *ir.Func {
+	k := newKB("memset", st)
+	ps := k.params("pd", "v", "n")
+	pd, v, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	wd := k.walker(pd)
+	k.loop(n, func(i *ir.Value) {
+		k.storeStep(wd, v, 1)
+	})
+	return k.ret(wd)
+}
+
+func kCRC8(st style) *ir.Func {
+	k := newKB("crc8", st)
+	ps := k.params("x", "poly")
+	x, poly := ps[0], ps[1]
+	crc := k.Val("crc")
+	k.Copy(crc, x)
+	eight := k.num(8)
+	one := k.num(1)
+	k.loop(eight, func(i *ir.Value) {
+		top := k.binOpFresh(ir.Shr, crc, k.num(7))
+		k.Binary(ir.And, top, top, one)
+		k.Binary(ir.Shl, crc, crc, one)
+		k.ifElse(top, func() {
+			k.Binary(ir.Xor, crc, crc, poly)
+		}, nil)
+		k.Binary(ir.And, crc, crc, k.num(0xFF))
+	})
+	return k.ret(crc)
+}
+
+func kParity(st style) *ir.Func {
+	k := newKB("parity", st)
+	ps := k.params("x")
+	x := ps[0]
+	p := k.Val("p")
+	k.Const(p, 0)
+	w := k.Val("w")
+	k.Copy(w, x)
+	one := k.num(1)
+	k.loop(k.num(16), func(i *ir.Value) {
+		bit := k.binOpFresh(ir.And, w, one)
+		k.Binary(ir.Xor, p, p, bit)
+		k.Binary(ir.Shr, w, w, one)
+	})
+	return k.ret(p)
+}
+
+func kPopCount(st style) *ir.Func {
+	k := newKB("popcount", st)
+	ps := k.params("x")
+	x := ps[0]
+	cnt := k.Val("cnt")
+	k.Const(cnt, 0)
+	w := k.Val("w")
+	k.Copy(w, x)
+	one := k.num(1)
+	k.loop(k.num(16), func(i *ir.Value) {
+		bit := k.binOpFresh(ir.And, w, one)
+		k.Binary(ir.Add, cnt, cnt, bit)
+		k.Binary(ir.Shr, w, w, one)
+	})
+	return k.ret(cnt)
+}
+
+func kGCD(st style) *ir.Func {
+	k := newKB("gcd", st)
+	ps := k.params("a", "b")
+	a, b := ps[0], ps[1]
+	x := k.Val("x")
+	y := k.Val("y")
+	k.Copy(x, a)
+	k.Copy(y, b)
+	// Bounded Euclid: 24 iterations is plenty for 64-bit inputs.
+	k.loop(k.num(24), func(i *ir.Value) {
+		nz := k.binOpFresh(ir.CmpNE, y, k.num(0))
+		k.ifElse(nz, func() {
+			r := k.binOpFresh(ir.Rem, x, y)
+			k.Copy(x, y)
+			k.Copy(y, r)
+		}, nil)
+	})
+	return k.ret(x)
+}
+
+func kFib(st style) *ir.Func {
+	k := newKB("fib", st)
+	ps := k.params("n")
+	n := k.clampN(ps[0], 20)
+	a := k.Val("a")
+	b := k.Val("b")
+	k.Const(a, 0)
+	k.Const(b, 1)
+	k.loop(n, func(i *ir.Value) {
+		t := k.binOpFresh(ir.Add, a, b)
+		k.Copy(a, b)
+		k.Copy(b, t)
+	})
+	return k.ret(a)
+}
+
+func kHorner(st style) *ir.Func {
+	k := newKB("horner", st)
+	ps := k.params("pc", "x", "n")
+	pc, x, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 8)
+	acc := k.Val("acc")
+	k.Const(acc, 0)
+	wc := k.walker(pc)
+	k.loop(n, func(i *ir.Value) {
+		c := k.loadStep(wc, 1)
+		k.Binary(ir.Mul, acc, acc, x)
+		k.Binary(ir.Add, acc, acc, c)
+	})
+	return k.ret(acc)
+}
+
+func kMat2Mul(st style) *ir.Func {
+	k := newKB("mat2mul", st)
+	ps := k.params("pa", "pb", "pc")
+	pa, pb, pc := ps[0], ps[1], ps[2]
+	wa := k.walker(pa)
+	a00 := k.loadStep(wa, 1)
+	a01 := k.loadStep(wa, 1)
+	a10 := k.loadStep(wa, 1)
+	a11 := k.loadStep(wa, 1)
+	wb := k.walker(pb)
+	b00 := k.loadStep(wb, 1)
+	b01 := k.loadStep(wb, 1)
+	b10 := k.loadStep(wb, 1)
+	b11 := k.loadStep(wb, 1)
+	c00 := k.Val("c00")
+	k.Binary(ir.Mul, c00, a00, b00)
+	k.macc(c00, a01, b10)
+	c01 := k.Val("c01")
+	k.Binary(ir.Mul, c01, a00, b01)
+	k.macc(c01, a01, b11)
+	c10 := k.Val("c10")
+	k.Binary(ir.Mul, c10, a10, b00)
+	k.macc(c10, a11, b10)
+	c11 := k.Val("c11")
+	k.Binary(ir.Mul, c11, a10, b01)
+	k.macc(c11, a11, b11)
+	wc := k.walker(pc)
+	k.storeStep(wc, c00, 1)
+	k.storeStep(wc, c01, 1)
+	k.storeStep(wc, c10, 1)
+	k.storeStep(wc, c11, 1)
+	return k.ret(c00)
+}
+
+func kQuantize(st style) *ir.Func {
+	k := newKB("quantize", st)
+	ps := k.params("pa", "pb", "n", "q")
+	pa, pb, n, q := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wa, 1)
+		d := k.binOp(ir.Div, x, q)
+		k.storeStep(wb, d, 1)
+	})
+	return k.ret(wb)
+}
+
+func kDeltaEnc(st style) *ir.Func {
+	k := newKB("delta_enc", st)
+	ps := k.params("pa", "pb", "n")
+	pa, pb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	prev := k.Val("prev")
+	k.Const(prev, 0)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wa, 1)
+		d := k.binOp(ir.Sub, x, prev)
+		k.storeStep(wb, d, 1)
+		k.Copy(prev, x)
+	})
+	return k.ret(prev)
+}
+
+func kDeltaDec(st style) *ir.Func {
+	k := newKB("delta_dec", st)
+	ps := k.params("pa", "pb", "n")
+	pa, pb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	acc := k.Val("acc")
+	k.Const(acc, 0)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		d := k.loadStep(wa, 1)
+		k.Binary(ir.Add, acc, acc, d)
+		k.storeStep(wb, acc, 1)
+	})
+	return k.ret(acc)
+}
+
+func kZigzag4(st style) *ir.Func {
+	k := newKB("zigzag4", st)
+	ps := k.params("pa", "pb")
+	pa, pb := ps[0], ps[1]
+	order := []int64{0, 1, 2, 3, 3, 2, 1, 0}
+	wb := k.walker(pb)
+	for _, idx := range order {
+		v := k.Val("")
+		k.Load(v, k.addr(pa, k.num(idx)))
+		k.storeStep(wb, v, 1)
+	}
+	return k.ret(wb)
+}
+
+func kViterbiACS(st style) *ir.Func {
+	k := newKB("viterbi_acs", st)
+	ps := k.params("pm", "pb", "n")
+	pm, pb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 8)
+	wm, wb := k.walker(pm), k.walker(pb)
+	best := k.Val("best")
+	k.Const(best, 0)
+	k.loop(n, func(i *ir.Value) {
+		m0 := k.loadStep(wm, 1)
+		m1 := k.loadStep(wm, 1)
+		br := k.loadStep(wb, 1)
+		p0 := k.binOpFresh(ir.Add, m0, br)
+		p1 := k.binOpFresh(ir.Sub, m1, br)
+		ge := k.binOpFresh(ir.CmpGE, p0, p1)
+		sel := k.Val("")
+		k.Select(sel, ge, p0, p1)
+		k.Binary(ir.Add, best, best, sel)
+	})
+	return k.ret(best)
+}
+
+func kHist4(st style) *ir.Func {
+	k := newKB("hist4", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	sp := k.useSP()
+	n = k.clampN(n, 16)
+	// Zero 4 bins on the stack.
+	zero := k.num(0)
+	for b := int64(0); b < 4; b++ {
+		k.Store(k.addr(sp, k.num(b)), zero)
+	}
+	three := k.num(3)
+	one := k.num(1)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wa, 1)
+		bin := k.binOpFresh(ir.And, x, three)
+		slot := k.addr(sp, bin)
+		c := k.Val("")
+		k.Load(c, slot)
+		k.Binary(ir.Add, c, c, one)
+		k.Store(slot, c)
+	})
+	s := k.Val("s")
+	k.Load(s, k.addr(sp, three))
+	return k.ret(s)
+}
+
+func kPreemph(st style) *ir.Func {
+	k := newKB("preemph", st)
+	ps := k.params("pa", "pb", "n", "mu")
+	pa, pb, n, mu := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 16)
+	prev := k.Val("prev")
+	k.Const(prev, 0)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wa, 1)
+		t := k.binOpFresh(ir.Mul, prev, mu)
+		sh := k.binOpFresh(ir.Shr, t, k.num(7))
+		y := k.binOp(ir.Sub, x, sh)
+		k.storeStep(wb, y, 1)
+		k.Copy(prev, x)
+	})
+	return k.ret(prev)
+}
+
+// kRMSCall exercises the call ABI: the square root is an external helper.
+func kRMSCall(st style) *ir.Func {
+	k := newKB("rms_call", st)
+	ps := k.params("pa", "n")
+	pa, n := ps[0], ps[1]
+	n = k.clampN(n, 16)
+	acc := k.Val("acc")
+	k.Const(acc, 0)
+	wa := k.walker(pa)
+	k.loop(n, func(i *ir.Value) {
+		a := k.loadStep(wa, 1)
+		k.macc(acc, a, a)
+	})
+	mean := k.binOpFresh(ir.Div, acc, k.binOpFresh(ir.Max, n, k.num(1)))
+	r := k.Val("r")
+	k.Call("isqrt", []*ir.Value{r}, mean)
+	return k.ret(r)
+}
+
+// kNormalizeCall calls a helper per element (heavy ABI pressure: the
+// argument and result registers are written in every iteration).
+func kNormalizeCall(st style) *ir.Func {
+	k := newKB("normalize_call", st)
+	ps := k.params("pa", "pb", "n", "g")
+	pa, pb, n, g := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 8)
+	wa, wb := k.walker(pa), k.walker(pb)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wa, 1)
+		y := k.Val("")
+		k.Call("scale_q15", []*ir.Value{y}, x, g)
+		k.storeStep(wb, y, 1)
+	})
+	return k.ret(wb)
+}

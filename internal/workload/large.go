@@ -1,0 +1,436 @@
+package workload
+
+import "outofssa/internal/ir"
+
+// buildLarge assembles the LAI_Large stand-in: vocoder-style functions
+// (the paper's LAI_Large mostly comes from the ETSI EFR 5.1.0 speech
+// coder). Deep loop nests, long accumulator chains, helper calls.
+func buildLarge() []*ir.Func {
+	return []*ir.Func{
+		lAutocorr(), lLevinson(), lLagWindow(), lChebyshevEval(),
+		lPitchOL(), lCodebookSearch(), lSynthesisFilter(),
+		lResidualFilter(), lGainQuant(), lInterpolateLSP(), lAGC(),
+		lVADDecision(),
+	}
+}
+
+// lAutocorr computes 8 autocorrelation lags of a frame.
+func lAutocorr() *ir.Func {
+	k := newKB("autocorr", styleA)
+	ps := k.params("px", "pr", "n")
+	px, pr, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	lags := k.num(8)
+	wr := k.walker(pr)
+	k.loop(lags, func(lag *ir.Value) {
+		acc := k.Val("acc")
+		k.Const(acc, 0)
+		k.loop(n, func(i *ir.Value) {
+			x := k.Val("")
+			k.Load(x, k.addr(px, i))
+			j := k.binOpFresh(ir.Add, i, lag)
+			y := k.Val("")
+			k.Load(y, k.addr(px, j))
+			k.macc(acc, x, y)
+		})
+		// Normalize to avoid overflow, as the EFR code does.
+		sh := k.binOp(ir.Shr, acc, k.num(4))
+		k.storeStep(wr, sh, 1)
+	})
+	r0 := k.Val("r0")
+	k.Load(r0, pr)
+	return k.ret(r0)
+}
+
+// lLevinson runs an order-4 integer Levinson-Durbin recursion.
+func lLevinson() *ir.Func {
+	k := newKB("levinson", styleA)
+	ps := k.params("pr", "pa")
+	pr, pa := ps[0], ps[1]
+	order := k.num(4)
+	one := k.num(1)
+
+	err := k.Val("err")
+	k.Load(err, pr)
+	k.Binary(ir.Max, err, err, one) // keep the divisor sane
+
+	// a[0] = 1 (fixed point 1<<12)
+	k.Store(pa, k.num(1<<12))
+
+	k.loop(order, func(i *ir.Value) {
+		i1 := k.binOpFresh(ir.Add, i, one)
+		// acc = r[i+1] + sum_{j=1..i} a[j]*r[i+1-j]
+		acc := k.Val("acc")
+		k.Load(acc, k.addr(pr, i1))
+		k.Binary(ir.Shl, acc, acc, k.num(12))
+		k.loop(i1, func(j *ir.Value) {
+			nz := k.binOpFresh(ir.CmpGT, j, k.num(0))
+			k.ifElse(nz, func() {
+				aj := k.Val("")
+				k.Load(aj, k.addr(pa, j))
+				d := k.binOpFresh(ir.Sub, i1, j)
+				rj := k.Val("")
+				k.Load(rj, k.addr(pr, d))
+				k.macc(acc, aj, rj)
+			}, nil)
+		})
+		// reflection coefficient rc = -acc / err
+		rc := k.binOpFresh(ir.Div, acc, err)
+		nrc := k.Val("")
+		k.Unary(ir.Neg, nrc, rc)
+		k.Store(k.addr(pa, i1), nrc)
+		// err = err * (1 - rc^2) >> 12 (approximated)
+		rc2 := k.binOpFresh(ir.Mul, nrc, nrc)
+		k.Binary(ir.Shr, rc2, rc2, k.num(12))
+		red := k.binOpFresh(ir.Sub, k.num(1<<12), rc2)
+		k.Binary(ir.Mul, err, err, red)
+		k.Binary(ir.Shr, err, err, k.num(12))
+		k.Binary(ir.Max, err, err, one)
+	})
+	a1 := k.Val("a1")
+	k.Load(a1, k.addr(pa, one))
+	return k.ret(a1)
+}
+
+// lLagWindow applies a lag window table to the autocorrelations.
+func lLagWindow() *ir.Func {
+	k := newKB("lag_window", styleA)
+	ps := k.params("pr", "pw", "n")
+	pr, pw, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 12)
+	wr, ww := k.walker(pr), k.walker(pw)
+	peak := k.Val("peak")
+	k.Const(peak, 1)
+	k.loop(n, func(i *ir.Value) {
+		r := k.Val("")
+		k.Load(r, wr)
+		w := k.loadStep(ww, 1)
+		t := k.binOpFresh(ir.Mul, r, w)
+		k.Binary(ir.Shr, t, t, k.num(15))
+		k.storeStep(wr, t, 1)
+		neg := k.binOpFresh(ir.CmpLT, t, k.num(0))
+		nt := k.Val("")
+		k.Unary(ir.Neg, nt, t)
+		at := k.Val("")
+		k.Select(at, neg, nt, t)
+		k.Binary(ir.Max, peak, peak, at)
+	})
+	// Normalization pass, as Lag_window's caller does in the EFR code.
+	wr2 := k.walker(pr)
+	k.loop(n, func(i *ir.Value) {
+		r := k.Val("")
+		k.Load(r, wr2)
+		sc := k.binOpFresh(ir.Shl, r, k.num(4))
+		q := k.binOpFresh(ir.Div, sc, peak)
+		k.storeStep(wr2, q, 1)
+	})
+	first := k.Val("")
+	k.Load(first, pr)
+	return k.ret(first, peak)
+}
+
+// lChebyshevEval evaluates a Chebyshev polynomial grid scan (the LSP
+// root search shape of az_lsp): an outer grid loop with an inner
+// recurrence, tracking sign changes.
+func lChebyshevEval() *ir.Func {
+	k := newKB("cheb_eval", styleA)
+	ps := k.params("pf", "order")
+	pf, order := ps[0], ps[1]
+	order = k.clampN(order, 6)
+	grid := k.num(16)
+	signChanges := k.Val("sc")
+	k.Const(signChanges, 0)
+	prev := k.Val("prev")
+	k.Const(prev, 0)
+	one := k.num(1)
+	k.loop(grid, func(g *ir.Value) {
+		x := k.binOpFresh(ir.Sub, k.num(8), g) // grid point in [-8, 8]
+		b1 := k.Val("b1")
+		b2 := k.Val("b2")
+		k.Const(b1, 0)
+		k.Const(b2, 0)
+		wf := k.walker(pf)
+		k.loop(order, func(j *ir.Value) {
+			f := k.loadStep(wf, 1)
+			t := k.binOpFresh(ir.Mul, x, b1)
+			k.Binary(ir.Shr, t, t, k.num(2))
+			k.Binary(ir.Sub, t, t, b2)
+			k.Binary(ir.Add, t, t, f)
+			k.Copy(b2, b1)
+			k.Copy(b1, t)
+		})
+		val := k.binOpFresh(ir.Sub, b1, b2)
+		neg := k.binOpFresh(ir.CmpLT, val, k.num(0))
+		wasNeg := k.binOpFresh(ir.CmpLT, prev, k.num(0))
+		diff := k.binOpFresh(ir.CmpNE, neg, wasNeg)
+		notFirst := k.binOpFresh(ir.CmpGT, g, k.num(0))
+		hit := k.binOpFresh(ir.And, diff, notFirst)
+		k.ifElse(hit, func() {
+			k.Binary(ir.Add, signChanges, signChanges, one)
+		}, nil)
+		k.Copy(prev, val)
+	})
+	return k.ret(signChanges)
+}
+
+// lPitchOL is the open-loop pitch search: for each candidate lag, a
+// correlation and an energy, maximizing corr^2/energy via helper calls.
+func lPitchOL() *ir.Func {
+	k := newKB("pitch_ol", styleA)
+	ps := k.params("px", "n", "minLag", "maxLag")
+	px, n := ps[0], ps[1]
+	n = k.clampN(n, 12)
+	minLag := k.num(2)
+	maxLag := k.num(8)
+	span := k.binOpFresh(ir.Sub, maxLag, minLag)
+
+	bestLag := k.Val("bestLag")
+	bestScore := k.Val("bestScore")
+	k.Copy(bestLag, minLag)
+	k.Const(bestScore, -(1 << 30))
+
+	k.loop(span, func(d *ir.Value) {
+		lag := k.binOpFresh(ir.Add, minLag, d)
+		corr := k.Val("corr")
+		en := k.Val("en")
+		k.Const(corr, 0)
+		k.Const(en, 0)
+		k.loop(n, func(i *ir.Value) {
+			x := k.Val("")
+			k.Load(x, k.addr(px, i))
+			j := k.binOpFresh(ir.Add, i, lag)
+			y := k.Val("")
+			k.Load(y, k.addr(px, j))
+			k.macc(corr, x, y)
+			k.macc(en, y, y)
+		})
+		score := k.Val("score")
+		k.Call("norm_score", []*ir.Value{score}, corr, en)
+		better := k.binOpFresh(ir.CmpGT, score, bestScore)
+		k.ifElse(better, func() {
+			k.Copy(bestScore, score)
+			k.Copy(bestLag, lag)
+		}, nil)
+	})
+	return k.ret(bestLag, bestScore)
+}
+
+// lCodebookSearch scans 8 codebook vectors for the best match.
+func lCodebookSearch() *ir.Func {
+	k := newKB("codebook_search", styleA)
+	ps := k.params("px", "pcb", "n")
+	px, pcb, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 8)
+	words := k.num(8)
+	bestIdx := k.Val("bestIdx")
+	bestScore := k.Val("bestScore")
+	k.Const(bestIdx, 0)
+	k.Const(bestScore, -(1 << 30))
+	k.loop(words, func(w *ir.Value) {
+		base := k.binOpFresh(ir.Mul, w, n)
+		cw := k.addr(pcb, base)
+		corr := k.Val("corr")
+		en := k.Val("en")
+		k.Const(corr, 0)
+		k.Const(en, 1)
+		wx, wc := k.walker(px), k.walker(cw)
+		k.loop(n, func(i *ir.Value) {
+			x := k.loadStep(wx, 1)
+			c := k.loadStep(wc, 1)
+			k.macc(corr, x, c)
+			k.macc(en, c, c)
+		})
+		num := k.binOpFresh(ir.Mul, corr, corr)
+		score := k.binOp(ir.Div, num, en)
+		better := k.binOpFresh(ir.CmpGT, score, bestScore)
+		k.ifElse(better, func() {
+			k.Copy(bestScore, score)
+			k.Copy(bestIdx, w)
+		}, nil)
+	})
+	return k.ret(bestIdx, bestScore)
+}
+
+// lSynthesisFilter runs the order-4 IIR synthesis filter.
+func lSynthesisFilter() *ir.Func {
+	k := newKB("syn_filt", styleA)
+	ps := k.params("pa", "px", "py", "n")
+	pa, px, py, n := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 12)
+	four := k.num(4)
+	one := k.num(1)
+	wx, wy := k.walker(px), k.walker(py)
+	k.loop(n, func(i *ir.Value) {
+		acc := k.Val("acc")
+		x := k.loadStep(wx, 1)
+		k.Copy(acc, x)
+		k.Binary(ir.Shl, acc, acc, k.num(12))
+		k.loop(four, func(j *ir.Value) {
+			j1 := k.binOpFresh(ir.Add, j, one)
+			inRange := k.binOpFresh(ir.CmpGE, k.binOpFresh(ir.Sub, i, j1), k.num(0))
+			k.ifElse(inRange, func() {
+				aj := k.Val("")
+				k.Load(aj, k.addr(pa, j1))
+				d := k.binOpFresh(ir.Sub, i, j1)
+				yd := k.Val("")
+				k.Load(yd, k.addr(py, d))
+				t := k.binOpFresh(ir.Mul, aj, yd)
+				k.Binary(ir.Sub, acc, acc, t)
+			}, nil)
+		})
+		out := k.binOp(ir.Shr, acc, k.num(12))
+		k.storeStep(wy, out, 1)
+	})
+	return k.ret(wy)
+}
+
+// lResidualFilter runs the order-4 FIR analysis filter.
+func lResidualFilter() *ir.Func {
+	k := newKB("residu", styleA)
+	ps := k.params("pa", "px", "py", "n")
+	pa, px, py, n := ps[0], ps[1], ps[2], ps[3]
+	n = k.clampN(n, 12)
+	four := k.num(4)
+	wy := k.walker(py)
+	k.loop(n, func(i *ir.Value) {
+		acc := k.Val("acc")
+		x0 := k.Val("")
+		k.Load(x0, k.addr(px, i))
+		k.Copy(acc, x0)
+		k.Binary(ir.Shl, acc, acc, k.num(12))
+		k.loop(four, func(j *ir.Value) {
+			aj := k.Val("")
+			k.Load(aj, k.addr(pa, j))
+			d := k.binOpFresh(ir.Sub, i, j)
+			xd := k.Val("")
+			k.Load(xd, k.addr(px, d))
+			k.macc(acc, aj, xd)
+		})
+		out := k.binOp(ir.Shr, acc, k.num(12))
+		k.storeStep(wy, out, 1)
+	})
+	return k.ret(wy)
+}
+
+// lGainQuant searches a 16-entry gain table for the closest entry.
+func lGainQuant() *ir.Func {
+	k := newKB("gain_quant", styleA)
+	ps := k.params("g", "ptab")
+	g, ptab := ps[0], ps[1]
+	entries := k.num(16)
+	bestIdx := k.Val("bestIdx")
+	bestDist := k.Val("bestDist")
+	k.Const(bestIdx, 0)
+	k.Const(bestDist, 1<<30)
+	wt := k.walker(ptab)
+	k.loop(entries, func(i *ir.Value) {
+		t := k.loadStep(wt, 1)
+		d := k.binOpFresh(ir.Sub, t, g)
+		neg := k.binOpFresh(ir.CmpLT, d, k.num(0))
+		nd := k.Val("")
+		k.Unary(ir.Neg, nd, d)
+		ad := k.Val("")
+		k.Select(ad, neg, nd, d)
+		better := k.binOpFresh(ir.CmpLT, ad, bestDist)
+		k.ifElse(better, func() {
+			k.Copy(bestDist, ad)
+			k.Copy(bestIdx, i)
+		}, nil)
+	})
+	q := k.Val("q")
+	k.Load(q, k.addr(ptab, bestIdx))
+	return k.ret(bestIdx, q)
+}
+
+// lInterpolateLSP interpolates LSP vectors over 4 subframes.
+func lInterpolateLSP() *ir.Func {
+	k := newKB("int_lsp", styleA)
+	ps := k.params("pold", "pnew", "pout")
+	pold, pnew, pout := ps[0], ps[1], ps[2]
+	subframes := k.num(4)
+	order := k.num(10)
+	wout := k.walker(pout)
+	k.loop(subframes, func(s *ir.Value) {
+		// weight = (s+1) / 4 in Q2
+		one := k.num(1)
+		wNew := k.binOpFresh(ir.Add, s, one)
+		wOld := k.binOpFresh(ir.Sub, k.num(4), wNew)
+		k.loop(order, func(j *ir.Value) {
+			o := k.Val("")
+			k.Load(o, k.addr(pold, j))
+			nw := k.Val("")
+			k.Load(nw, k.addr(pnew, j))
+			acc := k.Val("acc")
+			k.Binary(ir.Mul, acc, o, wOld)
+			k.macc(acc, nw, wNew)
+			k.Binary(ir.Shr, acc, acc, k.num(2))
+			k.storeStep(wout, acc, 1)
+		})
+	})
+	return k.ret(wout)
+}
+
+// lAGC: two-pass automatic gain control with an isqrt helper call.
+func lAGC() *ir.Func {
+	k := newKB("agc", styleA)
+	ps := k.params("px", "py", "n")
+	px, py, n := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 12)
+	eIn := k.Val("eIn")
+	eOut := k.Val("eOut")
+	k.Const(eIn, 1)
+	k.Const(eOut, 1)
+	wx, wy := k.walker(px), k.walker(py)
+	k.loop(n, func(i *ir.Value) {
+		x := k.loadStep(wx, 1)
+		y := k.loadStep(wy, 1)
+		k.macc(eIn, x, x)
+		k.macc(eOut, y, y)
+	})
+	ratio := k.binOpFresh(ir.Div, eIn, eOut)
+	gain := k.Val("gain")
+	k.Call("isqrt", []*ir.Value{gain}, ratio)
+	wy2 := k.walker(py)
+	k.loop(n, func(i *ir.Value) {
+		y := k.Val("")
+		k.Load(y, wy2)
+		t := k.binOpFresh(ir.Mul, y, gain)
+		k.Binary(ir.Shr, t, t, k.num(6))
+		k.storeStep(wy2, t, 1)
+	})
+	return k.ret(gain)
+}
+
+// lVADDecision: voice activity decision over band energies, with
+// hysteresis state threading through the loop.
+func lVADDecision() *ir.Func {
+	k := newKB("vad", styleA)
+	ps := k.params("pe", "n", "thr")
+	pe, n, thr := ps[0], ps[1], ps[2]
+	n = k.clampN(n, 16)
+	active := k.Val("active")
+	hang := k.Val("hang")
+	count := k.Val("count")
+	k.Const(active, 0)
+	k.Const(hang, 0)
+	k.Const(count, 0)
+	one := k.num(1)
+	we := k.walker(pe)
+	k.loop(n, func(i *ir.Value) {
+		e := k.loadStep(we, 1)
+		hi := k.binOpFresh(ir.CmpGT, e, thr)
+		k.ifElse(hi, func() {
+			k.Const(active, 1)
+			k.Const(hang, 4)
+			k.Binary(ir.Add, count, count, one)
+		}, func() {
+			pos := k.binOpFresh(ir.CmpGT, hang, k.num(0))
+			k.ifElse(pos, func() {
+				k.Binary(ir.Sub, hang, hang, one)
+			}, func() {
+				k.Const(active, 0)
+			})
+		})
+	})
+	return k.ret(active, count)
+}

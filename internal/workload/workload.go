@@ -1,0 +1,92 @@
+// Package workload builds the five benchmark suites of the paper's
+// evaluation, substituted as described in DESIGN.md:
+//
+//   - VALcc1/VALcc2 — ~40 small DSP/sort/search/string kernels compiled by
+//     two different lowering styles (standing in for the two ST120 C
+//     compilers);
+//   - Examples — the paper's own hand-crafted scenarios (example1-8);
+//   - LAILarge — larger vocoder-like functions (autocorrelation,
+//     Levinson-Durbin, pitch and codebook search, filters) standing in
+//     for the ETSI EFR 5.1.0 material;
+//   - SPECint — a large population of seeded random control-flow-heavy
+//     functions standing in for SPEC CINT2000.
+//
+// Every constructor builds fresh ir.Func values: the pipelines mutate
+// their input, so each experiment gets its own copy.
+package workload
+
+import (
+	"fmt"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/testprog"
+)
+
+// Suite is a named list of freshly built functions.
+type Suite struct {
+	Name  string
+	Funcs []*ir.Func
+}
+
+// NumInstrs totals the instruction count across the suite.
+func (s *Suite) NumInstrs() int {
+	n := 0
+	for _, f := range s.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// VALcc1 builds the kernel set with lowering style A (mac-fused,
+// pointer auto-increment, fresh temporaries).
+func VALcc1() *Suite {
+	return &Suite{Name: "VALcc1", Funcs: buildKernels(styleA)}
+}
+
+// VALcc2 builds the same kernels with lowering style B (mul+add, indexed
+// addressing, reused scratch variables, parameter home copies) — the
+// "other compiler".
+func VALcc2() *Suite {
+	return &Suite{Name: "VALcc2", Funcs: buildKernels(styleB)}
+}
+
+// Examples builds example1-8: the paper's hand-crafted figures as
+// runnable programs.
+func Examples() *Suite {
+	return &Suite{Name: "example1-8", Funcs: buildExamples()}
+}
+
+// LAILarge builds the vocoder-like large-function suite.
+func LAILarge() *Suite {
+	return &Suite{Name: "LAI_Large", Funcs: buildLarge()}
+}
+
+// SPECintFuncs controls the size of the synthetic SPECint population.
+const SPECintFuncs = 120
+
+// SPECint builds the synthetic SPEC CINT2000 stand-in: many larger
+// random structured functions (seeded, reproducible).
+func SPECint() *Suite {
+	// Shallow mutable-variable pool with deeper control flow: compiled
+	// integer code has thin φ webs (few variables reassigned across many
+	// joins), which is the population the paper's greedy operates on.
+	opt := testprog.RandOptions{
+		MaxDepth:      5,
+		Vars:          5,
+		StmtsPerBlock: 5,
+		Calls:         true,
+		Stack:         true,
+	}
+	var funcs []*ir.Func
+	for seed := int64(0); seed < SPECintFuncs; seed++ {
+		f := testprog.Rand(1000+seed, opt)
+		f.Name = fmt.Sprintf("synth%03d", seed)
+		funcs = append(funcs, f)
+	}
+	return &Suite{Name: "SPECint", Funcs: funcs}
+}
+
+// All builds every suite in the paper's presentation order.
+func All() []*Suite {
+	return []*Suite{VALcc1(), VALcc2(), Examples(), LAILarge(), SPECint()}
+}

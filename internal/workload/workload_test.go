@@ -1,0 +1,211 @@
+package workload_test
+
+import (
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/workload"
+)
+
+var argSets = [][]int64{
+	{0, 0, 0, 0},
+	{100, 200, 300, 5},
+	{7, 3, 9, 12},
+	{50, 60, 2, 8},
+}
+
+func TestSuitesBuildAndVerify(t *testing.T) {
+	for _, s := range workload.All() {
+		if len(s.Funcs) == 0 {
+			t.Errorf("%s: empty suite", s.Name)
+		}
+		names := make(map[string]bool)
+		for _, f := range s.Funcs {
+			if err := f.Verify(); err != nil {
+				t.Errorf("%s/%s: %v", s.Name, f.Name, err)
+			}
+			if names[f.Name] {
+				t.Errorf("%s: duplicate function name %s", s.Name, f.Name)
+			}
+			names[f.Name] = true
+		}
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	v1 := workload.VALcc1()
+	if len(v1.Funcs) < 40 {
+		t.Errorf("VALcc1 has %d kernels, want >= 40 (paper: 'about 40 small functions')", len(v1.Funcs))
+	}
+	ex := workload.Examples()
+	if len(ex.Funcs) != 8 {
+		t.Errorf("examples suite has %d functions, want 8", len(ex.Funcs))
+	}
+	lg := workload.LAILarge()
+	for _, f := range lg.Funcs {
+		if f.NumInstrs() < 25 {
+			t.Errorf("LAI_Large/%s has only %d instructions — not 'large'", f.Name, f.NumInstrs())
+		}
+	}
+	sp := workload.SPECint()
+	if len(sp.Funcs) != workload.SPECintFuncs {
+		t.Errorf("SPECint has %d functions", len(sp.Funcs))
+	}
+	if sp.NumInstrs() < 10*lg.NumInstrs() {
+		t.Errorf("SPECint (%d instrs) should dwarf LAI_Large (%d)", sp.NumInstrs(), lg.NumInstrs())
+	}
+}
+
+func TestSuitesExecute(t *testing.T) {
+	for _, s := range workload.All() {
+		for _, f := range s.Funcs {
+			for _, args := range argSets {
+				if _, err := ir.Exec(f, args, 300000); err != nil {
+					t.Fatalf("%s/%s args=%v: %v", s.Name, f.Name, args, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSuitesDeterministic(t *testing.T) {
+	a := workload.VALcc1()
+	b := workload.VALcc1()
+	for i := range a.Funcs {
+		ra, err := ir.Exec(a.Funcs[i], argSets[1], 300000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := ir.Exec(b.Funcs[i], argSets[1], 300000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.Equal(rb) {
+			t.Fatalf("%s: rebuild changed behaviour", a.Funcs[i].Name)
+		}
+	}
+}
+
+// TestStylesAgree: VALcc1 and VALcc2 are the same kernels compiled
+// differently — they must compute the same outputs (store traces may
+// legitimately differ in count because pointer-walk styles differ, but
+// here both perform identical stores).
+func TestStylesAgree(t *testing.T) {
+	v1 := workload.VALcc1()
+	v2 := workload.VALcc2()
+	if len(v1.Funcs) != len(v2.Funcs) {
+		t.Fatal("suites differ in length")
+	}
+	for i := range v1.Funcs {
+		for _, args := range argSets {
+			r1, err := ir.Exec(v1.Funcs[i], args, 300000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := ir.Exec(v2.Funcs[i], args, 300000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r1.Equal(r2) {
+				t.Fatalf("%s vs %s disagree on %v:\nA=%+v\nB=%+v",
+					v1.Funcs[i].Name, v2.Funcs[i].Name, args, r1, r2)
+			}
+		}
+	}
+}
+
+// TestSuitesThroughPipelines: every suite function survives every
+// experiment configuration with identical behaviour. SPECint is sampled
+// to keep the test fast; the full population runs in the bench harness.
+func TestSuitesThroughPipelines(t *testing.T) {
+	type entry struct {
+		suite string
+		idx   int
+		mk    func() *ir.Func
+	}
+	var entries []entry
+	mkSuite := func(name string, build func() *workload.Suite) {
+		n := len(build().Funcs)
+		step := 1
+		if name == "SPECint" {
+			step = 10
+		}
+		for i := 0; i < n; i += step {
+			i := i
+			entries = append(entries, entry{name, i, func() *ir.Func {
+				return build().Funcs[i]
+			}})
+		}
+	}
+	mkSuite("VALcc1", workload.VALcc1)
+	mkSuite("VALcc2", workload.VALcc2)
+	mkSuite("example1-8", workload.Examples)
+	mkSuite("LAI_Large", workload.LAILarge)
+	mkSuite("SPECint", workload.SPECint)
+
+	for _, e := range entries {
+		ref := e.mk()
+		want, err := ir.Exec(ref, argSets[2], 300000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, conf := range pipeline.Configs {
+			f := e.mk()
+			if _, err := pipeline.Run(f, conf); err != nil {
+				t.Fatalf("%s[%d]/%s: %v", e.suite, e.idx, name, err)
+			}
+			got, err := ir.Exec(f, argSets[2], 600000)
+			if err != nil {
+				t.Fatalf("%s[%d]/%s: %v", e.suite, e.idx, name, err)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("%s[%d] (%s): %s changed behaviour\n%s",
+					e.suite, e.idx, ref.Name, name, f)
+			}
+		}
+	}
+}
+
+// TestPaperShapeOnSuites asserts the paper's headline orderings on the
+// kernel suites (where the margins actually live):
+//
+//	Table 2: Lφ+C <= C and roughly <= Sφ+C;
+//	Table 3: Lφ,ABI+C strictly best;
+//	Table 4: naive φ and naive ABI each cost much more.
+func TestPaperShapeOnSuites(t *testing.T) {
+	sum := func(build func() *workload.Suite, exp string) int {
+		total := 0
+		for i := range build().Funcs {
+			f := build().Funcs[i]
+			r, err := pipeline.Run(f, pipeline.Configs[exp])
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, exp, err)
+			}
+			total += r.Moves
+		}
+		return total
+	}
+	for _, build := range []func() *workload.Suite{workload.VALcc1, workload.VALcc2, workload.LAILarge} {
+		name := build().Name
+		lphiC := sum(build, pipeline.ExpLphiC)
+		c := sum(build, pipeline.ExpC2)
+		if lphiC > c {
+			t.Errorf("%s: Lφ+C (%d) worse than C (%d) — Table 2 shape broken", name, lphiC, c)
+		}
+		lphiABIC := sum(build, pipeline.ExpLphiABIC)
+		for _, other := range []string{pipeline.ExpSphiLABIC, pipeline.ExpLABIC, pipeline.ExpC3} {
+			o := sum(build, other)
+			if lphiABIC > o {
+				t.Errorf("%s: Lφ,ABI+C (%d) worse than %s (%d) — Table 3 shape broken",
+					name, lphiABIC, other, o)
+			}
+		}
+		full := sum(build, pipeline.ExpLphiABI)
+		sphi := sum(build, pipeline.ExpSphi)
+		labi := sum(build, pipeline.ExpLABI)
+		if sphi < full || labi < full {
+			t.Errorf("%s: Table 4 shape broken: full=%d sphi=%d labi=%d", name, full, sphi, labi)
+		}
+	}
+}
