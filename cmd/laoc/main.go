@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	laoc [-exp Lphi,ABI+C] [-dump-ssa] [-run a,b,c] file.lai
+//	laoc [-exp Lphi,ABI+C] [-dump-ssa] [-run a,b,c] [-trace] [-trace-json FILE] file.lai
 //	laoc -list-exps
 //
-// With no file, laoc reads LAI from standard input.
+// With no file, laoc reads LAI from standard input. With -run, laoc
+// interprets the function before and after the pipeline and exits
+// non-zero if the results differ, so CI can gate on semantic
+// preservation. -trace prints a per-pass wall-time/allocation/IR-delta
+// table for every function; -trace-json streams the same events as
+// JSONL for machine diffing (see DESIGN.md for the schema).
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"outofssa/internal/ir"
 	"outofssa/internal/lai"
+	"outofssa/internal/obs"
 	"outofssa/internal/pipeline"
 	"outofssa/internal/ssa"
 )
@@ -31,6 +37,9 @@ func main() {
 	listExps := flag.Bool("list-exps", false, "list experiment configurations and exit")
 	dumpSSA := flag.Bool("dump-ssa", false, "also print the pinned SSA form")
 	runArgs := flag.String("run", "", "comma-separated integer arguments: interpret the result")
+	trace := flag.Bool("trace", false, "print a per-pass trace table for every function")
+	traceVerbose := flag.Bool("trace-counters", false, "with -trace, also print per-pass counters")
+	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
 	flag.Parse()
 
 	if *listExps {
@@ -50,6 +59,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "laoc: unknown experiment %q (see -list-exps)\n", *exp)
 		os.Exit(2)
 	}
+
+	var tracers []obs.Tracer
+	if *trace {
+		s := obs.NewSummary(os.Stdout)
+		s.Verbose = *traceVerbose
+		tracers = append(tracers, s)
+	}
+	if *traceJSON != "" {
+		w, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "laoc:", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		tracers = append(tracers, obs.NewJSONL(w))
+	}
+	tracer := obs.Multi(tracers...)
 
 	var src []byte
 	var err error
@@ -81,6 +107,7 @@ func main() {
 		}
 	}
 
+	mismatched := false
 	for _, f := range funcs {
 		var before *ir.ExecResult
 		if *runArgs != "" {
@@ -97,7 +124,7 @@ func main() {
 			fmt.Printf("; ---- %s: pruned SSA ----\n%s\n", g.Name, g)
 		}
 
-		res, err := pipeline.Run(f, conf)
+		res, err := pipeline.RunTraced(f, conf, *exp, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "laoc: %s: %v\n", f.Name, err)
 			os.Exit(1)
@@ -120,9 +147,14 @@ func main() {
 			status := "MATCH"
 			if !before.Equal(after) {
 				status = "MISMATCH"
+				mismatched = true
 			}
 			fmt.Printf("; run(%v) = %v [%s]\n", args, after.Outputs, status)
 		}
 		fmt.Println()
+	}
+	if mismatched {
+		fmt.Fprintln(os.Stderr, "laoc: semantic mismatch between pre- and post-pipeline execution")
+		os.Exit(1)
 	}
 }

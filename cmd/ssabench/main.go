@@ -8,13 +8,26 @@
 //	ssabench            # all tables
 //	ssabench -table 3   # one table
 //	ssabench -list      # list suites and sizes
+//
+// ssabench doubles as the profiling harness for the pipeline:
+//
+//	ssabench -trace-json trace.jsonl     # per-pass events for every run
+//	ssabench -cpuprofile cpu.pprof       # CPU profile of the regeneration
+//	ssabench -memprofile mem.pprof       # heap profile at exit
+//
+// The JSONL event schema is documented in DESIGN.md; `go tool pprof`
+// reads the profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"outofssa/internal/obs"
+	"outofssa/internal/ssa"
 	"outofssa/internal/stats"
 	"outofssa/internal/workload"
 )
@@ -22,21 +35,71 @@ import (
 func main() {
 	table := flag.Int("table", 0, "table to regenerate (1-5); 0 means all")
 	list := flag.Bool("list", false, "list the workload suites and exit")
+	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ssabench:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, s := range workload.All() {
-			fmt.Printf("%-12s %4d functions, %6d instructions\n",
-				s.Name, len(s.Funcs), s.NumInstrs())
+			// φ counts require SSA form; the suites are built fresh for
+			// this listing, so converting them in place is fine.
+			instrs := s.NumInstrs()
+			phis := 0
+			for _, f := range s.Funcs {
+				ssa.Build(f)
+				phis += f.CountPhis()
+			}
+			fmt.Printf("%-12s %4d functions, %6d instructions, %5d phis\n",
+				s.Name, len(s.Funcs), instrs, phis)
 		}
 		return
 	}
 
-	run := func(fn func() (*stats.Table, error)) {
-		t, err := fn()
+	if *cpuprofile != "" {
+		w, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssabench:", err)
-			os.Exit(1)
+			fail(err)
+		}
+		defer w.Close()
+		if err := pprof.StartCPUProfile(w); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			w, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer w.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(w); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	var tracer obs.Tracer
+	if *traceJSON != "" {
+		w, err := os.Create(*traceJSON)
+		if err != nil {
+			fail(err)
+		}
+		defer w.Close()
+		tracer = obs.NewJSONL(w)
+	}
+
+	run := func(fn func(obs.Tracer) (*stats.Table, error)) {
+		t, err := fn(tracer)
+		if err != nil {
+			fail(err)
 		}
 		fmt.Println(t)
 	}
@@ -44,10 +107,9 @@ func main() {
 	switch *table {
 	case 0:
 		fmt.Println(stats.Table1())
-		ts, err := stats.AllTables()
+		ts, err := stats.AllTablesTraced(tracer)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ssabench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		for _, t := range ts {
 			fmt.Println(t)
@@ -55,13 +117,13 @@ func main() {
 	case 1:
 		fmt.Println(stats.Table1())
 	case 2:
-		run(stats.Table2)
+		run(stats.Table2Traced)
 	case 3:
-		run(stats.Table3)
+		run(stats.Table3Traced)
 	case 4:
-		run(stats.Table4)
+		run(stats.Table4Traced)
 	case 5:
-		run(stats.Table5)
+		run(stats.Table5Traced)
 	default:
 		fmt.Fprintf(os.Stderr, "ssabench: no table %d (have 1-5)\n", *table)
 		os.Exit(2)

@@ -44,15 +44,20 @@ type Stats struct {
 	Gain int
 	// PhiSlots is the total number of φ argument slots (gain upper bound).
 	PhiSlots int
-	// EdgesInterfering counts affinity edges removed by the initial
-	// pruning, EdgesPruned those removed by the weighted greedy pruning,
-	// and EdgesDeferred those skipped at merge time by the incremental
+	// EdgesBuilt counts affinity edges created across all confluence
+	// graphs; EdgesInterfering those removed by the initial pruning,
+	// EdgesPruned those removed by the weighted greedy pruning, and
+	// EdgesDeferred those skipped at merge time by the incremental
 	// interference recheck.
+	EdgesBuilt       int
 	EdgesInterfering int
 	EdgesPruned      int
 	EdgesDeferred    int
 	// Merges is the number of resource unions performed.
 	Merges int
+	// Interference snapshots the analysis query counters accumulated by
+	// the pass (the tracer's view into the hot path).
+	Interference interference.Counters
 }
 
 // ProgramPinning runs the paper's Algorithm 1 on f (pinned SSA form): an
@@ -100,6 +105,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 					continue
 				}
 				g := createAffinityGraph(b, res, rg, an, d)
+				st.EdgesBuilt += len(g.edges)
 				pinBlock(g, res, rg, st)
 			}
 		}
@@ -109,6 +115,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 				continue
 			}
 			g := createAffinityGraph(b, res, rg, an, -1)
+			st.EdgesBuilt += len(g.edges)
 			pinBlock(g, res, rg, st)
 		}
 	}
@@ -163,6 +170,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 			}
 		}
 	}
+	st.Interference = an.Counters()
 	return st, nil
 }
 

@@ -16,6 +16,9 @@ type PrePinStats struct {
 	// Skipped counts candidate (def, use-pin) pairs rejected because the
 	// merge would have created an interference.
 	Skipped int
+	// Interference snapshots the analysis query counters accumulated by
+	// the pass (the tracer's view into the hot path).
+	Interference interference.Counters
 }
 
 // PrePinDefs implements the pre-pass the paper suggests for limitation
@@ -90,6 +93,7 @@ func PrePinDefs(f *ir.Func, mode interference.Mode) (*PrePinStats, error) {
 		}
 	}
 	pin.RepinDefs(f, res)
+	st.Interference = an.Counters()
 	return st, nil
 }
 

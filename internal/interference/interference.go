@@ -40,6 +40,27 @@ func (m Mode) String() string {
 	return "exact"
 }
 
+// Counters tallies the query volume of an Analysis and its resource
+// lifting. These are the hot numbers of the paper's Algorithms 2-4 —
+// Variable_kills dominates Program_pinning's runtime — and are read by
+// the pipeline tracer after each pass. Plain increments on the query
+// paths; never reset.
+type Counters struct {
+	// KillQueries, InterfereQueries and StrongQueries count calls to
+	// Kills, Interfere and StronglyInterfere respectively.
+	KillQueries      int64
+	InterfereQueries int64
+	StrongQueries    int64
+	// LiveAfterHits/Misses split the memoized live-after-definition
+	// lookups into cache hits and set constructions.
+	LiveAfterHits   int64
+	LiveAfterMisses int64
+	// ResourceKilled and ResourceInterfere count the resource-level
+	// liftings (each expands to many variable queries).
+	ResourceKilled    int64
+	ResourceInterfere int64
+}
+
 // Analysis answers variable-level interference queries on an SSA
 // function. The underlying IR must not change while the analysis is in
 // use (resource classes may change freely — they are not consulted here).
@@ -53,7 +74,12 @@ type Analysis struct {
 	defIdx []int       // value ID -> index of def within its block
 
 	liveAfter map[*ir.Instr]*bitset.Set // lazily cached per definition
+
+	c Counters
 }
+
+// Counters returns a snapshot of the query counters accumulated so far.
+func (a *Analysis) Counters() Counters { return a.c }
 
 // New builds an analysis. live and dom must describe the current f.
 func New(f *ir.Func, live *liveness.Info, dom *cfg.DomTree, mode Mode) *Analysis {
@@ -105,8 +131,10 @@ func (a *Analysis) instrDominates(x, y *ir.Instr, xIdx, yIdx int) bool {
 // def executes; for φ defs, the live-in set of the φ's block.
 func (a *Analysis) liveAfterDef(def *ir.Instr) *bitset.Set {
 	if s, ok := a.liveAfter[def]; ok {
+		a.c.LiveAfterHits++
 		return s
 	}
+	a.c.LiveAfterMisses++
 	var s *bitset.Set
 	b := def.Block()
 	if def.Op == ir.Phi {
@@ -136,6 +164,7 @@ func (a *Analysis) liveAfterDef(def *ir.Instr) *bitset.Set {
 //	        predecessor would overwrite b. Note b == v is possible here:
 //	        this is the lost-copy self-kill.
 func (an *Analysis) Kills(v, b *ir.Value) bool {
+	an.c.KillQueries++
 	defV, defB := an.defs[v.ID], an.defs[b.ID]
 	// Case 1.
 	if v != b && defV != nil && defB != nil &&
@@ -171,6 +200,7 @@ func (an *Analysis) Kills(v, b *ir.Value) bool {
 // strong interferences cannot be repaired, so pinning the two variables
 // together would be incorrect.
 func (an *Analysis) StronglyInterfere(a, b *ir.Value) bool {
+	an.c.StrongQueries++
 	if a == b {
 		return false
 	}
@@ -204,6 +234,7 @@ func (an *Analysis) StronglyInterfere(a, b *ir.Value) bool {
 // iff the dominator-wise earlier one is live at the definition of the
 // other (Budimlic et al.).
 func (an *Analysis) Interfere(a, b *ir.Value) bool {
+	an.c.InterfereQueries++
 	if a == b {
 		return false
 	}
@@ -294,6 +325,7 @@ func NewResourceGraph(an *Analysis, res *pin.Resources) *ResourceGraph {
 // killed by some other member (or by themselves, for the lost-copy case),
 // or by a pinned use writing the resource while they are live.
 func (g *ResourceGraph) Killed(v *ir.Value) map[*ir.Value]bool {
+	g.An.c.ResourceKilled++
 	root := g.Res.Find(v)
 	members := g.Res.Members(root)
 	killed := make(map[*ir.Value]bool)
@@ -331,6 +363,7 @@ func (g *ResourceGraph) Killed(v *ir.Value) map[*ir.Value]bool {
 // resources would create a new simple interference (a repair not already
 // needed) or a strong interference (incorrect code).
 func (g *ResourceGraph) Interfere(a, b *ir.Value) bool {
+	g.An.c.ResourceInterfere++
 	ra, rb := g.Res.Find(a), g.Res.Find(b)
 	if ra == rb {
 		return false

@@ -135,6 +135,40 @@ func (f *Func) WeightedMoves() int64 {
 	return n
 }
 
+// CountPhis returns the number of φ instructions in the function — an
+// IR-provenance counter: positive while in SSA form, zero after a
+// successful out-of-SSA translation.
+func (f *Func) CountPhis() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Phis())
+	}
+	return n
+}
+
+// CountPins returns the number of pinned operands (definitions and
+// uses) — the renaming-constraint load the out-of-pinned-SSA
+// translation must discharge. Collect phases raise it, the translation
+// consumes it back to zero.
+func (f *Func) CountPins() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i := range in.Defs {
+				if in.Defs[i].Pin != nil {
+					n++
+				}
+			}
+			for i := range in.Uses {
+				if in.Uses[i].Pin != nil {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
 // DefSites returns, for each value ID, the instructions defining it.
 func (f *Func) DefSites() map[*Value][]*Instr {
 	defs := make(map[*Value][]*Instr)

@@ -1,0 +1,48 @@
+package obs
+
+// Recorder is a Tracer that keeps everything it receives, for tests and
+// programmatic inspection.
+type Recorder struct {
+	// Runs collects one entry per RunStart..RunEnd bracket.
+	Runs []*RecordedRun
+	// open is the run currently receiving events (nil between runs).
+	open *RecordedRun
+}
+
+// RecordedRun is the event stream of one pipeline run.
+type RecordedRun struct {
+	Func    string
+	Config  string
+	Before  IRStat
+	After   IRStat
+	WallNS  int64
+	Started []string // pass names in PassStart order
+	Events  []*Event // completed passes in PassEnd order
+	Ended   bool
+}
+
+func (r *Recorder) RunStart(fn, config string, before IRStat) {
+	r.open = &RecordedRun{Func: fn, Config: config, Before: before}
+	r.Runs = append(r.Runs, r.open)
+}
+
+func (r *Recorder) PassStart(fn, config, pass string) {
+	if r.open != nil {
+		r.open.Started = append(r.open.Started, pass)
+	}
+}
+
+func (r *Recorder) PassEnd(ev *Event) {
+	if r.open != nil {
+		r.open.Events = append(r.open.Events, ev)
+	}
+}
+
+func (r *Recorder) RunEnd(fn, config string, after IRStat, wallNS int64) {
+	if r.open != nil {
+		r.open.After = after
+		r.open.WallNS = wallNS
+		r.open.Ended = true
+		r.open = nil
+	}
+}

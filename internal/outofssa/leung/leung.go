@@ -36,6 +36,12 @@ type Stats struct {
 	PinMoves int
 	// EdgesSplit is the number of critical edges split up front.
 	EdgesSplit int
+	// Killed is the number of variables the mark phase found killed
+	// within their resource (repair candidates before the used-filter).
+	Killed int
+	// Interference snapshots the analysis query counters accumulated by
+	// the translation (the tracer's view into the hot path).
+	Interference interference.Counters
 }
 
 // Translate converts the pinned SSA function f out of SSA form in place.
@@ -92,6 +98,7 @@ func Translate(f *ir.Func) (*Stats, error) {
 		}
 	}
 	st.Repairs = len(repair)
+	st.Killed = len(killed)
 
 	home := func(v *ir.Value) *ir.Value { return res.Find(v) }
 	// src yields the location holding v's value at any point dominated by
@@ -242,5 +249,6 @@ func Translate(f *ir.Func) (*Stats, error) {
 	}
 
 	parcopy.Sequentialize(f)
+	st.Interference = an.Counters()
 	return st, nil
 }

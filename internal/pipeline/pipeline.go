@@ -7,6 +7,8 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"outofssa/internal/cfg"
 	"outofssa/internal/coalesce"
@@ -14,6 +16,7 @@ import (
 	"outofssa/internal/ir"
 	"outofssa/internal/liveness"
 	"outofssa/internal/naiveabi"
+	"outofssa/internal/obs"
 	"outofssa/internal/outofssa/leung"
 	"outofssa/internal/outofssa/naive"
 	"outofssa/internal/outofssa/sreedhar"
@@ -88,11 +91,21 @@ type Result struct {
 // conf, mutating f, and returns the statistics. The typical call site
 // clones the input once per configuration.
 func Run(f *ir.Func, conf Config) (*Result, error) {
+	return RunTraced(f, conf, "", nil)
+}
+
+// RunTraced is Run with an instrumented pass runner attached: every
+// executed pass is reported to tr as an obs.Event carrying wall time,
+// allocation deltas and IR before/after snapshots. exp labels the
+// events with the experiment configuration name (it does not select the
+// configuration — conf does). A nil tracer takes the unmeasured fast
+// path and is exactly Run.
+func RunTraced(f *ir.Func, conf Config, exp string, tr obs.Tracer) (*Result, error) {
 	info := ssa.Build(f)
 	if err := ssa.Verify(f); err != nil {
 		return nil, fmt.Errorf("pipeline: after SSA construction: %v", err)
 	}
-	return RunSSA(f, info, conf)
+	return RunSSATraced(f, info, conf, exp, tr)
 }
 
 // RunSSA runs the pass composition on a function already in (pinned or
@@ -100,97 +113,15 @@ func Run(f *ir.Func, conf Config) (*Result, error) {
 // pinningSP phase; pass ssa.EmptyInfo() for hand-built SSA without
 // renamed dedicated registers.
 func RunSSA(f *ir.Func, info *ssa.Info, conf Config) (*Result, error) {
+	return RunSSATraced(f, info, conf, "", nil)
+}
+
+// RunSSATraced is RunSSA driven by the instrumented pass runner; see
+// RunTraced for the tracing contract.
+func RunSSATraced(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) (*Result, error) {
 	r := &Result{}
-
-	if !conf.ABI {
-		// "Renaming constraints ignored" (Table 2 setup): drop textual
-		// pins to dedicated registers other than SP. Only SP constraints
-		// cannot be ignored (paper §5); the rest are either ignored
-		// entirely or handled later by NaiveABI.
-		stripNonSPPins(f)
-	}
-
-	if conf.Optimize {
-		r.Opt = ssaopt.Optimize(f, info)
-		if err := ssa.Verify(f); err != nil {
-			return nil, fmt.Errorf("pipeline: after SSA optimization: %v", err)
-		}
-	}
-
-	if conf.Psi {
-		st := psi.IfConvert(f)
-		lo := psi.ConvertPsi(f)
-		st.PsisLowered, st.TiesPinned = lo.PsisLowered, lo.TiesPinned
-		r.Psi = st
-		// The ψ-conventional chains seed with constant-true selects; fold
-		// them into copies and drop the dead seeds.
-		ssaopt.FoldSelects(f)
-		ssaopt.EliminateDeadCode(f)
-		if err := ssa.Verify(f); err != nil {
-			return nil, fmt.Errorf("pipeline: after psi conversion: %v", err)
-		}
-	}
-
-	if conf.Sreedhar {
-		st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
-			Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
-		})
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: sreedhar: %v", err)
-		}
-		r.Sreedhar = st
-	}
-
-	pin.CollectSP(f, info)
-	if conf.ABI {
-		pin.CollectABI(f)
-	}
-
-	if conf.Sreedhar {
-		live := liveness.Compute(f)
-		an := interference.New(f, live, cfg.Dominators(f), interference.Exact)
-		_, unpinned, err := pin.CollectPhiCSSA(f, an)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: pinningCSSA: %v", err)
-		}
-		r.CSSAUnpinned = unpinned
-	}
-
-	if conf.PrePin {
-		st, err := coalesce.PrePinDefs(f, conf.Coalesce.Mode)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: pre-pinning: %v", err)
-		}
-		r.PrePin = st
-	}
-
-	if conf.PhiCoalesce {
-		st, err := coalesce.ProgramPinning(f, conf.Coalesce)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: pinningφ: %v", err)
-		}
-		r.Coalesce = st
-	}
-
-	if conf.NaiveOut {
-		st, err := naive.Translate(f)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: naive out-of-SSA: %v", err)
-		}
-		r.Naive = st
-	} else {
-		st, err := leung.Translate(f)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: out-of-pinned-SSA: %v", err)
-		}
-		r.Leung = st
-	}
-
-	if conf.NaiveABI {
-		r.NaiveABI = naiveabi.Apply(f)
-	}
-	if conf.Chaitin {
-		r.Chaitin = regalloc.AggressiveCoalesce(f)
+	if err := runPasses(f, exp, conf.passes(f, info, r), tr); err != nil {
+		return nil, err
 	}
 
 	cfg.ComputeLoopDepth(f)
@@ -198,6 +129,195 @@ func RunSSA(f *ir.Func, info *ssa.Info, conf Config) (*Result, error) {
 	r.WeightedMoves = f.WeightedMoves()
 	r.Instrs = f.NumInstrs()
 	return r, nil
+}
+
+// pass is one step of the instrumented runner: a name (stable across
+// configurations — it keys trace diffing), the work itself, and an
+// optional accessor for the pass's Stats struct, flattened into the
+// trace event's counters. run closures wrap their own errors so the
+// untraced path reports exactly what the pre-runner pipeline did.
+type pass struct {
+	name  string
+	run   func() error
+	stats func() any
+}
+
+// passes materializes conf as the ordered pass list of the paper's
+// Table 1 pipeline. The closures write their statistics into r.
+func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
+	var ps []pass
+	add := func(name string, run func() error, stats func() any) {
+		ps = append(ps, pass{name: name, run: run, stats: stats})
+	}
+
+	if !conf.ABI {
+		// "Renaming constraints ignored" (Table 2 setup): drop textual
+		// pins to dedicated registers other than SP. Only SP constraints
+		// cannot be ignored (paper §5); the rest are either ignored
+		// entirely or handled later by NaiveABI.
+		add("strip-pins", func() error { stripNonSPPins(f); return nil }, nil)
+	}
+
+	if conf.Optimize {
+		add("ssaopt", func() error {
+			r.Opt = ssaopt.Optimize(f, info)
+			if err := ssa.Verify(f); err != nil {
+				return fmt.Errorf("pipeline: after SSA optimization: %v", err)
+			}
+			return nil
+		}, func() any { return r.Opt })
+	}
+
+	if conf.Psi {
+		add("psi", func() error {
+			st := psi.IfConvert(f)
+			lo := psi.ConvertPsi(f)
+			st.PsisLowered, st.TiesPinned = lo.PsisLowered, lo.TiesPinned
+			r.Psi = st
+			// The ψ-conventional chains seed with constant-true selects;
+			// fold them into copies and drop the dead seeds.
+			ssaopt.FoldSelects(f)
+			ssaopt.EliminateDeadCode(f)
+			if err := ssa.Verify(f); err != nil {
+				return fmt.Errorf("pipeline: after psi conversion: %v", err)
+			}
+			return nil
+		}, func() any { return r.Psi })
+	}
+
+	if conf.Sreedhar {
+		add("sreedhar", func() error {
+			st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
+				Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
+			})
+			if err != nil {
+				return fmt.Errorf("pipeline: sreedhar: %v", err)
+			}
+			r.Sreedhar = st
+			return nil
+		}, func() any { return r.Sreedhar })
+	}
+
+	add("pinning-sp", func() error { pin.CollectSP(f, info); return nil }, nil)
+	if conf.ABI {
+		add("pinning-abi", func() error { pin.CollectABI(f); return nil }, nil)
+	}
+
+	if conf.Sreedhar {
+		add("pinning-cssa", func() error {
+			live := liveness.Compute(f)
+			an := interference.New(f, live, cfg.Dominators(f), interference.Exact)
+			_, unpinned, err := pin.CollectPhiCSSA(f, an)
+			if err != nil {
+				return fmt.Errorf("pipeline: pinningCSSA: %v", err)
+			}
+			r.CSSAUnpinned = unpinned
+			return nil
+		}, func() any { return struct{ Unpinned int }{r.CSSAUnpinned} })
+	}
+
+	if conf.PrePin {
+		add("pre-pin", func() error {
+			st, err := coalesce.PrePinDefs(f, conf.Coalesce.Mode)
+			if err != nil {
+				return fmt.Errorf("pipeline: pre-pinning: %v", err)
+			}
+			r.PrePin = st
+			return nil
+		}, func() any { return r.PrePin })
+	}
+
+	if conf.PhiCoalesce {
+		add("pinning-phi", func() error {
+			st, err := coalesce.ProgramPinning(f, conf.Coalesce)
+			if err != nil {
+				return fmt.Errorf("pipeline: pinningφ: %v", err)
+			}
+			r.Coalesce = st
+			return nil
+		}, func() any { return r.Coalesce })
+	}
+
+	if conf.NaiveOut {
+		add("out-naive", func() error {
+			st, err := naive.Translate(f)
+			if err != nil {
+				return fmt.Errorf("pipeline: naive out-of-SSA: %v", err)
+			}
+			r.Naive = st
+			return nil
+		}, func() any { return r.Naive })
+	} else {
+		add("out-of-pinned-ssa", func() error {
+			st, err := leung.Translate(f)
+			if err != nil {
+				return fmt.Errorf("pipeline: out-of-pinned-SSA: %v", err)
+			}
+			r.Leung = st
+			return nil
+		}, func() any { return r.Leung })
+	}
+
+	if conf.NaiveABI {
+		add("naive-abi", func() error { r.NaiveABI = naiveabi.Apply(f); return nil },
+			func() any { return r.NaiveABI })
+	}
+	if conf.Chaitin {
+		add("chaitin", func() error { r.Chaitin = regalloc.AggressiveCoalesce(f); return nil },
+			func() any { return r.Chaitin })
+	}
+	return ps
+}
+
+// runPasses executes the pass list. With a nil tracer it is a plain
+// loop — no snapshots, no clock reads, no allocations beyond what the
+// passes themselves do. With a tracer it brackets the run and every
+// pass with measurements: per-pass wall time, runtime.MemStats
+// allocation deltas, and IR snapshots before/after (the provenance
+// trail of the final move count).
+func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer) error {
+	if tr == nil {
+		for i := range ps {
+			if err := ps[i].run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	runStart := time.Now()
+	tr.RunStart(f.Name, exp, obs.Snapshot(f))
+	var ms0, ms1 runtime.MemStats
+	for i := range ps {
+		p := &ps[i]
+		tr.PassStart(f.Name, exp, p.name)
+		before := obs.Snapshot(f)
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		err := p.run()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		ev := &obs.Event{
+			Func:       f.Name,
+			Config:     exp,
+			Pass:       p.name,
+			Seq:        i,
+			WallNS:     wall.Nanoseconds(),
+			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+			Mallocs:    ms1.Mallocs - ms0.Mallocs,
+			Before:     before,
+			After:      obs.Snapshot(f),
+		}
+		if err == nil && p.stats != nil {
+			ev.Counters = obs.Counters(p.name, p.stats())
+		}
+		tr.PassEnd(ev)
+		if err != nil {
+			return err
+		}
+	}
+	tr.RunEnd(f.Name, exp, obs.Snapshot(f), time.Since(runStart).Nanoseconds())
+	return nil
 }
 
 // stripNonSPPins removes operand pins to dedicated registers other than

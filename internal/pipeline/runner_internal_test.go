@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/obs"
+)
+
+// TestNilTracerAllocatesNothing pins down the zero-overhead contract of
+// the default path: running a pass list with a nil tracer must not
+// allocate — no snapshots, no events, no clock bookkeeping.
+func TestNilTracerAllocatesNothing(t *testing.T) {
+	f := ir.NewFunc("noalloc")
+	f.NewBlock("entry")
+	ps := []pass{
+		{name: "a", run: func() error { return nil }},
+		{name: "b", run: func() error { return nil }},
+		{name: "c", run: func() error { return nil }},
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if err := runPasses(f, "", ps, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("nil-tracer runPasses allocates %v per run, want 0", n)
+	}
+}
+
+// TestRunnerStopsOnError: a failing pass must abort the run, surface
+// its error verbatim, and still deliver the failing pass's event to an
+// attached tracer (the trace shows where a run died).
+func TestRunnerStopsOnError(t *testing.T) {
+	boom := errors.New("pipeline: synthetic failure")
+	f := ir.NewFunc("err")
+	f.NewBlock("entry")
+	ran := 0
+	ps := []pass{
+		{name: "ok", run: func() error { ran++; return nil }},
+		{name: "fails", run: func() error { ran++; return boom }},
+		{name: "never", run: func() error { ran++; return nil }},
+	}
+
+	for _, tr := range []obs.Tracer{nil, &obs.Recorder{}} {
+		ran = 0
+		err := runPasses(f, "exp", ps, tr)
+		if err != boom {
+			t.Fatalf("tracer=%T: got error %v, want %v", tr, err, boom)
+		}
+		if ran != 2 {
+			t.Fatalf("tracer=%T: %d passes ran, want 2", tr, ran)
+		}
+		if rec, ok := tr.(*obs.Recorder); ok {
+			run := rec.Runs[0]
+			if len(run.Events) != 2 || run.Events[1].Pass != "fails" {
+				t.Fatalf("failing pass not traced: %+v", run.Events)
+			}
+			if run.Ended {
+				t.Fatal("RunEnd fired despite pass failure")
+			}
+		}
+	}
+}

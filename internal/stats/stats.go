@@ -10,6 +10,7 @@ import (
 
 	"outofssa/internal/coalesce"
 	"outofssa/internal/interference"
+	"outofssa/internal/obs"
 	"outofssa/internal/pipeline"
 	"outofssa/internal/workload"
 )
@@ -63,17 +64,16 @@ func suiteBuilders() []func() *workload.Suite {
 	}
 }
 
-// runMoves executes an experiment over a freshly built suite and totals
-// the final move count.
-func runMoves(build func() *workload.Suite, exp string) (int64, error) {
-	return runConf(build, pipeline.Configs[exp], false)
+// runMoves executes an experiment over a built suite (consuming it —
+// the pipelines mutate their input) and totals the final move count.
+func runMoves(s *workload.Suite, exp string, tr obs.Tracer) (int64, error) {
+	return runConf(s, pipeline.Configs[exp], exp, false, tr)
 }
 
-func runConf(build func() *workload.Suite, conf pipeline.Config, weighted bool) (int64, error) {
-	s := build()
+func runConf(s *workload.Suite, conf pipeline.Config, exp string, weighted bool, tr obs.Tracer) (int64, error) {
 	var total int64
 	for _, f := range s.Funcs {
-		r, err := pipeline.Run(f, conf)
+		r, err := pipeline.RunTraced(f, conf, exp, tr)
 		if err != nil {
 			return 0, fmt.Errorf("%s/%s: %v", s.Name, f.Name, err)
 		}
@@ -86,13 +86,20 @@ func runConf(build func() *workload.Suite, conf pipeline.Config, weighted bool) 
 	return total, nil
 }
 
-func buildTable(title, note string, cols []string, cell func(build func() *workload.Suite, col string) (int64, error)) (*Table, error) {
+// buildTable runs cell for every (suite, column) pair. Each cell gets a
+// freshly built suite (the pipelines mutate their input), built exactly
+// once per cell — the row label is taken from the first column's suite
+// instead of an extra throwaway build.
+func buildTable(title, note string, cols []string, cell func(s *workload.Suite, col string) (int64, error)) (*Table, error) {
 	t := &Table{Title: title, Note: note, Columns: cols}
 	for _, build := range suiteBuilders() {
-		name := build().Name
-		row := Row{Benchmark: name}
-		for _, c := range cols {
-			v, err := cell(build, c)
+		var row Row
+		for i, c := range cols {
+			s := build()
+			if i == 0 {
+				row.Benchmark = s.Name
+			}
+			v, err := cell(s, c)
 			if err != nil {
 				return nil, err
 			}
@@ -151,44 +158,58 @@ func Table1() string {
 
 // Table2 reproduces "Comparison of move instruction count with no ABI
 // constraint": Lφ+C vs C vs Sφ+C.
-func Table2() (*Table, error) {
+func Table2() (*Table, error) { return Table2Traced(nil) }
+
+// Table2Traced is Table2 with a pipeline tracer attached to every run
+// (nil for none); events are labelled with the experiment name.
+func Table2Traced(tr obs.Tracer) (*Table, error) {
 	return buildTable(
 		"Table 2: move instruction count with no ABI constraint",
 		"deltas relative to Lphi+C",
 		[]string{pipeline.ExpLphiC, pipeline.ExpC2, pipeline.ExpSphiC},
-		func(build func() *workload.Suite, col string) (int64, error) {
-			return runMoves(build, col)
+		func(s *workload.Suite, col string) (int64, error) {
+			return runMoves(s, col, tr)
 		})
 }
 
 // Table3 reproduces "Comparison of move instruction count with renaming
 // constraints": Lφ,ABI+C vs Sφ+LABI+C vs LABI+C vs C.
-func Table3() (*Table, error) {
+func Table3() (*Table, error) { return Table3Traced(nil) }
+
+// Table3Traced is Table3 with a pipeline tracer attached.
+func Table3Traced(tr obs.Tracer) (*Table, error) {
 	return buildTable(
 		"Table 3: move instruction count with renaming constraints",
 		"deltas relative to Lphi,ABI+C",
 		[]string{pipeline.ExpLphiABIC, pipeline.ExpSphiLABIC, pipeline.ExpLABIC, pipeline.ExpC3},
-		func(build func() *workload.Suite, col string) (int64, error) {
-			return runMoves(build, col)
+		func(s *workload.Suite, col string) (int64, error) {
+			return runMoves(s, col, tr)
 		})
 }
 
 // Table4 reproduces the "order of magnitude" table: moves remaining
 // before any coalescing when φs (Sφ: ABI naive) or the ABI (LABI: φ
 // naive) are handled naively.
-func Table4() (*Table, error) {
+func Table4() (*Table, error) { return Table4Traced(nil) }
+
+// Table4Traced is Table4 with a pipeline tracer attached.
+func Table4Traced(tr obs.Tracer) (*Table, error) {
 	return buildTable(
 		"Table 4: order of magnitude (no aggressive coalescing)",
 		"Sphi adds naive ABI moves; LABI adds naive phi moves; deltas vs Lphi,ABI",
 		[]string{pipeline.ExpLphiABI, pipeline.ExpSphi, pipeline.ExpLABI},
-		func(build func() *workload.Suite, col string) (int64, error) {
-			return runMoves(build, col)
+		func(s *workload.Suite, col string) (int64, error) {
+			return runMoves(s, col, tr)
 		})
 }
 
 // Table5 reproduces the weighted (5^depth) variant comparison of the
 // paper's algorithm: base, depth-constrained, optimistic, pessimistic.
-func Table5() (*Table, error) {
+func Table5() (*Table, error) { return Table5Traced(nil) }
+
+// Table5Traced is Table5 with a pipeline tracer attached; events are
+// labelled "Lphi,ABI+C/<variant>".
+func Table5Traced(tr obs.Tracer) (*Table, error) {
 	variants := []struct {
 		name string
 		opt  coalesce.Options
@@ -206,22 +227,28 @@ func Table5() (*Table, error) {
 		"Table 5: weighted (5^depth) move count, variants of the algorithm",
 		"full pipeline Lphi,ABI+C with the pinning-phi variant swapped",
 		cols,
-		func(build func() *workload.Suite, col string) (int64, error) {
+		func(s *workload.Suite, col string) (int64, error) {
 			conf := pipeline.Configs[pipeline.ExpLphiABIC]
 			for _, v := range variants {
 				if v.name == col {
 					conf.Coalesce = v.opt
 				}
 			}
-			return runConf(build, conf, true)
+			return runConf(s, conf, pipeline.ExpLphiABIC+"/"+col, true, tr)
 		})
 }
 
 // AllTables runs Tables 2-5 in order.
-func AllTables() ([]*Table, error) {
+func AllTables() ([]*Table, error) { return AllTablesTraced(nil) }
+
+// AllTablesTraced runs Tables 2-5 in order with a pipeline tracer
+// attached to every experiment run.
+func AllTablesTraced(tr obs.Tracer) ([]*Table, error) {
 	var out []*Table
-	for _, fn := range []func() (*Table, error){Table2, Table3, Table4, Table5} {
-		t, err := fn()
+	for _, fn := range []func(obs.Tracer) (*Table, error){
+		Table2Traced, Table3Traced, Table4Traced, Table5Traced,
+	} {
+		t, err := fn(tr)
 		if err != nil {
 			return nil, err
 		}
