@@ -146,7 +146,7 @@ func ssaSuite(b *testing.B, name string, abi bool) []*ir.Func {
 	b.Helper()
 	s := suiteBuilders[name]()
 	for _, f := range s.Funcs {
-		info := ssa.Build(f)
+		info := ssa.MustBuild(f)
 		pin.CollectSP(f, info)
 		if abi {
 			pin.CollectABI(f)

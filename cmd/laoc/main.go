@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	laoc [-exp Lphi,ABI+C] [-dump-ssa] [-run a,b,c] [-trace] [-trace-json FILE] file.lai
+//	laoc [-exp Lphi,ABI+C] [-verify] [-fallback] [-dump-ssa] [-run a,b,c] [-trace] [-trace-json FILE] file.lai
 //	laoc -list-exps
 //
 // With no file, laoc reads LAI from standard input. With -run, laoc
@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print a per-pass trace table for every function")
 	traceVerbose := flag.Bool("trace-counters", false, "with -trace, also print per-pass counters")
 	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
+	verifyMode := flag.Bool("verify", false, "checked mode: re-verify IR invariants after every pass")
+	fallback := flag.Bool("fallback", false, "on a pass failure, fall back to the naive translation instead of aborting")
 	flag.Parse()
 
 	if *listExps {
@@ -59,6 +62,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "laoc: unknown experiment %q (see -list-exps)\n", *exp)
 		os.Exit(2)
 	}
+	conf.Verify = *verifyMode
+	conf.Fallback = *fallback
 
 	var tracers []obs.Tracer
 	if *trace {
@@ -112,6 +117,12 @@ func main() {
 		var before *ir.ExecResult
 		if *runArgs != "" {
 			before, err = ir.Exec(f.Clone(), args, 1_000_000)
+			if errors.Is(err, ir.ErrStepBudget) {
+				// No verdict is possible: the reference itself does not
+				// finish. Warn and translate without the semantic gate.
+				fmt.Fprintf(os.Stderr, "laoc: %s: pre-pipeline execution exceeded the step budget; skipping -run comparison\n", f.Name)
+				before, err = nil, nil
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "laoc: %s: pre-pipeline execution: %v\n", f.Name, err)
 				os.Exit(1)
@@ -120,14 +131,28 @@ func main() {
 
 		if *dumpSSA {
 			g := f.Clone()
-			ssa.Build(g)
+			if _, err := ssa.Build(g); err != nil {
+				fmt.Fprintf(os.Stderr, "laoc: %s: %v\n", g.Name, err)
+				os.Exit(1)
+			}
 			fmt.Printf("; ---- %s: pruned SSA ----\n%s\n", g.Name, g)
 		}
 
 		res, err := pipeline.RunTraced(f, conf, *exp, tracer)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "laoc: %s: %v\n", f.Name, err)
+			var pe *pipeline.PassError
+			if errors.As(err, &pe) {
+				fmt.Fprintf(os.Stderr, "laoc: %s: pass %q failed: %v\n", f.Name, pe.Pass, pe.Cause)
+				fmt.Fprintf(os.Stderr, "laoc: %s: IR at failure: %d instrs, %d blocks, %d phis, %d pins\n",
+					f.Name, pe.Snapshot.Instrs, pe.Snapshot.Blocks, pe.Snapshot.Phis, pe.Snapshot.Pins)
+			} else {
+				fmt.Fprintf(os.Stderr, "laoc: %s: %v\n", f.Name, err)
+			}
 			os.Exit(1)
+		}
+		if res.FellBack {
+			fmt.Fprintf(os.Stderr, "laoc: %s: fell back to the naive translation after: %v\n",
+				f.Name, res.FallbackFrom)
 		}
 		fmt.Printf("; ---- %s: final code (%s) ----\n%s", f.Name, *exp, f)
 		fmt.Printf("; moves=%d weighted=%d instrs=%d\n", res.Moves, res.WeightedMoves, res.Instrs)
@@ -139,17 +164,25 @@ func main() {
 			fmt.Printf("; pinning-phi: gain %d of %d slots\n", res.Coalesce.Gain, res.Coalesce.PhiSlots)
 		}
 		if before != nil {
+			// Double the reference budget: the translated code executes
+			// extra copies, so a budget overrun here (when the reference
+			// finished) means the pipeline broke termination — NONTERM, a
+			// mismatch, not a hard driver error.
 			after, err := ir.Exec(f, args, 2_000_000)
-			if err != nil {
+			if errors.Is(err, ir.ErrStepBudget) {
+				mismatched = true
+				fmt.Printf("; run(%v) = ? [NONTERM]\n", args)
+			} else if err != nil {
 				fmt.Fprintf(os.Stderr, "laoc: %s: post-pipeline execution: %v\n", f.Name, err)
 				os.Exit(1)
+			} else {
+				status := "MATCH"
+				if !before.Equal(after) {
+					status = "MISMATCH"
+					mismatched = true
+				}
+				fmt.Printf("; run(%v) = %v [%s]\n", args, after.Outputs, status)
 			}
-			status := "MATCH"
-			if !before.Equal(after) {
-				status = "MISMATCH"
-				mismatched = true
-			}
-			fmt.Printf("; run(%v) = %v [%s]\n", args, after.Outputs, status)
 		}
 		fmt.Println()
 	}

@@ -7,6 +7,7 @@
 //
 //	ssabench            # all tables
 //	ssabench -table 3   # one table
+//	ssabench -verify    # all tables, re-verifying IR after every pass
 //	ssabench -list      # list suites and sizes
 //
 // ssabench doubles as the profiling harness for the pipeline:
@@ -35,6 +36,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "table to regenerate (1-5); 0 means all")
 	list := flag.Bool("list", false, "list the workload suites and exit")
+	verifyMode := flag.Bool("verify", false, "checked mode: re-verify IR invariants after every pass of every run")
 	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
@@ -44,6 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssabench:", err)
 		os.Exit(1)
 	}
+	stats.Checked = *verifyMode
 
 	if *list {
 		for _, s := range workload.All() {
@@ -52,7 +55,7 @@ func main() {
 			instrs := s.NumInstrs()
 			phis := 0
 			for _, f := range s.Funcs {
-				ssa.Build(f)
+				ssa.MustBuild(f)
 				phis += f.CountPhis()
 			}
 			fmt.Printf("%-12s %4d functions, %6d instructions, %5d phis\n",

@@ -53,7 +53,10 @@ func main() {
 	fmt.Print(f)
 
 	// 1. Pruned SSA construction.
-	info := ssa.Build(f)
+	info, err := ssa.Build(f)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := ssa.Verify(f); err != nil {
 		log.Fatal(err)
 	}

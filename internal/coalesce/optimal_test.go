@@ -82,7 +82,7 @@ func TestGreedyVsOptimal(t *testing.T) {
 	checked := 0
 	var totalGreedy, totalOptimal int
 	for _, f := range funcs {
-		info := ssa.Build(f)
+		info := ssa.MustBuild(f)
 		pin.CollectSP(f, info)
 		pin.CollectABI(f)
 		// Normalize the CFG exactly as ProgramPinning will see it.

@@ -83,7 +83,7 @@ func TestPrePinPreservesSemantics(t *testing.T) {
 			t.Fatal(err)
 		}
 		f := testprog.Rand(seed, testprog.DefaultRandOptions())
-		info := ssa.Build(f)
+		info := ssa.MustBuild(f)
 		pin.CollectSP(f, info)
 		pin.CollectABI(f)
 		if _, err := coalesce.PrePinDefs(f, interference.Exact); err != nil {
@@ -117,7 +117,7 @@ func TestPrePinNeverIncreasesRepairs(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		mk := func() *ir.Func {
 			f := testprog.Rand(seed, testprog.DefaultRandOptions())
-			info := ssa.Build(f)
+			info := ssa.MustBuild(f)
 			pin.CollectSP(f, info)
 			pin.CollectABI(f)
 			return f

@@ -1,0 +1,217 @@
+// Package faultinject deliberately corrupts IR in ways that mimic pass
+// bugs, to prove the checked pipeline's verifier (internal/verify)
+// actually catches them. Each Class breaks exactly one invariant the
+// out-of-SSA correctness argument depends on; the robustness tests
+// assert that verify.Func rejects every class and that the pipeline
+// surfaces the rejection as a *pipeline.PassError naming the pass the
+// corruption was injected after.
+//
+// Injection is deterministic: each class corrupts the first applicable
+// site in block/instruction order, so a failing test reproduces
+// exactly.
+package faultinject
+
+import (
+	"outofssa/internal/ir"
+)
+
+// Class names one corruption. The value is stable and human-readable;
+// it appears in test names and failure messages.
+type Class string
+
+const (
+	// ClobberPhiArg redirects a φ argument to a fresh value that has no
+	// definition anywhere — the shape of a renaming bug. Caught by the
+	// SSA check (undefined φ use).
+	ClobberPhiArg Class = "clobber-phi-arg"
+	// DuplicatePin pins the two first φ definitions of one block to a
+	// common fresh resource, violating the paper's Figure 4 case 3 (φs
+	// execute in parallel and cannot share a register). Caught by the
+	// pin-legality check.
+	DuplicatePin Class = "duplicate-pin"
+	// UseBeforeDef rewires an operand to a value defined later in the
+	// same block — a scheduling/ordering bug. Caught by the SSA
+	// dominance check.
+	UseBeforeDef Class = "use-before-def"
+	// BrokenCopyCycle inserts a parallel copy that writes one
+	// destination twice — the shape of a sequentialization bug. Caught
+	// by the parallel-copy consistency check.
+	BrokenCopyCycle Class = "broken-copy-cycle"
+	// DoubleDef adds a second definition of an existing SSA value.
+	// Caught by the SSA single-definition check.
+	DoubleDef Class = "double-def"
+	// PhiArityMismatch drops the last argument of a φ, desynchronizing
+	// it from its block's predecessor list. Caught by the structural
+	// check.
+	PhiArityMismatch Class = "phi-arity-mismatch"
+	// DanglingEdge appends a successor edge without the matching
+	// predecessor backlink. Caught by the structural CFG symmetry
+	// check.
+	DanglingEdge Class = "dangling-edge"
+	// MisplacedPhi swaps a φ below a non-φ instruction, breaking the
+	// φ-prefix rule the parallel φ semantics rely on. Caught by the
+	// structural check.
+	MisplacedPhi Class = "misplaced-phi"
+)
+
+// Classes lists every corruption class, in a fixed order.
+var Classes = []Class{
+	ClobberPhiArg,
+	DuplicatePin,
+	UseBeforeDef,
+	BrokenCopyCycle,
+	DoubleDef,
+	PhiArityMismatch,
+	DanglingEdge,
+	MisplacedPhi,
+}
+
+// Inject applies the corruption class c to f, mutating it, and reports
+// whether an applicable site was found (e.g. ClobberPhiArg needs a φ).
+// When it returns false, f is unchanged.
+func Inject(f *ir.Func, c Class) bool {
+	switch c {
+	case ClobberPhiArg:
+		return clobberPhiArg(f)
+	case DuplicatePin:
+		return duplicatePin(f)
+	case UseBeforeDef:
+		return useBeforeDef(f)
+	case BrokenCopyCycle:
+		return brokenCopyCycle(f)
+	case DoubleDef:
+		return doubleDef(f)
+	case PhiArityMismatch:
+		return phiArityMismatch(f)
+	case DanglingEdge:
+		return danglingEdge(f)
+	case MisplacedPhi:
+		return misplacedPhi(f)
+	}
+	return false
+}
+
+func firstPhi(f *ir.Func) *ir.Instr {
+	for _, b := range f.Blocks {
+		if phis := b.Phis(); len(phis) > 0 {
+			return phis[0]
+		}
+	}
+	return nil
+}
+
+func clobberPhiArg(f *ir.Func) bool {
+	phi := firstPhi(f)
+	if phi == nil || len(phi.Uses) == 0 {
+		return false
+	}
+	phi.Uses[0].Val = f.NewValue("fault.undef")
+	return true
+}
+
+func duplicatePin(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		phis := b.Phis()
+		if len(phis) < 2 {
+			continue
+		}
+		res := f.NewValue("fault.res")
+		ir.PinDef(phis[0], 0, res)
+		ir.PinDef(phis[1], 0, res)
+		return true
+	}
+	return false
+}
+
+func useBeforeDef(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.Phi || len(in.Uses) == 0 {
+				continue
+			}
+			// A value defined strictly later in the same block.
+			for _, later := range b.Instrs[i+1:] {
+				for _, d := range later.Defs {
+					if d.Val.IsPhys() || d.Val == in.Uses[0].Val {
+						continue
+					}
+					in.Uses[0].Val = d.Val
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func brokenCopyCycle(f *ir.Func) bool {
+	var v *ir.Value
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if !d.Val.IsPhys() {
+					v = d.Val
+					break
+				}
+			}
+		}
+	}
+	if v == nil {
+		return false
+	}
+	pc := &ir.Instr{Op: ir.ParCopy,
+		Defs: []ir.Operand{{Val: v}, {Val: v}},
+		Uses: []ir.Operand{{Val: v}, {Val: v}}}
+	f.Entry().InsertBeforeTerminator(pc)
+	return true
+}
+
+func doubleDef(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.Phi || in.Op.IsTerminator() {
+				continue
+			}
+			for _, d := range in.Defs {
+				if d.Val.IsPhys() {
+					continue
+				}
+				b.InsertAt(i+1, &ir.Instr{Op: ir.Copy,
+					Defs: []ir.Operand{{Val: d.Val}},
+					Uses: []ir.Operand{{Val: d.Val}}})
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func phiArityMismatch(f *ir.Func) bool {
+	phi := firstPhi(f)
+	if phi == nil || len(phi.Uses) == 0 {
+		return false
+	}
+	phi.Uses = phi.Uses[:len(phi.Uses)-1]
+	return true
+}
+
+func danglingEdge(f *ir.Func) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	b := f.Blocks[0]
+	b.Succs = append(b.Succs, f.Blocks[len(f.Blocks)-1])
+	return true
+}
+
+func misplacedPhi(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		n := b.FirstNonPhi()
+		if n == 0 || n >= len(b.Instrs) {
+			continue
+		}
+		b.Instrs[n-1], b.Instrs[n] = b.Instrs[n], b.Instrs[n-1]
+		return true
+	}
+	return false
+}

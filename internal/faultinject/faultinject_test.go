@@ -1,0 +1,121 @@
+package faultinject_test
+
+import (
+	"strings"
+	"testing"
+
+	"outofssa/internal/faultinject"
+	"outofssa/internal/ir"
+	"outofssa/internal/ssa"
+	"outofssa/internal/verify"
+)
+
+// buildDiamond returns a pruned-SSA diamond with two φs in the merge
+// block and non-φ instructions after them — a site for every
+// corruption class.
+//
+//	entry: a = input; t = 1; c = a < t; br c -> left, right
+//	left:  x = a + t; y = a + a; jump merge
+//	right: x = 7; y = 9; jump merge
+//	merge: xφ, yφ; z = x + y; w = z * z; output w
+func buildDiamond(t *testing.T) *ir.Func {
+	t.Helper()
+	bld := ir.NewBuilder("diamond")
+	entry := bld.Block("entry")
+	left := bld.Fn.NewBlock("left")
+	right := bld.Fn.NewBlock("right")
+	merge := bld.Fn.NewBlock("merge")
+
+	a, c, x, y, z, w, one := bld.Val("a"), bld.Val("c"), bld.Val("x"),
+		bld.Val("y"), bld.Val("z"), bld.Val("w"), bld.Val("one")
+
+	bld.SetBlock(entry)
+	bld.Input(a)
+	bld.Const(one, 1)
+	bld.Binary(ir.CmpLT, c, a, one)
+	bld.Br(c, left, right)
+
+	bld.SetBlock(left)
+	bld.Binary(ir.Add, x, a, one)
+	bld.Binary(ir.Add, y, a, a)
+	bld.Jump(merge)
+
+	bld.SetBlock(right)
+	bld.Const(x, 7)
+	bld.Const(y, 9)
+	bld.Jump(merge)
+
+	bld.SetBlock(merge)
+	bld.Binary(ir.Add, z, x, y)
+	bld.Binary(ir.Mul, w, z, z)
+	bld.Output(w)
+
+	f := bld.Fn
+	ssa.MustBuild(f)
+	if err := verify.Func(f, verify.StageSSA); err != nil {
+		t.Fatalf("clean diamond rejected: %v", err)
+	}
+	return f
+}
+
+// detectedBy maps each class to a substring of the verifier message it
+// must trigger — pinning the corruption to the intended check, not just
+// to any rejection.
+var detectedBy = map[faultinject.Class]string{
+	faultinject.ClobberPhiArg:    "undefined",
+	faultinject.DuplicatePin:     "case 3",
+	faultinject.UseBeforeDef:     "not dominated",
+	faultinject.BrokenCopyCycle:  "parcopy",
+	faultinject.DoubleDef:        "two definitions",
+	faultinject.PhiArityMismatch: "args for",
+	faultinject.DanglingEdge:     "not its pred",
+	faultinject.MisplacedPhi:     "after non-φ",
+}
+
+// TestEveryClassDetected: each corruption class must find a site in the
+// diamond and be rejected by the verifier with the intended message.
+func TestEveryClassDetected(t *testing.T) {
+	if len(detectedBy) != len(faultinject.Classes) {
+		t.Fatalf("expectation table covers %d of %d classes", len(detectedBy), len(faultinject.Classes))
+	}
+	for _, class := range faultinject.Classes {
+		t.Run(string(class), func(t *testing.T) {
+			f := buildDiamond(t)
+			if !faultinject.Inject(f, class) {
+				t.Fatalf("no injection site for %s in the diamond", class)
+			}
+			err := verify.Func(f, verify.StageSSA)
+			if err == nil {
+				t.Fatalf("%s not detected by the verifier:\n%s", class, f)
+			}
+			if want := detectedBy[class]; !strings.Contains(err.Error(), want) {
+				t.Fatalf("%s detected by the wrong check:\n  got  %v\n  want substring %q", class, err, want)
+			}
+		})
+	}
+}
+
+// TestInjectIsTheOnlyDifference: a clean clone still verifies after its
+// sibling was corrupted — injection must not share state.
+func TestInjectIsTheOnlyDifference(t *testing.T) {
+	f := buildDiamond(t)
+	g := f.Clone()
+	if !faultinject.Inject(f, faultinject.DoubleDef) {
+		t.Fatal("no injection site")
+	}
+	if err := verify.Func(g, verify.StageSSA); err != nil {
+		t.Fatalf("uncorrupted clone rejected: %v", err)
+	}
+	if err := verify.Func(f, verify.StageSSA); err == nil {
+		t.Fatal("corrupted original accepted")
+	}
+}
+
+// TestUnknownClassRejected: Inject must not silently "apply" a class it
+// does not know.
+func TestUnknownClassRejected(t *testing.T) {
+	f := buildDiamond(t)
+	if faultinject.Inject(f, faultinject.Class("no-such-class")) {
+		t.Fatal("unknown class reported as injected")
+	}
+}

@@ -128,6 +128,10 @@ func (b *Block) ReplacePred(oldPred, newPred *Block) {
 			return
 		}
 	}
+	// Panic audit: programmer invariant. CFG edge rewrites are performed
+	// only by passes that just looked the edge up; malformed *input* edges
+	// are caught by Func.Verify (and the checked pipeline's runner
+	// contains any pass that trips this anyway).
 	panic(fmt.Sprintf("ir: %v is not a predecessor of %v", oldPred, b))
 }
 
@@ -139,5 +143,6 @@ func (b *Block) ReplaceSucc(oldSucc, newSucc *Block) {
 			return
 		}
 	}
+	// Panic audit: programmer invariant, symmetric with ReplacePred.
 	panic(fmt.Sprintf("ir: %v is not a successor of %v", oldSucc, b))
 }

@@ -31,6 +31,10 @@ func (bld *Builder) Val(name string) *Value { return bld.Fn.NewValue(name) }
 
 func (bld *Builder) emit(in *Instr) *Instr {
 	if bld.Cur == nil {
+		// Panic audit (checked-pipeline PR): programmer invariant. The
+		// Builder is only driven by in-repo construction code and tests,
+		// never by LAI input (the parser appends Instrs directly), so a
+		// missing SetBlock is a bug in the caller, not bad input.
 		panic("ir: Builder has no current block")
 	}
 	bld.Cur.Append(in)
@@ -143,6 +147,8 @@ func (bld *Builder) Jump(to *Block) *Instr {
 // PinDef pins the i-th definition of in to resource r.
 func PinDef(in *Instr, i int, r *Value) {
 	if i >= len(in.Defs) {
+		// Panic audit: programmer invariant — the collect phases index
+		// operands they just enumerated; no user input reaches here.
 		panic(fmt.Sprintf("ir: PinDef index %d out of range for %v", i, in))
 	}
 	in.Defs[i].Pin = r
@@ -151,6 +157,7 @@ func PinDef(in *Instr, i int, r *Value) {
 // PinUse pins the i-th use of in to resource r.
 func PinUse(in *Instr, i int, r *Value) {
 	if i >= len(in.Uses) {
+		// Panic audit: programmer invariant, same as PinDef.
 		panic(fmt.Sprintf("ir: PinUse index %d out of range for %v", i, in))
 	}
 	in.Uses[i].Pin = r

@@ -75,3 +75,22 @@ func (f *Func) Clone() *Func {
 	}
 	return nf
 }
+
+// RestoreFrom replaces f's entire contents — blocks, values, target —
+// with those of g, which must be a Clone of f (or of an ancestor state
+// of f). g is consumed: its blocks and values become owned by f and g
+// must not be used afterwards. The checked pipeline uses this to roll a
+// function back to its pre-pipeline snapshot before retrying through
+// the naive fallback translation, so the caller's *Func pointer stays
+// valid across the retry.
+func (f *Func) RestoreFrom(g *Func) {
+	f.Name = g.Name
+	f.Blocks = g.Blocks
+	f.Target = g.Target
+	f.values = g.values
+	f.nextID = g.nextID
+	f.nextBB = g.nextBB
+	for _, b := range f.Blocks {
+		b.fn = f
+	}
+}

@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ExecResult captures the externally observable behaviour of one
 // execution: the values returned through .output, every store performed
@@ -18,9 +21,18 @@ type StoreEvent struct {
 	Addr, Val int64
 }
 
-// ErrStepLimit is returned when execution does not reach .output within
-// the step budget.
-var ErrStepLimit = fmt.Errorf("ir: execution step limit exceeded")
+// ErrStepBudget is the sentinel returned when execution does not reach
+// .output within the step budget. The interpreter cannot distinguish
+// nontermination from slow convergence, so callers comparing two
+// executions (the differential fuzzer, laoc -run) must treat a budget
+// overrun as "no verdict" rather than as a semantic mismatch; test with
+// errors.Is(err, ir.ErrStepBudget).
+var ErrStepBudget = errors.New("ir: execution step budget exceeded")
+
+// ErrStepLimit is the historical name of ErrStepBudget.
+//
+// Deprecated: use ErrStepBudget.
+var ErrStepLimit = ErrStepBudget
 
 // Exec interprets f with the given arguments. Loads from addresses never
 // stored to yield a deterministic hash of the address; calls yield a
@@ -57,7 +69,7 @@ func Exec(f *Func, args []int64, maxSteps int) (*ExecResult, error) {
 		for _, in := range blk.Instrs[len(phis):] {
 			res.Steps++
 			if res.Steps > maxSteps {
-				return nil, ErrStepLimit
+				return nil, ErrStepBudget
 			}
 			switch in.Op {
 			case Nop:

@@ -13,13 +13,16 @@ import (
 //	{"type":"run_start","fn":...,"config":...,"ir":{...}}
 //	{"type":"pass","fn":...,"config":...,"pass":...,"seq":N,
 //	 "wall_ns":N,"alloc_bytes":N,"mallocs":N,
-//	 "before":{...},"after":{...},"counters":{...}}
+//	 "before":{...},"after":{...},"counters":{...},"err":...}
 //	{"type":"run_end","fn":...,"config":...,"passes":N,
 //	 "wall_ns":N,"ir":{...}}
 //
 // The "ir", "before" and "after" objects are IRStat: moves,
 // weighted_moves, instrs, phis, pins, blocks, values. Counter keys are
-// "<pass>.<Field>" paths into the pass's stats struct. The schema is
+// "<pass>.<Field>" paths into the pass's stats struct. "err", present
+// only on failure, is the pass's error string (pass error, contained
+// panic, or checked-mode verifier violation); a run that died shows a
+// final "pass" record with "err" and no "run_end". The schema is
 // append-only: consumers must tolerate new keys. JSONL is safe for
 // concurrent use.
 type JSONL struct {

@@ -71,6 +71,10 @@ type Event struct {
 	// Stats struct, e.g. "pinning-phi.Merges" or
 	// "out-of-pinned-ssa.Interference.KillQueries").
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Err is the pass failure (pass error, contained panic, or checked-mode
+	// verifier violation), empty on success. A run whose last event carries
+	// Err and that has no run_end record died on that pass.
+	Err string `json:"err,omitempty"`
 }
 
 // Tracer receives the event stream of instrumented pipeline runs. One

@@ -14,7 +14,7 @@ import (
 // collect SP/ABI pins, translate out of SSA, and sanity-check the result.
 func destruct(t *testing.T, f *ir.Func, abi bool) *leung.Stats {
 	t.Helper()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	if err := ssa.Verify(f); err != nil {
 		t.Fatalf("%s: ssa: %v", f.Name, err)
 	}

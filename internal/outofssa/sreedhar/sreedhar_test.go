@@ -181,7 +181,7 @@ func TestNoCopiesWhenConventional(t *testing.T) {
 func TestUnsplittableRedirection(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		f := testprog.Rand(seed, testprog.DefaultRandOptions())
-		info := ssa.Build(f)
+		info := ssa.MustBuild(f)
 		st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
 			Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
 		})

@@ -5,7 +5,37 @@
 // with a temporary (Briggs et al.).
 package parcopy
 
-import "outofssa/internal/ir"
+import (
+	"fmt"
+
+	"outofssa/internal/ir"
+)
+
+// Check validates one parallel copy: def/use slots must pair up and the
+// destinations must be pairwise distinct — a duplicated destination
+// makes the parallel write nondeterministic (two sources race for one
+// slot), which no correct φ replacement ever produces. The checked
+// pipeline's verifier calls this on every ParCopy it encounters.
+func Check(pc *ir.Instr) error {
+	if pc.Op != ir.ParCopy {
+		return fmt.Errorf("parcopy: %q is not a parallel copy", pc)
+	}
+	if len(pc.Defs) != len(pc.Uses) {
+		return fmt.Errorf("parcopy: %q has %d destinations for %d sources",
+			pc, len(pc.Defs), len(pc.Uses))
+	}
+	seen := make(map[*ir.Value]bool, len(pc.Defs))
+	for _, d := range pc.Defs {
+		if d.Val == nil {
+			return fmt.Errorf("parcopy: nil destination in %q", pc)
+		}
+		if seen[d.Val] {
+			return fmt.Errorf("parcopy: destination %v duplicated in %q", d.Val, pc)
+		}
+		seen[d.Val] = true
+	}
+	return nil
+}
 
 // Sequentialize lowers every ParCopy instruction of f into an equivalent
 // sequence of Copy instructions, allocating at most one temporary per

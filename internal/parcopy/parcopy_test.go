@@ -124,6 +124,78 @@ func TestRandomAssignments(t *testing.T) {
 	}
 }
 
+// TestFullPermutationCycle rotates all n values through a single cycle:
+// the worst case for the sequentializer, needing exactly one temp and
+// n+1 copies, for several n.
+func TestFullPermutationCycle(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		dst := make([]int, n)
+		src := make([]int, n)
+		args := make([]int64, n)
+		for i := 0; i < n; i++ {
+			dst[i] = i
+			src[i] = (i + 1) % n
+			args[i] = int64(100 + i)
+		}
+		if !runBoth(t, n, dst, src, args) {
+			t.Fatalf("%d-cycle broken", n)
+		}
+		f := buildParCopyFunc(n, dst, src)
+		if got := parcopy.Sequentialize(f); got != n+1 {
+			t.Fatalf("%d-cycle lowered to %d copies, want %d (one temp)", n, got, n+1)
+		}
+	}
+}
+
+// TestCheckDetectsDuplicateDestination: the verifier-facing Check must
+// reject a parallel copy writing one destination twice — the parallel
+// semantics would be nondeterministic.
+func TestCheckDetectsDuplicateDestination(t *testing.T) {
+	f := buildParCopyFunc(3, []int{0, 1}, []int{1, 2})
+	var pc *ir.Instr
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.ParCopy {
+			pc = in
+		}
+	}
+	if err := parcopy.Check(pc); err != nil {
+		t.Fatalf("valid parallel copy rejected: %v", err)
+	}
+	pc.Defs[1].Val = pc.Defs[0].Val // (a, a) = (b, c)
+	if err := parcopy.Check(pc); err == nil {
+		t.Fatal("duplicated destination not detected")
+	}
+}
+
+// TestCheckDetectsArityMismatch: a destination without a paired source
+// (or vice versa) must be rejected before Lower indexes out of range.
+func TestCheckDetectsArityMismatch(t *testing.T) {
+	f := buildParCopyFunc(3, []int{0, 1}, []int{1, 2})
+	var pc *ir.Instr
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.ParCopy {
+			pc = in
+		}
+	}
+	pc.Uses = pc.Uses[:1]
+	if err := parcopy.Check(pc); err == nil {
+		t.Fatal("def/use arity mismatch not detected")
+	}
+}
+
+// TestCheckAllowsSelfCopy: a self copy (a = a) is legal — the
+// sequentializer simply drops it.
+func TestCheckAllowsSelfCopy(t *testing.T) {
+	f := buildParCopyFunc(2, []int{0, 1}, []int{0, 1})
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.ParCopy {
+			if err := parcopy.Check(in); err != nil {
+				t.Fatalf("self copy rejected: %v", err)
+			}
+		}
+	}
+}
+
 // Mixed cycles and chains in one parallel copy.
 func TestCycleAndChainMix(t *testing.T) {
 	// (a,b,c,d) = (b,a,a,c): swap a<->b plus chain into c,d.

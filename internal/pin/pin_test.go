@@ -77,7 +77,7 @@ func TestMembersSorted(t *testing.T) {
 
 func TestCollectSP(t *testing.T) {
 	f := testprog.WithCallsAndStack()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	pin.CollectSP(f, info)
 	res, err := pin.NewResources(f)
 	if err != nil {
@@ -99,7 +99,7 @@ func TestCollectSP(t *testing.T) {
 
 func TestCollectABI(t *testing.T) {
 	f := testprog.WithCallsAndStack()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	pin.CollectSP(f, info)
 	pin.CollectABI(f)
 	for _, b := range f.Blocks {
@@ -144,7 +144,7 @@ func TestCollectABI(t *testing.T) {
 // receive an argument-register pin.
 func TestCollectABIRespectsSP(t *testing.T) {
 	f := testprog.WithCallsAndStack()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	pin.CollectSP(f, info)
 	pin.CollectABI(f)
 	for _, in := range f.Entry().Instrs {

@@ -1,0 +1,100 @@
+package pipeline_test
+
+import (
+	"errors"
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/testprog"
+)
+
+// fuzzOptions derives generator knobs from the fuzzed size parameter,
+// clamped so every generated program stays interpretable within the
+// step budget. The mapping is deterministic: a crasher reproduces from
+// its two integers alone.
+func fuzzOptions(size int64) testprog.RandOptions {
+	if size < 0 {
+		size = -size
+	}
+	return testprog.RandOptions{
+		MaxDepth: 1 + int(size%3),
+		// The generator draws up to three parameters from the variable
+		// pool, so Vars must never go below 3.
+		Vars:          3 + int((size/3)%5),
+		StmtsPerBlock: 1 + int((size/18)%5),
+		Calls:         size%2 == 0,
+		Stack:         (size/2)%2 == 0,
+	}
+}
+
+// FuzzPipelineDifferential drives randomly generated programs through
+// every experiment configuration in checked mode and differentially
+// compares observable behaviour (ir.Exec) before and after: the
+// pipeline as its own oracle. Any verifier violation, pass panic, or
+// semantic divergence on any configuration is a finding.
+//
+// Run locally with:
+//
+//	go test -run='^$' -fuzz=FuzzPipelineDifferential ./internal/pipeline/
+func FuzzPipelineDifferential(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(1), int64(17))
+	f.Add(int64(7), int64(36))
+	f.Add(int64(42), int64(5))
+	f.Add(int64(1002), int64(90))
+
+	argSets := [][]int64{{0, 0, 0}, {1, 2, 3}, {9, 4, 2}, {17, 5, 1}}
+
+	f.Fuzz(func(t *testing.T, seed, size int64) {
+		opt := fuzzOptions(size)
+		ref := testprog.Rand(seed, opt)
+		// Reference runs: a budget overrun means "no verdict" for that
+		// argument set (nil slot), not a failure.
+		wants := make([]*ir.ExecResult, len(argSets))
+		any := false
+		for i, args := range argSets {
+			w, err := ir.Exec(ref, args, 500000)
+			if errors.Is(err, ir.ErrStepBudget) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("ref seed=%d size=%d: %v", seed, size, err)
+			}
+			wants[i] = w
+			any = true
+		}
+		if !any {
+			t.Skip("reference exceeds the step budget on every argument set")
+		}
+
+		for _, name := range expNames() {
+			g := testprog.Rand(seed, opt)
+			conf := pipeline.Configs[name]
+			conf.Verify = true
+			if _, err := pipeline.Run(g, conf); err != nil {
+				t.Fatalf("seed=%d size=%d config=%s: %v", seed, size, name, err)
+			}
+			for _, b := range g.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.Phi || in.Op == ir.ParCopy {
+						t.Fatalf("seed=%d size=%d config=%s: %v survived", seed, size, name, in.Op)
+					}
+				}
+			}
+			for i, args := range argSets {
+				if wants[i] == nil {
+					continue
+				}
+				got, err := ir.Exec(g, args, 1000000)
+				if err != nil {
+					t.Fatalf("seed=%d size=%d config=%s args=%v: %v", seed, size, name, args, err)
+				}
+				if !wants[i].Equal(got) {
+					t.Fatalf("seed=%d size=%d config=%s args=%v: behaviour diverged\nwant %+v\ngot  %+v",
+						seed, size, name, args, wants[i], got)
+				}
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"outofssa/internal/regalloc"
 	"outofssa/internal/ssa"
 	"outofssa/internal/ssaopt"
+	"outofssa/internal/verify"
 )
 
 // Config selects the passes, mirroring the columns of Table 1.
@@ -60,6 +61,23 @@ type Config struct {
 	NaiveABI bool
 	// Chaitin runs the aggressive repeated register coalescer ("+C").
 	Chaitin bool
+
+	// Verify enables checked mode: internal/verify re-checks the IR
+	// invariants on pipeline entry and after every pass, and a violation
+	// aborts the run with a *PassError naming the offending pass. The
+	// verifier only reads the IR, so enabling it never changes codegen.
+	Verify bool
+	// Fallback retries a failed run (pass error, contained panic, or
+	// checked-mode violation) through the naive out-of-SSA translation
+	// on a pre-pipeline snapshot, cross-checked with the ir.Exec oracle;
+	// the Result then has FellBack set and FallbackFrom recording the
+	// original failure.
+	Fallback bool
+	// FaultHook, when non-nil, runs after each pass body (before
+	// checked-mode verification) with the pass name and the function —
+	// the corruption seam used by the fault-injection tests. Production
+	// callers leave it nil.
+	FaultHook func(pass string, f *ir.Func)
 }
 
 // Result aggregates the outcome of running one configuration.
@@ -85,6 +103,13 @@ type Result struct {
 	Chaitin  *regalloc.Stats
 	// CSSAUnpinned counts φ slots pinningCSSA had to leave unpinned.
 	CSSAUnpinned int
+
+	// FellBack reports that the configured pipeline failed and the
+	// result instead comes from the naive fallback translation
+	// (Config.Fallback). FallbackFrom is the failure that triggered it,
+	// normally a *PassError.
+	FellBack     bool
+	FallbackFrom error
 }
 
 // Run converts the pre-SSA function f through SSA and back according to
@@ -101,7 +126,10 @@ func Run(f *ir.Func, conf Config) (*Result, error) {
 // configuration — conf does). A nil tracer takes the unmeasured fast
 // path and is exactly Run.
 func RunTraced(f *ir.Func, conf Config, exp string, tr obs.Tracer) (*Result, error) {
-	info := ssa.Build(f)
+	info, err := ssa.Build(f)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: SSA construction: %w", err)
+	}
 	if err := ssa.Verify(f); err != nil {
 		return nil, fmt.Errorf("pipeline: after SSA construction: %v", err)
 	}
@@ -119,9 +147,24 @@ func RunSSA(f *ir.Func, info *ssa.Info, conf Config) (*Result, error) {
 // RunSSATraced is RunSSA driven by the instrumented pass runner; see
 // RunTraced for the tracing contract.
 func RunSSATraced(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) (*Result, error) {
+	var backup *ir.Func
+	if conf.Fallback {
+		backup = f.Clone()
+	}
 	r := &Result{}
-	if err := runPasses(f, exp, conf.passes(f, info, r), tr); err != nil {
-		return nil, err
+	opts := runOpts{verify: conf.Verify, faultHook: conf.FaultHook}
+	if err := runPasses(f, exp, conf.passes(f, info, r), tr, opts); err != nil {
+		if backup == nil {
+			return nil, err
+		}
+		// Graceful degradation: discard whatever the failed run left in f
+		// and r, redo the translation naively from the entry snapshot.
+		*r = Result{}
+		if ferr := fallbackRun(f, backup, exp, tr, r); ferr != nil {
+			return nil, fmt.Errorf("pipeline: fallback failed (%v) after %w", ferr, err)
+		}
+		r.FellBack = true
+		r.FallbackFrom = err
 	}
 
 	cfg.ComputeLoopDepth(f)
@@ -132,22 +175,27 @@ func RunSSATraced(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tr
 }
 
 // pass is one step of the instrumented runner: a name (stable across
-// configurations — it keys trace diffing), the work itself, and an
-// optional accessor for the pass's Stats struct, flattened into the
-// trace event's counters. run closures wrap their own errors so the
-// untraced path reports exactly what the pre-runner pipeline did.
+// configurations — it keys trace diffing), the checked-mode verifier
+// stage its output must satisfy, the work itself, and an optional
+// accessor for the pass's Stats struct, flattened into the trace
+// event's counters. run closures wrap their own errors so the untraced
+// path reports exactly what the pre-runner pipeline did.
 type pass struct {
 	name  string
+	stage verify.Stage
 	run   func() error
 	stats func() any
 }
 
 // passes materializes conf as the ordered pass list of the paper's
 // Table 1 pipeline. The closures write their statistics into r.
+// Passes up to and including the pinning phases leave the function in
+// (pinned) SSA form, so they carry verify.StageSSA; the out-of-SSA
+// translation and everything after it carry verify.StagePostSSA.
 func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	var ps []pass
-	add := func(name string, run func() error, stats func() any) {
-		ps = append(ps, pass{name: name, run: run, stats: stats})
+	add := func(name string, stage verify.Stage, run func() error, stats func() any) {
+		ps = append(ps, pass{name: name, stage: stage, run: run, stats: stats})
 	}
 
 	if !conf.ABI {
@@ -155,11 +203,11 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 		// pins to dedicated registers other than SP. Only SP constraints
 		// cannot be ignored (paper §5); the rest are either ignored
 		// entirely or handled later by NaiveABI.
-		add("strip-pins", func() error { stripNonSPPins(f); return nil }, nil)
+		add("strip-pins", verify.StageSSA, func() error { stripNonSPPins(f); return nil }, nil)
 	}
 
 	if conf.Optimize {
-		add("ssaopt", func() error {
+		add("ssaopt", verify.StageSSA, func() error {
 			r.Opt = ssaopt.Optimize(f, info)
 			if err := ssa.Verify(f); err != nil {
 				return fmt.Errorf("pipeline: after SSA optimization: %v", err)
@@ -169,7 +217,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	}
 
 	if conf.Psi {
-		add("psi", func() error {
+		add("psi", verify.StageSSA, func() error {
 			st := psi.IfConvert(f)
 			lo := psi.ConvertPsi(f)
 			st.PsisLowered, st.TiesPinned = lo.PsisLowered, lo.TiesPinned
@@ -186,7 +234,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	}
 
 	if conf.Sreedhar {
-		add("sreedhar", func() error {
+		add("sreedhar", verify.StageSSA, func() error {
 			st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
 				Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
 			})
@@ -198,13 +246,13 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 		}, func() any { return r.Sreedhar })
 	}
 
-	add("pinning-sp", func() error { pin.CollectSP(f, info); return nil }, nil)
+	add("pinning-sp", verify.StageSSA, func() error { pin.CollectSP(f, info); return nil }, nil)
 	if conf.ABI {
-		add("pinning-abi", func() error { pin.CollectABI(f); return nil }, nil)
+		add("pinning-abi", verify.StageSSA, func() error { pin.CollectABI(f); return nil }, nil)
 	}
 
 	if conf.Sreedhar {
-		add("pinning-cssa", func() error {
+		add("pinning-cssa", verify.StageSSA, func() error {
 			live := liveness.Compute(f)
 			an := interference.New(f, live, cfg.Dominators(f), interference.Exact)
 			_, unpinned, err := pin.CollectPhiCSSA(f, an)
@@ -217,7 +265,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	}
 
 	if conf.PrePin {
-		add("pre-pin", func() error {
+		add("pre-pin", verify.StageSSA, func() error {
 			st, err := coalesce.PrePinDefs(f, conf.Coalesce.Mode)
 			if err != nil {
 				return fmt.Errorf("pipeline: pre-pinning: %v", err)
@@ -228,7 +276,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	}
 
 	if conf.PhiCoalesce {
-		add("pinning-phi", func() error {
+		add("pinning-phi", verify.StageSSA, func() error {
 			st, err := coalesce.ProgramPinning(f, conf.Coalesce)
 			if err != nil {
 				return fmt.Errorf("pipeline: pinningφ: %v", err)
@@ -239,7 +287,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	}
 
 	if conf.NaiveOut {
-		add("out-naive", func() error {
+		add("out-naive", verify.StagePostSSA, func() error {
 			st, err := naive.Translate(f)
 			if err != nil {
 				return fmt.Errorf("pipeline: naive out-of-SSA: %v", err)
@@ -248,7 +296,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 			return nil
 		}, func() any { return r.Naive })
 	} else {
-		add("out-of-pinned-ssa", func() error {
+		add("out-of-pinned-ssa", verify.StagePostSSA, func() error {
 			st, err := leung.Translate(f)
 			if err != nil {
 				return fmt.Errorf("pipeline: out-of-pinned-SSA: %v", err)
@@ -259,26 +307,36 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	}
 
 	if conf.NaiveABI {
-		add("naive-abi", func() error { r.NaiveABI = naiveabi.Apply(f); return nil },
+		add("naive-abi", verify.StagePostSSA, func() error { r.NaiveABI = naiveabi.Apply(f); return nil },
 			func() any { return r.NaiveABI })
 	}
 	if conf.Chaitin {
-		add("chaitin", func() error { r.Chaitin = regalloc.AggressiveCoalesce(f); return nil },
+		add("chaitin", verify.StagePostSSA, func() error { r.Chaitin = regalloc.AggressiveCoalesce(f); return nil },
 			func() any { return r.Chaitin })
 	}
 	return ps
 }
 
-// runPasses executes the pass list. With a nil tracer it is a plain
-// loop — no snapshots, no clock reads, no allocations beyond what the
-// passes themselves do. With a tracer it brackets the run and every
-// pass with measurements: per-pass wall time, runtime.MemStats
-// allocation deltas, and IR snapshots before/after (the provenance
-// trail of the final move count).
-func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer) error {
+// runPasses executes the pass list. With a nil tracer and default opts
+// it is a plain loop — no snapshots, no clock reads, no allocations
+// beyond what the passes themselves do. With a tracer it brackets the
+// run and every pass with measurements: per-pass wall time,
+// runtime.MemStats allocation deltas, and IR snapshots before/after
+// (the provenance trail of the final move count). Every pass failure —
+// its own error, a contained panic, or a checked-mode violation —
+// surfaces as a *PassError; in checked mode the entry state is
+// verified too, reported against the pseudo-pass "<input>". Verifier
+// time is charged to the pass it checks.
+func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) error {
+	if opts.verify && len(ps) > 0 {
+		if err := verify.Func(f, opts.entryStage); err != nil {
+			return &PassError{Func: f.Name, Config: exp, Pass: "<input>",
+				Cause: err, Snapshot: obs.Snapshot(f)}
+		}
+	}
 	if tr == nil {
 		for i := range ps {
-			if err := ps[i].run(); err != nil {
+			if err := runOne(f, exp, &ps[i], opts); err != nil {
 				return err
 			}
 		}
@@ -294,7 +352,7 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer) error {
 		before := obs.Snapshot(f)
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
-		err := p.run()
+		err := runOne(f, exp, p, opts)
 		wall := time.Since(t0)
 		runtime.ReadMemStats(&ms1)
 		ev := &obs.Event{
@@ -310,6 +368,9 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer) error {
 		}
 		if err == nil && p.stats != nil {
 			ev.Counters = obs.Counters(p.name, p.stats())
+		}
+		if err != nil {
+			ev.Err = err.Error()
 		}
 		tr.PassEnd(ev)
 		if err != nil {

@@ -20,7 +20,7 @@ func TestNilTracerAllocatesNothing(t *testing.T) {
 		{name: "c", run: func() error { return nil }},
 	}
 	n := testing.AllocsPerRun(200, func() {
-		if err := runPasses(f, "", ps, nil); err != nil {
+		if err := runPasses(f, "", ps, nil, runOpts{}); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -30,8 +30,10 @@ func TestNilTracerAllocatesNothing(t *testing.T) {
 }
 
 // TestRunnerStopsOnError: a failing pass must abort the run, surface
-// its error verbatim, and still deliver the failing pass's event to an
-// attached tracer (the trace shows where a run died).
+// its error as a *PassError naming the pass (with the cause reachable
+// through errors.Is), and still deliver the failing pass's event — now
+// carrying the error string — to an attached tracer (the trace shows
+// where a run died).
 func TestRunnerStopsOnError(t *testing.T) {
 	boom := errors.New("pipeline: synthetic failure")
 	f := ir.NewFunc("err")
@@ -45,9 +47,16 @@ func TestRunnerStopsOnError(t *testing.T) {
 
 	for _, tr := range []obs.Tracer{nil, &obs.Recorder{}} {
 		ran = 0
-		err := runPasses(f, "exp", ps, tr)
-		if err != boom {
-			t.Fatalf("tracer=%T: got error %v, want %v", tr, err, boom)
+		err := runPasses(f, "exp", ps, tr, runOpts{})
+		if !errors.Is(err, boom) {
+			t.Fatalf("tracer=%T: got error %v, want cause %v", tr, err, boom)
+		}
+		var pe *PassError
+		if !errors.As(err, &pe) {
+			t.Fatalf("tracer=%T: error %T is not a *PassError", tr, err)
+		}
+		if pe.Pass != "fails" || pe.Func != "err" || pe.Config != "exp" {
+			t.Fatalf("tracer=%T: PassError fields wrong: %+v", tr, pe)
 		}
 		if ran != 2 {
 			t.Fatalf("tracer=%T: %d passes ran, want 2", tr, ran)
@@ -57,9 +66,40 @@ func TestRunnerStopsOnError(t *testing.T) {
 			if len(run.Events) != 2 || run.Events[1].Pass != "fails" {
 				t.Fatalf("failing pass not traced: %+v", run.Events)
 			}
+			if run.Events[1].Err == "" {
+				t.Fatal("failing pass event carries no Err")
+			}
 			if run.Ended {
 				t.Fatal("RunEnd fired despite pass failure")
 			}
 		}
+	}
+}
+
+// TestRunnerContainsPanic: a panicking pass must not take down the
+// process; the panic surfaces as a *PassError wrapping a *PanicError
+// that records the panic value and a stack trace.
+func TestRunnerContainsPanic(t *testing.T) {
+	f := ir.NewFunc("boom")
+	f.NewBlock("entry")
+	ran := 0
+	ps := []pass{
+		{name: "explodes", run: func() error { panic("kaboom") }},
+		{name: "never", run: func() error { ran++; return nil }},
+	}
+	err := runPasses(f, "exp", ps, nil, runOpts{})
+	var pe *PassError
+	if !errors.As(err, &pe) || pe.Pass != "explodes" {
+		t.Fatalf("got %v, want *PassError for pass \"explodes\"", err)
+	}
+	var pa *PanicError
+	if !errors.As(err, &pa) {
+		t.Fatalf("cause %v is not a *PanicError", pe.Cause)
+	}
+	if pa.Value != "kaboom" || pa.Stack == "" {
+		t.Fatalf("panic not captured: value=%v stack=%d bytes", pa.Value, len(pa.Stack))
+	}
+	if ran != 0 {
+		t.Fatal("pass after the panicking one still ran")
 	}
 }

@@ -41,12 +41,33 @@ func (i *Info) OrigPhys(v *ir.Value) *ir.Value {
 	return nil
 }
 
+// buildError carries a construction failure out of the recursive rename
+// walk; Build recovers it and returns it as an ordinary error with the
+// function/block/instruction position attached.
+type buildError struct{ err error }
+
 // Build converts f (pre-SSA: values may have multiple definitions,
 // physical registers may appear as operands) into pruned SSA form in
 // place. Unreachable blocks are removed first. Variables that may be used
 // before being defined are given an implicit definition on the entry
 // .input instruction.
-func Build(f *ir.Func) *Info {
+//
+// A non-nil error means the input violated an assumption of the
+// construction (e.g. a use with no reaching definition that liveness
+// failed to expose); f is left in an unspecified partially renamed state
+// and must be discarded. Errors here indicate a malformed input or a bug
+// in an earlier phase — Build reports them instead of panicking so that
+// batch drivers survive one bad function.
+func Build(f *ir.Func) (info *Info, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(buildError)
+			if !ok {
+				panic(r) // programmer invariant violations propagate
+			}
+			info, err = nil, be.err
+		}
+	}()
 	cfg.RemoveUnreachable(f)
 	ensureEntryDefs(f)
 
@@ -108,7 +129,7 @@ func Build(f *ir.Func) *Info {
 	}
 
 	// Renaming via dominator-tree walk with stacks.
-	info := &Info{OrigOf: make(map[*ir.Value]*ir.Value), Dom: dom}
+	info = &Info{OrigOf: make(map[*ir.Value]*ir.Value), Dom: dom}
 	for _, v := range f.Values() {
 		info.OrigOf[v] = v
 	}
@@ -122,12 +143,15 @@ func Build(f *ir.Func) *Info {
 		info.OrigOf[nv] = orig
 		return nv
 	}
-	top := func(orig *ir.Value) *ir.Value {
+	top := func(orig *ir.Value, b *ir.Block, in *ir.Instr) *ir.Value {
 		s := stacks[orig]
 		if len(s) == 0 {
 			// Use of a never-defined variable on this path; ensureEntryDefs
-			// should have prevented this for reachable uses.
-			panic(fmt.Sprintf("ssa: no reaching definition for %v", orig))
+			// prevents this for any input that passed ir.Func.Verify, so
+			// reaching here means the input (or an earlier phase) is broken.
+			// Reported with position context instead of crashing the process.
+			panic(buildError{fmt.Errorf("ssa: %s: block %v: %q: use of %v has no reaching definition",
+				f.Name, b, in, orig)})
 		}
 		return s[len(s)-1]
 	}
@@ -138,7 +162,7 @@ func Build(f *ir.Func) *Info {
 		for _, in := range b.Instrs {
 			if in.Op != ir.Phi {
 				for i, u := range in.Uses {
-					in.Uses[i].Val = top(u.Val)
+					in.Uses[i].Val = top(u.Val, b, in)
 				}
 			}
 			for i, d := range in.Defs {
@@ -155,7 +179,7 @@ func Build(f *ir.Func) *Info {
 				if !ok {
 					continue // pre-existing φ (input already SSA) — leave it
 				}
-				phi.Uses[pi].Val = top(orig)
+				phi.Uses[pi].Val = top(orig, s, phi)
 			}
 		}
 		for _, c := range dom.Children[b.ID] {
@@ -167,6 +191,16 @@ func Build(f *ir.Func) *Info {
 		}
 	}
 	rename(f.Entry())
+	return info, nil
+}
+
+// MustBuild is Build for inputs known to be well formed (test fixtures,
+// generated workloads); it panics on error.
+func MustBuild(f *ir.Func) *Info {
+	info, err := Build(f)
+	if err != nil {
+		panic(err)
+	}
 	return info
 }
 

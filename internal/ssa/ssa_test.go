@@ -20,7 +20,7 @@ func blockByName(f *ir.Func, name string) *ir.Block {
 
 func TestBuildDiamond(t *testing.T) {
 	f := testprog.Diamond()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	if err := ssa.Verify(f); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestBuildPruned(t *testing.T) {
 	bld.SetBlock(join)
 	bld.Output(y) // only y live at join; x must have no φ
 
-	info := ssa.Build(bld.Fn)
+	info := ssa.MustBuild(bld.Fn)
 	if err := ssa.Verify(bld.Fn); err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestBuildLoopPhis(t *testing.T) {
 
 func TestBuildRenamesPhysical(t *testing.T) {
 	f := testprog.WithCallsAndStack()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	if err := ssa.Verify(f); err != nil {
 		t.Fatal(err)
 	}

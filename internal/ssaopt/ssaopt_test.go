@@ -139,7 +139,7 @@ func TestOptimizePreservesSemantics(t *testing.T) {
 			t.Fatal(err)
 		}
 		f := testprog.Rand(seed, testprog.DefaultRandOptions())
-		info := ssa.Build(f)
+		info := ssa.MustBuild(f)
 		ssaopt.Optimize(f, info)
 		if err := ssa.Verify(f); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -156,7 +156,7 @@ func TestOptimizePreservesSemantics(t *testing.T) {
 
 func TestOptimizeProtectsSPWeb(t *testing.T) {
 	f := testprog.WithCallsAndStack()
-	info := ssa.Build(f)
+	info := ssa.MustBuild(f)
 	ssaopt.Optimize(f, info)
 	// The SP-derived values must still be present (not propagated away).
 	found := false

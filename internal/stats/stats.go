@@ -64,6 +64,12 @@ func suiteBuilders() []func() *workload.Suite {
 	}
 }
 
+// Checked, when true, runs every table experiment in checked mode
+// (pipeline.Config.Verify): IR invariants are re-verified after each
+// pass. The verifier only reads the IR, so the tables come out
+// byte-identical — ssabench -verify exists to prove exactly that.
+var Checked bool
+
 // runMoves executes an experiment over a built suite (consuming it —
 // the pipelines mutate their input) and totals the final move count.
 func runMoves(s *workload.Suite, exp string, tr obs.Tracer) (int64, error) {
@@ -71,6 +77,7 @@ func runMoves(s *workload.Suite, exp string, tr obs.Tracer) (int64, error) {
 }
 
 func runConf(s *workload.Suite, conf pipeline.Config, exp string, weighted bool, tr obs.Tracer) (int64, error) {
+	conf.Verify = Checked
 	var total int64
 	for _, f := range s.Funcs {
 		r, err := pipeline.RunTraced(f, conf, exp, tr)

@@ -1,0 +1,195 @@
+// Package verify is the checked-mode IR verifier of the out-of-SSA
+// pipeline. It re-checks, between passes, the invariants the paper's
+// correctness argument rests on:
+//
+//   - structural well-formedness (CFG edge symmetry, terminator
+//     placement, φ prefix and arity, operand ownership — ir.Func.Verify);
+//   - dense-table coherence: value and block IDs index the function's
+//     ID-ordered tables, the assumption every liveness/dominator/
+//     interference cache in the repository is built on;
+//   - parallel-copy consistency (paired slots, no duplicated
+//     destination — parcopy.Check);
+//   - SSA form: single definitions and dominance of uses (ssa.Verify);
+//   - pin legality: the Figure 4 pinning rules (pin.Validate) plus the
+//     paper's central safety claim — no two variables pinned to one
+//     resource may *strongly* interfere (Classes 3–4,
+//     Variable_stronglyInterfere). Simple interferences (Classes 1–2)
+//     are legal: the out-of-pinned-SSA translation repairs them.
+//
+// The verifier only reads the IR; running it can never change codegen.
+// internal/pipeline invokes it after every pass when Config.Verify is
+// set, converting violations into *pipeline.PassError values.
+package verify
+
+import (
+	"fmt"
+
+	"outofssa/internal/cfg"
+	"outofssa/internal/interference"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+	"outofssa/internal/parcopy"
+	"outofssa/internal/pin"
+	"outofssa/internal/ssa"
+)
+
+// Stage names the pipeline position a function is verified at: the
+// invariants that must hold depend on whether the function is still in
+// SSA form.
+type Stage int
+
+const (
+	// StageSSA covers every pass from SSA construction up to and
+	// including the pinning phases: the function must be structurally
+	// well formed, in SSA form, and its pins must be legal.
+	StageSSA Stage = iota
+	// StagePostSSA covers the out-of-SSA translation and everything
+	// after it: structural invariants still hold, and no φ or parallel
+	// copy may remain.
+	StagePostSSA
+)
+
+func (s Stage) String() string {
+	if s == StagePostSSA {
+		return "post-ssa"
+	}
+	return "ssa"
+}
+
+// Func runs every invariant check appropriate for the stage on f and
+// returns the first violation found, or nil. It never mutates f.
+func Func(f *ir.Func, stage Stage) error {
+	if err := f.Verify(); err != nil {
+		return fmt.Errorf("structure: %w", err)
+	}
+	if err := checkDenseTables(f); err != nil {
+		return fmt.Errorf("tables: %w", err)
+	}
+	if err := checkParCopies(f); err != nil {
+		return err
+	}
+	switch stage {
+	case StageSSA:
+		if err := ssa.Verify(f); err != nil {
+			return fmt.Errorf("ssa: %w", err)
+		}
+		if err := checkPins(f); err != nil {
+			return fmt.Errorf("pins: %w", err)
+		}
+	case StagePostSSA:
+		if err := checkTranslated(f); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("verify: unknown stage %d", stage)
+	}
+	return nil
+}
+
+// checkDenseTables asserts the ID/index coherence every dense cache in
+// the repository assumes: f.Values()[i].ID == i, block IDs unique and
+// below NumBlocks. Liveness bitsets, dominator arrays and interference
+// def tables are all sized by NumValues/NumBlocks and indexed by ID; a
+// pass that corrupts this mapping silently aliases unrelated variables
+// in every later analysis.
+func checkDenseTables(f *ir.Func) error {
+	vals := f.Values()
+	if len(vals) != f.NumValues() {
+		return fmt.Errorf("%s: %d values but NumValues()=%d", f.Name, len(vals), f.NumValues())
+	}
+	for i, v := range vals {
+		if v == nil {
+			return fmt.Errorf("%s: nil value at index %d", f.Name, i)
+		}
+		if v.ID != i {
+			return fmt.Errorf("%s: value %v has ID %d at index %d", f.Name, v, v.ID, i)
+		}
+	}
+	seen := make(map[int]*ir.Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.ID < 0 || b.ID >= f.NumBlocks() {
+			return fmt.Errorf("%s: block %v has ID %d outside [0,%d)", f.Name, b, b.ID, f.NumBlocks())
+		}
+		if prev, dup := seen[b.ID]; dup {
+			return fmt.Errorf("%s: blocks %v and %v share ID %d", f.Name, prev, b, b.ID)
+		}
+		seen[b.ID] = b
+	}
+	return nil
+}
+
+// checkParCopies validates every parallel copy in the function.
+func checkParCopies(f *ir.Func) error {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.ParCopy {
+				continue
+			}
+			if err := parcopy.Check(in); err != nil {
+				return fmt.Errorf("block %v: %w", b, err)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPins verifies pin legality: resource classes are buildable (no
+// two dedicated registers merged), the Figure 4 textual rules hold, and
+// no resource class contains a strongly interfering pair — the claim
+// that pinning-based coalescing never produces incorrect code.
+func checkPins(f *ir.Func) error {
+	if f.CountPins() == 0 {
+		return nil
+	}
+	res, err := pin.NewResources(f)
+	if err != nil {
+		return err
+	}
+	if err := pin.Validate(f, res); err != nil {
+		return err
+	}
+	// Strong interference scan: only multi-member classes can violate it.
+	var an *interference.Analysis
+	for _, root := range res.Roots() {
+		members := res.Members(root)
+		virt := members[:0:0]
+		for _, m := range members {
+			if !m.IsPhys() {
+				virt = append(virt, m)
+			}
+		}
+		if len(virt) < 2 {
+			continue
+		}
+		if an == nil {
+			live := liveness.Compute(f)
+			an = interference.New(f, live, cfg.Dominators(f), interference.Exact)
+		}
+		for i := 0; i < len(virt); i++ {
+			for j := i + 1; j < len(virt); j++ {
+				if an.StronglyInterfere(virt[i], virt[j]) {
+					return fmt.Errorf("%s: %v and %v pinned to resource %v but strongly interfere (Classes 3-4)",
+						f.Name, virt[i], virt[j], res.Find(root))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkTranslated asserts the out-of-SSA postcondition: no φ and no
+// parallel copy survives (ParCopy sequentialization is part of the
+// translation contract).
+func checkTranslated(f *ir.Func) error {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.Phi:
+				return fmt.Errorf("%s: φ %q survived out-of-SSA translation in %v", f.Name, in, b)
+			case ir.ParCopy:
+				return fmt.Errorf("%s: parallel copy %q not sequentialized in %v", f.Name, in, b)
+			}
+		}
+	}
+	return nil
+}
