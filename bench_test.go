@@ -28,6 +28,7 @@ import (
 	"outofssa/internal/pipeline"
 	"outofssa/internal/regalloc"
 	"outofssa/internal/ssa"
+	"outofssa/internal/stats"
 	"outofssa/internal/workload"
 )
 
@@ -75,6 +76,26 @@ func benchTable(b *testing.B, exps []string, weighted bool) {
 			}
 			for _, e := range exps {
 				b.ReportMetric(float64(last[e]), "moves/"+e)
+			}
+		})
+	}
+}
+
+// BenchmarkAllTables regenerates Tables 2-5 through the parallel batch
+// driver (stats.Parallel -> pipeline.RunBatch) at increasing worker
+// counts. The output is identical at every setting — the series
+// measures pure wall-clock scaling of the driver; BENCH_parallel.json
+// records a committed run of it.
+func BenchmarkAllTables(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			prev := stats.Parallel
+			stats.Parallel = workers
+			defer func() { stats.Parallel = prev }()
+			for i := 0; i < b.N; i++ {
+				if _, err := stats.AllTables(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

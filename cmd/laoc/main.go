@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -46,20 +45,15 @@ func main() {
 	flag.Parse()
 
 	if *listExps {
-		var names []string
-		for n := range pipeline.Configs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range pipeline.Presets() {
 			fmt.Println(n)
 		}
 		return
 	}
 
-	conf, ok := pipeline.Configs[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "laoc: unknown experiment %q (see -list-exps)\n", *exp)
+	conf, err := pipeline.Preset(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "laoc: %v (see -list-exps)\n", err)
 		os.Exit(2)
 	}
 	conf.Verify = *verifyMode
@@ -83,7 +77,6 @@ func main() {
 	tracer := obs.Multi(tracers...)
 
 	var src []byte
-	var err error
 	if flag.NArg() >= 1 {
 		src, err = os.ReadFile(flag.Arg(0))
 	} else {
@@ -138,7 +131,7 @@ func main() {
 			fmt.Printf("; ---- %s: pruned SSA ----\n%s\n", g.Name, g)
 		}
 
-		res, err := pipeline.RunTraced(f, conf, *exp, tracer)
+		res, err := pipeline.Run(f, conf, pipeline.WithExperiment(*exp), pipeline.WithTracer(tracer))
 		if err != nil {
 			var pe *pipeline.PassError
 			if errors.As(err, &pe) {

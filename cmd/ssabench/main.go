@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	ssabench            # all tables
-//	ssabench -table 3   # one table
-//	ssabench -verify    # all tables, re-verifying IR after every pass
-//	ssabench -list      # list suites and sizes
+//	ssabench              # all tables
+//	ssabench -table 3     # one table
+//	ssabench -parallel 8  # run pipeline jobs on 8 workers (same output)
+//	ssabench -verify      # all tables, re-verifying IR after every pass
+//	ssabench -list        # list suites and sizes
 //
 // ssabench doubles as the profiling harness for the pipeline:
 //
@@ -27,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"outofssa/internal/analysis"
 	"outofssa/internal/obs"
 	"outofssa/internal/ssa"
 	"outofssa/internal/stats"
@@ -37,6 +39,8 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1-5); 0 means all")
 	list := flag.Bool("list", false, "list the workload suites and exit")
 	verifyMode := flag.Bool("verify", false, "checked mode: re-verify IR invariants after every pass of every run")
+	parallel := flag.Int("parallel", 1, "worker pool size for pipeline runs; 0 means GOMAXPROCS (output is identical at any setting)")
+	cacheStats := flag.Bool("cache-stats", false, "print analysis cache counters (requests/computes/reuses) to stderr at exit")
 	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
@@ -47,6 +51,7 @@ func main() {
 		os.Exit(1)
 	}
 	stats.Checked = *verifyMode
+	stats.Parallel = *parallel
 
 	if *list {
 		for _, s := range workload.All() {
@@ -86,6 +91,15 @@ func main() {
 			if err := pprof.WriteHeapProfile(w); err != nil {
 				fail(err)
 			}
+		}()
+	}
+
+	if *cacheStats {
+		defer func() {
+			cs := analysis.Stats()
+			fmt.Fprintf(os.Stderr, "analysis cache: liveness %d requests, %d computes, %d reused; dominators %d requests, %d computes, %d reused\n",
+				cs.LivenessRequests, cs.LivenessComputes, cs.LivenessReused,
+				cs.DominatorsRequests, cs.DominatorsComputes, cs.DominatorsReused)
 		}()
 	}
 

@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"outofssa/internal/ir"
 	"outofssa/internal/lai"
@@ -64,11 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var names []string
-	for n := range pipeline.Configs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := pipeline.Presets()
 
 	fmt.Printf("\n%-14s %8s %10s\n", "experiment", "moves", "weighted")
 	var best string

@@ -1,16 +1,15 @@
 // Quickstart: build a small function with the IR builder, convert it to
-// pruned SSA, run the paper's pinning-based coalescing, translate out of
-// SSA, and count the move instructions that remain.
+// pruned SSA, then let the pipeline run the paper's pinning-based
+// coalescing and the out-of-SSA translation, and count the move
+// instructions that remain.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"outofssa/internal/coalesce"
 	"outofssa/internal/ir"
-	"outofssa/internal/outofssa/leung"
-	"outofssa/internal/pin"
+	"outofssa/internal/pipeline"
 	"outofssa/internal/ssa"
 )
 
@@ -52,7 +51,9 @@ func main() {
 	fmt.Println("---- input (pre-SSA) ----")
 	fmt.Print(f)
 
-	// 1. Pruned SSA construction.
+	// 1. Pruned SSA construction, done explicitly so the intermediate
+	// form can be printed. pipeline.Run would otherwise do this itself;
+	// WithSSAInfo below tells it the function already is in SSA form.
 	info, err := ssa.Build(f)
 	if err != nil {
 		log.Fatal(err)
@@ -63,29 +64,24 @@ func main() {
 	fmt.Println("\n---- pruned SSA ----")
 	fmt.Print(f)
 
-	// 2. Collect renaming constraints (SP webs, ABI slots).
-	pin.CollectSP(f, info)
-	pin.CollectABI(f)
-
-	// 3. The paper's contribution: pinning-based φ coalescing.
-	cst, err := coalesce.ProgramPinning(f, coalesce.Options{})
+	// 2. The rest of the paper's pipeline in one call: collect renaming
+	// constraints (SP webs, ABI slots), run pinning-based φ coalescing,
+	// and translate out of pinned SSA.
+	res, err := pipeline.Run(f,
+		pipeline.Config{ABI: true, PhiCoalesce: true},
+		pipeline.WithSSAInfo(info))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\npinning-phi coalesced %d of %d argument slots\n", cst.Gain, cst.PhiSlots)
-
-	// 4. Out-of-pinned-SSA translation (Leung-George mark/reconstruct).
-	lst, err := leung.Translate(f)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("\npinning-phi coalesced %d of %d argument slots\n",
+		res.Coalesce.Gain, res.Coalesce.PhiSlots)
 
 	fmt.Println("\n---- final code ----")
 	fmt.Print(f)
 	fmt.Printf("\nmoves remaining: %d (repairs %d, pin moves %d)\n",
-		f.CountMoves(), lst.Repairs, lst.PinMoves)
+		res.Moves, res.Leung.Repairs, res.Leung.PinMoves)
 
-	// 5. The code still computes sums.
+	// 3. The code still computes sums.
 	for _, in := range []int64{0, 1, 5, 10} {
 		res, err := ir.Exec(f, []int64{in}, 100000)
 		if err != nil {

@@ -1,0 +1,131 @@
+// Package analysis memoizes per-function dataflow analyses, keyed on
+// the function's mutation generation counter (ir.Func.Generation).
+//
+// Passes request an analysis — analysis.Liveness(f) instead of
+// liveness.Compute(f) — and get the memoized result back as long as the
+// function has not changed since it was computed. Every structural
+// mutator in package ir bumps the generation automatically; passes that
+// rewrite operands in place bump it via ir.Func.NoteMutation (the
+// contract is spelled out in DESIGN.md §8). Changes no cached analysis
+// reads — pin fields, loop depths — do not bump, which is what lets one
+// liveness computation survive a whole string of pin-collect phases.
+//
+// The memo lives on the function itself (ir.Func.AnalysisSlot), so it
+// has exactly the function's lifetime: no global map, nothing to evict,
+// and cloned functions start cold. A function is owned by one goroutine
+// at a time (the batch driver clones per worker), so the per-function
+// memo is deliberately unsynchronized; the package-wide Stats counters
+// are atomic and therefore race-free across workers.
+//
+// Liveness and dominators are cached today; further analyses (def-use
+// chains, dominance frontiers) slot in by adding a field to memo and an
+// accessor in the same shape.
+package analysis
+
+import (
+	"sync/atomic"
+
+	"outofssa/internal/cfg"
+	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
+)
+
+// memo is the per-function cache stored in the function's AnalysisSlot.
+// Each entry records the generation it was computed at; it is served
+// only while the function's generation still matches.
+type memo struct {
+	liveGen uint64
+	live    *liveness.Info
+
+	domGen uint64
+	dom    *cfg.DomTree
+}
+
+func memoOf(f *ir.Func) *memo {
+	slot := f.AnalysisSlot()
+	if m, ok := (*slot).(*memo); ok {
+		return m
+	}
+	m := &memo{}
+	*slot = m
+	return m
+}
+
+// CacheStats counts cache traffic since the last ResetStats, across all
+// functions and goroutines. Requests = Computes + Reused; Reused is the
+// number of recomputations the cache avoided.
+type CacheStats struct {
+	LivenessRequests uint64
+	LivenessComputes uint64
+	LivenessReused   uint64
+
+	DominatorsRequests uint64
+	DominatorsComputes uint64
+	DominatorsReused   uint64
+}
+
+var counters CacheStats
+
+// Stats returns a snapshot of the package-wide cache counters.
+func Stats() CacheStats {
+	return CacheStats{
+		LivenessRequests:   atomic.LoadUint64(&counters.LivenessRequests),
+		LivenessComputes:   atomic.LoadUint64(&counters.LivenessComputes),
+		LivenessReused:     atomic.LoadUint64(&counters.LivenessReused),
+		DominatorsRequests: atomic.LoadUint64(&counters.DominatorsRequests),
+		DominatorsComputes: atomic.LoadUint64(&counters.DominatorsComputes),
+		DominatorsReused:   atomic.LoadUint64(&counters.DominatorsReused),
+	}
+}
+
+// ResetStats zeroes the package-wide cache counters.
+func ResetStats() {
+	atomic.StoreUint64(&counters.LivenessRequests, 0)
+	atomic.StoreUint64(&counters.LivenessComputes, 0)
+	atomic.StoreUint64(&counters.LivenessReused, 0)
+	atomic.StoreUint64(&counters.DominatorsRequests, 0)
+	atomic.StoreUint64(&counters.DominatorsComputes, 0)
+	atomic.StoreUint64(&counters.DominatorsReused, 0)
+}
+
+// Liveness returns the live-variable analysis of f, recomputing it only
+// if f changed since the last request. The returned Info is shared:
+// callers must treat it as read-only, and it describes f as of this
+// call — a later mutation of f makes it stale without invalidating the
+// pointer (exactly like calling liveness.Compute directly).
+func Liveness(f *ir.Func) *liveness.Info {
+	m := memoOf(f)
+	gen := f.Generation()
+	atomic.AddUint64(&counters.LivenessRequests, 1)
+	if m.live != nil && m.liveGen == gen {
+		atomic.AddUint64(&counters.LivenessReused, 1)
+		return m.live
+	}
+	atomic.AddUint64(&counters.LivenessComputes, 1)
+	m.live = liveness.Compute(f)
+	m.liveGen = gen
+	return m.live
+}
+
+// Dominators returns the dominator tree of f under the same memoization
+// and sharing contract as Liveness.
+func Dominators(f *ir.Func) *cfg.DomTree {
+	m := memoOf(f)
+	gen := f.Generation()
+	atomic.AddUint64(&counters.DominatorsRequests, 1)
+	if m.dom != nil && m.domGen == gen {
+		atomic.AddUint64(&counters.DominatorsReused, 1)
+		return m.dom
+	}
+	atomic.AddUint64(&counters.DominatorsComputes, 1)
+	m.dom = cfg.Dominators(f)
+	m.domGen = gen
+	return m.dom
+}
+
+// Invalidate drops every memoized analysis of f. Normal code never
+// needs it — mutators bump the generation instead — but tests use it to
+// establish a cold cache.
+func Invalidate(f *ir.Func) {
+	*f.AnalysisSlot() = nil
+}

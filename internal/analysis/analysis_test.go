@@ -1,0 +1,167 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"outofssa/internal/analysis"
+	"outofssa/internal/faultinject"
+	"outofssa/internal/ir"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+// delta runs fn and returns how the package counters moved across it.
+func delta(fn func()) analysis.CacheStats {
+	before := analysis.Stats()
+	fn()
+	after := analysis.Stats()
+	return analysis.CacheStats{
+		LivenessRequests:   after.LivenessRequests - before.LivenessRequests,
+		LivenessComputes:   after.LivenessComputes - before.LivenessComputes,
+		LivenessReused:     after.LivenessReused - before.LivenessReused,
+		DominatorsRequests: after.DominatorsRequests - before.DominatorsRequests,
+		DominatorsComputes: after.DominatorsComputes - before.DominatorsComputes,
+		DominatorsReused:   after.DominatorsReused - before.DominatorsReused,
+	}
+}
+
+func TestLivenessMemoized(t *testing.T) {
+	f := testprog.Diamond()
+	var same bool
+	d := delta(func() {
+		l1 := analysis.Liveness(f)
+		l2 := analysis.Liveness(f)
+		same = l1 == l2
+	})
+	if !same {
+		t.Fatal("second request on an unchanged function returned a different liveness")
+	}
+	if d.LivenessRequests != 2 || d.LivenessComputes != 1 || d.LivenessReused != 1 {
+		t.Fatalf("counters: %+v, want 2 requests / 1 compute / 1 reuse", d)
+	}
+}
+
+func TestDominatorsMemoized(t *testing.T) {
+	f := testprog.NestedLoops()
+	var same bool
+	d := delta(func() {
+		d1 := analysis.Dominators(f)
+		d2 := analysis.Dominators(f)
+		same = d1 == d2
+	})
+	if !same {
+		t.Fatal("second request on an unchanged function returned a different dom tree")
+	}
+	if d.DominatorsRequests != 2 || d.DominatorsComputes != 1 || d.DominatorsReused != 1 {
+		t.Fatalf("counters: %+v, want 2 requests / 1 compute / 1 reuse", d)
+	}
+}
+
+// Every structural mutator of the ir package must move the generation
+// counter, so a cached analysis never survives it.
+func TestStructuralMutatorsInvalidate(t *testing.T) {
+	mutations := []struct {
+		name string
+		do   func(f *ir.Func)
+	}{
+		{"NewValue", func(f *ir.Func) { f.NewValue("g") }},
+		{"NewBlock", func(f *ir.Func) { f.NewBlock("g") }},
+		{"Append", func(f *ir.Func) {
+			f.Entry().Append(&ir.Instr{Op: ir.Const, Imm: 7,
+				Defs: []ir.Operand{{Val: f.NewValue("k")}}})
+		}},
+		{"InsertAt", func(f *ir.Func) {
+			f.Entry().InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 7,
+				Defs: []ir.Operand{{Val: f.NewValue("k")}}})
+		}},
+		{"RemoveAt", func(f *ir.Func) { f.Entry().RemoveAt(0) }},
+		{"NoteMutation", func(f *ir.Func) { f.NoteMutation() }},
+		{"RestoreFrom", func(f *ir.Func) { f.RestoreFrom(f.Clone()) }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			f := testprog.Diamond()
+			gen := f.Generation()
+			analysis.Liveness(f)
+			analysis.Dominators(f)
+			m.do(f)
+			if f.Generation() == gen {
+				t.Fatalf("%s did not move the generation counter", m.name)
+			}
+			d := delta(func() { analysis.Liveness(f); analysis.Dominators(f) })
+			if d.LivenessComputes != 1 || d.DominatorsComputes != 1 {
+				t.Fatalf("after %s: %+v, want a fresh compute of both analyses", m.name, d)
+			}
+		})
+	}
+}
+
+// A clone starts with a cold cache of its own; its analyses are never
+// shared with (or taken from) the original.
+func TestCloneStartsCold(t *testing.T) {
+	f := testprog.SwapLoop()
+	lf := analysis.Liveness(f)
+	g := f.Clone()
+	var lg any
+	d := delta(func() { lg = analysis.Liveness(g) })
+	if d.LivenessComputes != 1 {
+		t.Fatalf("clone reused an analysis across functions: %+v", d)
+	}
+	if lg == lf {
+		t.Fatal("clone returned the original's liveness object")
+	}
+	// The original's cache is untouched by the clone's compute.
+	d = delta(func() { analysis.Liveness(f) })
+	if d.LivenessReused != 1 {
+		t.Fatalf("original lost its cache entry: %+v", d)
+	}
+}
+
+func TestInvalidateForcesRecompute(t *testing.T) {
+	f := testprog.Loop()
+	analysis.Liveness(f)
+	analysis.Invalidate(f)
+	d := delta(func() { analysis.Liveness(f) })
+	if d.LivenessComputes != 1 {
+		t.Fatalf("Invalidate did not drop the entry: %+v", d)
+	}
+}
+
+// TestSilentMutationGoesStale documents the failure mode the generation
+// contract exists to prevent: a pass that rewrites operands in place
+// WITHOUT calling NoteMutation leaves cached analyses valid-looking but
+// wrong. faultinject.InjectSilent is exactly such a pass;
+// faultinject.Inject is its contract-honoring twin, and the cache
+// recovers the moment the counter moves.
+func TestSilentMutationGoesStale(t *testing.T) {
+	f := testprog.Diamond()
+	ssa.MustBuild(f)
+
+	stale := analysis.Liveness(f)
+	if !faultinject.InjectSilent(f, faultinject.MisplacedPhi) {
+		t.Fatal("no misplaced-phi site found")
+	}
+	if got := analysis.Liveness(f); got != stale {
+		t.Fatal("silent in-place mutation invalidated the cache — the staleness this test documents cannot happen")
+	}
+
+	// The honest twin: same corruption on a fresh function, plus the
+	// NoteMutation the contract requires. The cache recomputes.
+	g := testprog.Diamond()
+	ssa.MustBuild(g)
+	cached := analysis.Liveness(g)
+	if !faultinject.Inject(g, faultinject.MisplacedPhi) {
+		t.Fatal("no misplaced-phi site found")
+	}
+	d := delta(func() {
+		if analysis.Liveness(g) == cached {
+			// Pointer equality alone is not the test — a recompute
+			// allocates fresh, so same pointer means the stale entry
+			// survived.
+			t.Fatal("Inject (with NoteMutation) did not invalidate the cache")
+		}
+	})
+	if d.LivenessComputes != 1 {
+		t.Fatalf("after Inject: %+v, want 1 fresh compute", d)
+	}
+}

@@ -33,5 +33,8 @@ func RemoveUnreachable(f *ir.Func) int {
 		}
 	}
 	f.Blocks = kept
+	if removed > 0 {
+		f.NoteMutation() // block list and φ operand slices edited in place
+	}
 	return removed
 }

@@ -18,10 +18,10 @@ package coalesce
 import (
 	"sort"
 
+	"outofssa/internal/analysis"
 	"outofssa/internal/cfg"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 	"outofssa/internal/pin"
 )
 
@@ -75,8 +75,8 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	live := liveness.Compute(f)
-	dom := cfg.Dominators(f)
+	live := analysis.Liveness(f)
+	dom := analysis.Dominators(f)
 	an := interference.New(f, live, dom, opt.Mode)
 	rg := interference.NewResourceGraph(an, res)
 

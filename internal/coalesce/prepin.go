@@ -1,10 +1,10 @@
 package coalesce
 
 import (
+	"outofssa/internal/analysis"
 	"outofssa/internal/cfg"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 	"outofssa/internal/pin"
 )
 
@@ -43,8 +43,8 @@ func PrePinDefs(f *ir.Func, mode interference.Mode) (*PrePinStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	live := liveness.Compute(f)
-	dom := cfg.Dominators(f)
+	live := analysis.Liveness(f)
+	dom := analysis.Dominators(f)
 	an := interference.New(f, live, dom, mode)
 	rg := interference.NewResourceGraph(an, res)
 

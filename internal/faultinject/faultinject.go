@@ -69,7 +69,29 @@ var Classes = []Class{
 // Inject applies the corruption class c to f, mutating it, and reports
 // whether an applicable site was found (e.g. ClobberPhiArg needs a φ).
 // When it returns false, f is unchanged.
+//
+// Inject honors the ir.Func mutation contract: a successful injection
+// calls NoteMutation, modelling a buggy-but-well-behaved pass. Analyses
+// requested afterwards therefore see the corrupted function — which is
+// what lets the checked-mode verifier catch the damage. InjectSilent is
+// the contract-violating variant.
 func Inject(f *ir.Func, c Class) bool {
+	if !InjectSilent(f, c) {
+		return false
+	}
+	f.NoteMutation()
+	return true
+}
+
+// InjectSilent is Inject without the NoteMutation bump: it models a pass
+// that mutates the IR but violates the generation-counter contract, so
+// cached analyses remain (wrongly) valid. Classes that corrupt through
+// the ir mutator API (NewValue, InsertAt, ...) still bump the counter
+// automatically; the purely in-place classes — UseBeforeDef,
+// PhiArityMismatch, DanglingEdge, MisplacedPhi — are the genuinely
+// silent ones. The analysis cache tests use this to demonstrate what
+// staleness looks like; everything else should call Inject.
+func InjectSilent(f *ir.Func, c Class) bool {
 	switch c {
 	case ClobberPhiArg:
 		return clobberPhiArg(f)

@@ -33,10 +33,19 @@ func (b *Block) String() string {
 	return fmt.Sprintf("b%d", b.ID)
 }
 
+// noteMutation forwards to the owning function's generation counter
+// (blocks detached from a function are only ever under construction).
+func (b *Block) noteMutation() {
+	if b.fn != nil {
+		b.fn.generation++
+	}
+}
+
 // Append adds in at the end of the block.
 func (b *Block) Append(in *Instr) {
 	in.blk = b
 	b.Instrs = append(b.Instrs, in)
+	b.noteMutation()
 }
 
 // InsertAt inserts in at position i within the block.
@@ -45,6 +54,7 @@ func (b *Block) InsertAt(i int, in *Instr) {
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[i+1:], b.Instrs[i:])
 	b.Instrs[i] = in
+	b.noteMutation()
 }
 
 // RemoveAt removes and returns the instruction at position i.
@@ -53,6 +63,7 @@ func (b *Block) RemoveAt(i int) *Instr {
 	copy(b.Instrs[i:], b.Instrs[i+1:])
 	b.Instrs = b.Instrs[:len(b.Instrs)-1]
 	in.blk = nil
+	b.noteMutation()
 	return in
 }
 
@@ -125,6 +136,7 @@ func (b *Block) ReplacePred(oldPred, newPred *Block) {
 	for i, q := range b.Preds {
 		if q == oldPred {
 			b.Preds[i] = newPred
+			b.noteMutation()
 			return
 		}
 	}
@@ -140,6 +152,7 @@ func (b *Block) ReplaceSucc(oldSucc, newSucc *Block) {
 	for i, q := range b.Succs {
 		if q == oldSucc {
 			b.Succs[i] = newSucc
+			b.noteMutation()
 			return
 		}
 	}

@@ -93,4 +93,9 @@ func (f *Func) RestoreFrom(g *Func) {
 	for _, b := range f.Blocks {
 		b.fn = f
 	}
+	// The function's code just changed wholesale: invalidate memoized
+	// analyses. The generation stays monotonic (bump, not copy) so stale
+	// entries recorded under earlier generations can never match again.
+	f.generation++
+	f.analyses = nil
 }

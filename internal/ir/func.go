@@ -12,6 +12,26 @@ type Func struct {
 	values []*Value
 	nextID int
 	nextBB int
+
+	// generation counts mutations of the function's code. Every change
+	// that can affect a dataflow analysis — creating values or blocks,
+	// adding edges, inserting or removing instructions, rewriting operand
+	// values in place — moves it forward. internal/analysis keys its
+	// per-function memoization on this counter, so a cached analysis is
+	// reused exactly until the function changes.
+	//
+	// The structural mutators of this package (NewValue, NewBlock,
+	// AddEdge, the Block instruction helpers, RestoreFrom) bump it
+	// automatically. Passes that write Operand.Val fields or block/instr
+	// slices directly must call NoteMutation after their last such write.
+	// Changes that no cached analysis reads — Operand.Pin fields,
+	// Block.LoopDepth — deliberately do not bump, which is what lets a
+	// liveness computed before a pin-collect phase survive it.
+	generation uint64
+	// analyses is the opaque per-function memo slot owned by
+	// internal/analysis (kept opaque to avoid an ir → analysis cycle).
+	// Clone does not copy it; RestoreFrom discards it.
+	analyses any
 }
 
 // NewFunc creates an empty function with a fresh ST120-like target.
@@ -21,10 +41,30 @@ func NewFunc(name string) *Func {
 	return f
 }
 
+// Generation returns the mutation generation counter. Two calls
+// returning the same value guarantee the function's code (CFG, values,
+// instructions, operand values) did not change in between; pin fields
+// and loop-depth annotations may have.
+func (f *Func) Generation() uint64 { return f.generation }
+
+// NoteMutation records that the function's code changed, invalidating
+// every analysis memoized for an earlier generation. The structural
+// mutators of this package call it automatically; a pass that rewrites
+// Operand.Val fields or Instrs/Blocks slices in place must call it
+// after its last such write (see DESIGN.md §8 for the pass-author
+// contract).
+func (f *Func) NoteMutation() { f.generation++ }
+
+// AnalysisSlot returns the per-function storage slot used by
+// internal/analysis to memoize dataflow analyses. Other packages must
+// not touch it.
+func (f *Func) AnalysisSlot() *any { return &f.analyses }
+
 func (f *Func) newValue(name string, kind ValueKind) *Value {
 	v := &Value{ID: f.nextID, Name: name, Kind: kind}
 	f.nextID++
 	f.values = append(f.values, v)
+	f.generation++
 	return v
 }
 
@@ -49,6 +89,7 @@ func (f *Func) NumValues() int { return f.nextID }
 func (f *Func) NewBlock(name string) *Block {
 	b := &Block{ID: f.nextBB, Name: name, fn: f}
 	f.nextBB++
+	f.generation++
 	if b.Name == "" {
 		b.Name = "b" + itoa64(int64(b.ID))
 	}
@@ -71,6 +112,7 @@ func (f *Func) NumBlocks() int { return f.nextBB }
 func (f *Func) AddEdge(b, s *Block) {
 	b.Succs = append(b.Succs, s)
 	s.Preds = append(s.Preds, b)
+	f.generation++
 }
 
 // NumInstrs counts instructions across all blocks.

@@ -128,5 +128,8 @@ func Apply(f *ir.Func) *Stats {
 			}
 		}
 	}
+	if st.Moves > 0 {
+		f.NoteMutation() // constrained operands rewritten in place
+	}
 	return st
 }

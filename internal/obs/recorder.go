@@ -21,6 +21,30 @@ type RecordedRun struct {
 	Ended   bool
 }
 
+// Replay re-emits every recorded run into tr, in recording order. The
+// parallel batch driver uses it to merge per-worker recordings into one
+// deterministic stream: each job records privately, and the recordings
+// are replayed job by job once all workers are done. A nil tr is a
+// no-op. Events are delivered by pointer and owned by tr afterwards, so
+// a Recorder should be replayed into a consuming tracer only once.
+func (r *Recorder) Replay(tr Tracer) {
+	if tr == nil {
+		return
+	}
+	for _, run := range r.Runs {
+		tr.RunStart(run.Func, run.Config, run.Before)
+		for i, pass := range run.Started {
+			tr.PassStart(run.Func, run.Config, pass)
+			if i < len(run.Events) {
+				tr.PassEnd(run.Events[i])
+			}
+		}
+		if run.Ended {
+			tr.RunEnd(run.Func, run.Config, run.After, run.WallNS)
+		}
+	}
+}
+
 func (r *Recorder) RunStart(fn, config string, before IRStat) {
 	r.open = &RecordedRun{Func: fn, Config: config, Before: before}
 	r.Runs = append(r.Runs, r.open)

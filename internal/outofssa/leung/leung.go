@@ -15,10 +15,10 @@ package leung
 import (
 	"fmt"
 
+	"outofssa/internal/analysis"
 	"outofssa/internal/cfg"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 	"outofssa/internal/parcopy"
 	"outofssa/internal/pin"
 )
@@ -60,8 +60,8 @@ func Translate(f *ir.Func) (*Stats, error) {
 		return nil, fmt.Errorf("leung: invalid pinning: %v", err)
 	}
 
-	live := liveness.Compute(f)
-	dom := cfg.Dominators(f)
+	live := analysis.Liveness(f)
+	dom := analysis.Dominators(f)
 	an := interference.New(f, live, dom, interference.Exact)
 	rg := interference.NewResourceGraph(an, res)
 
@@ -249,6 +249,7 @@ func Translate(f *ir.Func) (*Stats, error) {
 	}
 
 	parcopy.Sequentialize(f)
+	f.NoteMutation() // reconstruction rewrote operands in place throughout
 	st.Interference = an.Counters()
 	return st, nil
 }

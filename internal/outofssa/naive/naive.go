@@ -64,5 +64,6 @@ func Translate(f *ir.Func) (*Stats, error) {
 	}
 
 	parcopy.Sequentialize(f)
+	f.NoteMutation() // φ removal truncated instruction lists in place
 	return st, nil
 }

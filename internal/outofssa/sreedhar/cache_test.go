@@ -1,0 +1,106 @@
+package sreedhar_test
+
+import (
+	"testing"
+
+	"outofssa/internal/analysis"
+	"outofssa/internal/ir"
+	"outofssa/internal/outofssa/sreedhar"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+)
+
+// TestLivenessComputedOncePerQuietRun is the regression test for the
+// per-φ liveness recompute the conversion used to do: refreshing its
+// interference analysis inside the block loop recomputed liveness for
+// every φ even when no copy had been inserted since the last refresh.
+// Routed through the analysis cache, a conversion that inserts no
+// copies must compute liveness exactly once, however many φs it
+// processes.
+func TestLivenessComputedOncePerQuietRun(t *testing.T) {
+	// NestedLoops in SSA form carries several φs, and none of them needs
+	// a copy: the function is already conventional.
+	f := testprog.NestedLoops()
+	ssa.MustBuild(f)
+
+	before := analysis.Stats()
+	st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := analysis.Stats()
+
+	if st.CopiesInserted != 0 {
+		t.Fatalf("want a copy-free conversion for this test, got %d copies", st.CopiesInserted)
+	}
+	if st.PhisProcessed < 2 {
+		t.Fatalf("want at least 2 φs to make the regression observable, got %d", st.PhisProcessed)
+	}
+	computes := after.LivenessComputes - before.LivenessComputes
+	requests := after.LivenessRequests - before.LivenessRequests
+	if computes != 1 {
+		t.Fatalf("copy-free conversion over %d φs computed liveness %d times, want exactly 1 (%d requests served)",
+			st.PhisProcessed, computes, requests)
+	}
+	if requests < uint64(st.PhisProcessed) {
+		t.Fatalf("conversion made %d liveness requests for %d φs — the per-φ refresh no longer goes through the cache",
+			requests, st.PhisProcessed)
+	}
+}
+
+// TestLivenessRecomputedAfterCopies: when copies ARE inserted the
+// conversion must not keep the stale liveness — each mutation round
+// forces a fresh compute for the next φ.
+func TestLivenessRecomputedAfterCopies(t *testing.T) {
+	// A true φ swap cycle (the TestSwapNeedsCopies shape): two φs of one
+	// block exchange results around the back edge, which is never
+	// conventional.
+	bld := ir.NewBuilder("phiswap")
+	entry := bld.Block("entry")
+	head := bld.Fn.NewBlock("head")
+	body := bld.Fn.NewBlock("body")
+	exit := bld.Fn.NewBlock("exit")
+
+	a0, b0, n := bld.Val("a0"), bld.Val("b0"), bld.Val("n")
+	a1, b1 := bld.Val("a1"), bld.Val("b1")
+	i0, i1, i2 := bld.Val("i0"), bld.Val("i1"), bld.Val("i2")
+	c, one, r := bld.Val("c"), bld.Val("one"), bld.Val("r")
+
+	bld.SetBlock(entry)
+	bld.Input(a0, b0, n)
+	bld.Const(i0, 0)
+	bld.Const(one, 1)
+	bld.Jump(head)
+
+	bld.SetBlock(head)
+	bld.Phi(a1, a0, b1)
+	bld.Phi(b1, b0, a1)
+	bld.Phi(i1, i0, i2)
+	bld.Binary(ir.CmpLT, c, i1, n)
+	bld.Br(c, body, exit)
+
+	bld.SetBlock(body)
+	bld.Binary(ir.Add, i2, i1, one)
+	bld.Jump(head)
+
+	bld.SetBlock(exit)
+	bld.Binary(ir.Sub, r, a1, b1)
+	bld.Output(r)
+	f := bld.Fn
+
+	before := analysis.Stats()
+	st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := analysis.Stats()
+
+	if st.CopiesInserted == 0 {
+		t.Fatal("swap φ cycle requires copies to become conventional")
+	}
+	computes := after.LivenessComputes - before.LivenessComputes
+	if computes < 2 {
+		t.Fatalf("conversion inserted %d copies but computed liveness %d times; the post-mutation refresh is gone",
+			st.CopiesInserted, computes)
+	}
+}

@@ -22,6 +22,7 @@
 package sreedhar
 
 import (
+	"outofssa/internal/analysis"
 	"outofssa/internal/cfg"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
@@ -64,15 +65,19 @@ func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, er
 	cc.targetPC = make(map[*ir.Block]*ir.Instr)
 	cc.edgePC = make(map[*ir.Block]*ir.Instr)
 
-	// Analyses are rebuilt whenever copy insertion makes them stale.
+	// Analyses are requested from the per-function cache before every φ;
+	// the cache recomputes them only when copy insertion actually moved
+	// the function's mutation generation (processPhi notes its in-place
+	// φ-operand rewrites), so a run of copy-free φs costs one liveness
+	// computation total. The interference analysis is rebuilt exactly
+	// when the underlying liveness changed, which pointer identity on
+	// the cached Info detects.
 	var live *liveness.Info
 	var an *interference.Analysis
-	dirty := true
 	refresh := func() {
-		if dirty {
-			live = liveness.Compute(f)
-			an = interference.New(f, live, cfg.Dominators(f), interference.Exact)
-			dirty = false
+		if l := analysis.Liveness(f); l != live {
+			live = l
+			an = interference.New(f, live, analysis.Dominators(f), interference.Exact)
 		}
 	}
 
@@ -82,10 +87,7 @@ func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, er
 		for _, phi := range append([]*ir.Instr(nil), b.Phis()...) {
 			refresh()
 			st.PhisProcessed++
-			inserted := cc.processPhi(f, phi, live, an, opt, st)
-			if inserted {
-				dirty = true
-			}
+			cc.processPhi(f, phi, live, an, opt, st)
 			// Merge the (possibly renamed) φ resources into one class.
 			for _, u := range phi.Uses {
 				cc.union(phi.Def(0), u.Val)
@@ -123,8 +125,8 @@ type phiResource struct {
 }
 
 // processPhi applies the four-case analysis of Method III to one φ and
-// inserts the needed copies. Reports whether any copy was inserted.
-func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an *interference.Analysis, opt Options, st *Stats) bool {
+// inserts the needed copies, noting the mutation on f when it does.
+func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an *interference.Analysis, opt Options, st *Stats) {
 	b := phi.Block()
 	res := []phiResource{{val: phi.Def(0), blk: b, isTarget: true, argIdx: -1}}
 	for i, u := range phi.Uses {
@@ -246,12 +248,12 @@ func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an
 	}
 
 	// Insert the copies (sequential moves — [CS2]).
-	any := false
+	inserted := false
 	for i := range res {
 		if !needCopy[i] {
 			continue
 		}
-		any = true
+		inserted = true
 		st.CopiesInserted++
 		r := res[i]
 		xnew := f.NewValue(r.val.Name + ".c")
@@ -282,7 +284,12 @@ func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an
 			phi.Uses[r.argIdx].Val = xnew
 		}
 	}
-	return any
+	if inserted {
+		// The φ operands and the parallel copies were rewritten in place,
+		// past the automatic bumps of NewValue/InsertAt: note it so the
+		// next refresh() recomputes liveness.
+		f.NoteMutation()
+	}
 }
 
 // classes is a growable union-find over value IDs (values created during

@@ -1,0 +1,144 @@
+// Parallel batch driver: run many independent pipeline jobs across a
+// bounded worker pool. The unit of parallelism is one function run —
+// each job builds (typically clones) its own *ir.Func inside the worker
+// that executes it, so no IR, analysis memo, or Result is ever shared
+// between goroutines. Only the package-level analysis cache counters
+// are touched concurrently, and those are atomic.
+//
+// Determinism: results come back indexed by job, and when a batch
+// tracer is attached each job records its event stream privately into
+// an obs.Recorder; the recordings are replayed into the batch tracer in
+// job order after all workers finish. The merged stream is therefore
+// byte-identical to a serial run of the same jobs, whatever the worker
+// interleaving was.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/obs"
+)
+
+// Job is one unit of batch work: a function to build and the
+// configuration to run it under.
+type Job struct {
+	// Build returns the function to translate. It is called exactly
+	// once, inside the worker that executes the job, so expensive builds
+	// (or Clones of a shared master) are themselves parallelized. The
+	// returned function must not be shared with any other job.
+	Build func() *ir.Func
+	// Config selects the passes, as in Run.
+	Config Config
+	// Experiment labels trace events, as in WithExperiment.
+	Experiment string
+}
+
+// JobResult is the outcome of one Job, in the same order RunBatch
+// received the jobs.
+type JobResult struct {
+	// Func is the function the job built and the pipeline mutated.
+	Func *ir.Func
+	// Result and Err are Run's return values for the job.
+	Result *Result
+	Err    error
+}
+
+// BatchOption configures RunBatch.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	parallelism int
+	tracer      obs.Tracer
+}
+
+// WithParallelism bounds the worker pool at n goroutines. n <= 0 (and
+// the default) means runtime.GOMAXPROCS(0). n == 1 runs the jobs
+// serially on the calling goroutine.
+func WithParallelism(n int) BatchOption {
+	return func(bc *batchConfig) { bc.parallelism = n }
+}
+
+// WithBatchTracer attaches tr to every job in the batch. The tracer
+// itself is never called concurrently: workers record privately and the
+// recordings are replayed into tr in job order once the batch is done,
+// so tr needs no synchronization and sees a deterministic stream.
+func WithBatchTracer(tr obs.Tracer) BatchOption {
+	return func(bc *batchConfig) { bc.tracer = tr }
+}
+
+// RunBatch executes every job and returns their results in job order.
+// Failures are per-job: one job's error (or contained panic, under
+// Config.Verify/Fallback as usual) lands in its JobResult and the rest
+// of the batch still runs.
+func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
+	var bc batchConfig
+	for _, o := range opts {
+		o(&bc)
+	}
+	workers := bc.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+
+	if workers <= 1 {
+		// Serial fast path: trace straight into the batch tracer — the
+		// job-order stream the parallel path reconstructs by replay.
+		for i := range jobs {
+			runJob(&jobs[i], &results[i], bc.tracer)
+		}
+		return results
+	}
+
+	// Per-job private recorders, replayed in order below. Only allocated
+	// when a tracer is attached.
+	var recs []*obs.Recorder
+	if bc.tracer != nil {
+		recs = make([]*obs.Recorder, len(jobs))
+		for i := range recs {
+			recs[i] = &obs.Recorder{}
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				// The nil-interface pitfall: assigning a nil *Recorder to
+				// an obs.Tracer variable would make it non-nil and disable
+				// the pipeline's untraced fast path, so the tracer is only
+				// bound when recording is on.
+				var tr obs.Tracer
+				if recs != nil {
+					tr = recs[i]
+				}
+				runJob(&jobs[i], &results[i], tr)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, rec := range recs {
+		rec.Replay(bc.tracer)
+	}
+	return results
+}
+
+func runJob(j *Job, out *JobResult, tr obs.Tracer) {
+	f := j.Build()
+	out.Func = f
+	out.Result, out.Err = Run(f, j.Config, WithExperiment(j.Experiment), WithTracer(tr))
+}

@@ -4,7 +4,7 @@
 // ordinary pass errors, panics contained by the per-pass recover, and
 // (when Config.Verify is set) invariant violations found by
 // internal/verify after a pass body ran. When Config.Fallback is also
-// set, RunSSATraced retries a failed run through the naive out-of-SSA
+// set, Run retries a failed run through the naive out-of-SSA
 // translation on a pre-pipeline snapshot and cross-checks the result
 // against the snapshot with the ir.Exec oracle, so one misbehaving
 // optimization cannot take down a batch run — it costs moves, not

@@ -109,7 +109,7 @@ func TestFaultsSurfaceAsPassError(t *testing.T) {
 				},
 			}
 			rec := &obs.Recorder{}
-			_, err := pipeline.RunTraced(f, conf, "fault", rec)
+			_, err := pipeline.Run(f, conf, pipeline.WithExperiment("fault"), pipeline.WithTracer(rec))
 			if !injected {
 				t.Fatalf("no injection site for %s", class)
 			}

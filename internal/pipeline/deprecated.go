@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"outofssa/internal/ir"
+	"outofssa/internal/obs"
+	"outofssa/internal/ssa"
+)
+
+// This file keeps the retired multi-entry Run API alive as thin
+// wrappers over Run with functional options. New code should call Run
+// directly; these exist so out-of-tree callers keep compiling across
+// the redesign and will be removed in a later release.
+
+// RunTraced is Run with an instrumented pass runner attached.
+//
+// Deprecated: use Run(f, conf, WithExperiment(exp), WithTracer(tr)).
+func RunTraced(f *ir.Func, conf Config, exp string, tr obs.Tracer) (*Result, error) {
+	return Run(f, conf, WithExperiment(exp), WithTracer(tr))
+}
+
+// RunSSA runs the pass composition on a function already in SSA form.
+//
+// Deprecated: use Run(f, conf, WithSSAInfo(info)).
+func RunSSA(f *ir.Func, info *ssa.Info, conf Config) (*Result, error) {
+	return Run(f, conf, WithSSAInfo(info))
+}
+
+// RunSSATraced is RunSSA driven by the instrumented pass runner.
+//
+// Deprecated: use Run(f, conf, WithSSAInfo(info), WithExperiment(exp),
+// WithTracer(tr)).
+func RunSSATraced(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) (*Result, error) {
+	return Run(f, conf, WithSSAInfo(info), WithExperiment(exp), WithTracer(tr))
+}

@@ -206,12 +206,12 @@ func figure11() *ir.Func {
 func TestPaperFigure11ABIChoice(t *testing.T) {
 	// figure11 is built directly in SSA form: skip SSA construction.
 	fo := figure11()
-	ro, err := pipeline.RunSSA(fo, ssa.EmptyInfo(), pipeline.Configs[pipeline.ExpLphiABIC])
+	ro, err := pipeline.Run(fo, pipeline.Configs[pipeline.ExpLphiABIC], pipeline.WithSSAInfo(ssa.EmptyInfo()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fs := figure11()
-	rs, err := pipeline.RunSSA(fs, ssa.EmptyInfo(), pipeline.Configs[pipeline.ExpSphiLABIC])
+	rs, err := pipeline.Run(fs, pipeline.Configs[pipeline.ExpSphiLABIC], pipeline.WithSSAInfo(ssa.EmptyInfo()))
 	if err != nil {
 		t.Fatal(err)
 	}

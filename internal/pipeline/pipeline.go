@@ -10,11 +10,11 @@ import (
 	"runtime"
 	"time"
 
+	"outofssa/internal/analysis"
 	"outofssa/internal/cfg"
 	"outofssa/internal/coalesce"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 	"outofssa/internal/naiveabi"
 	"outofssa/internal/obs"
 	"outofssa/internal/outofssa/leung"
@@ -112,41 +112,71 @@ type Result struct {
 	FallbackFrom error
 }
 
+// Option configures one Run call. The options cover the orthogonal
+// knobs the retired Run/RunTraced/RunSSA/RunSSATraced quartet encoded
+// as separate entry points: tracing, experiment labelling, and starting
+// from pre-built SSA form.
+type Option func(*runConfig)
+
+type runConfig struct {
+	tracer obs.Tracer
+	exp    string
+	info   *ssa.Info
+	inSSA  bool
+}
+
+// WithTracer attaches the instrumented pass runner: every executed pass
+// is reported to tr as an obs.Event carrying wall time, allocation
+// deltas and IR before/after snapshots. A nil tracer is the unmeasured
+// fast path — no snapshots, no clock reads.
+func WithTracer(tr obs.Tracer) Option {
+	return func(rc *runConfig) { rc.tracer = tr }
+}
+
+// WithExperiment labels trace events with the experiment configuration
+// name. It does not select the configuration — the Config does; the
+// label keys trace diffing and table aggregation.
+func WithExperiment(name string) Option {
+	return func(rc *runConfig) { rc.exp = name }
+}
+
+// WithSSAInfo declares that f is already in (pinned or plain) SSA form,
+// skipping SSA construction. info carries the dedicated-register
+// origins for the pinningSP phase; pass ssa.EmptyInfo() or nil for
+// hand-built SSA without renamed dedicated registers.
+func WithSSAInfo(info *ssa.Info) Option {
+	return func(rc *runConfig) { rc.info = info; rc.inSSA = true }
+}
+
 // Run converts the pre-SSA function f through SSA and back according to
 // conf, mutating f, and returns the statistics. The typical call site
-// clones the input once per configuration.
-func Run(f *ir.Func, conf Config) (*Result, error) {
-	return RunTraced(f, conf, "", nil)
-}
-
-// RunTraced is Run with an instrumented pass runner attached: every
-// executed pass is reported to tr as an obs.Event carrying wall time,
-// allocation deltas and IR before/after snapshots. exp labels the
-// events with the experiment configuration name (it does not select the
-// configuration — conf does). A nil tracer takes the unmeasured fast
-// path and is exactly Run.
-func RunTraced(f *ir.Func, conf Config, exp string, tr obs.Tracer) (*Result, error) {
-	info, err := ssa.Build(f)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: SSA construction: %w", err)
+// clones the input once per configuration. Options attach tracing
+// (WithTracer, WithExperiment) or start from pre-built SSA
+// (WithSSAInfo); with no options Run is the plain unmeasured pipeline.
+func Run(f *ir.Func, conf Config, opts ...Option) (*Result, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
 	}
-	if err := ssa.Verify(f); err != nil {
-		return nil, fmt.Errorf("pipeline: after SSA construction: %v", err)
+	info := rc.info
+	if !rc.inSSA {
+		var err error
+		info, err = ssa.Build(f)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: SSA construction: %w", err)
+		}
+		if err := ssa.Verify(f); err != nil {
+			return nil, fmt.Errorf("pipeline: after SSA construction: %v", err)
+		}
+	} else if info == nil {
+		info = ssa.EmptyInfo()
 	}
-	return RunSSATraced(f, info, conf, exp, tr)
+	return runSSA(f, info, conf, rc.exp, rc.tracer)
 }
 
-// RunSSA runs the pass composition on a function already in (pinned or
-// plain) SSA form. info carries the dedicated-register origins for the
-// pinningSP phase; pass ssa.EmptyInfo() for hand-built SSA without
-// renamed dedicated registers.
-func RunSSA(f *ir.Func, info *ssa.Info, conf Config) (*Result, error) {
-	return RunSSATraced(f, info, conf, "", nil)
-}
-
-// RunSSATraced is RunSSA driven by the instrumented pass runner; see
-// RunTraced for the tracing contract.
-func RunSSATraced(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) (*Result, error) {
+// runSSA is the pipeline body: the pass composition applied to a
+// function in (pinned or plain) SSA form.
+func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) (*Result, error) {
 	var backup *ir.Func
 	if conf.Fallback {
 		backup = f.Clone()
@@ -253,8 +283,8 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 
 	if conf.Sreedhar {
 		add("pinning-cssa", verify.StageSSA, func() error {
-			live := liveness.Compute(f)
-			an := interference.New(f, live, cfg.Dominators(f), interference.Exact)
+			live := analysis.Liveness(f)
+			an := interference.New(f, live, analysis.Dominators(f), interference.Exact)
 			_, unpinned, err := pin.CollectPhiCSSA(f, an)
 			if err != nil {
 				return fmt.Errorf("pipeline: pinningCSSA: %v", err)

@@ -1,0 +1,31 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Preset returns the canonical Config for a named experiment column of
+// the paper's Table 1 (e.g. "Lphi,ABI+C" — the Exp* constants). Unlike
+// indexing Configs directly, a typo is an error naming the valid
+// presets instead of a zero Config that silently runs the wrong
+// pipeline.
+func Preset(name string) (Config, error) {
+	conf, ok := Configs[name]
+	if !ok {
+		return Config{}, fmt.Errorf("pipeline: unknown preset %q (have %s)",
+			name, strings.Join(Presets(), ", "))
+	}
+	return conf, nil
+}
+
+// Presets returns every preset name, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(Configs))
+	for name := range Configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

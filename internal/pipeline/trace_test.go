@@ -50,7 +50,7 @@ func TestTraceWellFormed(t *testing.T) {
 		for _, mk := range []func() *ir.Func{testprog.Diamond, testprog.SwapLoop} {
 			f := mk()
 			rec := &obs.Recorder{}
-			if _, err := pipeline.RunTraced(f, conf, name, rec); err != nil {
+			if _, err := pipeline.Run(f, conf, pipeline.WithExperiment(name), pipeline.WithTracer(rec)); err != nil {
 				t.Fatalf("%s/%s: %v", name, f.Name, err)
 			}
 			if len(rec.Runs) != 1 {
@@ -124,8 +124,8 @@ func TestTracingDoesNotPerturbResults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		traced, err := pipeline.RunTraced(testprog.Rand(7, testprog.DefaultRandOptions()),
-			conf, name, &obs.Recorder{})
+		traced, err := pipeline.Run(testprog.Rand(7, testprog.DefaultRandOptions()),
+			conf, pipeline.WithExperiment(name), pipeline.WithTracer(&obs.Recorder{}))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -154,8 +154,8 @@ var irStatRequired = []string{"moves", "weighted_moves", "instrs", "phis", "pins
 func TestJSONLGoldenSchema(t *testing.T) {
 	var buf bytes.Buffer
 	name := pipeline.ExpLphiABIC
-	if _, err := pipeline.RunTraced(testprog.SwapLoop(), pipeline.Configs[name],
-		name, obs.NewJSONL(&buf)); err != nil {
+	if _, err := pipeline.Run(testprog.SwapLoop(), pipeline.Configs[name],
+		pipeline.WithExperiment(name), pipeline.WithTracer(obs.NewJSONL(&buf))); err != nil {
 		t.Fatal(err)
 	}
 	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))

@@ -44,10 +44,15 @@ const MaxArmInstrs = 6
 // fixed point (inner regions collapse first, enabling outer ones).
 func IfConvert(f *ir.Func) *Stats {
 	st := &Stats{}
+	converted := false
 	for {
 		if !ifConvertOne(f, st) {
 			break
 		}
+		converted = true
+	}
+	if converted {
+		f.NoteMutation() // φs rewritten into ψs in place
 	}
 	return st
 }
@@ -263,6 +268,9 @@ func ConvertPsi(f *ir.Func) *Stats {
 			b.RemoveAt(idx)
 			idx--
 		}
+	}
+	if st.PsisLowered > 0 {
+		f.NoteMutation() // ψs expanded into select chains
 	}
 	return st
 }

@@ -11,9 +11,9 @@
 package regalloc
 
 import (
+	"outofssa/internal/analysis"
 	"outofssa/internal/bitset"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 )
 
 // Stats describes one aggressive coalescing run.
@@ -47,7 +47,7 @@ func AggressiveCoalesce(f *ir.Func) *Stats {
 // finally rewrite the function.
 func coalesceRound(f *ir.Func) int {
 	nv := f.NumValues()
-	live := liveness.Compute(f)
+	live := analysis.Liveness(f)
 
 	// Interference graph (Chaitin): at each definition point, the defined
 	// value interferes with everything live after the instruction; for a
@@ -153,5 +153,6 @@ func coalesceRound(f *ir.Func) int {
 		}
 		b.Instrs = out
 	}
+	f.NoteMutation() // operand rewrite and move removal happened in place
 	return len(removedMoves)
 }

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"outofssa/internal/analysis"
 	"outofssa/internal/bitset"
 	"outofssa/internal/cfg"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 )
 
 // AllocStats describes a register allocation run.
@@ -94,7 +94,7 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 
 	nv := f.NumValues()
 	k := len(pool)
-	live := liveness.Compute(f)
+	live := analysis.Liveness(f)
 
 	adj := make([]*bitset.Set, nv)
 	for i := range adj {
@@ -331,6 +331,7 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 		}
 	}
 	st.ColorsUsed = len(used)
+	f.NoteMutation() // the commit rewrote operands in place
 	return false, nil
 }
 
@@ -387,4 +388,5 @@ func spillValue(f *ir.Func, v *ir.Value, slot int64, st *AllocStats, noSpill map
 			}
 		}
 	}
+	f.NoteMutation() // spill rewriting touched operands in place
 }

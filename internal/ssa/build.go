@@ -11,10 +11,10 @@ package ssa
 import (
 	"fmt"
 
+	"outofssa/internal/analysis"
 	"outofssa/internal/bitset"
 	"outofssa/internal/cfg"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 )
 
 // Info describes the SSA form produced by Build.
@@ -71,9 +71,9 @@ func Build(f *ir.Func) (info *Info, err error) {
 	cfg.RemoveUnreachable(f)
 	ensureEntryDefs(f)
 
-	dom := cfg.Dominators(f)
+	dom := analysis.Dominators(f)
 	df := cfg.DominanceFrontiers(f, dom)
-	live := liveness.Compute(f)
+	live := analysis.Liveness(f)
 
 	// Variables needing renaming: anything defined anywhere.
 	defBlocks := make(map[*ir.Value][]*ir.Block)
@@ -191,6 +191,7 @@ func Build(f *ir.Func) (info *Info, err error) {
 		}
 	}
 	rename(f.Entry())
+	f.NoteMutation() // renaming rewrote operands in place
 	return info, nil
 }
 
@@ -208,7 +209,7 @@ func MustBuild(f *ir.Func) *Info {
 // (i.e. possibly used before defined) an implicit definition on the entry
 // .input instruction, creating one if the entry has none.
 func ensureEntryDefs(f *ir.Func) {
-	live := liveness.Compute(f)
+	live := analysis.Liveness(f)
 	entry := f.Entry()
 	undef := live.LiveInSet(entry)
 	if undef.Empty() {
@@ -229,4 +230,5 @@ func ensureEntryDefs(f *ir.Func) {
 	undef.ForEach(func(id int) {
 		input.Defs = append(input.Defs, ir.Operand{Val: vals[id]})
 	})
+	f.NoteMutation() // grew the entry instruction's def list in place
 }

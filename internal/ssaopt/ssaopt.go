@@ -103,6 +103,9 @@ func CopyPropagate(f *ir.Func, info *ssa.Info) int {
 			}
 		}
 	}
+	if n > 0 {
+		f.NoteMutation() // use operands rewritten in place
+	}
 	return n
 }
 
@@ -133,6 +136,9 @@ func ConstFold(f *ir.Func) int {
 			constOf[in.Def(0)] = v
 			n++
 		}
+	}
+	if n > 0 {
+		f.NoteMutation() // instructions rewritten into Consts in place
 	}
 	return n
 }
@@ -220,6 +226,9 @@ func FoldSelects(f *ir.Func) int {
 			n++
 		}
 	}
+	if n > 0 {
+		f.NoteMutation() // selects rewritten into copies in place
+	}
 	return n
 }
 
@@ -257,6 +266,9 @@ func LocalCSE(f *ir.Func, info *ssa.Info) int {
 			}
 			avail[key] = in.Def(0)
 		}
+	}
+	if n > 0 {
+		f.NoteMutation() // instructions rewritten into copies in place
 	}
 	return n
 }

@@ -10,6 +10,7 @@ import (
 
 	"outofssa/internal/coalesce"
 	"outofssa/internal/interference"
+	"outofssa/internal/ir"
 	"outofssa/internal/obs"
 	"outofssa/internal/pipeline"
 	"outofssa/internal/workload"
@@ -70,47 +71,85 @@ func suiteBuilders() []func() *workload.Suite {
 // byte-identical — ssabench -verify exists to prove exactly that.
 var Checked bool
 
-// runMoves executes an experiment over a built suite (consuming it —
-// the pipelines mutate their input) and totals the final move count.
-func runMoves(s *workload.Suite, exp string, tr obs.Tracer) (int64, error) {
-	return runConf(s, pipeline.Configs[exp], exp, false, tr)
+// Parallel bounds the worker pool the tables run their pipeline jobs
+// on: 1 (the default is whatever pipeline.RunBatch defaults to when 0 —
+// GOMAXPROCS) serializes, n > 1 uses n workers. The unit of work is one
+// (suite function × column) pipeline run; every job clones its function
+// from the suite master, so results and trace streams are identical at
+// any setting. ssabench -parallel sets this.
+var Parallel = 1
+
+// colSpec is one table column resolved to runnable form: the pass
+// configuration, the experiment label traces carry, and whether the
+// cell totals weighted (5^depth) or plain move counts.
+type colSpec struct {
+	conf     pipeline.Config
+	exp      string
+	weighted bool
 }
 
-func runConf(s *workload.Suite, conf pipeline.Config, exp string, weighted bool, tr obs.Tracer) (int64, error) {
-	conf.Verify = Checked
-	var total int64
-	for _, f := range s.Funcs {
-		r, err := pipeline.RunTraced(f, conf, exp, tr)
-		if err != nil {
-			return 0, fmt.Errorf("%s/%s: %v", s.Name, f.Name, err)
-		}
-		if weighted {
-			total += r.WeightedMoves
-		} else {
-			total += int64(r.Moves)
-		}
+// presetCol resolves a column named after a Table 1 experiment.
+func presetCol(col string) (colSpec, error) {
+	conf, err := pipeline.Preset(col)
+	if err != nil {
+		return colSpec{}, err
 	}
-	return total, nil
+	return colSpec{conf: conf, exp: col}, nil
 }
 
-// buildTable runs cell for every (suite, column) pair. Each cell gets a
-// freshly built suite (the pipelines mutate their input), built exactly
-// once per cell — the row label is taken from the first column's suite
-// instead of an extra throwaway build.
-func buildTable(title, note string, cols []string, cell func(s *workload.Suite, col string) (int64, error)) (*Table, error) {
+// buildTable runs every (suite, column) cell as a batch of per-function
+// pipeline jobs. Each suite is built once per row as a master; every
+// job clones its function from the master inside the worker that runs
+// it (ir.Clone preserves IDs and ordering, so a cloned run is
+// indistinguishable from one on a freshly built suite).
+func buildTable(title, note string, cols []string, tr obs.Tracer, spec func(col string) (colSpec, error)) (*Table, error) {
 	t := &Table{Title: title, Note: note, Columns: cols}
+	specs := make([]colSpec, len(cols))
+	for i, c := range cols {
+		sp, err := spec(c)
+		if err != nil {
+			return nil, err
+		}
+		sp.conf.Verify = Checked
+		specs[i] = sp
+	}
+
+	// One batch per row keeps the live heap bounded: a row's master
+	// suite, clones and results all become garbage before the next row
+	// starts. Batches run (and replay their traces) in row order, and
+	// jobs within a batch are laid out in (column, function) order — the
+	// exact iteration order of the old serial driver — so the rendered
+	// tables and the trace stream are byte-identical at any parallelism.
 	for _, build := range suiteBuilders() {
-		var row Row
-		for i, c := range cols {
-			s := build()
-			if i == 0 {
-				row.Benchmark = s.Name
+		master := build()
+		row := Row{Benchmark: master.Name, Cells: make([]int64, len(cols))}
+		var jobs []pipeline.Job
+		for ci := range cols {
+			sp := specs[ci]
+			for _, f := range master.Funcs {
+				f := f
+				jobs = append(jobs, pipeline.Job{
+					Build:      func() *ir.Func { return f.Clone() },
+					Config:     sp.conf,
+					Experiment: sp.exp,
+				})
 			}
-			v, err := cell(s, c)
-			if err != nil {
-				return nil, err
+		}
+		results := pipeline.RunBatch(jobs,
+			pipeline.WithParallelism(Parallel),
+			pipeline.WithBatchTracer(tr))
+		for i := range results {
+			res := &results[i]
+			ci := i / len(master.Funcs)
+			if res.Err != nil {
+				return nil, fmt.Errorf("%s/%s: %v", master.Name, res.Func.Name, res.Err)
 			}
-			row.Cells = append(row.Cells, v)
+			if specs[ci].weighted {
+				row.Cells[ci] += res.Result.WeightedMoves
+			} else {
+				row.Cells[ci] += int64(res.Result.Moves)
+			}
+			*res = pipeline.JobResult{} // release the final IR promptly
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -149,7 +188,7 @@ func Table1() string {
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
-		conf := pipeline.Configs[r.name]
+		conf, _ := pipeline.Preset(r.name)
 		fmt.Fprintf(&b, "%-14s", r.name)
 		for _, c := range cols {
 			mark := ""
@@ -174,9 +213,7 @@ func Table2Traced(tr obs.Tracer) (*Table, error) {
 		"Table 2: move instruction count with no ABI constraint",
 		"deltas relative to Lphi+C",
 		[]string{pipeline.ExpLphiC, pipeline.ExpC2, pipeline.ExpSphiC},
-		func(s *workload.Suite, col string) (int64, error) {
-			return runMoves(s, col, tr)
-		})
+		tr, presetCol)
 }
 
 // Table3 reproduces "Comparison of move instruction count with renaming
@@ -189,9 +226,7 @@ func Table3Traced(tr obs.Tracer) (*Table, error) {
 		"Table 3: move instruction count with renaming constraints",
 		"deltas relative to Lphi,ABI+C",
 		[]string{pipeline.ExpLphiABIC, pipeline.ExpSphiLABIC, pipeline.ExpLABIC, pipeline.ExpC3},
-		func(s *workload.Suite, col string) (int64, error) {
-			return runMoves(s, col, tr)
-		})
+		tr, presetCol)
 }
 
 // Table4 reproduces the "order of magnitude" table: moves remaining
@@ -205,9 +240,7 @@ func Table4Traced(tr obs.Tracer) (*Table, error) {
 		"Table 4: order of magnitude (no aggressive coalescing)",
 		"Sphi adds naive ABI moves; LABI adds naive phi moves; deltas vs Lphi,ABI",
 		[]string{pipeline.ExpLphiABI, pipeline.ExpSphi, pipeline.ExpLABI},
-		func(s *workload.Suite, col string) (int64, error) {
-			return runMoves(s, col, tr)
-		})
+		tr, presetCol)
 }
 
 // Table5 reproduces the weighted (5^depth) variant comparison of the
@@ -234,14 +267,18 @@ func Table5Traced(tr obs.Tracer) (*Table, error) {
 		"Table 5: weighted (5^depth) move count, variants of the algorithm",
 		"full pipeline Lphi,ABI+C with the pinning-phi variant swapped",
 		cols,
-		func(s *workload.Suite, col string) (int64, error) {
-			conf := pipeline.Configs[pipeline.ExpLphiABIC]
+		tr,
+		func(col string) (colSpec, error) {
+			conf, err := pipeline.Preset(pipeline.ExpLphiABIC)
+			if err != nil {
+				return colSpec{}, err
+			}
 			for _, v := range variants {
 				if v.name == col {
 					conf.Coalesce = v.opt
 				}
 			}
-			return runConf(s, conf, pipeline.ExpLphiABIC+"/"+col, true, tr)
+			return colSpec{conf: conf, exp: pipeline.ExpLphiABIC + "/" + col, weighted: true}, nil
 		})
 }
 

@@ -24,10 +24,9 @@ package verify
 import (
 	"fmt"
 
-	"outofssa/internal/cfg"
+	"outofssa/internal/analysis"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
-	"outofssa/internal/liveness"
 	"outofssa/internal/parcopy"
 	"outofssa/internal/pin"
 	"outofssa/internal/ssa"
@@ -162,8 +161,8 @@ func checkPins(f *ir.Func) error {
 			continue
 		}
 		if an == nil {
-			live := liveness.Compute(f)
-			an = interference.New(f, live, cfg.Dominators(f), interference.Exact)
+			live := analysis.Liveness(f)
+			an = interference.New(f, live, analysis.Dominators(f), interference.Exact)
 		}
 		for i := 0; i < len(virt); i++ {
 			for j := i + 1; j < len(virt); j++ {
