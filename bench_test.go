@@ -362,6 +362,103 @@ func BenchmarkRegisterPressure(b *testing.B) {
 	}
 }
 
+// benchEngines is the subbenchmark axis of the resource-engine
+// comparison: the O(k²) pairwise oracle versus the dominance-ordered
+// sweep (both produce identical verdicts; engines_test.go proves it).
+var benchEngines = []interference.Engine{interference.EnginePairwise, interference.EngineDominance}
+
+// BenchmarkInterferenceQueries isolates the resource-level query engines
+// on the raw Resource_killed / Resource_interfere workload: for every
+// function of the suite, a fresh ResourceGraph (empty memos) answers
+// KilledSet for every resource root plus Interfere over a root-pair
+// sample. This is the hot path Program_pinning and the Leung mark phase
+// sit on; BENCH_interference.json records a committed run.
+func BenchmarkInterferenceQueries(b *testing.B) {
+	for _, engine := range benchEngines {
+		for _, name := range []string{"VALcc1", "LAI_Large", "SPECint"} {
+			b.Run(fmt.Sprintf("%s/%s", engine, name), func(b *testing.B) {
+				b.StopTimer()
+				funcs := ssaSuite(b, name, true)
+				type prep struct {
+					an    *interference.Analysis
+					res   *pin.Resources
+					roots []*ir.Value
+				}
+				var ps []prep
+				for _, f := range funcs {
+					cfg.SplitCriticalEdges(f)
+					res, err := pin.NewResources(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					an := interference.New(f, liveness.Compute(f), cfg.Dominators(f), interference.Exact)
+					seen := make(map[*ir.Value]bool)
+					var roots []*ir.Value
+					for _, v := range f.Values() {
+						if r := res.Find(v); !seen[r] {
+							seen[r] = true
+							roots = append(roots, r)
+						}
+					}
+					ps = append(ps, prep{an, res, roots})
+				}
+				b.StartTimer()
+				verdicts := 0
+				for i := 0; i < b.N; i++ {
+					for _, p := range ps {
+						g := interference.NewResourceGraph(p.an, p.res)
+						g.Engine = engine
+						for _, r := range p.roots {
+							verdicts += g.KilledSet(r).Len()
+						}
+						step := len(p.roots)/48 + 1
+						for x := 0; x < len(p.roots); x += step {
+							for y := x + 1; y < len(p.roots); y += step {
+								if g.Interfere(p.roots[x], p.roots[y]) {
+									verdicts++
+								}
+							}
+						}
+					}
+				}
+				if verdicts < 0 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkInterferencePinning measures the end-to-end effect of the
+// engine on the two passes that consume it: Program_pinning (φ-affinity
+// coalescing, Algorithm 3) followed by the Leung out-of-pinned-SSA
+// translation.
+func BenchmarkInterferencePinning(b *testing.B) {
+	for _, engine := range benchEngines {
+		for _, name := range []string{"VALcc1", "LAI_Large", "SPECint"} {
+			b.Run(fmt.Sprintf("%s/%s", engine, name), func(b *testing.B) {
+				prev := interference.DefaultEngine
+				interference.DefaultEngine = engine
+				defer func() { interference.DefaultEngine = prev }()
+				b.StopTimer()
+				for i := 0; i < b.N; i++ {
+					funcs := ssaSuite(b, name, true)
+					b.StartTimer()
+					for _, f := range funcs {
+						if _, err := coalesce.ProgramPinning(f, coalesce.Options{}); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := leung.Translate(f); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkInterferenceModes measures the analysis-cost side of the
 // Table 5 ablation: exact per-point liveness versus the optimistic and
 // pessimistic block-level approximations (Algorithm 4).

@@ -16,6 +16,14 @@
 //	ssabench -trace-json trace.jsonl     # per-pass events for every run
 //	ssabench -cpuprofile cpu.pprof       # CPU profile of the regeneration
 //	ssabench -memprofile mem.pprof       # heap profile at exit
+//	ssabench -trace-counters             # summed per-pass counters at exit
+//
+// and as the harness for the resource-interference engines:
+//
+//	ssabench -interference-engine=pairwise   # force the O(k²) oracle engine
+//	ssabench -bench-interference             # time both engines on a table
+//	                                         # workload and check the outputs
+//	                                         # are byte-identical
 //
 // The JSONL event schema is documented in DESIGN.md; `go tool pprof`
 // reads the profiles.
@@ -24,11 +32,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
 
 	"outofssa/internal/analysis"
+	"outofssa/internal/interference"
 	"outofssa/internal/obs"
 	"outofssa/internal/ssa"
 	"outofssa/internal/stats"
@@ -42,6 +55,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker pool size for pipeline runs; 0 means GOMAXPROCS (output is identical at any setting)")
 	cacheStats := flag.Bool("cache-stats", false, "print analysis cache counters (requests/computes/reuses) to stderr at exit")
 	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
+	traceCounters := flag.Bool("trace-counters", false, "print per-pass counters (interference query volume, memo hits, merges) summed over every run to stderr at exit")
+	engineName := flag.String("interference-engine", "", "resource-interference engine: dominance (default) or pairwise (the O(k²) oracle)")
+	benchInterference := flag.Bool("bench-interference", false, "time the selected table workload (default: table 2) under both interference engines, check byte-identical output, and report the speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	flag.Parse()
@@ -52,6 +68,16 @@ func main() {
 	}
 	stats.Checked = *verifyMode
 	stats.Parallel = *parallel
+
+	switch *engineName {
+	case "":
+	case "dominance":
+		interference.DefaultEngine = interference.EngineDominance
+	case "pairwise":
+		interference.DefaultEngine = interference.EnginePairwise
+	default:
+		fail(fmt.Errorf("unknown -interference-engine %q (have: dominance, pairwise)", *engineName))
+	}
 
 	if *list {
 		for _, s := range workload.All() {
@@ -112,6 +138,18 @@ func main() {
 		defer w.Close()
 		tracer = obs.NewJSONL(w)
 	}
+	if *traceCounters {
+		cs := newCounterSum()
+		defer cs.dump(os.Stderr)
+		tracer = obs.Multi(tracer, cs)
+	}
+
+	if *benchInterference {
+		if err := runBenchInterference(*table); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	run := func(fn func(obs.Tracer) (*stats.Table, error)) {
 		t, err := fn(tracer)
@@ -145,4 +183,122 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssabench: no table %d (have 1-5)\n", *table)
 		os.Exit(2)
 	}
+}
+
+// counterSum is a Tracer that accumulates every per-pass counter across
+// all runs, giving a whole-workload view of the interference query
+// volume (the per-event values are in the JSONL trace).
+type counterSum struct{ sums map[string]int64 }
+
+func newCounterSum() *counterSum { return &counterSum{sums: make(map[string]int64)} }
+
+func (c *counterSum) RunStart(string, string, obs.IRStat)      {}
+func (c *counterSum) PassStart(string, string, string)         {}
+func (c *counterSum) RunEnd(string, string, obs.IRStat, int64) {}
+func (c *counterSum) PassEnd(ev *obs.Event) {
+	for k, v := range ev.Counters {
+		c.sums[k] += v
+	}
+}
+
+func (c *counterSum) dump(w io.Writer) {
+	keys := make([]string, 0, len(c.sums))
+	for k := range c.sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "counter %-55s %12d\n", k, c.sums[k])
+	}
+}
+
+// sumSuffix totals the counters whose key ends in suffix — e.g. every
+// pass's ".Interference.KillQueries".
+func (c *counterSum) sumSuffix(suffix string) int64 {
+	var t int64
+	for k, v := range c.sums {
+		if strings.HasSuffix(k, suffix) {
+			t += v
+		}
+	}
+	return t
+}
+
+// tableRunners maps table numbers to their traced regenerators (Table 1
+// is a static workload census — no pipeline runs, nothing to time).
+var tableRunners = map[int]func(obs.Tracer) (*stats.Table, error){
+	2: stats.Table2Traced,
+	3: stats.Table3Traced,
+	4: stats.Table4Traced,
+	5: stats.Table5Traced,
+}
+
+// runBenchInterference times the selected table workload under the
+// pairwise oracle engine and the dominance sweep engine, requires their
+// table outputs to be byte-identical (exit 1 otherwise — this is the
+// correctness gate the CI bench-smoke job relies on), and reports the
+// wall-clock ratio plus the interference counter totals per engine.
+func runBenchInterference(table int) error {
+	if table == 0 {
+		table = 2
+	}
+	run, ok := tableRunners[table]
+	if !ok {
+		return fmt.Errorf("-bench-interference needs a pipeline table (2-5), got %d", table)
+	}
+	const reps = 3
+	type result struct {
+		best   time.Duration
+		all    []time.Duration
+		output string
+		cs     *counterSum
+	}
+	prev := interference.DefaultEngine
+	defer func() { interference.DefaultEngine = prev }()
+
+	engines := []interference.Engine{interference.EnginePairwise, interference.EngineDominance}
+	results := make(map[interference.Engine]*result, len(engines))
+	for _, e := range engines {
+		interference.DefaultEngine = e
+		r := &result{}
+		for i := 0; i < reps; i++ {
+			cs := newCounterSum()
+			start := time.Now()
+			t, err := run(cs)
+			d := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("engine %s: %v", e, err)
+			}
+			r.all = append(r.all, d)
+			if r.best == 0 || d < r.best {
+				r.best = d
+			}
+			if i == 0 {
+				r.output, r.cs = t.String(), cs
+			} else if t.String() != r.output {
+				return fmt.Errorf("engine %s: table %d output differs between repetitions", e, table)
+			}
+		}
+		results[e] = r
+		fmt.Printf("engine %-9s table %d: best %v of", e, table, r.best.Round(time.Millisecond))
+		for _, d := range r.all {
+			fmt.Printf(" %v", d.Round(time.Millisecond))
+		}
+		fmt.Println()
+		for _, suffix := range []string{
+			"Interference.KillQueries", "Interference.ResourceKilled",
+			"Interference.ResourceInterfere", "Interference.KilledMemoHits",
+			"Interference.InterfereMemoHits",
+		} {
+			fmt.Printf("  %-32s %12d\n", suffix, r.cs.sumSuffix(suffix))
+		}
+	}
+
+	rp, rd := results[interference.EnginePairwise], results[interference.EngineDominance]
+	if rp.output != rd.output {
+		return fmt.Errorf("table %d output DIVERGES between engines — correctness bug", table)
+	}
+	fmt.Printf("outputs: byte-identical\nspeedup (pairwise/dominance, best-of-%d wall): %.2fx\n",
+		reps, float64(rp.best)/float64(rd.best))
+	return nil
 }

@@ -58,39 +58,56 @@ func TestDominatorsMemoized(t *testing.T) {
 }
 
 // Every structural mutator of the ir package must move the generation
-// counter, so a cached analysis never survives it.
+// counter, so a cached analysis never survives it. The contract is
+// two-level: code-only mutators (value/instruction edits, NoteMutation)
+// invalidate liveness but leave the CFG-keyed dominator tree valid;
+// CFG mutators (NewBlock, AddEdge, ReplacePred/Succ, NoteCFGMutation,
+// RestoreFrom) invalidate both.
 func TestStructuralMutatorsInvalidate(t *testing.T) {
 	mutations := []struct {
 		name string
+		cfg  bool // must also invalidate dominators
 		do   func(f *ir.Func)
 	}{
-		{"NewValue", func(f *ir.Func) { f.NewValue("g") }},
-		{"NewBlock", func(f *ir.Func) { f.NewBlock("g") }},
-		{"Append", func(f *ir.Func) {
+		{"NewValue", false, func(f *ir.Func) { f.NewValue("g") }},
+		{"NewBlock", true, func(f *ir.Func) { f.NewBlock("g") }},
+		{"AddEdge", true, func(f *ir.Func) { f.AddEdge(f.Blocks[len(f.Blocks)-1], f.Entry()) }},
+		{"Append", false, func(f *ir.Func) {
 			f.Entry().Append(&ir.Instr{Op: ir.Const, Imm: 7,
 				Defs: []ir.Operand{{Val: f.NewValue("k")}}})
 		}},
-		{"InsertAt", func(f *ir.Func) {
+		{"InsertAt", false, func(f *ir.Func) {
 			f.Entry().InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 7,
 				Defs: []ir.Operand{{Val: f.NewValue("k")}}})
 		}},
-		{"RemoveAt", func(f *ir.Func) { f.Entry().RemoveAt(0) }},
-		{"NoteMutation", func(f *ir.Func) { f.NoteMutation() }},
-		{"RestoreFrom", func(f *ir.Func) { f.RestoreFrom(f.Clone()) }},
+		{"RemoveAt", false, func(f *ir.Func) { f.Entry().RemoveAt(0) }},
+		{"NoteMutation", false, func(f *ir.Func) { f.NoteMutation() }},
+		{"NoteCFGMutation", true, func(f *ir.Func) { f.NoteCFGMutation() }},
+		{"RestoreFrom", true, func(f *ir.Func) { f.RestoreFrom(f.Clone()) }},
 	}
 	for _, m := range mutations {
 		t.Run(m.name, func(t *testing.T) {
 			f := testprog.Diamond()
 			gen := f.Generation()
+			cfgGen := f.CFGGeneration()
 			analysis.Liveness(f)
 			analysis.Dominators(f)
 			m.do(f)
 			if f.Generation() == gen {
 				t.Fatalf("%s did not move the generation counter", m.name)
 			}
+			if m.cfg && f.CFGGeneration() == cfgGen {
+				t.Fatalf("%s did not move the CFG generation counter", m.name)
+			}
 			d := delta(func() { analysis.Liveness(f); analysis.Dominators(f) })
-			if d.LivenessComputes != 1 || d.DominatorsComputes != 1 {
-				t.Fatalf("after %s: %+v, want a fresh compute of both analyses", m.name, d)
+			if d.LivenessComputes != 1 {
+				t.Fatalf("after %s: %+v, want a fresh liveness compute", m.name, d)
+			}
+			if m.cfg && d.DominatorsComputes != 1 {
+				t.Fatalf("after %s: %+v, want a fresh dominators compute", m.name, d)
+			}
+			if !m.cfg && d.DominatorsReused != 1 {
+				t.Fatalf("after code-only %s: %+v, want the dominator tree served from cache", m.name, d)
 			}
 		})
 	}

@@ -138,9 +138,99 @@ func (s *Set) Equal(o *Set) bool {
 	return true
 }
 
+// IntersectsWith reports whether s and o share at least one element,
+// without allocating.
+func (s *Set) IntersectsWith(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the smallest element >= i, or -1 if there is none.
+// Word-level scanning makes iterating a sparse set over a large domain
+// cheap: for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) { ... }.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i / 64
+	if wi >= len(s.words) {
+		return -1
+	}
+	if w := s.words[wi] >> uint(i%64); w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := s.words[wi]; w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextAnd returns the smallest element of s ∩ o that is >= i, or -1 if
+// there is none — NextSet over an intersection, without materializing
+// it.
+func (s *Set) NextAnd(o *Set, i int) int {
+	if i < 0 {
+		i = 0
+	}
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	wi := i / 64
+	if wi >= n {
+		return -1
+	}
+	if w := (s.words[wi] & o.words[wi]) >> uint(i%64); w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < n; wi++ {
+		if w := s.words[wi] & o.words[wi]; w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// CopyFrom makes s an exact copy of o, reusing s's storage when large
+// enough.
+func (s *Set) CopyFrom(o *Set) {
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	}
+	s.words = s.words[:len(o.words)]
+	copy(s.words, o.words)
+}
+
 // ForEach calls fn for each element in increasing order.
 func (s *Set) ForEach(fn func(int)) {
 	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// ForEachAnd calls fn for each element of s ∩ o in increasing order,
+// without materializing the intersection.
+func (s *Set) ForEachAnd(o *Set, fn func(int)) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for wi := 0; wi < n; wi++ {
+		w := s.words[wi] & o.words[wi]
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			fn(wi*64 + b)
@@ -154,4 +244,52 @@ func (s *Set) Elems() []int {
 	out := make([]int, 0, s.Len())
 	s.ForEach(func(i int) { out = append(out, i) })
 	return out
+}
+
+// Pool recycles scratch sets so query-heavy code (interference sweeps,
+// liveness walks) doesn't allocate a fresh Set per query. Not safe for
+// concurrent use; each analysis owns its own Pool.
+type Pool struct {
+	free []*Set
+}
+
+// Get returns an empty set able to hold values in [0, n) without
+// growing, reusing a pooled set when possible.
+func (p *Pool) Get(n int) *Set {
+	if len(p.free) == 0 {
+		return New(n)
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	need := (n + 63) / 64
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+		return s
+	}
+	s.words = s.words[:need]
+	s.Clear()
+	return s
+}
+
+// Put returns s to the pool for reuse. s must not be used afterwards.
+func (p *Pool) Put(s *Set) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}
+
+// NewSlab returns count sets, each able to hold values in [0, n),
+// carved out of a single backing allocation. The sets must not grow
+// past n (Add beyond n-1 would reallocate the grown set's words away
+// from the slab, which is safe but defeats the point).
+func NewSlab(n, count int) []*Set {
+	perSet := (n + 63) / 64
+	words := make([]uint64, perSet*count)
+	sets := make([]*Set, count)
+	hdrs := make([]Set, count)
+	for i := range sets {
+		hdrs[i].words = words[i*perSet : (i+1)*perSet : (i+1)*perSet]
+		sets[i] = &hdrs[i]
+	}
+	return sets
 }

@@ -142,3 +142,124 @@ func TestClear(t *testing.T) {
 		t.Fatal("clear failed")
 	}
 }
+
+func TestNextSet(t *testing.T) {
+	s := bitset.New(300)
+	for _, x := range []int{0, 63, 64, 130, 255} {
+		s.Add(x)
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	want := []int{0, 63, 64, 130, 255}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if s.NextSet(256) != -1 || s.NextSet(-5) != 0 || s.NextSet(64) != 64 {
+		t.Fatal("NextSet edge cases wrong")
+	}
+	if bitset.New(0).NextSet(0) != -1 {
+		t.Fatal("NextSet on empty set")
+	}
+}
+
+func TestIntersectsWithAndForEachAnd(t *testing.T) {
+	a := bitset.New(200)
+	b := bitset.New(200)
+	for _, x := range []int{1, 70, 150} {
+		a.Add(x)
+	}
+	for _, x := range []int{2, 71, 151} {
+		b.Add(x)
+	}
+	if a.IntersectsWith(b) {
+		t.Fatal("disjoint sets reported intersecting")
+	}
+	b.Add(70)
+	if !a.IntersectsWith(b) || !b.IntersectsWith(a) {
+		t.Fatal("intersecting sets reported disjoint")
+	}
+	var got []int
+	a.ForEachAnd(b, func(i int) { got = append(got, i) })
+	if len(got) != 1 || got[0] != 70 {
+		t.Fatalf("ForEachAnd = %v, want [70]", got)
+	}
+	// Mismatched capacities must not panic or over-read.
+	small := bitset.New(8)
+	small.Add(1)
+	if !small.IntersectsWith(a) == a.Has(1) {
+		t.Fatal("capacity mismatch handling wrong")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := bitset.New(300)
+	src.Add(7)
+	src.Add(299)
+	dst := bitset.New(10)
+	dst.Add(3)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom not equal to source")
+	}
+	dst.Add(50)
+	if src.Has(50) {
+		t.Fatal("CopyFrom aliases source storage")
+	}
+	// Shrinking copy reuses storage.
+	big := bitset.New(1000)
+	big.Add(900)
+	big.CopyFrom(src)
+	if !big.Equal(src) || big.Has(900) {
+		t.Fatal("shrinking CopyFrom wrong")
+	}
+}
+
+func TestPool(t *testing.T) {
+	var p bitset.Pool
+	s := p.Get(100)
+	s.Add(42)
+	p.Put(s)
+	r := p.Get(50)
+	if r != s {
+		t.Fatal("pool did not reuse the freed set")
+	}
+	if !r.Empty() {
+		t.Fatal("pooled set not cleared on Get")
+	}
+	// Requesting a bigger domain than the pooled set held must still work.
+	p.Put(r)
+	big := p.Get(10000)
+	big.Add(9999)
+	if !big.Has(9999) {
+		t.Fatal("pooled set did not grow for larger domain")
+	}
+	p.Put(nil) // no-op
+}
+
+func TestNewSlab(t *testing.T) {
+	sets := bitset.NewSlab(100, 5)
+	if len(sets) != 5 {
+		t.Fatalf("slab count = %d", len(sets))
+	}
+	for i, s := range sets {
+		s.Add(i)
+		s.Add(99)
+	}
+	for i, s := range sets {
+		if !s.Has(i) || !s.Has(99) || s.Len() != 2 {
+			t.Fatalf("slab set %d polluted by neighbours: %v", i, s.Elems())
+		}
+	}
+	// Growing past the slab capacity must not corrupt neighbours.
+	sets[0].Add(500)
+	if sets[1].Has(500-64*((100+63)/64)) || !sets[0].Has(500) || !sets[0].Has(99) {
+		t.Fatal("slab grow corrupted neighbour or lost elements")
+	}
+}

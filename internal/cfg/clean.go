@@ -34,7 +34,7 @@ func RemoveUnreachable(f *ir.Func) int {
 	}
 	f.Blocks = kept
 	if removed > 0 {
-		f.NoteMutation() // block list and φ operand slices edited in place
+		f.NoteCFGMutation() // block list, Preds and φ operand slices edited in place
 	}
 	return removed
 }

@@ -132,7 +132,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 			for _, phi := range b.Phis() {
 				x := res.Find(phi.Def(0))
 				for _, u := range phi.Uses {
-					if rg.Killed(res.Find(u.Val))[u.Val] {
+					if rg.KilledSet(u.Val).Has(u.Val.ID) {
 						continue // repaired argument: nothing to gain
 					}
 					a := res.Find(u.Val)
@@ -164,7 +164,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 			x := res.Find(phi.Def(0))
 			for _, u := range phi.Uses {
 				st.PhiSlots++
-				if res.Find(u.Val) == x && !rg.Killed(x)[u.Val] {
+				if res.Find(u.Val) == x && !rg.KilledSet(x).Has(u.Val.ID) {
 					st.Gain++
 				}
 			}
@@ -218,15 +218,10 @@ func createAffinityGraph(b *ir.Block, res *pin.Resources, rg *interference.Resou
 		}
 		return nil
 	}
-	killedIn := make(map[*ir.Value]map[*ir.Value]bool) // resource root -> killed set
+	// Resource_killed sets are memoized inside the graph (generation-
+	// keyed), so repeated probes per root cost a map hit.
 	isKilled := func(v *ir.Value) bool {
-		root := res.Find(v)
-		k, ok := killedIn[root]
-		if !ok {
-			k = rg.Killed(root)
-			killedIn[root] = k
-		}
-		return k[v]
+		return rg.KilledSet(v).Has(v.ID)
 	}
 	for _, phi := range b.Phis() {
 		rX := addVert(phi.Def(0))

@@ -80,7 +80,7 @@ func PrePinDefs(f *ir.Func, mode interference.Mode) (*PrePinStats, error) {
 				// The value must not be killed in its own resource at this
 				// point (then the repair move is unavoidable anyway), and
 				// merging must not create a new interference.
-				if rg.Killed(res.Find(v))[v] || rg.Interfere(v, want) {
+				if rg.KilledSet(v).Has(v.ID) || rg.Interfere(v, want) {
 					st.Skipped++
 					continue
 				}

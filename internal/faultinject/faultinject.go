@@ -71,15 +71,17 @@ var Classes = []Class{
 // When it returns false, f is unchanged.
 //
 // Inject honors the ir.Func mutation contract: a successful injection
-// calls NoteMutation, modelling a buggy-but-well-behaved pass. Analyses
-// requested afterwards therefore see the corrupted function — which is
-// what lets the checked-mode verifier catch the damage. InjectSilent is
-// the contract-violating variant.
+// calls NoteCFGMutation (some classes, like DanglingEdge, splice the
+// block graph in place, and over-invalidating is always safe),
+// modelling a buggy-but-well-behaved pass. Analyses requested
+// afterwards therefore see the corrupted function — which is what lets
+// the checked-mode verifier catch the damage. InjectSilent is the
+// contract-violating variant.
 func Inject(f *ir.Func, c Class) bool {
 	if !InjectSilent(f, c) {
 		return false
 	}
-	f.NoteMutation()
+	f.NoteCFGMutation()
 	return true
 }
 

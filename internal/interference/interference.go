@@ -11,7 +11,6 @@ import (
 	"outofssa/internal/cfg"
 	"outofssa/internal/ir"
 	"outofssa/internal/liveness"
-	"outofssa/internal/pin"
 )
 
 // Mode selects the Class-1 kill test precision (paper Algorithm 4).
@@ -51,14 +50,19 @@ type Counters struct {
 	KillQueries      int64
 	InterfereQueries int64
 	StrongQueries    int64
-	// LiveAfterHits/Misses split the memoized live-after-definition
-	// lookups into cache hits and set constructions.
+	// LiveAfterHits/Misses split the live-after-definition lookups into
+	// queries served from existing sparse snapshots and queries that had
+	// to build a block's snapshots first.
 	LiveAfterHits   int64
 	LiveAfterMisses int64
 	// ResourceKilled and ResourceInterfere count the resource-level
 	// liftings (each expands to many variable queries).
 	ResourceKilled    int64
 	ResourceInterfere int64
+	// KilledMemoHits and InterfereMemoHits count resource-level verdicts
+	// served from the generation-keyed memo without recomputation.
+	KilledMemoHits    int64
+	InterfereMemoHits int64
 }
 
 // Analysis answers variable-level interference queries on an SSA
@@ -73,7 +77,15 @@ type Analysis struct {
 	defs   []*ir.Instr // value ID -> unique SSA def
 	defIdx []int       // value ID -> index of def within its block
 
-	liveAfter map[*ir.Instr]*bitset.Set // lazily cached per definition
+	// Live-after-definition sets, built lazily one block at a time: the
+	// first query into a block walks it backward once, snapshotting a
+	// sparse (sorted value-ID) set at every def-carrying instruction.
+	// Sparse snapshots replace the old per-def dense bitsets: queries are
+	// a binary search, construction is amortized over the block, and the
+	// footprint is the live-set size rather than O(|V|) words per def.
+	laSnap  map[*ir.Instr][]int32
+	laBuilt []bool // block ID -> snapshots built
+	laPool  bitset.Pool
 
 	c Counters
 }
@@ -84,13 +96,14 @@ func (a *Analysis) Counters() Counters { return a.c }
 // New builds an analysis. live and dom must describe the current f.
 func New(f *ir.Func, live *liveness.Info, dom *cfg.DomTree, mode Mode) *Analysis {
 	a := &Analysis{
-		fn:        f,
-		live:      live,
-		dom:       dom,
-		mode:      mode,
-		defs:      make([]*ir.Instr, f.NumValues()),
-		defIdx:    make([]int, f.NumValues()),
-		liveAfter: make(map[*ir.Instr]*bitset.Set),
+		fn:      f,
+		live:    live,
+		dom:     dom,
+		mode:    mode,
+		defs:    make([]*ir.Instr, f.NumValues()),
+		defIdx:  make([]int, f.NumValues()),
+		laSnap:  make(map[*ir.Instr][]int32),
+		laBuilt: make([]bool, f.NumBlocks()),
 	}
 	for _, b := range f.Blocks {
 		for idx, in := range b.Instrs {
@@ -127,30 +140,63 @@ func (a *Analysis) instrDominates(x, y *ir.Instr, xIdx, yIdx int) bool {
 	return xIdx < yIdx
 }
 
-// liveAfterDef returns (cached) the set of values live immediately after
-// def executes; for φ defs, the live-in set of the φ's block.
-func (a *Analysis) liveAfterDef(def *ir.Instr) *bitset.Set {
-	if s, ok := a.liveAfter[def]; ok {
-		a.c.LiveAfterHits++
-		return s
-	}
-	a.c.LiveAfterMisses++
-	var s *bitset.Set
-	b := def.Block()
+// liveAfterHas reports whether the value with the given ID is live
+// immediately after def executes; for φ defs, whether it is live-in to
+// the φ's block (φ defs act at block entry).
+func (a *Analysis) liveAfterHas(def *ir.Instr, id int) bool {
 	if def.Op == ir.Phi {
-		s = a.live.LiveInSet(b).Copy()
-	} else {
-		idx := -1
-		for i, in := range b.Instrs {
-			if in == def {
-				idx = i
-				break
-			}
-		}
-		s = a.live.LiveAfter(b, idx)
+		a.c.LiveAfterHits++
+		return a.live.LiveInSet(def.Block()).Has(id)
 	}
-	a.liveAfter[def] = s
-	return s
+	b := def.Block()
+	if !a.laBuilt[b.ID] {
+		a.c.LiveAfterMisses++
+		a.buildBlockLiveAfter(b)
+	} else {
+		a.c.LiveAfterHits++
+	}
+	return sparseHas(a.laSnap[def], id)
+}
+
+// buildBlockLiveAfter walks b backward once from its exit-live set,
+// recording a sparse live-after snapshot at every def-carrying non-φ
+// instruction. One walk serves every later query into the block.
+func (a *Analysis) buildBlockLiveAfter(b *ir.Block) {
+	cur := a.laPool.Get(a.fn.NumValues())
+	cur.CopyFrom(a.live.ExitLiveSet(b))
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if in.Op == ir.Phi {
+			break // φ defs are answered from the block's live-in set
+		}
+		if len(in.Defs) > 0 {
+			snap := make([]int32, 0, cur.Len())
+			cur.ForEach(func(id int) { snap = append(snap, int32(id)) })
+			a.laSnap[in] = snap
+		}
+		for _, d := range in.Defs {
+			cur.Remove(d.Val.ID)
+		}
+		for _, u := range in.Uses {
+			cur.Add(u.Val.ID)
+		}
+	}
+	a.laPool.Put(cur)
+	a.laBuilt[b.ID] = true
+}
+
+// sparseHas reports membership of id in a sorted ID slice.
+func sparseHas(s []int32, id int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(s[mid]) < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && int(s[lo]) == id
 }
 
 // Kills implements Variable_kills(a, b) — "a kills b" — of Algorithm 2
@@ -171,7 +217,7 @@ func (an *Analysis) Kills(v, b *ir.Value) bool {
 		an.instrDominates(defB, defV, an.defIdx[b.ID], an.defIdx[v.ID]) {
 		switch an.mode {
 		case Exact:
-			if an.liveAfterDef(defV).Has(b.ID) {
+			if an.liveAfterHas(defV, b.ID) {
 				return true
 			}
 		case Optimistic:
@@ -243,10 +289,10 @@ func (an *Analysis) Interfere(a, b *ir.Value) bool {
 		return false
 	}
 	if an.instrDominates(defA, defB, an.defIdx[a.ID], an.defIdx[b.ID]) {
-		return an.liveAfterDef(defB).Has(a.ID)
+		return an.liveAfterHas(defB, a.ID)
 	}
 	if an.instrDominates(defB, defA, an.defIdx[b.ID], an.defIdx[a.ID]) {
-		return an.liveAfterDef(defA).Has(b.ID)
+		return an.liveAfterHas(defA, b.ID)
 	}
 	// Same instruction or parallel φs: both values born together.
 	if defA == defB {
@@ -285,136 +331,7 @@ func (s PinSite) kills(m *ir.Value) bool {
 	return m != s.Val && s.LiveAfter.Has(m.ID) && !s.In.HasDef(m)
 }
 
-// ResourceGraph lifts variable interference to resources (§3.3). It
-// consults pin.Resources for membership, so queries remain correct as
-// the coalescer merges classes.
-type ResourceGraph struct {
-	An  *Analysis
-	Res *pin.Resources
-
-	// Sites are the pinned-use clobber points of the function (φ uses
-	// excluded — those are Class 2).
-	Sites []PinSite
-}
-
-// NewResourceGraph pairs an analysis with resource classes and collects
-// the pinned-use clobber sites.
-func NewResourceGraph(an *Analysis, res *pin.Resources) *ResourceGraph {
-	g := &ResourceGraph{An: an, Res: res}
-	for _, b := range an.fn.Blocks {
-		for idx, in := range b.Instrs {
-			if in.Op == ir.Phi {
-				continue
-			}
-			var after *bitset.Set
-			for _, u := range in.Uses {
-				if u.Pin == nil {
-					continue
-				}
-				if after == nil {
-					after = an.live.LiveAfter(b, idx)
-				}
-				g.Sites = append(g.Sites, PinSite{Pin: u.Pin, Val: u.Val, In: in, LiveAfter: after})
-			}
-		}
-	}
-	return g
-}
-
-// Killed implements Resource_killed: the members of v's resource that are
-// killed by some other member (or by themselves, for the lost-copy case),
-// or by a pinned use writing the resource while they are live.
-func (g *ResourceGraph) Killed(v *ir.Value) map[*ir.Value]bool {
-	g.An.c.ResourceKilled++
-	root := g.Res.Find(v)
-	members := g.Res.Members(root)
-	killed := make(map[*ir.Value]bool)
-	for _, ai := range members {
-		if ai.IsPhys() {
-			continue
-		}
-		for _, aj := range members {
-			if aj.IsPhys() {
-				continue
-			}
-			if g.An.Kills(aj, ai) {
-				killed[ai] = true
-				break
-			}
-		}
-	}
-	for _, site := range g.Sites {
-		if g.Res.Find(site.Pin) != root {
-			continue
-		}
-		for _, m := range members {
-			if m.IsPhys() || killed[m] {
-				continue
-			}
-			if site.kills(m) {
-				killed[m] = true
-			}
-		}
-	}
-	return killed
-}
-
-// Interfere implements Resource_interfere(A, B): merging the two
-// resources would create a new simple interference (a repair not already
-// needed) or a strong interference (incorrect code).
-func (g *ResourceGraph) Interfere(a, b *ir.Value) bool {
-	g.An.c.ResourceInterfere++
-	ra, rb := g.Res.Find(a), g.Res.Find(b)
-	if ra == rb {
-		return false
-	}
-	if ra.IsPhys() && rb.IsPhys() {
-		return true // distinct dedicated registers
-	}
-	ma, mb := g.Res.Members(ra), g.Res.Members(rb)
-	killedA := g.Killed(ra)
-	killedB := g.Killed(rb)
-	for _, x := range ma {
-		if x.IsPhys() {
-			continue
-		}
-		for _, y := range mb {
-			if y.IsPhys() {
-				continue
-			}
-			if !killedA[x] && g.An.Kills(y, x) {
-				return true
-			}
-			if !killedB[y] && g.An.Kills(x, y) {
-				return true
-			}
-			if g.An.StronglyInterfere(x, y) {
-				return true
-			}
-		}
-	}
-	// A pinned use writing one resource kills live members of the other
-	// once merged.
-	for _, site := range g.Sites {
-		rs := g.Res.Find(site.Pin)
-		var victims []*ir.Value
-		var killedV map[*ir.Value]bool
-		switch rs {
-		case ra:
-			victims, killedV = mb, killedB
-		case rb:
-			victims, killedV = ma, killedA
-		default:
-			continue
-		}
-		for _, m := range victims {
-			if m.IsPhys() || killedV[m] {
-				continue
-			}
-			if site.kills(m) {
-				return true
-			}
-		}
-	}
-	return false
-}
+// The resource-level lifting of these queries — Resource_killed and
+// Resource_interfere over pin.Resources classes — lives in engine.go,
+// which provides both the original pairwise expansion and the
+// dominance-ordered sweep engine.

@@ -41,6 +41,13 @@ func (b *Block) noteMutation() {
 	}
 }
 
+// noteCFGMutation forwards to the owning function's CFG generation.
+func (b *Block) noteCFGMutation() {
+	if b.fn != nil {
+		b.fn.NoteCFGMutation()
+	}
+}
+
 // Append adds in at the end of the block.
 func (b *Block) Append(in *Instr) {
 	in.blk = b
@@ -136,7 +143,7 @@ func (b *Block) ReplacePred(oldPred, newPred *Block) {
 	for i, q := range b.Preds {
 		if q == oldPred {
 			b.Preds[i] = newPred
-			b.noteMutation()
+			b.noteCFGMutation()
 			return
 		}
 	}
@@ -152,7 +159,7 @@ func (b *Block) ReplaceSucc(oldSucc, newSucc *Block) {
 	for i, q := range b.Succs {
 		if q == oldSucc {
 			b.Succs[i] = newSucc
-			b.noteMutation()
+			b.noteCFGMutation()
 			return
 		}
 	}

@@ -3,14 +3,21 @@ package ir
 // Clone returns a deep copy of f. Value and block IDs are preserved, so
 // analyses computed on the clone are index-compatible with the original.
 // The experiment pipelines clone the post-SSA function once per algorithm
-// so every algorithm sees the same input.
+// so every algorithm sees the same input, and the batch driver clones
+// once per cell run — which makes Clone a malloc hot spot. Values,
+// blocks, instructions and operands are therefore carved out of four
+// slab allocations (capacity-capped subslices, so a later append on any
+// instruction reallocates away from the slab instead of clobbering its
+// neighbour).
 func (f *Func) Clone() *Func {
 	nf := &Func{Name: f.Name, nextID: f.nextID, nextBB: f.nextBB}
 
 	vmap := make([]*Value, f.nextID)
 	nf.values = make([]*Value, len(f.values))
+	vslab := make([]Value, len(f.values))
 	for i, v := range f.values {
-		nv := &Value{ID: v.ID, Name: v.Name, Kind: v.Kind}
+		nv := &vslab[i]
+		*nv = Value{ID: v.ID, Name: v.Name, Kind: v.Kind}
 		nf.values[i] = nv
 		vmap[v.ID] = nv
 	}
@@ -39,8 +46,11 @@ func (f *Func) Clone() *Func {
 	}
 
 	bmap := make([]*Block, f.nextBB)
-	for _, b := range f.Blocks {
-		nb := &Block{ID: b.ID, Name: b.Name, LoopDepth: b.LoopDepth, fn: nf}
+	bslab := make([]Block, len(f.Blocks))
+	nf.Blocks = make([]*Block, 0, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &bslab[i]
+		*nb = Block{ID: b.ID, Name: b.Name, LoopDepth: b.LoopDepth, fn: nf}
 		bmap[b.ID] = nb
 		nf.Blocks = append(nf.Blocks, nb)
 	}
@@ -51,8 +61,23 @@ func (f *Func) Clone() *Func {
 		}
 		return out
 	}
+
+	nInstr, nOps := 0, 0
+	for _, b := range f.Blocks {
+		nInstr += len(b.Instrs)
+		for _, in := range b.Instrs {
+			nOps += len(in.Defs) + len(in.Uses)
+		}
+	}
+	islab := make([]Instr, nInstr)
+	opslab := make([]Operand, nOps)
+	ii, oi := 0, 0
 	mapOps := func(os []Operand) []Operand {
-		out := make([]Operand, len(os))
+		if len(os) == 0 {
+			return nil
+		}
+		out := opslab[oi : oi+len(os) : oi+len(os)]
+		oi += len(os)
 		for i, o := range os {
 			out[i] = Operand{Val: mapVal(o.Val), Pin: mapVal(o.Pin)}
 		}
@@ -63,14 +88,19 @@ func (f *Func) Clone() *Func {
 		nb := bmap[b.ID]
 		nb.Preds = mapBlocks(b.Preds)
 		nb.Succs = mapBlocks(b.Succs)
+		nb.Instrs = make([]*Instr, 0, len(b.Instrs))
 		for _, in := range b.Instrs {
-			nb.Append(&Instr{
+			ni := &islab[ii]
+			ii++
+			*ni = Instr{
 				Op:     in.Op,
 				Defs:   mapOps(in.Defs),
 				Uses:   mapOps(in.Uses),
 				Imm:    in.Imm,
 				Callee: in.Callee,
-			})
+				blk:    nb,
+			}
+			nb.Instrs = append(nb.Instrs, ni)
 		}
 	}
 	return nf
@@ -94,8 +124,9 @@ func (f *Func) RestoreFrom(g *Func) {
 		b.fn = f
 	}
 	// The function's code just changed wholesale: invalidate memoized
-	// analyses. The generation stays monotonic (bump, not copy) so stale
+	// analyses. The generations stay monotonic (bump, not copy) so stale
 	// entries recorded under earlier generations can never match again.
 	f.generation++
+	f.cfgGeneration++
 	f.analyses = nil
 }

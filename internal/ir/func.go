@@ -28,6 +28,14 @@ type Func struct {
 	// Block.LoopDepth — deliberately do not bump, which is what lets a
 	// liveness computed before a pin-collect phase survive it.
 	generation uint64
+	// cfgGeneration counts only CFG-shape mutations: creating blocks,
+	// adding or rewiring edges, deleting blocks. Analyses that read just
+	// the block graph (dominators) key on it, so operand rewrites and
+	// instruction edits — which bump generation but not cfgGeneration —
+	// leave a cached dominator tree valid. Invariant: cfgGeneration
+	// advances only together with generation (a CFG change is also a code
+	// change), never on its own.
+	cfgGeneration uint64
 	// analyses is the opaque per-function memo slot owned by
 	// internal/analysis (kept opaque to avoid an ir → analysis cycle).
 	// Clone does not copy it; RestoreFrom discards it.
@@ -52,8 +60,25 @@ func (f *Func) Generation() uint64 { return f.generation }
 // mutators of this package call it automatically; a pass that rewrites
 // Operand.Val fields or Instrs/Blocks slices in place must call it
 // after its last such write (see DESIGN.md §8 for the pass-author
-// contract).
+// contract). Code-only mutations leave CFG-keyed analyses (dominators)
+// valid; a pass that edits the block graph in place must call
+// NoteCFGMutation instead.
 func (f *Func) NoteMutation() { f.generation++ }
+
+// CFGGeneration returns the CFG-shape generation counter. Two calls
+// returning the same value guarantee the block graph (blocks, edges)
+// did not change in between, even if instructions or operands did.
+func (f *Func) CFGGeneration() uint64 { return f.cfgGeneration }
+
+// NoteCFGMutation records that the block graph changed. It implies
+// NoteMutation: a CFG change invalidates every cached analysis, code-
+// and CFG-keyed alike. NewBlock and AddEdge call it automatically; a
+// pass that splices Preds/Succs or the Blocks slice in place must call
+// it after its last such write.
+func (f *Func) NoteCFGMutation() {
+	f.generation++
+	f.cfgGeneration++
+}
 
 // AnalysisSlot returns the per-function storage slot used by
 // internal/analysis to memoize dataflow analyses. Other packages must
@@ -90,6 +115,7 @@ func (f *Func) NewBlock(name string) *Block {
 	b := &Block{ID: f.nextBB, Name: name, fn: f}
 	f.nextBB++
 	f.generation++
+	f.cfgGeneration++
 	if b.Name == "" {
 		b.Name = "b" + itoa64(int64(b.ID))
 	}
@@ -113,6 +139,7 @@ func (f *Func) AddEdge(b, s *Block) {
 	b.Succs = append(b.Succs, s)
 	s.Preds = append(s.Preds, b)
 	f.generation++
+	f.cfgGeneration++
 }
 
 // NumInstrs counts instructions across all blocks.

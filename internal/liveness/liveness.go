@@ -29,7 +29,12 @@ type Info struct {
 	exitLive []*bitset.Set
 }
 
-// Compute runs the backward dataflow to a fixed point.
+// Compute runs the backward dataflow to a fixed point. The per-block
+// sets come from two slab allocations (one for the three escaping
+// families, one for the transient gen/kill), and the iteration reuses a
+// single scratch set instead of allocating a candidate live-in per block
+// per pass — Compute runs once per analysis-cache miss per batch cell,
+// so its malloc count is visible in the serial driver overhead.
 func Compute(f *ir.Func) *Info {
 	nb := f.NumBlocks()
 	nv := f.NumValues()
@@ -40,12 +45,15 @@ func Compute(f *ir.Func) *Info {
 		exitLive: make([]*bitset.Set, nb),
 	}
 
+	escaping := bitset.NewSlab(nv, 3*len(f.Blocks))
+	transient := bitset.NewSlab(nv, 2*len(f.Blocks))
+
 	// Per-block gen (upward-exposed non-φ uses) and kill (all defs,
 	// including φ defs).
 	gen := make([]*bitset.Set, nb)
 	kill := make([]*bitset.Set, nb)
-	for _, b := range f.Blocks {
-		g, k := bitset.New(nv), bitset.New(nv)
+	for bi, b := range f.Blocks {
+		g, k := transient[2*bi], transient[2*bi+1]
 		for _, in := range b.Instrs {
 			if in.Op != ir.Phi {
 				for _, u := range in.Uses {
@@ -59,12 +67,13 @@ func Compute(f *ir.Func) *Info {
 			}
 		}
 		gen[b.ID], kill[b.ID] = g, k
-		info.liveIn[b.ID] = bitset.New(nv)
-		info.liveOut[b.ID] = bitset.New(nv)
-		info.exitLive[b.ID] = bitset.New(nv)
+		info.liveIn[b.ID] = escaping[3*bi]
+		info.liveOut[b.ID] = escaping[3*bi+1]
+		info.exitLive[b.ID] = escaping[3*bi+2]
 	}
 
 	po := cfg.Postorder(f)
+	scratch := bitset.New(nv)
 	for changed := true; changed; {
 		changed = false
 		for _, b := range po {
@@ -85,11 +94,11 @@ func Compute(f *ir.Func) *Info {
 				lo.UnionWith(info.liveIn[s.ID])
 			}
 			// liveIn = gen ∪ (exitLive \ kill).
-			li := el.Copy()
-			li.DiffWith(kill[b.ID])
-			li.UnionWith(gen[b.ID])
-			if !li.Equal(info.liveIn[b.ID]) {
-				info.liveIn[b.ID] = li
+			scratch.CopyFrom(el)
+			scratch.DiffWith(kill[b.ID])
+			scratch.UnionWith(gen[b.ID])
+			if !scratch.Equal(info.liveIn[b.ID]) {
+				info.liveIn[b.ID].CopyFrom(scratch)
 				changed = true
 			}
 		}

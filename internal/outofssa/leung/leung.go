@@ -77,9 +77,8 @@ func Translate(f *ir.Func) (*Stats, error) {
 			continue
 		}
 		seenRoot[root] = true
-		for k := range rg.Killed(root) {
-			killed[k] = true
-		}
+		vals := f.Values()
+		rg.KilledSet(root).ForEach(func(id int) { killed[vals[id]] = true })
 	}
 
 	// Only killed variables with at least one use need a repair variable.

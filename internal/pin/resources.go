@@ -25,7 +25,19 @@ type Resources struct {
 	parent  []int
 	rank    []int
 	members map[int][]*ir.Value // root ID -> member values
+
+	// gen counts class-changing operations (successful Unions). Resource-
+	// level interference verdicts are memoized against it: a verdict
+	// recorded at generation g stays valid exactly until the next merge,
+	// since Union is the only operation that changes any class's member
+	// set (new values admitted by grow start as singletons and cannot
+	// retroactively change an existing class).
+	gen uint64
 }
+
+// Gen returns the class-mutation generation counter. Two calls returning
+// the same value guarantee no class was merged in between.
+func (r *Resources) Gen() uint64 { return r.gen }
 
 // NewResources builds the classes implied by the current definition pins
 // of f: for every definition operand with Pin != nil, the defined value
@@ -119,6 +131,7 @@ func (r *Resources) Union(a, b *ir.Value) (*ir.Value, error) {
 	}
 	r.members[ra] = append(ma, mb...)
 	delete(r.members, rb)
+	r.gen++
 	return r.fn.Values()[ra], nil
 }
 

@@ -3,7 +3,7 @@ package ssa
 import (
 	"fmt"
 
-	"outofssa/internal/cfg"
+	"outofssa/internal/analysis"
 	"outofssa/internal/ir"
 )
 
@@ -17,7 +17,7 @@ func Verify(f *ir.Func) error {
 	if err := f.Verify(); err != nil {
 		return err
 	}
-	dom := cfg.Dominators(f)
+	dom := analysis.Dominators(f)
 
 	defAt := make([]*ir.Instr, f.NumValues())
 	defIdx := make([]int, f.NumValues())

@@ -1,0 +1,38 @@
+package stats_test
+
+import (
+	"testing"
+
+	"outofssa/internal/analysis"
+	"outofssa/internal/stats"
+)
+
+// TestDominatorCacheReuseOnTable2 pins the analysis-cache hit rates on
+// the Table 2 workload. Dominators are keyed on the CFG generation, so
+// the many operand-rewriting passes between CFG reshapes (rename,
+// ssaopt, pin collection, coalescing) all hit the cache; before the
+// generation split the reuse rate was 23.2% — any regression back
+// toward per-code-mutation invalidation (or a pass bypassing
+// analysis.Dominators, as ssa.Verify once did) trips this.
+func TestDominatorCacheReuseOnTable2(t *testing.T) {
+	analysis.ResetStats()
+	if _, err := stats.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	s := analysis.Stats()
+	if s.DominatorsRequests == 0 || s.LivenessRequests == 0 {
+		t.Fatal("Table 2 workload issued no analysis requests")
+	}
+	domRate := float64(s.DominatorsReused) / float64(s.DominatorsRequests)
+	liveRate := float64(s.LivenessReused) / float64(s.LivenessRequests)
+	// Measured 72.0% dominator reuse (2752/3820) and 62.5% liveness
+	// reuse (4613/7380); pinned with headroom for workload drift.
+	if domRate < 0.65 {
+		t.Errorf("dominator cache reuse = %.1f%% (%d/%d), want >= 65%%",
+			100*domRate, s.DominatorsReused, s.DominatorsRequests)
+	}
+	if liveRate < 0.55 {
+		t.Errorf("liveness cache reuse = %.1f%% (%d/%d), want >= 55%%",
+			100*liveRate, s.LivenessReused, s.LivenessRequests)
+	}
+}
