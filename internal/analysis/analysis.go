@@ -36,6 +36,12 @@ import (
 type memo struct {
 	liveGen uint64
 	live    *liveness.Info
+	// liveCFGGen and liveEngine qualify a stale `live` entry for
+	// incremental revalidation: a query-engine Info whose CFG generation
+	// still matches can absorb a code-only mutation by re-scanning its
+	// per-variable summaries instead of being rebuilt from scratch.
+	liveCFGGen uint64
+	liveEngine liveness.Engine
 
 	domGen uint64
 	dom    *cfg.DomTree
@@ -59,6 +65,18 @@ type CacheStats struct {
 	LivenessComputes uint64
 	LivenessReused   uint64
 
+	// A liveness compute is either a full build (iterative fixed point,
+	// or a from-scratch query-engine construction) or an incremental
+	// revalidation of a query-engine Info after a code-only mutation:
+	// LivenessComputes = LivenessFullBuilds + LivenessRevalidations.
+	// VarsKept/VarsInvalidated split the per-variable memos across all
+	// revalidations: kept walks cost nothing to reuse, invalidated ones
+	// are recomputed lazily on their next query.
+	LivenessFullBuilds      uint64
+	LivenessRevalidations   uint64
+	LivenessVarsKept        uint64
+	LivenessVarsInvalidated uint64
+
 	DominatorsRequests uint64
 	DominatorsComputes uint64
 	DominatorsReused   uint64
@@ -69,12 +87,16 @@ var counters CacheStats
 // Stats returns a snapshot of the package-wide cache counters.
 func Stats() CacheStats {
 	return CacheStats{
-		LivenessRequests:   atomic.LoadUint64(&counters.LivenessRequests),
-		LivenessComputes:   atomic.LoadUint64(&counters.LivenessComputes),
-		LivenessReused:     atomic.LoadUint64(&counters.LivenessReused),
-		DominatorsRequests: atomic.LoadUint64(&counters.DominatorsRequests),
-		DominatorsComputes: atomic.LoadUint64(&counters.DominatorsComputes),
-		DominatorsReused:   atomic.LoadUint64(&counters.DominatorsReused),
+		LivenessRequests:        atomic.LoadUint64(&counters.LivenessRequests),
+		LivenessComputes:        atomic.LoadUint64(&counters.LivenessComputes),
+		LivenessReused:          atomic.LoadUint64(&counters.LivenessReused),
+		LivenessFullBuilds:      atomic.LoadUint64(&counters.LivenessFullBuilds),
+		LivenessRevalidations:   atomic.LoadUint64(&counters.LivenessRevalidations),
+		LivenessVarsKept:        atomic.LoadUint64(&counters.LivenessVarsKept),
+		LivenessVarsInvalidated: atomic.LoadUint64(&counters.LivenessVarsInvalidated),
+		DominatorsRequests:      atomic.LoadUint64(&counters.DominatorsRequests),
+		DominatorsComputes:      atomic.LoadUint64(&counters.DominatorsComputes),
+		DominatorsReused:        atomic.LoadUint64(&counters.DominatorsReused),
 	}
 }
 
@@ -83,6 +105,10 @@ func ResetStats() {
 	atomic.StoreUint64(&counters.LivenessRequests, 0)
 	atomic.StoreUint64(&counters.LivenessComputes, 0)
 	atomic.StoreUint64(&counters.LivenessReused, 0)
+	atomic.StoreUint64(&counters.LivenessFullBuilds, 0)
+	atomic.StoreUint64(&counters.LivenessRevalidations, 0)
+	atomic.StoreUint64(&counters.LivenessVarsKept, 0)
+	atomic.StoreUint64(&counters.LivenessVarsInvalidated, 0)
 	atomic.StoreUint64(&counters.DominatorsRequests, 0)
 	atomic.StoreUint64(&counters.DominatorsComputes, 0)
 	atomic.StoreUint64(&counters.DominatorsReused, 0)
@@ -96,14 +122,35 @@ func ResetStats() {
 func Liveness(f *ir.Func) *liveness.Info {
 	m := memoOf(f)
 	gen := f.Generation()
+	eng := liveness.DefaultEngine
 	atomic.AddUint64(&counters.LivenessRequests, 1)
-	if m.live != nil && m.liveGen == gen {
+	if m.live != nil && m.liveGen == gen && m.liveEngine == eng {
 		atomic.AddUint64(&counters.LivenessReused, 1)
 		return m.live
 	}
 	atomic.AddUint64(&counters.LivenessComputes, 1)
-	m.live = liveness.Compute(f)
+	if eng == liveness.EngineQuery {
+		cfgGen := f.CFGGeneration()
+		if m.live != nil && m.liveEngine == eng && m.liveCFGGen == cfgGen && m.live.Incremental() {
+			// Code-only mutation under an unchanged CFG: revalidate the
+			// per-variable summaries and keep every walk whose summary is
+			// unchanged instead of rebuilding the whole engine.
+			live, kept, dropped := m.live.Revalidate()
+			m.live = live
+			atomic.AddUint64(&counters.LivenessRevalidations, 1)
+			atomic.AddUint64(&counters.LivenessVarsKept, uint64(kept))
+			atomic.AddUint64(&counters.LivenessVarsInvalidated, uint64(dropped))
+		} else {
+			m.live = liveness.NewQuery(f, Dominators(f))
+			atomic.AddUint64(&counters.LivenessFullBuilds, 1)
+		}
+		m.liveCFGGen = cfgGen
+	} else {
+		m.live = liveness.Compute(f)
+		atomic.AddUint64(&counters.LivenessFullBuilds, 1)
+	}
 	m.liveGen = gen
+	m.liveEngine = eng
 	return m.live
 }
 

@@ -1,13 +1,16 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"outofssa/internal/analysis"
 	"outofssa/internal/faultinject"
 	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
 	"outofssa/internal/ssa"
 	"outofssa/internal/testprog"
+	"outofssa/internal/verify"
 )
 
 // delta runs fn and returns how the package counters moved across it.
@@ -180,5 +183,57 @@ func TestSilentMutationGoesStale(t *testing.T) {
 	})
 	if d.LivenessComputes != 1 {
 		t.Fatalf("after Inject: %+v, want 1 fresh compute", d)
+	}
+}
+
+// TestStaleVarLivenessCaught is the stale-cache hazard test for the
+// query engine's per-variable memos: a silent φ-argument swap
+// (faultinject.StaleVarLiveness) leaves the cached Info's walks
+// describing live ranges that no longer exist. The cache must keep
+// serving the stale Info (that is the documented failure mode of a
+// contract-violating pass), the stale answers must demonstrably differ
+// from ground truth, and the checked pipeline's verifier must reject
+// the corrupted function so the damage cannot propagate.
+func TestStaleVarLivenessCaught(t *testing.T) {
+	f := testprog.Diamond()
+	ssa.MustBuild(f)
+
+	stale := analysis.Liveness(f)
+	if stale.Engine() != liveness.EngineQuery {
+		t.Fatalf("default liveness engine is %v, want query", stale.Engine())
+	}
+	// Force the per-variable walks to be memoized before the corruption
+	// lands, so the stale answers below come from the old memos.
+	for _, b := range f.Blocks {
+		stale.LiveOutSet(b)
+	}
+	if !faultinject.InjectSilent(f, faultinject.StaleVarLiveness) {
+		t.Fatal("no stale-var-liveness site in the diamond")
+	}
+	if got := analysis.Liveness(f); got != stale {
+		t.Fatal("silent operand swap invalidated the cache — the staleness this test documents cannot happen")
+	}
+
+	fresh := liveness.Compute(f)
+	differs := false
+	for _, b := range f.Blocks {
+		for _, v := range f.Values() {
+			if v == nil || v.IsPhys() {
+				continue
+			}
+			if stale.LiveOut(v, b) != fresh.LiveOut(v, b) ||
+				stale.LiveIn(v, b) != fresh.LiveIn(v, b) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("stale per-variable memos still agree with ground truth — the corruption did not move any live range")
+	}
+
+	if err := verify.Func(f, verify.StageSSA); err == nil {
+		t.Fatal("verifier accepted the stale-var-liveness corruption")
+	} else if !strings.Contains(err.Error(), "not dominated by its def in") {
+		t.Fatalf("corruption caught by the wrong check: %v", err)
 	}
 }

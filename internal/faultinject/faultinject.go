@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"outofssa/internal/cfg"
 	"outofssa/internal/ir"
 )
 
@@ -52,6 +53,15 @@ const (
 	// φ-prefix rule the parallel φ semantics rely on. Caught by the
 	// structural check.
 	MisplacedPhi Class = "misplaced-phi"
+	// StaleVarLiveness swaps two φ arguments across predecessor slots,
+	// choosing a pair where one argument's definition does not dominate
+	// the other's slot — the shape of a bug whose per-variable liveness
+	// summaries go stale: the moved use extends one variable's live
+	// range into a region its memoized walk never covered, while every
+	// block, pin and instruction count stays plausible. Injected
+	// silently, cached query-engine Infos keep answering from the old
+	// walks; caught by the SSA φ-argument dominance check.
+	StaleVarLiveness Class = "stale-var-liveness"
 )
 
 // Classes lists every corruption class, in a fixed order.
@@ -64,6 +74,7 @@ var Classes = []Class{
 	PhiArityMismatch,
 	DanglingEdge,
 	MisplacedPhi,
+	StaleVarLiveness,
 }
 
 // Inject applies the corruption class c to f, mutating it, and reports
@@ -90,9 +101,10 @@ func Inject(f *ir.Func, c Class) bool {
 // cached analyses remain (wrongly) valid. Classes that corrupt through
 // the ir mutator API (NewValue, InsertAt, ...) still bump the counter
 // automatically; the purely in-place classes — UseBeforeDef,
-// PhiArityMismatch, DanglingEdge, MisplacedPhi — are the genuinely
-// silent ones. The analysis cache tests use this to demonstrate what
-// staleness looks like; everything else should call Inject.
+// PhiArityMismatch, DanglingEdge, MisplacedPhi, StaleVarLiveness — are
+// the genuinely silent ones. The analysis cache tests use this to
+// demonstrate what staleness looks like; everything else should call
+// Inject.
 func InjectSilent(f *ir.Func, c Class) bool {
 	switch c {
 	case ClobberPhiArg:
@@ -111,6 +123,8 @@ func InjectSilent(f *ir.Func, c Class) bool {
 		return danglingEdge(f)
 	case MisplacedPhi:
 		return misplacedPhi(f)
+	case StaleVarLiveness:
+		return staleVarLiveness(f)
 	}
 	return false
 }
@@ -226,6 +240,53 @@ func danglingEdge(f *ir.Func) bool {
 	b := f.Blocks[0]
 	b.Succs = append(b.Succs, f.Blocks[len(f.Blocks)-1])
 	return true
+}
+
+// staleVarLiveness swaps two arguments of one φ across predecessor
+// slots. The pair is chosen so the swap is provably wrong: the first
+// argument's definition must not dominate the slot it is moved into,
+// which guarantees the φ-argument dominance check rejects the result
+// (a swap between symmetric arguments could produce valid SSA and go
+// undetected). The corruption is operand-only — block structure,
+// instruction counts and pins all stay intact — so the only evidence
+// is liveness flowing along the wrong φ edges.
+func staleVarLiveness(f *ir.Func) bool {
+	defBlk := make(map[*ir.Value]*ir.Block)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defs {
+				if !d.Val.IsPhys() {
+					defBlk[d.Val] = b
+				}
+			}
+		}
+	}
+	dom := cfg.Dominators(f)
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			n := len(phi.Uses)
+			if n > len(b.Preds) {
+				n = len(b.Preds)
+			}
+			for i := 0; i < n; i++ {
+				vi := phi.Uses[i].Val
+				if vi.IsPhys() || defBlk[vi] == nil {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					vj := phi.Uses[j].Val
+					if i == j || vi == vj || vj.IsPhys() {
+						continue
+					}
+					if !dom.Dominates(defBlk[vi], b.Preds[j]) {
+						phi.Uses[i].Val, phi.Uses[j].Val = vj, vi
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
 }
 
 func misplacedPhi(f *ir.Func) bool {

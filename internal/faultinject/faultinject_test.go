@@ -70,6 +70,7 @@ var detectedBy = map[faultinject.Class]string{
 	faultinject.PhiArityMismatch: "args for",
 	faultinject.DanglingEdge:     "not its pred",
 	faultinject.MisplacedPhi:     "after non-φ",
+	faultinject.StaleVarLiveness: "not dominated by its def in",
 }
 
 // TestEveryClassDetected: each corruption class must find a site in the

@@ -89,19 +89,14 @@ func NewResourceGraph(an *Analysis, res *pin.Resources) *ResourceGraph {
 		interfereMemo: make(map[[2]int]interfereEntry),
 	}
 	for _, b := range an.fn.Blocks {
-		for idx, in := range b.Instrs {
+		for _, in := range b.Instrs {
 			if in.Op == ir.Phi {
 				continue
 			}
-			var after *bitset.Set
 			for _, u := range in.Uses {
-				if u.Pin == nil {
-					continue
+				if u.Pin != nil {
+					g.Sites = append(g.Sites, PinSite{Pin: u.Pin, Val: u.Val, In: in})
 				}
-				if after == nil {
-					after = an.live.LiveAfter(b, idx)
-				}
-				g.Sites = append(g.Sites, PinSite{Pin: u.Pin, Val: u.Val, In: in, LiveAfter: after})
 			}
 		}
 	}
@@ -199,7 +194,7 @@ func (g *ResourceGraph) killedPairwise(root *ir.Value, members []*ir.Value) *bit
 			if m.IsPhys() || killed.Has(m.ID) {
 				continue
 			}
-			if site.kills(m) {
+			if site.kills(g.An, m) {
 				killed.Add(m.ID)
 			}
 		}
@@ -247,7 +242,7 @@ func (g *ResourceGraph) interferePairwise(ra, rb *ir.Value, ma, mb []*ir.Value) 
 			if m.IsPhys() || killedV.Has(m.ID) {
 				continue
 			}
-			if site.kills(m) {
+			if site.kills(g.An, m) {
 				return true
 			}
 		}
@@ -414,9 +409,9 @@ func (an *Analysis) killsAtPoint(p *defPoint, victim *ir.Value) bool {
 	case Exact:
 		return an.liveAfterHas(p.def, victim.ID)
 	case Optimistic:
-		return an.live.LiveOutSet(p.block).Has(victim.ID)
+		return an.live.LiveOutID(victim.ID, p.block)
 	default: // Pessimistic
-		return an.live.LiveInSet(p.block).Has(victim.ID) ||
+		return an.live.LiveInID(victim.ID, p.block) ||
 			an.defs[victim.ID].Block() == p.block
 	}
 }
@@ -451,17 +446,11 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 	nv := an.fn.NumValues()
 	killed := bitset.New(nv)
 
-	memberSet := g.pool.Get(nv)
-	defer g.pool.Put(memberSet)
-	for _, m := range members {
-		if !m.IsPhys() {
-			memberSet.Add(m.ID)
-		}
-	}
-
 	// Class 2: a φ member's replacement move at the end of predecessor i
 	// clobbers every member live out of that predecessor other than the
-	// incoming argument (the lost-copy self-kill included).
+	// incoming argument (the lost-copy self-kill included). Point queries
+	// per member rather than an intersection with the dense live-out set:
+	// under the query engine only the members' own walks are consulted.
 	for _, m := range members {
 		if m.IsPhys() {
 			continue
@@ -473,11 +462,14 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 		blk := def.Block()
 		for i, u := range def.Uses {
 			arg := u.Val.ID
-			memberSet.ForEachAnd(an.live.LiveOutSet(blk.Preds[i]), func(id int) {
-				if id != arg {
-					killed.Add(id)
+			for _, v := range members {
+				if v.IsPhys() || v.ID == arg || killed.Has(v.ID) {
+					continue
 				}
-			})
+				if an.live.LiveOutID(v.ID, blk.Preds[i]) {
+					killed.Add(v.ID)
+				}
+			}
 		}
 	}
 
@@ -526,20 +518,18 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 
 	// Pinned-use clobbers: a use pinned to this resource writes it just
 	// before its instruction, killing members live across that point.
-	vals := an.fn.Values()
 	for _, site := range g.Sites {
 		if g.Res.Find(site.Pin) != root {
 			continue
 		}
-		val := -1
-		if site.Val != nil {
-			val = site.Val.ID
-		}
-		memberSet.ForEachAnd(site.LiveAfter, func(id int) {
-			if id != val && !killed.Has(id) && !site.In.HasDef(vals[id]) {
-				killed.Add(id)
+		for _, m := range members {
+			if m.IsPhys() || killed.Has(m.ID) {
+				continue
 			}
-		})
+			if site.kills(an, m) {
+				killed.Add(m.ID)
+			}
+		}
 	}
 	return killed
 }
@@ -614,7 +604,8 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 	}
 
 	// Class 2 across the merge: a φ member of one class clobbering an
-	// alive member of the other at a predecessor exit.
+	// alive member of the other at a predecessor exit. Point queries per
+	// victim keep the query engine on its memoized per-variable walks.
 	phiClobbers := func(members []*ir.Value, victims *bitset.Set) bool {
 		for _, m := range members {
 			if m.IsPhys() {
@@ -626,13 +617,11 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 			}
 			blk := def.Block()
 			for i, u := range def.Uses {
-				lo := an.live.LiveOutSet(blk.Preds[i])
-				id := victims.NextAnd(lo, 0)
-				if id >= 0 && id == u.Val.ID {
-					id = victims.NextAnd(lo, id+1)
-				}
-				if id >= 0 {
-					return true
+				pred := blk.Preds[i]
+				for id := victims.NextSet(0); id >= 0; id = victims.NextSet(id + 1) {
+					if id != u.Val.ID && an.live.LiveOutID(id, pred) {
+						return true
+					}
 				}
 			}
 		}
@@ -684,13 +673,9 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 		default:
 			continue
 		}
-		val := -1
-		if site.Val != nil {
-			val = site.Val.ID
-		}
 		vals := an.fn.Values()
-		for id := victims.NextAnd(site.LiveAfter, 0); id >= 0; id = victims.NextAnd(site.LiveAfter, id+1) {
-			if id != val && !site.In.HasDef(vals[id]) {
+		for id := victims.NextSet(0); id >= 0; id = victims.NextSet(id + 1) {
+			if site.kills(an, vals[id]) {
 				return true
 			}
 		}

@@ -63,6 +63,13 @@ type Counters struct {
 	// served from the generation-keyed memo without recomputation.
 	KilledMemoHits    int64
 	InterfereMemoHits int64
+	// LiveQueryHits/Misses/VarRecomputes report the traffic this analysis
+	// drove into the query-based liveness engine (zero under the
+	// iterative engine): memo-served point/set queries, queries that had
+	// to compute first, and the per-variable walks actually executed.
+	LiveQueryHits     int64
+	LiveQueryMisses   int64
+	LiveVarRecomputes int64
 }
 
 // Analysis answers variable-level interference queries on an SSA
@@ -87,23 +94,37 @@ type Analysis struct {
 	laBuilt []bool // block ID -> snapshots built
 	laPool  bitset.Pool
 
+	// liveBase is the liveness engine's counter state when this analysis
+	// was created; Counters reports the delta, so per-pass traces stay
+	// deterministic even though the Info (and its counters) is shared
+	// across passes by the analysis cache.
+	liveBase liveness.QueryStats
+
 	c Counters
 }
 
 // Counters returns a snapshot of the query counters accumulated so far.
-func (a *Analysis) Counters() Counters { return a.c }
+func (a *Analysis) Counters() Counters {
+	c := a.c
+	qs := a.live.QueryStats()
+	c.LiveQueryHits = qs.Hits - a.liveBase.Hits
+	c.LiveQueryMisses = qs.Misses - a.liveBase.Misses
+	c.LiveVarRecomputes = qs.VarRecomputes - a.liveBase.VarRecomputes
+	return c
+}
 
 // New builds an analysis. live and dom must describe the current f.
 func New(f *ir.Func, live *liveness.Info, dom *cfg.DomTree, mode Mode) *Analysis {
 	a := &Analysis{
-		fn:      f,
-		live:    live,
-		dom:     dom,
-		mode:    mode,
-		defs:    make([]*ir.Instr, f.NumValues()),
-		defIdx:  make([]int, f.NumValues()),
-		laSnap:  make(map[*ir.Instr][]int32),
-		laBuilt: make([]bool, f.NumBlocks()),
+		fn:       f,
+		live:     live,
+		dom:      dom,
+		mode:     mode,
+		defs:     make([]*ir.Instr, f.NumValues()),
+		defIdx:   make([]int, f.NumValues()),
+		laSnap:   make(map[*ir.Instr][]int32),
+		laBuilt:  make([]bool, f.NumBlocks()),
+		liveBase: live.QueryStats(),
 	}
 	for _, b := range f.Blocks {
 		for idx, in := range b.Instrs {
@@ -146,7 +167,7 @@ func (a *Analysis) instrDominates(x, y *ir.Instr, xIdx, yIdx int) bool {
 func (a *Analysis) liveAfterHas(def *ir.Instr, id int) bool {
 	if def.Op == ir.Phi {
 		a.c.LiveAfterHits++
-		return a.live.LiveInSet(def.Block()).Has(id)
+		return a.live.LiveInID(id, def.Block())
 	}
 	b := def.Block()
 	if !a.laBuilt[b.ID] {
@@ -159,8 +180,10 @@ func (a *Analysis) liveAfterHas(def *ir.Instr, id int) bool {
 }
 
 // buildBlockLiveAfter walks b backward once from its exit-live set,
-// recording a sparse live-after snapshot at every def-carrying non-φ
-// instruction. One walk serves every later query into the block.
+// recording a sparse live-after snapshot at every non-φ instruction that
+// carries a def or a pinned use (pin sites need the live-across set even
+// when the instruction defines nothing). One walk serves every later
+// query into the block.
 func (a *Analysis) buildBlockLiveAfter(b *ir.Block) {
 	cur := a.laPool.Get(a.fn.NumValues())
 	cur.CopyFrom(a.live.ExitLiveSet(b))
@@ -169,7 +192,16 @@ func (a *Analysis) buildBlockLiveAfter(b *ir.Block) {
 		if in.Op == ir.Phi {
 			break // φ defs are answered from the block's live-in set
 		}
-		if len(in.Defs) > 0 {
+		snapshot := len(in.Defs) > 0
+		if !snapshot {
+			for _, u := range in.Uses {
+				if u.Pin != nil {
+					snapshot = true
+					break
+				}
+			}
+		}
+		if snapshot {
 			snap := make([]int32, 0, cur.Len())
 			cur.ForEach(func(id int) { snap = append(snap, int32(id)) })
 			a.laSnap[in] = snap
@@ -319,16 +351,16 @@ type PinSite struct {
 	Val *ir.Value
 	// In is the instruction carrying the pinned use.
 	In *ir.Instr
-	// LiveAfter is the live set immediately after the instruction.
-	LiveAfter *bitset.Set
 }
 
 // kills reports whether enforcing this pin site clobbers m: m must be
 // live across the instruction — values defined by the instruction itself
 // are born after the clobber, and values dying at the instruction are
-// rescued locally by the translator.
-func (s PinSite) kills(m *ir.Value) bool {
-	return m != s.Val && s.LiveAfter.Has(m.ID) && !s.In.HasDef(m)
+// rescued locally by the translator. The live-across test goes through
+// the analysis' lazy snapshots (and, under the query engine, its
+// memoized per-variable walks) instead of an eagerly stored set.
+func (s PinSite) kills(an *Analysis, m *ir.Value) bool {
+	return m != s.Val && an.liveAfterHas(s.In, m.ID) && !s.In.HasDef(m)
 }
 
 // The resource-level lifting of these queries — Resource_killed and

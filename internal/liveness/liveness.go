@@ -14,7 +14,11 @@ import (
 )
 
 // Info holds per-block liveness sets plus enough structure for precise
-// per-instruction queries.
+// per-instruction queries. It is backed by one of two engines: the
+// iterative fixed point (Compute) fills the dense per-block sets
+// eagerly; the query engine (NewQuery) leaves them nil and answers
+// through memoized per-variable walks in engine.go. Both expose the
+// same API and produce identical answers.
 type Info struct {
 	fn *ir.Func
 
@@ -27,6 +31,10 @@ type Info struct {
 	// exitLive[b.ID] = liveOut[b] plus the φ uses flowing out of b — the
 	// live set just before the parallel-copy point at the end of b.
 	exitLive []*bitset.Set
+
+	// q is the query-engine state when this Info was built by NewQuery;
+	// nil for iterative Infos. Revalidate returns a new wrapper sharing q.
+	q *queryState
 }
 
 // Compute runs the backward dataflow to a fixed point. The per-block
@@ -109,31 +117,79 @@ func Compute(f *ir.Func) *Info {
 // LiveIn reports whether v is live at the entry of b (φ defs of b are not
 // live-in; φ uses flowing into b are not live-in).
 func (l *Info) LiveIn(v *ir.Value, b *ir.Block) bool {
-	return l.liveIn[b.ID].Has(v.ID)
+	return l.LiveInID(v.ID, b)
+}
+
+// LiveInID is LiveIn by value ID — the form the point-query consumers
+// (interference live-after tests) already hold.
+func (l *Info) LiveInID(id int, b *ir.Block) bool {
+	if l.q != nil {
+		return l.q.liveIn(id, b)
+	}
+	return l.liveIn[b.ID].Has(id)
 }
 
 // LiveOut reports whether v is live at the exit of b, after the φ-copy
 // point (paper Class 2 uses exactly this query).
 func (l *Info) LiveOut(v *ir.Value, b *ir.Block) bool {
-	return l.liveOut[b.ID].Has(v.ID)
+	return l.LiveOutID(v.ID, b)
+}
+
+// LiveOutID is LiveOut by value ID.
+func (l *Info) LiveOutID(id int, b *ir.Block) bool {
+	if l.q != nil {
+		return l.q.liveOut(id, b)
+	}
+	return l.liveOut[b.ID].Has(id)
+}
+
+// ExitLiveID reports whether the value with the given ID is live just
+// before the φ parallel-copy point at the end of b.
+func (l *Info) ExitLiveID(id int, b *ir.Block) bool {
+	if l.q != nil {
+		return l.q.exitLive(id, b)
+	}
+	return l.exitLive[b.ID].Has(id)
 }
 
 // LiveInSet returns the live-in set of b (do not mutate).
-func (l *Info) LiveInSet(b *ir.Block) *bitset.Set { return l.liveIn[b.ID] }
+func (l *Info) LiveInSet(b *ir.Block) *bitset.Set {
+	if l.q != nil {
+		in, _, _ := l.q.blockSets(b)
+		return in
+	}
+	return l.liveIn[b.ID]
+}
 
 // LiveOutSet returns the live-out set of b (do not mutate).
-func (l *Info) LiveOutSet(b *ir.Block) *bitset.Set { return l.liveOut[b.ID] }
+func (l *Info) LiveOutSet(b *ir.Block) *bitset.Set {
+	if l.q != nil {
+		_, out, _ := l.q.blockSets(b)
+		return out
+	}
+	return l.liveOut[b.ID]
+}
 
 // ExitLiveSet returns the set live just before the φ parallel-copy point
 // at the end of b: LiveOut(b) plus φ uses flowing out of b.
-func (l *Info) ExitLiveSet(b *ir.Block) *bitset.Set { return l.exitLive[b.ID] }
+func (l *Info) ExitLiveSet(b *ir.Block) *bitset.Set {
+	if l.q != nil {
+		_, _, exit := l.q.blockSets(b)
+		return exit
+	}
+	return l.exitLive[b.ID]
+}
+
+// Incremental reports whether this Info supports Revalidate (query
+// engine only).
+func (l *Info) Incremental() bool { return l.q != nil }
 
 // LiveAfter returns the set of values live immediately after the idx-th
 // instruction of b. φ instructions are transparent (their defs are live
 // from block entry; their uses happen in predecessors). The result is
 // freshly allocated.
 func (l *Info) LiveAfter(b *ir.Block, idx int) *bitset.Set {
-	cur := l.exitLive[b.ID].Copy()
+	cur := l.ExitLiveSet(b).Copy()
 	for i := len(b.Instrs) - 1; i > idx; i-- {
 		in := b.Instrs[i]
 		if in.Op == ir.Phi {
@@ -160,7 +216,7 @@ func (l *Info) LiveAtDef(v *ir.Value, def *ir.Instr) bool {
 		// φ defs happen at block entry, in parallel: v (not a def of this
 		// block's φ prefix unless v IS another φ def, handled by strong
 		// interference) is live there iff live-in.
-		return l.liveIn[b.ID].Has(v.ID)
+		return l.LiveInID(v.ID, b)
 	}
 	for i, in := range b.Instrs {
 		if in == def {

@@ -14,9 +14,11 @@ import (
 // per-φ liveness recompute the conversion used to do: refreshing its
 // interference analysis inside the block loop recomputed liveness for
 // every φ even when no copy had been inserted since the last refresh.
-// Routed through the analysis cache, a conversion that inserts no
-// copies must compute liveness exactly once, however many φs it
-// processes.
+// The conversion now checks the function's mutation generation itself
+// and asks the analysis cache only when the generation moved, so a
+// copy-free conversion must compute liveness exactly once — and every
+// liveness request it does make must be one that rebuilds (no
+// redundant per-φ cache-hit traffic).
 func TestLivenessComputedOncePerQuietRun(t *testing.T) {
 	// NestedLoops in SSA form carries several φs, and none of them needs
 	// a copy: the function is already conventional.
@@ -42,9 +44,9 @@ func TestLivenessComputedOncePerQuietRun(t *testing.T) {
 		t.Fatalf("copy-free conversion over %d φs computed liveness %d times, want exactly 1 (%d requests served)",
 			st.PhisProcessed, computes, requests)
 	}
-	if requests < uint64(st.PhisProcessed) {
-		t.Fatalf("conversion made %d liveness requests for %d φs — the per-φ refresh no longer goes through the cache",
-			requests, st.PhisProcessed)
+	if requests != computes {
+		t.Fatalf("conversion made %d liveness requests but rebuilt only %d times for %d φs — the per-φ generation check is issuing redundant cache requests again",
+			requests, computes, st.PhisProcessed)
 	}
 }
 

@@ -65,19 +65,21 @@ func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, er
 	cc.targetPC = make(map[*ir.Block]*ir.Instr)
 	cc.edgePC = make(map[*ir.Block]*ir.Instr)
 
-	// Analyses are requested from the per-function cache before every φ;
-	// the cache recomputes them only when copy insertion actually moved
-	// the function's mutation generation (processPhi notes its in-place
-	// φ-operand rewrites), so a run of copy-free φs costs one liveness
-	// computation total. The interference analysis is rebuilt exactly
-	// when the underlying liveness changed, which pointer identity on
-	// the cached Info detects.
+	// Analyses are refreshed before every φ, but only when copy insertion
+	// actually moved the function's mutation generation (processPhi notes
+	// its in-place φ-operand rewrites), so a run of copy-free φs costs
+	// one liveness computation total. The generation is compared here
+	// rather than re-requesting analysis.Liveness per φ and relying on
+	// pointer identity: the stale check is one integer compare and the
+	// analysis cache only sees the requests that actually rebuild.
 	var live *liveness.Info
 	var an *interference.Analysis
+	var liveGen uint64
 	refresh := func() {
-		if l := analysis.Liveness(f); l != live {
-			live = l
+		if gen := f.Generation(); an == nil || gen != liveGen {
+			live = analysis.Liveness(f)
 			an = interference.New(f, live, analysis.Dominators(f), interference.Exact)
+			liveGen = gen
 		}
 	}
 

@@ -25,14 +25,53 @@ func TestDominatorCacheReuseOnTable2(t *testing.T) {
 	}
 	domRate := float64(s.DominatorsReused) / float64(s.DominatorsRequests)
 	liveRate := float64(s.LivenessReused) / float64(s.LivenessRequests)
-	// Measured 72.0% dominator reuse (2752/3820) and 62.5% liveness
-	// reuse (4613/7380); pinned with headroom for workload drift.
+	// Measured 78.2% dominator reuse (3820/4888) and 31.2% liveness
+	// reuse (1253/4020); pinned with headroom for workload drift. The
+	// liveness rate dropped from the 62.5% of the pure-cache era by
+	// design: the sreedhar conversion now checks the mutation generation
+	// itself instead of issuing a cache-hit request per φ, so the
+	// remaining requests are the ones other passes genuinely make.
 	if domRate < 0.65 {
 		t.Errorf("dominator cache reuse = %.1f%% (%d/%d), want >= 65%%",
 			100*domRate, s.DominatorsReused, s.DominatorsRequests)
 	}
-	if liveRate < 0.55 {
-		t.Errorf("liveness cache reuse = %.1f%% (%d/%d), want >= 55%%",
+	if liveRate < 0.25 {
+		t.Errorf("liveness cache reuse = %.1f%% (%d/%d), want >= 25%%",
 			100*liveRate, s.LivenessReused, s.LivenessRequests)
+	}
+}
+
+// TestLivenessInvalidationRateOnTable2 pins the query engine's
+// incremental-invalidation behavior on the Table 2 workload: a code-only
+// mutation must revalidate the cached Info (keeping most per-variable
+// walks) instead of rebuilding it, so whole-Info builds have to be a
+// minority of the computes — the point of the engine, and the ≥50%
+// reduction the PR 5 acceptance criteria demand. Measured 1068 full
+// builds / 2767 computes (38.6%) and 68.5% of walks kept across 1699
+// revalidations; pinned with headroom.
+func TestLivenessInvalidationRateOnTable2(t *testing.T) {
+	analysis.ResetStats()
+	if _, err := stats.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	s := analysis.Stats()
+	if s.LivenessComputes == 0 {
+		t.Fatal("Table 2 workload computed no liveness")
+	}
+	if s.LivenessFullBuilds+s.LivenessRevalidations != s.LivenessComputes {
+		t.Errorf("full builds (%d) + revalidations (%d) != computes (%d)",
+			s.LivenessFullBuilds, s.LivenessRevalidations, s.LivenessComputes)
+	}
+	fullRate := float64(s.LivenessFullBuilds) / float64(s.LivenessComputes)
+	if fullRate > 0.5 {
+		t.Errorf("whole-Info liveness builds = %.1f%% of computes (%d/%d), want <= 50%% — code-only mutations are not being revalidated incrementally",
+			100*fullRate, s.LivenessFullBuilds, s.LivenessComputes)
+	}
+	if walks := s.LivenessVarsKept + s.LivenessVarsInvalidated; walks > 0 {
+		keptRate := float64(s.LivenessVarsKept) / float64(walks)
+		if keptRate < 0.5 {
+			t.Errorf("per-variable walks kept across revalidations = %.1f%% (%d/%d), want >= 50%% — summary diffing is invalidating untouched variables",
+				100*keptRate, s.LivenessVarsKept, walks)
+		}
 	}
 }
