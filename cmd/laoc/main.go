@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	laoc [-exp Lphi,ABI+C] [-verify] [-fallback] [-dump-ssa] [-run a,b,c] [-trace] [-trace-json FILE] file.lai
+//	laoc [-exp Lphi,ABI+C] [-verify] [-fallback] [-dump-ssa] [-run a,b,c] [-trace] [-trace-json FILE] [-metrics-addr HOST:PORT] file.lai
 //	laoc -list-exps
 //
 // With no file, laoc reads LAI from standard input. With -run, laoc
@@ -28,6 +28,7 @@ import (
 	"outofssa/internal/ir"
 	"outofssa/internal/lai"
 	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
 	"outofssa/internal/pipeline"
 	"outofssa/internal/ssa"
 )
@@ -42,6 +43,7 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write per-pass trace events as JSONL to `file`")
 	verifyMode := flag.Bool("verify", false, "checked mode: re-verify IR invariants after every pass")
 	fallback := flag.Bool("fallback", false, "on a pass failure, fall back to the naive translation instead of aborting")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json and /debug/pprof on `host:port` while compiling, and route run metrics through the registry")
 	flag.Parse()
 
 	if *listExps {
@@ -75,6 +77,22 @@ func main() {
 		tracers = append(tracers, obs.NewJSONL(w))
 	}
 	tracer := obs.Multi(tracers...)
+
+	// -metrics-addr turns the driver into a scrapable process: per-pass
+	// histograms and counters accumulate on the default registry and are
+	// served live, alongside the pprof endpoints, until exit. reg stays
+	// nil otherwise, keeping the pipeline's zero-allocation fast path.
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.Default
+		addr, stop, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "laoc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "laoc: serving metrics on http://%s/metrics\n", addr)
+		defer stop()
+	}
 
 	var src []byte
 	if flag.NArg() >= 1 {
@@ -131,7 +149,7 @@ func main() {
 			fmt.Printf("; ---- %s: pruned SSA ----\n%s\n", g.Name, g)
 		}
 
-		res, err := pipeline.Run(f, conf, pipeline.WithExperiment(*exp), pipeline.WithTracer(tracer))
+		res, err := pipeline.Run(f, conf, pipeline.WithExperiment(*exp), pipeline.WithTracer(tracer), pipeline.WithMetrics(reg))
 		if err != nil {
 			var pe *pipeline.PassError
 			if errors.As(err, &pe) {

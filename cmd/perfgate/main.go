@@ -1,0 +1,78 @@
+// Command perfgate is the CI performance-regression gate: it diffs a
+// freshly generated metrics snapshot against the committed baseline and
+// exits non-zero on regression, turning the repo's benchmark JSONs from
+// documentation into an enforced contract.
+//
+// Usage:
+//
+//	go run ./cmd/ssabench -table 2 -metrics-out /tmp/current.json
+//	go run ./cmd/perfgate -current /tmp/current.json
+//
+// The contract (metrics.Gate): every baseline counter and histogram
+// observation count must match exactly — the headline perf claims of
+// this repo are deterministic counter deltas (interference kill-query
+// volume, liveness build-vs-revalidate splits, move counts via the
+// pass-counter mirror), so any drift is a behavior change that must be
+// re-baselined deliberately, not absorbed silently. Histograms marked
+// deterministic (the MAXLIVE distribution) must match sum/min/max too.
+// Total wall time across *_wall_ns histograms may regress up to
+// -wall-tolerance, and is compared only when the baseline was recorded
+// on the same host (or -force-wall is given) — cross-host wall numbers
+// are noise, and the gate says so in a note instead of failing.
+//
+// Metrics present only in the current snapshot are fine: the snapshot
+// schema is append-only, so new instrumentation never invalidates an
+// old baseline.
+//
+// To regenerate the baseline after an intentional perf change:
+//
+//	go run ./cmd/ssabench -table 2 -verify -metrics-out BENCH_metrics_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"outofssa/internal/obs/metrics"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_metrics_baseline.json", "committed baseline snapshot `file`")
+	current := flag.String("current", "", "current snapshot `file` (from ssabench -metrics-out); required")
+	wallTol := flag.Float64("wall-tolerance", 0.30, "allowed relative wall-time regression (0.30 = +30%); negative disables the wall check")
+	forceWall := flag.Bool("force-wall", false, "compare wall time even when baseline and current hosts differ")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -current is required (generate one with ssabench -metrics-out)")
+		os.Exit(2)
+	}
+	base, err := metrics.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	cur, err := metrics.ReadFile(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+
+	problems, notes := metrics.Gate(base, cur, metrics.GateOptions{
+		WallTolerance: *wallTol,
+		ForceWall:     *forceWall,
+	})
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println("FAIL:", p)
+		}
+		fmt.Printf("perfgate: %d regression(s) against %s\n", len(problems), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: ok — %d counters, %d histograms match %s\n",
+		len(base.Counters), len(base.Histograms), *baseline)
+}

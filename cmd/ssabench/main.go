@@ -17,6 +17,11 @@
 //	ssabench -cpuprofile cpu.pprof       # CPU profile of the regeneration
 //	ssabench -memprofile mem.pprof       # heap profile at exit
 //	ssabench -trace-counters             # summed per-pass counters at exit
+//	ssabench -metrics-out metrics.json   # registry snapshot (counters,
+//	                                     # histograms, host stamp) at exit —
+//	                                     # the format cmd/perfgate compares
+//	ssabench -metrics-addr localhost:0   # serve /metrics (Prometheus text)
+//	                                     # and /debug/pprof while running
 //
 // and as the harness for the resource-interference engines:
 //
@@ -44,7 +49,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
@@ -52,6 +56,8 @@ import (
 	"outofssa/internal/interference"
 	"outofssa/internal/liveness"
 	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
+	"outofssa/internal/pipeline"
 	"outofssa/internal/ssa"
 	"outofssa/internal/stats"
 	"outofssa/internal/workload"
@@ -71,6 +77,8 @@ func main() {
 	benchLiveness := flag.Bool("bench-liveness", false, "time the selected table workload (default: table 2) under both liveness engines, check byte-identical output, and report the speedup plus query/recompute counters")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, histograms, host stamp) to `file` at exit; cmd/perfgate compares these")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json and /debug/pprof on `host:port` while the run is in flight")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -168,6 +176,51 @@ func main() {
 		tracer = obs.Multi(tracer, cs)
 	}
 
+	if *metricsOut != "" || *metricsAddr != "" {
+		// Route every table batch through the process-wide registry (the
+		// analysis-cache counters land there unconditionally).
+		stats.Metrics = metrics.Default
+		if *metricsAddr != "" {
+			addr, stop, err := metrics.Serve(*metricsAddr, metrics.Default)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "ssabench: serving metrics on http://%s/metrics\n", addr)
+			defer stop()
+		}
+		if *verifyMode && !*benchInterference && !*benchLiveness {
+			// Checked mode: cross-reference the registry's pass-counter
+			// mirror against an independent shadow sum of the trace-event
+			// counters. Any skew — a counter bumped without its event, or
+			// vice versa — is a hard failure (the faultinject MetricsSkew
+			// class exists to prove this trips). Runs after the snapshot
+			// defer below, so the snapshot is written either way.
+			shadow := newCounterSum()
+			tracer = obs.Multi(tracer, shadow)
+			defer func() {
+				snap := metrics.Default.Snapshot()
+				if err := metrics.SelfCheckPassCounters(snap, pipeline.MetricPassCounters, shadow.sums); err != nil {
+					fmt.Fprintln(os.Stderr, "ssabench: metrics self-check:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintln(os.Stderr, "ssabench: metrics self-check: registry pass counters match trace totals")
+			}()
+		}
+		if *metricsOut != "" {
+			out := *metricsOut
+			defer func() {
+				w, err := os.Create(out)
+				if err != nil {
+					fail(err)
+				}
+				defer w.Close()
+				if err := metrics.WriteJSON(w, metrics.Default.Snapshot(), obs.HostInfo()); err != nil {
+					fail(err)
+				}
+			}()
+		}
+	}
+
 	if *benchInterference {
 		if err := runBenchInterference(*table); err != nil {
 			fail(err)
@@ -232,12 +285,7 @@ func (c *counterSum) PassEnd(ev *obs.Event) {
 }
 
 func (c *counterSum) dump(w io.Writer) {
-	keys := make([]string, 0, len(c.sums))
-	for k := range c.sums {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range obs.SortedKeys(c.sums) {
 		fmt.Fprintf(w, "counter %-55s %12d\n", k, c.sums[k])
 	}
 }
@@ -276,6 +324,7 @@ func runBenchInterference(table int) error {
 	if !ok {
 		return fmt.Errorf("-bench-interference needs a pipeline table (2-5), got %d", table)
 	}
+	fmt.Printf("host: %s\n", obs.HostInfo())
 	const reps = 3
 	type result struct {
 		best   time.Duration
@@ -347,6 +396,7 @@ func runBenchLiveness(table int) error {
 	if !ok {
 		return fmt.Errorf("-bench-liveness needs a pipeline table (2-5), got %d", table)
 	}
+	fmt.Printf("host: %s\n", obs.HostInfo())
 	// Five repetitions, engines interleaved (iterative, query,
 	// iterative, ...) with a forced GC before each timed sample: the
 	// engines differ by a few percent of the whole-pipeline wall, so

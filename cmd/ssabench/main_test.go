@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"outofssa/internal/pipeline"
+	"outofssa/internal/testprog"
+)
+
+// TestCounterDumpDeterministic pins the emission-order contract for
+// every counter-map dump: identical workloads must produce
+// byte-identical output across repeated runs, regardless of Go's map
+// iteration order. This is what makes -trace-counters output diffable
+// between CI runs.
+func TestCounterDumpDeterministic(t *testing.T) {
+	run := func() []byte {
+		cs := newCounterSum()
+		conf, err := pipeline.Preset(pipeline.ExpLphiABIC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range testprog.All() {
+			if _, err := pipeline.Run(f, conf,
+				pipeline.WithExperiment(pipeline.ExpLphiABIC), pipeline.WithTracer(cs)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		cs.dump(&buf)
+		return buf.Bytes()
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("dump produced no counters")
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); !bytes.Equal(first, got) {
+			t.Fatalf("run %d dump differs from first:\n--- first ---\n%s--- got ---\n%s", i+2, first, got)
+		}
+	}
+	// Sorted-order spot check: the dump must be line-sorted by key.
+	lines := strings.Split(strings.TrimRight(string(first), "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("dump not sorted at line %d:\n%s\n%s", i, lines[i-1], lines[i])
+		}
+	}
+}

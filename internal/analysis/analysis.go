@@ -23,11 +23,10 @@
 package analysis
 
 import (
-	"sync/atomic"
-
 	"outofssa/internal/cfg"
 	"outofssa/internal/ir"
 	"outofssa/internal/liveness"
+	"outofssa/internal/obs/metrics"
 )
 
 // memo is the per-function cache stored in the function's AnalysisSlot.
@@ -82,36 +81,63 @@ type CacheStats struct {
 	DominatorsReused   uint64
 }
 
-var counters CacheStats
+// The cache counters live on the process-wide metrics registry
+// (metrics.Default) under the laoc_analysis_* names — the typed-
+// registry migration of what used to be package-private atomics. The
+// handles are resolved once at init; updates stay single atomic adds,
+// and the counters appear in every metrics snapshot/exposition for
+// free. CacheStats/Stats/ResetStats remain the stable programmatic
+// API.
+var (
+	cLiveRequests  = metrics.Default.Counter("laoc_analysis_liveness_requests_total")
+	cLiveComputes  = metrics.Default.Counter("laoc_analysis_liveness_computes_total")
+	cLiveReused    = metrics.Default.Counter("laoc_analysis_liveness_reused_total")
+	cLiveFull      = metrics.Default.Counter("laoc_analysis_liveness_full_builds_total")
+	cLiveReval     = metrics.Default.Counter("laoc_analysis_liveness_revalidations_total")
+	cLiveVarsKept  = metrics.Default.Counter("laoc_analysis_liveness_var_walks_kept_total")
+	cLiveVarsInval = metrics.Default.Counter("laoc_analysis_liveness_var_walks_invalidated_total")
+	cDomRequests   = metrics.Default.Counter("laoc_analysis_dominators_requests_total")
+	cDomComputes   = metrics.Default.Counter("laoc_analysis_dominators_computes_total")
+	cDomReused     = metrics.Default.Counter("laoc_analysis_dominators_reused_total")
+)
+
+func init() {
+	metrics.Default.SetHelp("laoc_analysis_liveness_requests_total", "Liveness analysis requests (computes + reuses).")
+	metrics.Default.SetHelp("laoc_analysis_liveness_computes_total", "Liveness computes: full builds + incremental revalidations.")
+	metrics.Default.SetHelp("laoc_analysis_liveness_reused_total", "Liveness requests served from the per-function memo.")
+	metrics.Default.SetHelp("laoc_analysis_liveness_full_builds_total", "Liveness Infos built from scratch.")
+	metrics.Default.SetHelp("laoc_analysis_liveness_revalidations_total", "Query-engine Infos revalidated incrementally after code-only mutations.")
+	metrics.Default.SetHelp("laoc_analysis_liveness_var_walks_kept_total", "Memoized per-variable walks kept across revalidations.")
+	metrics.Default.SetHelp("laoc_analysis_liveness_var_walks_invalidated_total", "Memoized per-variable walks dropped by revalidations.")
+	metrics.Default.SetHelp("laoc_analysis_dominators_requests_total", "Dominator tree requests.")
+	metrics.Default.SetHelp("laoc_analysis_dominators_computes_total", "Dominator trees computed.")
+	metrics.Default.SetHelp("laoc_analysis_dominators_reused_total", "Dominator requests served from the per-function memo.")
+}
 
 // Stats returns a snapshot of the package-wide cache counters.
 func Stats() CacheStats {
 	return CacheStats{
-		LivenessRequests:        atomic.LoadUint64(&counters.LivenessRequests),
-		LivenessComputes:        atomic.LoadUint64(&counters.LivenessComputes),
-		LivenessReused:          atomic.LoadUint64(&counters.LivenessReused),
-		LivenessFullBuilds:      atomic.LoadUint64(&counters.LivenessFullBuilds),
-		LivenessRevalidations:   atomic.LoadUint64(&counters.LivenessRevalidations),
-		LivenessVarsKept:        atomic.LoadUint64(&counters.LivenessVarsKept),
-		LivenessVarsInvalidated: atomic.LoadUint64(&counters.LivenessVarsInvalidated),
-		DominatorsRequests:      atomic.LoadUint64(&counters.DominatorsRequests),
-		DominatorsComputes:      atomic.LoadUint64(&counters.DominatorsComputes),
-		DominatorsReused:        atomic.LoadUint64(&counters.DominatorsReused),
+		LivenessRequests:        uint64(cLiveRequests.Value()),
+		LivenessComputes:        uint64(cLiveComputes.Value()),
+		LivenessReused:          uint64(cLiveReused.Value()),
+		LivenessFullBuilds:      uint64(cLiveFull.Value()),
+		LivenessRevalidations:   uint64(cLiveReval.Value()),
+		LivenessVarsKept:        uint64(cLiveVarsKept.Value()),
+		LivenessVarsInvalidated: uint64(cLiveVarsInval.Value()),
+		DominatorsRequests:      uint64(cDomRequests.Value()),
+		DominatorsComputes:      uint64(cDomComputes.Value()),
+		DominatorsReused:        uint64(cDomReused.Value()),
 	}
 }
 
 // ResetStats zeroes the package-wide cache counters.
 func ResetStats() {
-	atomic.StoreUint64(&counters.LivenessRequests, 0)
-	atomic.StoreUint64(&counters.LivenessComputes, 0)
-	atomic.StoreUint64(&counters.LivenessReused, 0)
-	atomic.StoreUint64(&counters.LivenessFullBuilds, 0)
-	atomic.StoreUint64(&counters.LivenessRevalidations, 0)
-	atomic.StoreUint64(&counters.LivenessVarsKept, 0)
-	atomic.StoreUint64(&counters.LivenessVarsInvalidated, 0)
-	atomic.StoreUint64(&counters.DominatorsRequests, 0)
-	atomic.StoreUint64(&counters.DominatorsComputes, 0)
-	atomic.StoreUint64(&counters.DominatorsReused, 0)
+	for _, c := range []*metrics.Counter{
+		cLiveRequests, cLiveComputes, cLiveReused, cLiveFull, cLiveReval,
+		cLiveVarsKept, cLiveVarsInval, cDomRequests, cDomComputes, cDomReused,
+	} {
+		c.Reset()
+	}
 }
 
 // Liveness returns the live-variable analysis of f, recomputing it only
@@ -123,12 +149,12 @@ func Liveness(f *ir.Func) *liveness.Info {
 	m := memoOf(f)
 	gen := f.Generation()
 	eng := liveness.DefaultEngine
-	atomic.AddUint64(&counters.LivenessRequests, 1)
+	cLiveRequests.Inc()
 	if m.live != nil && m.liveGen == gen && m.liveEngine == eng {
-		atomic.AddUint64(&counters.LivenessReused, 1)
+		cLiveReused.Inc()
 		return m.live
 	}
-	atomic.AddUint64(&counters.LivenessComputes, 1)
+	cLiveComputes.Inc()
 	if eng == liveness.EngineQuery {
 		cfgGen := f.CFGGeneration()
 		if m.live != nil && m.liveEngine == eng && m.liveCFGGen == cfgGen && m.live.Incremental() {
@@ -137,17 +163,17 @@ func Liveness(f *ir.Func) *liveness.Info {
 			// unchanged instead of rebuilding the whole engine.
 			live, kept, dropped := m.live.Revalidate()
 			m.live = live
-			atomic.AddUint64(&counters.LivenessRevalidations, 1)
-			atomic.AddUint64(&counters.LivenessVarsKept, uint64(kept))
-			atomic.AddUint64(&counters.LivenessVarsInvalidated, uint64(dropped))
+			cLiveReval.Inc()
+			cLiveVarsKept.Add(int64(kept))
+			cLiveVarsInval.Add(int64(dropped))
 		} else {
 			m.live = liveness.NewQuery(f, Dominators(f))
-			atomic.AddUint64(&counters.LivenessFullBuilds, 1)
+			cLiveFull.Inc()
 		}
 		m.liveCFGGen = cfgGen
 	} else {
 		m.live = liveness.Compute(f)
-		atomic.AddUint64(&counters.LivenessFullBuilds, 1)
+		cLiveFull.Inc()
 	}
 	m.liveGen = gen
 	m.liveEngine = eng
@@ -163,12 +189,12 @@ func Liveness(f *ir.Func) *liveness.Info {
 func Dominators(f *ir.Func) *cfg.DomTree {
 	m := memoOf(f)
 	gen := f.CFGGeneration()
-	atomic.AddUint64(&counters.DominatorsRequests, 1)
+	cDomRequests.Inc()
 	if m.dom != nil && m.domGen == gen {
-		atomic.AddUint64(&counters.DominatorsReused, 1)
+		cDomReused.Inc()
 		return m.dom
 	}
-	atomic.AddUint64(&counters.DominatorsComputes, 1)
+	cDomComputes.Inc()
 	m.dom = cfg.Dominators(f)
 	m.domGen = gen
 	return m.dom

@@ -1,0 +1,26 @@
+package faultinject
+
+import "outofssa/internal/obs/metrics"
+
+// MetricsSkew names the telemetry corruption class: a registry counter
+// bumped without the underlying event having happened. It lives outside
+// Classes because Inject mutates IR and is checked by the verifier,
+// while this class corrupts observability state and is checked by
+// metrics.SelfCheckPassCounters in checked mode.
+const MetricsSkew Class = "metrics-skew"
+
+// InjectMetricsSkew bumps one cell of the pass-counter mirror
+// (metricName{pass=..., counter=...}) in r without emitting the trace
+// event that would normally feed it — the shape of an instrumentation
+// bug where a recording site double-counts or fires on the wrong path.
+// The skew is invisible to the verifier (no IR changes) and to the
+// perfgate wall checks; only the self-check cross-referencing registry
+// cells against trace totals can catch it. Reports false when r is nil
+// (a disabled registry cannot skew).
+func InjectMetricsSkew(r *metrics.Registry, metricName, pass, counter string) bool {
+	if r == nil {
+		return false
+	}
+	r.Counter(metricName, metrics.L("pass", pass), metrics.L("counter", counter)).Inc()
+	return true
+}

@@ -3,7 +3,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 )
 
@@ -51,12 +50,7 @@ func (s *Summary) RunEnd(fn, config string, after IRStat, wallNS int64) {
 			if len(ev.Counters) == 0 {
 				continue
 			}
-			keys := make([]string, 0, len(ev.Counters))
-			for k := range ev.Counters {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
+			for _, k := range SortedKeys(ev.Counters) {
 				fmt.Fprintf(s.w, ";     %-40s %10d\n", k, ev.Counters[k])
 			}
 		}

@@ -17,9 +17,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"outofssa/internal/ir"
 	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
 )
 
 // Job is one unit of batch work: a function to build and the
@@ -52,6 +54,7 @@ type BatchOption func(*batchConfig)
 type batchConfig struct {
 	parallelism int
 	tracer      obs.Tracer
+	metrics     *metrics.Registry
 }
 
 // WithParallelism bounds the worker pool at n goroutines. n <= 0 (and
@@ -67,6 +70,39 @@ func WithParallelism(n int) BatchOption {
 // so tr needs no synchronization and sees a deterministic stream.
 func WithBatchTracer(tr obs.Tracer) BatchOption {
 	return func(bc *batchConfig) { bc.tracer = tr }
+}
+
+// WithBatchMetrics attaches reg to every job (as WithMetrics does for
+// one run) and additionally maintains the batch-level metrics: queue
+// depth, jobs in flight, completed jobs, and the per-job wall-time
+// histogram. All updates are atomic cell writes, so unlike the tracer
+// no recording/replay indirection is needed — counter totals are
+// deterministic at any parallelism because atomic adds commute, while
+// gauges and wall histograms legitimately reflect the actual schedule.
+func WithBatchMetrics(reg *metrics.Registry) BatchOption {
+	return func(bc *batchConfig) { bc.metrics = reg; registerHelp(reg) }
+}
+
+// batchMetrics holds the pre-looked-up instrument handles so workers
+// never touch the registry lock.
+type batchMetrics struct {
+	reg      *metrics.Registry
+	queue    *metrics.Gauge
+	inflight *metrics.Gauge
+	jobs     *metrics.Counter
+	jobWall  *metrics.Histogram
+}
+
+func newBatchMetrics(reg *metrics.Registry, queued int) *batchMetrics {
+	bm := &batchMetrics{
+		reg:      reg,
+		queue:    reg.Gauge(MetricBatchQueueDepth),
+		inflight: reg.Gauge(MetricBatchInflight),
+		jobs:     reg.Counter(MetricBatchJobs),
+		jobWall:  reg.Histogram(MetricBatchJobWallNS),
+	}
+	bm.queue.Add(int64(queued))
+	return bm
 }
 
 // RunBatch executes every job and returns their results in job order.
@@ -86,12 +122,16 @@ func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
 		workers = len(jobs)
 	}
 	results := make([]JobResult, len(jobs))
+	var bm *batchMetrics
+	if bc.metrics != nil {
+		bm = newBatchMetrics(bc.metrics, len(jobs))
+	}
 
 	if workers <= 1 {
 		// Serial fast path: trace straight into the batch tracer — the
 		// job-order stream the parallel path reconstructs by replay.
 		for i := range jobs {
-			runJob(&jobs[i], &results[i], bc.tracer)
+			runJob(&jobs[i], &results[i], bc.tracer, bm)
 		}
 		return results
 	}
@@ -125,7 +165,7 @@ func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
 				if recs != nil {
 					tr = recs[i]
 				}
-				runJob(&jobs[i], &results[i], tr)
+				runJob(&jobs[i], &results[i], tr, bm)
 			}
 		}()
 	}
@@ -137,8 +177,21 @@ func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
 	return results
 }
 
-func runJob(j *Job, out *JobResult, tr obs.Tracer) {
+func runJob(j *Job, out *JobResult, tr obs.Tracer, bm *batchMetrics) {
+	if bm == nil {
+		f := j.Build()
+		out.Func = f
+		out.Result, out.Err = Run(f, j.Config, WithExperiment(j.Experiment), WithTracer(tr))
+		return
+	}
+	bm.queue.Dec()
+	bm.inflight.Inc()
+	t0 := time.Now()
 	f := j.Build()
 	out.Func = f
-	out.Result, out.Err = Run(f, j.Config, WithExperiment(j.Experiment), WithTracer(tr))
+	out.Result, out.Err = Run(f, j.Config,
+		WithExperiment(j.Experiment), WithTracer(tr), WithMetrics(bm.reg))
+	bm.jobWall.Observe(time.Since(t0).Nanoseconds())
+	bm.inflight.Dec()
+	bm.jobs.Inc()
 }

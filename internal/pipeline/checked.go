@@ -19,6 +19,7 @@ import (
 	"outofssa/internal/ir"
 	"outofssa/internal/naiveabi"
 	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
 	"outofssa/internal/outofssa/naive"
 	"outofssa/internal/verify"
 )
@@ -71,6 +72,10 @@ type runOpts struct {
 	// verification — the seam the fault-injection tests corrupt the IR
 	// through.
 	faultHook func(pass string, f *ir.Func)
+	// metrics, when non-nil, makes the runner record per-pass
+	// histograms and counters (see pipeline/metrics.go). Nil keeps the
+	// zero-allocation fast path.
+	metrics *metrics.Registry
 }
 
 // runOne executes a single pass with panic containment, applies the
@@ -111,7 +116,7 @@ func runContained(p *pass) (err error) {
 // behaviour of the result against the snapshot. backup is consumed.
 // The fallback passes run through the same instrumented runner, so a
 // tracer sees them as "fallback-*" events in the normal stream.
-func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, r *Result) error {
+func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, reg *metrics.Registry, r *Result) error {
 	ref := backup.Clone()
 	f.RestoreFrom(backup)
 	ps := []pass{
@@ -134,7 +139,7 @@ func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, r *Result) error
 	// Always verified: the fallback exists to produce trustworthy code,
 	// so it must clear the same bar it was invoked to enforce. The fault
 	// hook is deliberately not forwarded — it already had its run.
-	return runPasses(f, exp, ps, tr, runOpts{verify: true})
+	return runPasses(f, exp, ps, tr, runOpts{verify: true, metrics: reg})
 }
 
 // crossCheckArgs are the argument vectors the fallback validates on.

@@ -1,0 +1,103 @@
+// Metrics wiring for the pass runner and the batch driver: names,
+// HELP strings, and the per-pass recording hook. The registry is
+// attached per run with WithMetrics (or per batch with
+// WithBatchMetrics); with no registry the runner keeps the nil-tracer
+// zero-allocation fast path, pinned by TestNilMetricsAllocatesNothing.
+package pipeline
+
+import (
+	"errors"
+	"strings"
+
+	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
+)
+
+// Metric names follow the DESIGN.md schema laoc_<subsystem>_<name>
+// with unit suffixes; label axes are pass, config, counter.
+const (
+	// MetricRuns counts pipeline runs per experiment configuration.
+	MetricRuns = "laoc_pipeline_runs_total"
+	// MetricRunWallNS is the whole-run wall-time distribution per
+	// experiment configuration (includes instrumentation overhead).
+	MetricRunWallNS = "laoc_pipeline_run_wall_ns"
+	// MetricPassWallNS / MetricPassAllocBytes are the per-pass
+	// wall-time and allocation-volume distributions.
+	MetricPassWallNS     = "laoc_pipeline_pass_wall_ns"
+	MetricPassAllocBytes = "laoc_pipeline_pass_alloc_bytes"
+	// MetricPassErrors counts failed passes (errors, contained panics,
+	// checked-mode violations) per pass; MetricPanics the contained
+	// panics among them; MetricFallbacks the runs rescued by the naive
+	// fallback translation.
+	MetricPassErrors = "laoc_pipeline_pass_errors_total"
+	MetricPanics     = "laoc_pipeline_panics_total"
+	MetricFallbacks  = "laoc_pipeline_fallbacks_total"
+	// MetricPassCounters mirrors every flattened pass counter
+	// ("<pass>.<Field.Path>" in trace events) onto the registry as
+	// {pass=...,counter=...}. Both feeds come from the same Stats
+	// structs, so registry totals match `-trace-counters` totals
+	// exactly; metrics.SelfCheckPassCounters enforces that in checked
+	// mode.
+	MetricPassCounters = "laoc_pipeline_pass_counters_total"
+	// MetricMaxLive is the derived per-function MAXLIVE distribution
+	// (register pressure), computed post-pipeline via the query
+	// liveness engine. Deterministic: perfgate compares it exactly.
+	MetricMaxLive = "laoc_liveness_maxlive"
+
+	// Batch driver metrics (RunBatch).
+	MetricBatchJobs       = "laoc_batch_jobs_total"
+	MetricBatchJobWallNS  = "laoc_batch_job_wall_ns"
+	MetricBatchInflight   = "laoc_batch_jobs_inflight"
+	MetricBatchQueueDepth = "laoc_batch_queue_depth"
+)
+
+// WithMetrics attaches a metrics registry to one Run call: the pass
+// runner records per-pass wall/alloc histograms, error/panic/fallback
+// counters, the flattened pass-counter mirror, and the derived MAXLIVE
+// histogram. A nil registry is the disabled fast path — identical to
+// not passing the option.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(rc *runConfig) {
+		rc.metrics = reg
+		registerHelp(reg)
+	}
+}
+
+func registerHelp(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp(MetricRuns, "Pipeline runs started, by experiment configuration.")
+	reg.SetHelp(MetricRunWallNS, "Whole-run wall time in nanoseconds, by experiment configuration.")
+	reg.SetHelp(MetricPassWallNS, "Per-pass wall time in nanoseconds.")
+	reg.SetHelp(MetricPassAllocBytes, "Per-pass heap allocation volume in bytes (runtime.MemStats TotalAlloc delta).")
+	reg.SetHelp(MetricPassErrors, "Failed passes: errors, contained panics, checked-mode violations.")
+	reg.SetHelp(MetricPanics, "Panics contained by the per-pass recover.")
+	reg.SetHelp(MetricFallbacks, "Runs that fell back to the naive out-of-SSA translation.")
+	reg.SetHelp(MetricPassCounters, "Flattened pass counters, mirroring the trace-event counter totals.")
+	reg.SetHelp(MetricMaxLive, "Per-function MAXLIVE (maximum simultaneously live values) after the pipeline.")
+	reg.SetHelp(MetricBatchJobs, "Batch jobs completed.")
+	reg.SetHelp(MetricBatchJobWallNS, "Per-job wall time in nanoseconds (build + run).")
+	reg.SetHelp(MetricBatchInflight, "Batch jobs currently executing.")
+	reg.SetHelp(MetricBatchQueueDepth, "Batch jobs not yet claimed by a worker.")
+}
+
+// recordPassMetrics feeds one completed pass into the registry. The
+// counters map is the same flatten the trace event carries, so the
+// registry mirror and -trace-counters totals agree by construction.
+func recordPassMetrics(reg *metrics.Registry, pass string, wallNS int64, allocBytes uint64, counters map[string]int64, err error) {
+	reg.Histogram(MetricPassWallNS, metrics.L("pass", pass)).Observe(wallNS)
+	reg.Histogram(MetricPassAllocBytes, metrics.L("pass", pass)).Observe(int64(allocBytes))
+	for _, k := range obs.SortedKeys(counters) {
+		reg.Counter(MetricPassCounters,
+			metrics.L("pass", pass),
+			metrics.L("counter", strings.TrimPrefix(k, pass+"."))).Add(counters[k])
+	}
+	if err != nil {
+		reg.Counter(MetricPassErrors, metrics.L("pass", pass)).Inc()
+		var pa *PanicError
+		if errors.As(err, &pa) {
+			reg.Counter(MetricPanics).Inc()
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"outofssa/internal/faultinject"
+	"outofssa/internal/ir"
+	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
+	"outofssa/internal/testprog"
+)
+
+// TestNilMetricsAllocatesNothing pins the disabled-metrics contract
+// alongside TestNilTracerAllocatesNothing: a run with neither tracer
+// nor registry attached — including one configured through
+// WithMetrics(nil), the shape every conditional caller produces — must
+// not allocate in the runner.
+func TestNilMetricsAllocatesNothing(t *testing.T) {
+	f := ir.NewFunc("noalloc")
+	f.NewBlock("entry")
+	ps := []pass{
+		{name: "a", run: func() error { return nil }},
+		{name: "b", run: func() error { return nil }},
+	}
+	var rc runConfig
+	WithMetrics(nil)(&rc)
+	if rc.metrics != nil {
+		t.Fatal("WithMetrics(nil) installed a registry")
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if err := runPasses(f, "", ps, nil, runOpts{metrics: rc.metrics}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("nil-metrics runPasses allocates %v per run, want 0", n)
+	}
+}
+
+// TestMetricsMirrorMatchesTraceCounters is the in-process version of
+// the ssabench -verify self-check: the registry's pass-counter mirror
+// and a tracer's counter totals are fed from the same flatten, so
+// SelfCheckPassCounters must find zero skew after real runs, and the
+// headline per-run metrics must line up with the trace.
+func TestMetricsMirrorMatchesTraceCounters(t *testing.T) {
+	reg := metrics.New()
+	rec := &obs.Recorder{}
+	conf, err := Preset(ExpLphiABIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []*ir.Func{testprog.Diamond(), testprog.SwapLoop(), testprog.NestedLoops()}
+	for _, f := range funcs {
+		if _, err := Run(f, conf, WithExperiment(ExpLphiABIC), WithTracer(rec), WithMetrics(reg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	totals := map[string]int64{}
+	passEvents := 0
+	for _, run := range rec.Runs {
+		for _, ev := range run.Events {
+			passEvents++
+			for k, v := range ev.Counters {
+				totals[k] += v
+			}
+		}
+	}
+	s := reg.Snapshot()
+	if err := metrics.SelfCheckPassCounters(s, MetricPassCounters, totals); err != nil {
+		t.Fatalf("registry mirror skewed against trace totals: %v", err)
+	}
+
+	find := func(name string) *metrics.HistogramSnap {
+		for i := range s.Histograms {
+			if s.Histograms[i].Name == name {
+				return &s.Histograms[i]
+			}
+		}
+		return nil
+	}
+	runs := int64(0)
+	for _, c := range s.Counters {
+		if c.Name == MetricRuns {
+			runs += c.Value
+		}
+	}
+	if runs != int64(len(funcs)) {
+		t.Fatalf("%s = %d, want %d", MetricRuns, runs, len(funcs))
+	}
+	wallCount := int64(0)
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == MetricPassWallNS {
+			wallCount += s.Histograms[i].Count
+		}
+	}
+	if wallCount != int64(passEvents) {
+		t.Fatalf("pass wall observations %d != traced pass events %d", wallCount, passEvents)
+	}
+	ml := find(MetricMaxLive)
+	if ml == nil || ml.Count != int64(len(funcs)) || !ml.Deterministic {
+		t.Fatalf("MAXLIVE histogram wrong: %+v", ml)
+	}
+	if ml.Min < 1 {
+		t.Fatalf("MAXLIVE min = %d, want >= 1 on non-trivial programs", ml.Min)
+	}
+}
+
+// TestMetricsSkewCaught proves the self-check has teeth: after a clean
+// run where mirror and trace agree, one InjectMetricsSkew bump — no IR
+// change, no trace event — must make SelfCheckPassCounters fail and
+// name the skewed cell.
+func TestMetricsSkewCaught(t *testing.T) {
+	reg := metrics.New()
+	rec := &obs.Recorder{}
+	conf, err := Preset(ExpLphiABIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testprog.SwapLoop()
+	if _, err := Run(f, conf, WithExperiment(ExpLphiABIC), WithTracer(rec), WithMetrics(reg)); err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]int64{}
+	var skewPass, skewCounter string
+	for _, run := range rec.Runs {
+		for _, ev := range run.Events {
+			for k, v := range ev.Counters {
+				totals[k] += v
+				skewPass, skewCounter = ev.Pass, strings.TrimPrefix(k, ev.Pass+".")
+			}
+		}
+	}
+	if err := metrics.SelfCheckPassCounters(reg.Snapshot(), MetricPassCounters, totals); err != nil {
+		t.Fatalf("clean run skewed: %v", err)
+	}
+	if !faultinject.InjectMetricsSkew(reg, MetricPassCounters, skewPass, skewCounter) {
+		t.Fatal("injection reported no-op on a live registry")
+	}
+	err = metrics.SelfCheckPassCounters(reg.Snapshot(), MetricPassCounters, totals)
+	if err == nil || !strings.Contains(err.Error(), skewPass+"."+skewCounter) {
+		t.Fatalf("metrics skew on %s.%s not caught: %v", skewPass, skewCounter, err)
+	}
+	if faultinject.InjectMetricsSkew(nil, MetricPassCounters, "p", "c") {
+		t.Fatal("nil registry reported as skewed")
+	}
+}
+
+// TestMetricsErrorPanicFallbackCounters drives the failure counters:
+// an erroring pass, a panicking pass, and a rescued fallback run.
+func TestMetricsErrorPanicFallbackCounters(t *testing.T) {
+	reg := metrics.New()
+	f := ir.NewFunc("failing")
+	f.NewBlock("entry")
+	boom := errors.New("synthetic")
+	ps := []pass{
+		{name: "ok", run: func() error { return nil }},
+		{name: "fails", run: func() error { return boom }},
+	}
+	if err := runPasses(f, "exp", ps, nil, runOpts{metrics: reg}); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	ps[1].run = func() error { panic("kaboom") }
+	if err := runPasses(f, "exp", ps, nil, runOpts{metrics: reg}); err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if got := reg.Counter(MetricPassErrors, metrics.L("pass", "fails")).Value(); got != 2 {
+		t.Fatalf("%s{pass=fails} = %d, want 2", MetricPassErrors, got)
+	}
+	if got := reg.Counter(MetricPanics).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricPanics, got)
+	}
+
+	// A verify-failing run under Fallback: the fallback counter bumps
+	// and the fallback passes are recorded like any others.
+	conf, err := Preset(ExpLphiABIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf.Verify = true
+	conf.Fallback = true
+	sab := false
+	conf.FaultHook = func(pass string, g *ir.Func) {
+		if pass == "pinning-sp" && !sab {
+			sab = faultinject.Inject(g, faultinject.DoubleDef)
+		}
+	}
+	g := testprog.SwapLoop()
+	res, err := Run(g, conf, WithExperiment("fault"), WithMetrics(reg))
+	if err != nil || !sab {
+		t.Fatalf("fallback run: err=%v injected=%v", err, sab)
+	}
+	if !res.FellBack {
+		t.Fatal("run did not fall back")
+	}
+	if got := reg.Counter(MetricFallbacks).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricFallbacks, got)
+	}
+	fb := reg.Snapshot()
+	seen := false
+	for i := range fb.Histograms {
+		if fb.Histograms[i].Name == MetricPassWallNS && len(fb.Histograms[i].Labels) == 1 &&
+			fb.Histograms[i].Labels[0].Value == "fallback-out-naive" {
+			seen = fb.Histograms[i].Count == 1
+		}
+	}
+	if !seen {
+		t.Fatal("fallback passes not recorded in the pass wall histogram")
+	}
+}
+
+// TestBatchMetrics checks the RunBatch instrumentation: jobs counted,
+// queue drained, nothing left in flight, per-job wall observed once per
+// job — at both parallelism settings — and counter totals identical
+// between serial and parallel runs (atomic adds commute).
+func TestBatchMetrics(t *testing.T) {
+	conf, err := Preset(ExpLphiABIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := func() []Job {
+		var js []Job
+		for _, f := range []*ir.Func{testprog.Diamond(), testprog.SwapLoop(), testprog.NestedLoops(), testprog.Loop()} {
+			f := f
+			js = append(js, Job{Build: func() *ir.Func { return f.Clone() }, Config: conf, Experiment: "batch"})
+		}
+		return js
+	}
+
+	counterTotals := func(s *metrics.Snapshot) map[string]int64 {
+		m := map[string]int64{}
+		for _, c := range s.Counters {
+			key := c.Name
+			for _, l := range c.Labels {
+				key += "|" + l.Key + "=" + l.Value
+			}
+			m[key] = c.Value
+		}
+		return m
+	}
+
+	var snaps []*metrics.Snapshot
+	for _, par := range []int{1, 4} {
+		reg := metrics.New()
+		for _, r := range RunBatch(jobs(), WithParallelism(par), WithBatchMetrics(reg)) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+		if got := reg.Counter(MetricBatchJobs).Value(); got != 4 {
+			t.Fatalf("parallel=%d: %s = %d, want 4", par, MetricBatchJobs, got)
+		}
+		if got := reg.Gauge(MetricBatchQueueDepth).Value(); got != 0 {
+			t.Fatalf("parallel=%d: queue depth = %d after batch, want 0", par, got)
+		}
+		if got := reg.Gauge(MetricBatchInflight).Value(); got != 0 {
+			t.Fatalf("parallel=%d: %d jobs still in flight", par, got)
+		}
+		s := reg.Snapshot()
+		for i := range s.Histograms {
+			if s.Histograms[i].Name == MetricBatchJobWallNS && s.Histograms[i].Count != 4 {
+				t.Fatalf("parallel=%d: job wall count = %d, want 4", par, s.Histograms[i].Count)
+			}
+		}
+		snaps = append(snaps, s)
+	}
+	serial, par := counterTotals(snaps[0]), counterTotals(snaps[1])
+	if len(serial) != len(par) {
+		t.Fatalf("counter cell sets differ: %d vs %d", len(serial), len(par))
+	}
+	for k, v := range serial {
+		if par[k] != v {
+			t.Fatalf("counter %s: serial %d != parallel %d", k, v, par[k])
+		}
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"outofssa/internal/coalesce"
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
+	"outofssa/internal/liveness"
 	"outofssa/internal/naiveabi"
 	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
 	"outofssa/internal/outofssa/leung"
 	"outofssa/internal/outofssa/naive"
 	"outofssa/internal/outofssa/sreedhar"
@@ -119,10 +121,11 @@ type Result struct {
 type Option func(*runConfig)
 
 type runConfig struct {
-	tracer obs.Tracer
-	exp    string
-	info   *ssa.Info
-	inSSA  bool
+	tracer  obs.Tracer
+	exp     string
+	info    *ssa.Info
+	inSSA   bool
+	metrics *metrics.Registry
 }
 
 // WithTracer attaches the instrumented pass runner: every executed pass
@@ -171,18 +174,23 @@ func Run(f *ir.Func, conf Config, opts ...Option) (*Result, error) {
 	} else if info == nil {
 		info = ssa.EmptyInfo()
 	}
-	return runSSA(f, info, conf, rc.exp, rc.tracer)
+	return runSSA(f, info, conf, rc.exp, rc.tracer, rc.metrics)
 }
 
 // runSSA is the pipeline body: the pass composition applied to a
 // function in (pinned or plain) SSA form.
-func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) (*Result, error) {
+func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer, reg *metrics.Registry) (*Result, error) {
 	var backup *ir.Func
 	if conf.Fallback {
 		backup = f.Clone()
 	}
 	r := &Result{}
-	opts := runOpts{verify: conf.Verify, faultHook: conf.FaultHook}
+	if reg != nil {
+		// Guarded rather than relying on the nil-instrument no-op: the
+		// variadic label would otherwise allocate on the disabled path.
+		reg.Counter(MetricRuns, metrics.L("config", exp)).Inc()
+	}
+	opts := runOpts{verify: conf.Verify, faultHook: conf.FaultHook, metrics: reg}
 	if err := runPasses(f, exp, conf.passes(f, info, r), tr, opts); err != nil {
 		if backup == nil {
 			return nil, err
@@ -190,9 +198,10 @@ func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) 
 		// Graceful degradation: discard whatever the failed run left in f
 		// and r, redo the translation naively from the entry snapshot.
 		*r = Result{}
-		if ferr := fallbackRun(f, backup, exp, tr, r); ferr != nil {
+		if ferr := fallbackRun(f, backup, exp, tr, reg, r); ferr != nil {
 			return nil, fmt.Errorf("pipeline: fallback failed (%v) after %w", ferr, err)
 		}
+		reg.Counter(MetricFallbacks).Inc()
 		r.FellBack = true
 		r.FallbackFrom = err
 	}
@@ -201,6 +210,13 @@ func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer) 
 	r.Moves = f.CountMoves()
 	r.WeightedMoves = f.WeightedMoves()
 	r.Instrs = f.NumInstrs()
+	if reg != nil {
+		// Derived metric: per-function register pressure on the final
+		// code, answered by the (cached) query liveness engine.
+		h := reg.Histogram(MetricMaxLive)
+		h.SetDeterministic()
+		h.Observe(int64(liveness.MaxLive(f, analysis.Liveness(f))))
+	}
 	return r, nil
 }
 
@@ -347,16 +363,19 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	return ps
 }
 
-// runPasses executes the pass list. With a nil tracer and default opts
-// it is a plain loop — no snapshots, no clock reads, no allocations
-// beyond what the passes themselves do. With a tracer it brackets the
-// run and every pass with measurements: per-pass wall time,
-// runtime.MemStats allocation deltas, and IR snapshots before/after
-// (the provenance trail of the final move count). Every pass failure —
-// its own error, a contained panic, or a checked-mode violation —
-// surfaces as a *PassError; in checked mode the entry state is
-// verified too, reported against the pseudo-pass "<input>". Verifier
-// time is charged to the pass it checks.
+// runPasses executes the pass list. With a nil tracer, no metrics
+// registry and default opts it is a plain loop — no snapshots, no
+// clock reads, no allocations beyond what the passes themselves do.
+// With a tracer or a registry it brackets the run and every pass with
+// measurements: per-pass wall time, runtime.MemStats allocation
+// deltas, and (tracer only) IR snapshots before/after. The tracer
+// receives events; the registry receives wall/alloc histograms, the
+// pass-counter mirror, and error/panic counters — both fed from the
+// same measurements and the same flattened counters, so their totals
+// agree. Every pass failure — its own error, a contained panic, or a
+// checked-mode violation — surfaces as a *PassError; in checked mode
+// the entry state is verified too, reported against the pseudo-pass
+// "<input>". Verifier time is charged to the pass it checks.
 func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) error {
 	if opts.verify && len(ps) > 0 {
 		if err := verify.Func(f, opts.entryStage); err != nil {
@@ -364,7 +383,8 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) e
 				Cause: err, Snapshot: obs.Snapshot(f)}
 		}
 	}
-	if tr == nil {
+	reg := opts.metrics
+	if tr == nil && reg == nil {
 		for i := range ps {
 			if err := runOne(f, exp, &ps[i], opts); err != nil {
 				return err
@@ -374,40 +394,57 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) e
 	}
 
 	runStart := time.Now()
-	tr.RunStart(f.Name, exp, obs.Snapshot(f))
+	if tr != nil {
+		tr.RunStart(f.Name, exp, obs.Snapshot(f))
+	}
 	var ms0, ms1 runtime.MemStats
 	for i := range ps {
 		p := &ps[i]
-		tr.PassStart(f.Name, exp, p.name)
-		before := obs.Snapshot(f)
+		var before obs.IRStat
+		if tr != nil {
+			tr.PassStart(f.Name, exp, p.name)
+			before = obs.Snapshot(f)
+		}
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		err := runOne(f, exp, p, opts)
 		wall := time.Since(t0)
 		runtime.ReadMemStats(&ms1)
-		ev := &obs.Event{
-			Func:       f.Name,
-			Config:     exp,
-			Pass:       p.name,
-			Seq:        i,
-			WallNS:     wall.Nanoseconds(),
-			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
-			Mallocs:    ms1.Mallocs - ms0.Mallocs,
-			Before:     before,
-			After:      obs.Snapshot(f),
-		}
+		var counters map[string]int64
 		if err == nil && p.stats != nil {
-			ev.Counters = obs.Counters(p.name, p.stats())
+			counters = obs.Counters(p.name, p.stats())
 		}
-		if err != nil {
-			ev.Err = err.Error()
+		if tr != nil {
+			ev := &obs.Event{
+				Func:       f.Name,
+				Config:     exp,
+				Pass:       p.name,
+				Seq:        i,
+				WallNS:     wall.Nanoseconds(),
+				AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+				Mallocs:    ms1.Mallocs - ms0.Mallocs,
+				Before:     before,
+				After:      obs.Snapshot(f),
+				Counters:   counters,
+			}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			tr.PassEnd(ev)
 		}
-		tr.PassEnd(ev)
+		if reg != nil {
+			recordPassMetrics(reg, p.name, wall.Nanoseconds(), ms1.TotalAlloc-ms0.TotalAlloc, counters, err)
+		}
 		if err != nil {
 			return err
 		}
 	}
-	tr.RunEnd(f.Name, exp, obs.Snapshot(f), time.Since(runStart).Nanoseconds())
+	if tr != nil {
+		tr.RunEnd(f.Name, exp, obs.Snapshot(f), time.Since(runStart).Nanoseconds())
+	}
+	if reg != nil {
+		reg.Histogram(MetricRunWallNS, metrics.L("config", exp)).Observe(time.Since(runStart).Nanoseconds())
+	}
 	return nil
 }
 

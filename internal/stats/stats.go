@@ -12,6 +12,7 @@ import (
 	"outofssa/internal/interference"
 	"outofssa/internal/ir"
 	"outofssa/internal/obs"
+	"outofssa/internal/obs/metrics"
 	"outofssa/internal/pipeline"
 	"outofssa/internal/workload"
 )
@@ -79,6 +80,14 @@ var Checked bool
 // any setting. ssabench -parallel sets this.
 var Parallel = 1
 
+// Metrics, when non-nil, attaches the registry to every table batch
+// (pipeline.WithBatchMetrics): per-pass histograms, pass-counter
+// mirrors, batch gauges and the MAXLIVE distribution all accumulate
+// there while the tables run. Nil (the default) keeps the pipeline's
+// zero-allocation fast path. ssabench -metrics-out / -metrics-addr set
+// this to metrics.Default.
+var Metrics *metrics.Registry
+
 // colSpec is one table column resolved to runnable form: the pass
 // configuration, the experiment label traces carry, and whether the
 // cell totals weighted (5^depth) or plain move counts.
@@ -137,7 +146,8 @@ func buildTable(title, note string, cols []string, tr obs.Tracer, spec func(col 
 		}
 		results := pipeline.RunBatch(jobs,
 			pipeline.WithParallelism(Parallel),
-			pipeline.WithBatchTracer(tr))
+			pipeline.WithBatchTracer(tr),
+			pipeline.WithBatchMetrics(Metrics))
 		for i := range results {
 			res := &results[i]
 			ci := i / len(master.Funcs)
