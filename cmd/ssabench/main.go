@@ -43,13 +43,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"outofssa/internal/analysis"
@@ -87,6 +90,14 @@ func main() {
 	}
 	stats.Checked = *verifyMode
 	stats.Parallel = *parallel
+
+	// An interrupt cancels the table batches: queued jobs are skipped,
+	// in-flight ones stop at the next pass boundary, and the driver
+	// exits with the cancellation error instead of finishing all tables
+	// on a worker pool nobody is waiting for.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	stats.Context = ctx
 
 	switch *engineName {
 	case "":

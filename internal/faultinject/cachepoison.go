@@ -1,0 +1,34 @@
+package faultinject
+
+// CachePoison is the corruption class for the daemon's result cache:
+// unlike the IR classes above, it attacks a *finished* translation
+// after it was inserted into the content-addressed cache — the shape
+// of a torn write, a bit flip, or a deliberate poisoning. No verifier
+// ever sees the damage (the pipeline is done); the only line of
+// defense is the cache's per-entry checksum, which must detect the
+// mutation on read so the entry is evicted and recompiled, never
+// served. internal/server's cache tests drive this class through the
+// cache's tamper seam.
+const CachePoison Class = "cache-poison"
+
+// InjectCachePoison flips one instruction byte of a cached rendered
+// translation in place and reports whether a site was found. The site
+// is deterministic: the first alphabetic byte following a tab, which
+// in the LAI-like rendering is the opcode (or result name) of the
+// first instruction — the smallest corruption that changes the code's
+// meaning while leaving the text plausible. The flip is a case swap,
+// so the mutated byte is still printable and the entry still "looks
+// like" code; only the checksum can tell.
+func InjectCachePoison(code []byte) bool {
+	for i := 0; i+1 < len(code); i++ {
+		if code[i] != '\t' {
+			continue
+		}
+		c := code[i+1]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			code[i+1] = c ^ 0x20
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,268 @@
+// Wire codec for functions: Marshal/Unmarshal serialize an ir.Func to a
+// self-contained JSON document and back. The encoding is exact — value
+// IDs, value names, block order, predecessor/successor order (which the
+// φ argument convention depends on), pins, immediates and callees all
+// round-trip — so a decoded function is indistinguishable from a Clone
+// of the original: running the pipeline on either produces byte-identical
+// output. That exactness is what lets the laocd service accept raw IR
+// over the wire and still honor the Tables 1-5 byte-identity gate, and
+// what makes content hashes of the encoding stable cache keys.
+//
+// The format ties values to the function's own Target: the physical
+// register prefix of the value table (R0..R15, P0..P7, SP — created by
+// NewFunc before any virtual value) is emitted like every other value
+// and checked on decode, so a document produced against a different
+// target shape fails loudly instead of mis-binding registers.
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireFunc is the top-level JSON document.
+type wireFunc struct {
+	// Schema tags the encoding; decoders reject unknown schemas.
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	// Values is the full value table in ID order (dense: Values[i].ID == i),
+	// physical registers included.
+	Values []wireValue `json:"values"`
+	// Blocks are in f.Blocks order, which is also print order; block IDs
+	// are carried explicitly because passes may have compacted the slice.
+	Blocks []wireBlock `json:"blocks"`
+}
+
+// WireSchemaV1 identifies the current function-encoding schema.
+const WireSchemaV1 = "laoc-ir-v1"
+
+type wireValue struct {
+	Name string `json:"n"`
+	Phys bool   `json:"p,omitempty"`
+}
+
+type wireBlock struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	Depth int    `json:"depth,omitempty"`
+	// Preds and Succs are indexes into the Blocks array (not block IDs),
+	// in order — φ uses are parallel to Preds, Br reads Succs[0]/[1].
+	Preds  []int       `json:"preds,omitempty"`
+	Succs  []int       `json:"succs,omitempty"`
+	Instrs []wireInstr `json:"instrs"`
+}
+
+type wireInstr struct {
+	Op string `json:"op"`
+	// Defs and Uses are operand pairs [valueID, pinID]; pinID -1 means
+	// unpinned.
+	Defs   [][2]int `json:"defs,omitempty"`
+	Uses   [][2]int `json:"uses,omitempty"`
+	Imm    int64    `json:"imm,omitempty"`
+	Callee string   `json:"callee,omitempty"`
+}
+
+// opByName inverts opNames for decoding.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// Marshal encodes f into the wire format. The encoding is deterministic:
+// the same function always yields the same bytes, so hashes of the
+// output are stable content keys.
+func Marshal(f *Func) ([]byte, error) {
+	w := wireFunc{Schema: WireSchemaV1, Name: f.Name}
+	w.Values = make([]wireValue, len(f.values))
+	for i, v := range f.values {
+		if v.ID != i {
+			return nil, fmt.Errorf("ir: marshal %s: value table not dense at %d (ID %d)", f.Name, i, v.ID)
+		}
+		w.Values[i] = wireValue{Name: v.Name, Phys: v.IsPhys()}
+	}
+	blkIdx := make(map[*Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blkIdx[b] = i
+	}
+	enc := func(ops []Operand) ([][2]int, error) {
+		if len(ops) == 0 {
+			return nil, nil
+		}
+		out := make([][2]int, len(ops))
+		for i, o := range ops {
+			if o.Val == nil {
+				return nil, fmt.Errorf("ir: marshal %s: nil operand value", f.Name)
+			}
+			pin := -1
+			if o.Pin != nil {
+				pin = o.Pin.ID
+			}
+			out[i] = [2]int{o.Val.ID, pin}
+		}
+		return out, nil
+	}
+	for _, b := range f.Blocks {
+		wb := wireBlock{ID: b.ID, Name: b.Name, Depth: b.LoopDepth}
+		for _, p := range b.Preds {
+			i, ok := blkIdx[p]
+			if !ok {
+				return nil, fmt.Errorf("ir: marshal %s: block %v has detached pred %v", f.Name, b, p)
+			}
+			wb.Preds = append(wb.Preds, i)
+		}
+		for _, s := range b.Succs {
+			i, ok := blkIdx[s]
+			if !ok {
+				return nil, fmt.Errorf("ir: marshal %s: block %v has detached succ %v", f.Name, b, s)
+			}
+			wb.Succs = append(wb.Succs, i)
+		}
+		wb.Instrs = make([]wireInstr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			defs, err := enc(in.Defs)
+			if err != nil {
+				return nil, err
+			}
+			uses, err := enc(in.Uses)
+			if err != nil {
+				return nil, err
+			}
+			wb.Instrs[i] = wireInstr{Op: in.Op.String(), Defs: defs, Uses: uses, Imm: in.Imm, Callee: in.Callee}
+		}
+		w.Blocks = append(w.Blocks, wb)
+	}
+	return json.Marshal(&w)
+}
+
+// Unmarshal decodes a function from the wire format. The result owns a
+// fresh Target; the document's physical-register prefix must match the
+// target shape exactly.
+func Unmarshal(data []byte) (*Func, error) {
+	var w wireFunc
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("ir: unmarshal: %v", err)
+	}
+	if w.Schema != WireSchemaV1 {
+		return nil, fmt.Errorf("ir: unmarshal: unknown schema %q (want %q)", w.Schema, WireSchemaV1)
+	}
+	if w.Name == "" {
+		return nil, fmt.Errorf("ir: unmarshal: function has no name")
+	}
+	f := NewFunc(w.Name)
+	nphys := len(f.values)
+	if len(w.Values) < nphys {
+		return nil, fmt.Errorf("ir: unmarshal %s: value table shorter than the %d target registers", w.Name, nphys)
+	}
+	for i, v := range f.values {
+		if w.Values[i].Name != v.Name || !w.Values[i].Phys {
+			return nil, fmt.Errorf("ir: unmarshal %s: value %d is %q/phys=%v, target expects register %q",
+				w.Name, i, w.Values[i].Name, w.Values[i].Phys, v.Name)
+		}
+	}
+	for i := nphys; i < len(w.Values); i++ {
+		wv := w.Values[i]
+		if wv.Phys {
+			return nil, fmt.Errorf("ir: unmarshal %s: physical value %q outside the target prefix", w.Name, wv.Name)
+		}
+		if wv.Name == "" {
+			return nil, fmt.Errorf("ir: unmarshal %s: value %d has no name", w.Name, i)
+		}
+		f.newValue(wv.Name, Virtual)
+	}
+
+	if len(w.Blocks) == 0 {
+		return nil, fmt.Errorf("ir: unmarshal %s: function has no blocks", w.Name)
+	}
+	blocks := make([]*Block, len(w.Blocks))
+	maxID := -1
+	for i, wb := range w.Blocks {
+		if wb.ID < 0 {
+			return nil, fmt.Errorf("ir: unmarshal %s: negative block ID %d", w.Name, wb.ID)
+		}
+		if wb.Name == "" {
+			return nil, fmt.Errorf("ir: unmarshal %s: block %d has no name", w.Name, wb.ID)
+		}
+		blocks[i] = &Block{ID: wb.ID, Name: wb.Name, LoopDepth: wb.Depth, fn: f}
+		if wb.ID > maxID {
+			maxID = wb.ID
+		}
+	}
+	f.Blocks = blocks
+	f.nextBB = maxID + 1
+	f.NoteCFGMutation()
+
+	val := func(id int) (*Value, error) {
+		if id < 0 || id >= len(f.values) {
+			return nil, fmt.Errorf("ir: unmarshal %s: value ID %d out of range", w.Name, id)
+		}
+		return f.values[id], nil
+	}
+	dec := func(pairs [][2]int) ([]Operand, error) {
+		if len(pairs) == 0 {
+			return nil, nil
+		}
+		out := make([]Operand, len(pairs))
+		for i, p := range pairs {
+			v, err := val(p[0])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Operand{Val: v}
+			if p[1] >= 0 {
+				pin, err := val(p[1])
+				if err != nil {
+					return nil, err
+				}
+				out[i].Pin = pin
+			}
+		}
+		return out, nil
+	}
+	ref := func(idx int) (*Block, error) {
+		if idx < 0 || idx >= len(blocks) {
+			return nil, fmt.Errorf("ir: unmarshal %s: block index %d out of range", w.Name, idx)
+		}
+		return blocks[idx], nil
+	}
+	for i, wb := range w.Blocks {
+		b := blocks[i]
+		for _, pi := range wb.Preds {
+			p, err := ref(pi)
+			if err != nil {
+				return nil, err
+			}
+			b.Preds = append(b.Preds, p)
+		}
+		for _, si := range wb.Succs {
+			s, err := ref(si)
+			if err != nil {
+				return nil, err
+			}
+			b.Succs = append(b.Succs, s)
+		}
+		for _, wi := range wb.Instrs {
+			op, ok := opByName[wi.Op]
+			if !ok {
+				return nil, fmt.Errorf("ir: unmarshal %s: unknown op %q", w.Name, wi.Op)
+			}
+			defs, err := dec(wi.Defs)
+			if err != nil {
+				return nil, err
+			}
+			uses, err := dec(wi.Uses)
+			if err != nil {
+				return nil, err
+			}
+			b.Instrs = append(b.Instrs, &Instr{Op: op, Defs: defs, Uses: uses, Imm: wi.Imm, Callee: wi.Callee, blk: b})
+		}
+	}
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("ir: unmarshal: %v", err)
+	}
+	return f, nil
+}

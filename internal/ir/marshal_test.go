@@ -1,0 +1,111 @@
+package ir_test
+
+import (
+	"bytes"
+	"testing"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/ssa"
+	"outofssa/internal/testprog"
+	"outofssa/internal/workload"
+)
+
+// roundTrip marshals, unmarshals and re-marshals f, failing on any
+// decode error or byte drift.
+func roundTrip(t *testing.T, f *ir.Func) *ir.Func {
+	t.Helper()
+	data, err := ir.Marshal(f)
+	if err != nil {
+		t.Fatalf("%s: Marshal: %v", f.Name, err)
+	}
+	g, err := ir.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("%s: Unmarshal: %v", f.Name, err)
+	}
+	if got, want := g.String(), f.String(); got != want {
+		t.Fatalf("%s: decoded function prints differently:\n--- original\n%s\n--- decoded\n%s", f.Name, want, got)
+	}
+	data2, err := ir.Marshal(g)
+	if err != nil {
+		t.Fatalf("%s: re-Marshal: %v", f.Name, err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("%s: encoding is not a fixed point of the round trip", f.Name)
+	}
+	return g
+}
+
+// TestMarshalRoundTripSuites round-trips every workload suite function,
+// pre-SSA and in pinned SSA form (φs, pins, generated value names).
+func TestMarshalRoundTripSuites(t *testing.T) {
+	for _, s := range workload.All() {
+		for _, f := range s.Funcs {
+			roundTrip(t, f)
+			g := f.Clone()
+			ssa.MustBuild(g)
+			roundTrip(t, g)
+		}
+	}
+}
+
+// TestMarshalPipelineIdentity proves the codec's contract: running the
+// pipeline on a decoded function produces byte-identical output to
+// running it on a clone of the original.
+func TestMarshalPipelineIdentity(t *testing.T) {
+	conf, err := pipeline.Preset(pipeline.ExpLphiABIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		f := testprog.Rand(seed, testprog.RandOptions{MaxDepth: 4, Vars: 4, StmtsPerBlock: 4, Calls: true, Stack: true})
+		data, err := ir.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ir.Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Clone()
+		if _, err := pipeline.Run(want, conf); err != nil {
+			t.Fatalf("seed %d: pipeline on original: %v", seed, err)
+		}
+		if _, err := pipeline.Run(g, conf); err != nil {
+			t.Fatalf("seed %d: pipeline on decoded: %v", seed, err)
+		}
+		if g.String() != want.String() {
+			t.Fatalf("seed %d: pipeline output differs between original and decoded input", seed)
+		}
+	}
+}
+
+// TestMarshalRejects pins the decoder's validation: bad schema, unknown
+// op, out-of-range value, and a corrupted CFG all fail loudly.
+func TestMarshalRejects(t *testing.T) {
+	f, err := lai.Parse(".func f\n.input A:R0\nadd B, A, A\nret B\n.endfunc\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ir.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ name, old, new string }{
+		{"schema", `"laoc-ir-v1"`, `"laoc-ir-v9"`},
+		{"op", `"add"`, `"frob"`},
+		{"value-id", `[[25,0]]`, `[[999,0]]`},
+	} {
+		bad := bytes.Replace(data, []byte(tc.old), []byte(tc.new), 1)
+		if bytes.Equal(bad, data) {
+			t.Fatalf("%s: test substitution %q not found in %s", tc.name, tc.old, data)
+		}
+		if _, err := ir.Unmarshal(bad); err == nil {
+			t.Errorf("%s: corrupted document decoded without error", tc.name)
+		}
+	}
+	if _, err := ir.Unmarshal([]byte(`{"schema":"laoc-ir-v1","name":"f","values":[],"blocks":[]}`)); err == nil {
+		t.Error("empty document decoded without error")
+	}
+}

@@ -14,6 +14,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -110,9 +111,24 @@ func newBatchMetrics(reg *metrics.Registry, queued int) *batchMetrics {
 // Config.Verify/Fallback as usual) lands in its JobResult and the rest
 // of the batch still runs.
 func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
+	return RunBatchCtx(context.Background(), jobs, opts...)
+}
+
+// RunBatchCtx is RunBatch under a cancellation context. Once ctx is
+// done, jobs not yet claimed by a worker are stamped with ctx.Err()
+// instead of running, and in-flight jobs stop at their next pass
+// boundary with a *PassError wrapping ctx.Err() — so a dead client (or
+// an interrupted CLI) stops burning the worker pool instead of
+// finishing the whole batch. Results still come back in job order; a
+// context that never fires makes RunBatchCtx behave exactly like
+// RunBatch, including the byte-identical trace replay.
+func RunBatchCtx(ctx context.Context, jobs []Job, opts ...BatchOption) []JobResult {
 	var bc batchConfig
 	for _, o := range opts {
 		o(&bc)
+	}
+	if ctx == context.Background() {
+		ctx = nil // keep the pipeline's uncancellable fast path
 	}
 	workers := bc.parallelism
 	if workers <= 0 {
@@ -131,7 +147,7 @@ func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
 		// Serial fast path: trace straight into the batch tracer — the
 		// job-order stream the parallel path reconstructs by replay.
 		for i := range jobs {
-			runJob(&jobs[i], &results[i], bc.tracer, bm)
+			runJob(ctx, &jobs[i], &results[i], bc.tracer, bm)
 		}
 		return results
 	}
@@ -165,7 +181,7 @@ func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
 				if recs != nil {
 					tr = recs[i]
 				}
-				runJob(&jobs[i], &results[i], tr, bm)
+				runJob(ctx, &jobs[i], &results[i], tr, bm)
 			}
 		}()
 	}
@@ -177,11 +193,20 @@ func RunBatch(jobs []Job, opts ...BatchOption) []JobResult {
 	return results
 }
 
-func runJob(j *Job, out *JobResult, tr obs.Tracer, bm *batchMetrics) {
+func runJob(ctx context.Context, j *Job, out *JobResult, tr obs.Tracer, bm *batchMetrics) {
+	if ctx != nil && ctx.Err() != nil {
+		// Load shedding for batches: a canceled batch stamps the jobs it
+		// never started instead of building and running them.
+		out.Err = ctx.Err()
+		if bm != nil {
+			bm.queue.Dec()
+		}
+		return
+	}
 	if bm == nil {
 		f := j.Build()
 		out.Func = f
-		out.Result, out.Err = Run(f, j.Config, WithExperiment(j.Experiment), WithTracer(tr))
+		out.Result, out.Err = Run(f, j.Config, WithExperiment(j.Experiment), WithTracer(tr), WithContext(ctx))
 		return
 	}
 	bm.queue.Dec()
@@ -190,7 +215,7 @@ func runJob(j *Job, out *JobResult, tr obs.Tracer, bm *batchMetrics) {
 	f := j.Build()
 	out.Func = f
 	out.Result, out.Err = Run(f, j.Config,
-		WithExperiment(j.Experiment), WithTracer(tr), WithMetrics(bm.reg))
+		WithExperiment(j.Experiment), WithTracer(tr), WithMetrics(bm.reg), WithContext(ctx))
 	bm.jobWall.Observe(time.Since(t0).Nanoseconds())
 	bm.inflight.Dec()
 	bm.jobs.Inc()

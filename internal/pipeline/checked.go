@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -76,16 +77,33 @@ type runOpts struct {
 	// histograms and counters (see pipeline/metrics.go). Nil keeps the
 	// zero-allocation fast path.
 	metrics *metrics.Registry
+	// ctx, when non-nil, is checked between passes: a done context
+	// aborts the run with a *PassError wrapping ctx.Err() (WithContext).
+	ctx context.Context
+	// execBudget, when positive, bounds each fallback cross-check
+	// interpretation instead of crossCheckBudget (WithExecBudget).
+	execBudget int
+}
+
+// ctxCheck implements the cooperative cancellation point between
+// passes: once the run's context is done, the next pass never starts
+// and the failure names it. Free when no context is attached.
+func ctxCheck(f *ir.Func, exp string, p *pass, opts runOpts) error {
+	if opts.ctx == nil {
+		return nil
+	}
+	if err := opts.ctx.Err(); err != nil {
+		return &PassError{Func: f.Name, Config: exp, Pass: p.name,
+			Cause: err, Snapshot: obs.Snapshot(f)}
+	}
+	return nil
 }
 
 // runOne executes a single pass with panic containment, applies the
 // fault hook, verifies the result when asked, and wraps any failure in
 // a *PassError. On success it returns nil and allocates nothing.
 func runOne(f *ir.Func, exp string, p *pass, opts runOpts) error {
-	err := runContained(p)
-	if err == nil && opts.faultHook != nil {
-		opts.faultHook(p.name, f)
-	}
+	err := runContained(f, p, opts.faultHook)
 	if err == nil && opts.verify {
 		if verr := verify.Func(f, p.stage); verr != nil {
 			err = fmt.Errorf("verify: %w", verr)
@@ -98,16 +116,24 @@ func runOne(f *ir.Func, exp string, p *pass, opts runOpts) error {
 	return nil
 }
 
-// runContained runs the pass body, converting a panic into an error.
-// The deferred recover is open-coded by the compiler, so the success
-// path stays allocation-free (pinned by TestNilTracerAllocatesNothing).
-func runContained(p *pass) (err error) {
+// runContained runs the pass body — and the fault hook, which models a
+// buggy pass and so shares the pass's failure domain: a panic in either
+// is converted into an error instead of unwinding the caller. The
+// deferred recover is open-coded by the compiler, so the success path
+// stays allocation-free (pinned by TestNilTracerAllocatesNothing).
+func runContained(f *ir.Func, p *pass, hook func(string, *ir.Func)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	return p.run()
+	if err := p.run(); err != nil {
+		return err
+	}
+	if hook != nil {
+		hook(p.name, f)
+	}
+	return nil
 }
 
 // fallbackRun retries a failed run: it rolls f back to the entry
@@ -116,9 +142,13 @@ func runContained(p *pass) (err error) {
 // behaviour of the result against the snapshot. backup is consumed.
 // The fallback passes run through the same instrumented runner, so a
 // tracer sees them as "fallback-*" events in the normal stream.
-func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, reg *metrics.Registry, r *Result) error {
+func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, opts runOpts, r *Result) error {
 	ref := backup.Clone()
 	f.RestoreFrom(backup)
+	budget := opts.execBudget
+	if budget <= 0 {
+		budget = crossCheckBudget
+	}
 	ps := []pass{
 		{name: "fallback-out-naive", stage: verify.StagePostSSA, run: func() error {
 			st, err := naive.Translate(f)
@@ -133,13 +163,16 @@ func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, reg *metrics.Reg
 			return nil
 		}, stats: func() any { return r.NaiveABI }},
 		{name: "fallback-crosscheck", stage: verify.StagePostSSA, run: func() error {
-			return crossCheck(ref, f)
+			return crossCheck(ref, f, budget)
 		}},
 	}
 	// Always verified: the fallback exists to produce trustworthy code,
 	// so it must clear the same bar it was invoked to enforce. The fault
-	// hook is deliberately not forwarded — it already had its run.
-	return runPasses(f, exp, ps, tr, runOpts{verify: true, metrics: reg})
+	// hook is deliberately not forwarded — it already had its run. The
+	// caller's context and exec budget carry over, so a dead client also
+	// cancels its fallback.
+	return runPasses(f, exp, ps, tr,
+		runOpts{verify: true, metrics: opts.metrics, ctx: opts.ctx, execBudget: opts.execBudget})
 }
 
 // crossCheckArgs are the argument vectors the fallback validates on.
@@ -156,22 +189,26 @@ var crossCheckArgs = [][]int64{
 // crossCheckBudget bounds each oracle execution. Loopy generated
 // programs can legitimately exceed it; a budget overrun on the
 // reference yields "no verdict" for that argument vector rather than
-// a failure.
+// a failure. WithExecBudget substitutes a caller budget (deadline-bound
+// services shrink it so worst-case oracle work tracks the request
+// deadline; the overrun still surfaces as ir.ErrStepBudget).
 const crossCheckBudget = 1 << 20
 
 // crossCheck interprets ref (the pre-pipeline snapshot) and got (the
 // fallback's output) on the shared argument vectors and fails on the
 // first observable difference.
-func crossCheck(ref, got *ir.Func) error {
+func crossCheck(ref, got *ir.Func, budget int) error {
 	for _, args := range crossCheckArgs {
-		want, err := ir.Exec(ref, args, crossCheckBudget)
+		want, err := ir.Exec(ref, args, budget)
 		if errors.Is(err, ir.ErrStepBudget) {
 			continue // reference ran over budget: no verdict on these args
 		}
 		if err != nil {
 			return fmt.Errorf("crosscheck: reference failed on %v: %w", args, err)
 		}
-		have, err := ir.Exec(got, args, crossCheckBudget)
+		// The translated code executes extra copies; doubling keeps a
+		// reference that just fit from flagging the output as divergent.
+		have, err := ir.Exec(got, args, 2*budget)
 		if err != nil {
 			return fmt.Errorf("crosscheck: fallback output failed on %v: %w", args, err)
 		}

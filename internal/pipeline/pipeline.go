@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -121,11 +122,13 @@ type Result struct {
 type Option func(*runConfig)
 
 type runConfig struct {
-	tracer  obs.Tracer
-	exp     string
-	info    *ssa.Info
-	inSSA   bool
-	metrics *metrics.Registry
+	tracer     obs.Tracer
+	exp        string
+	info       *ssa.Info
+	inSSA      bool
+	metrics    *metrics.Registry
+	ctx        context.Context
+	execBudget int
 }
 
 // WithTracer attaches the instrumented pass runner: every executed pass
@@ -141,6 +144,38 @@ func WithTracer(tr obs.Tracer) Option {
 // label keys trace diffing and table aggregation.
 func WithExperiment(name string) Option {
 	return func(rc *runConfig) { rc.exp = name }
+}
+
+// WithContext attaches a cancellation context to one Run call. The pass
+// runner checks it cooperatively between passes: once ctx is done, the
+// run stops before the next pass with a *PassError whose Cause is
+// ctx.Err() (so errors.Is sees context.Canceled / DeadlineExceeded
+// through it), naming the pass that was about to run. A pass body in
+// flight is never interrupted — the IR is only ever abandoned at a
+// pass boundary, where it is structurally consistent. The fallback
+// path observes the same context, so a dead client stops burning the
+// worker instead of re-translating for nobody. A nil ctx (the default)
+// is the zero-overhead uncancellable path.
+func WithContext(ctx context.Context) Option {
+	return func(rc *runConfig) {
+		if ctx != nil && ctx != context.Background() {
+			rc.ctx = ctx
+		}
+	}
+}
+
+// WithExecBudget bounds each ir.Exec oracle run the pipeline performs
+// on this call (the fallback cross-check) to n interpreter steps
+// instead of the default. An overrun surfaces as ir.ErrStepBudget,
+// which the cross-check treats as "no verdict" on the reference side —
+// the hook a deadline-bound service uses to keep worst-case oracle
+// work proportional to the request budget. n <= 0 keeps the default.
+func WithExecBudget(n int) Option {
+	return func(rc *runConfig) {
+		if n > 0 {
+			rc.execBudget = n
+		}
+	}
 }
 
 // WithSSAInfo declares that f is already in (pinned or plain) SSA form,
@@ -174,12 +209,13 @@ func Run(f *ir.Func, conf Config, opts ...Option) (*Result, error) {
 	} else if info == nil {
 		info = ssa.EmptyInfo()
 	}
-	return runSSA(f, info, conf, rc.exp, rc.tracer, rc.metrics)
+	return runSSA(f, info, conf, &rc)
 }
 
 // runSSA is the pipeline body: the pass composition applied to a
 // function in (pinned or plain) SSA form.
-func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer, reg *metrics.Registry) (*Result, error) {
+func runSSA(f *ir.Func, info *ssa.Info, conf Config, rc *runConfig) (*Result, error) {
+	exp, tr, reg := rc.exp, rc.tracer, rc.metrics
 	var backup *ir.Func
 	if conf.Fallback {
 		backup = f.Clone()
@@ -190,7 +226,8 @@ func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer, 
 		// variadic label would otherwise allocate on the disabled path.
 		reg.Counter(MetricRuns, metrics.L("config", exp)).Inc()
 	}
-	opts := runOpts{verify: conf.Verify, faultHook: conf.FaultHook, metrics: reg}
+	opts := runOpts{verify: conf.Verify, faultHook: conf.FaultHook, metrics: reg,
+		ctx: rc.ctx, execBudget: rc.execBudget}
 	if err := runPasses(f, exp, conf.passes(f, info, r), tr, opts); err != nil {
 		if backup == nil {
 			return nil, err
@@ -198,7 +235,7 @@ func runSSA(f *ir.Func, info *ssa.Info, conf Config, exp string, tr obs.Tracer, 
 		// Graceful degradation: discard whatever the failed run left in f
 		// and r, redo the translation naively from the entry snapshot.
 		*r = Result{}
-		if ferr := fallbackRun(f, backup, exp, tr, reg, r); ferr != nil {
+		if ferr := fallbackRun(f, backup, exp, tr, opts, r); ferr != nil {
 			return nil, fmt.Errorf("pipeline: fallback failed (%v) after %w", ferr, err)
 		}
 		reg.Counter(MetricFallbacks).Inc()
@@ -386,6 +423,9 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) e
 	reg := opts.metrics
 	if tr == nil && reg == nil {
 		for i := range ps {
+			if err := ctxCheck(f, exp, &ps[i], opts); err != nil {
+				return err
+			}
 			if err := runOne(f, exp, &ps[i], opts); err != nil {
 				return err
 			}
@@ -400,6 +440,11 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) e
 	var ms0, ms1 runtime.MemStats
 	for i := range ps {
 		p := &ps[i]
+		// Cancellation is not a pass failure: it is not fed into the
+		// pass-error metrics, the caller accounts for it instead.
+		if err := ctxCheck(f, exp, p, opts); err != nil {
+			return err
+		}
 		var before obs.IRStat
 		if tr != nil {
 			tr.PassStart(f.Name, exp, p.name)

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"outofssa/internal/faultinject"
+)
+
+func entryFor(code string) *cacheEntry {
+	return &cacheEntry{code: []byte(code), name: "f", moves: 1, instrs: 2}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newCache(4)
+	if _, ok, poisoned := c.get(1); ok || poisoned {
+		t.Fatal("empty cache must miss cleanly")
+	}
+	c.put(1, entryFor(".func f\n\tadd a, b\n.endfunc\n"))
+	e, ok, _ := c.get(1)
+	if !ok || string(e.code) != ".func f\n\tadd a, b\n.endfunc\n" {
+		t.Fatalf("want verified hit, got ok=%v", ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(3)
+	for i := uint64(0); i < 3; i++ {
+		c.put(i, entryFor(fmt.Sprintf("\tcode%d", i)))
+	}
+	c.get(0) // refresh 0; 1 is now least recent
+	c.put(3, entryFor("\tcode3"))
+	if _, ok, _ := c.get(1); ok {
+		t.Fatal("want LRU entry 1 evicted")
+	}
+	for _, k := range []uint64{0, 2, 3} {
+		if _, ok, _ := c.get(k); !ok {
+			t.Fatalf("want entry %d retained", k)
+		}
+	}
+	if n := c.len(); n != 3 {
+		t.Fatalf("len = %d, want 3", n)
+	}
+}
+
+// TestCachePoisonDetected is the cache-integrity contract: an entry
+// mutated after insert (faultinject.InjectCachePoison) fails its
+// checksum on the next read, is reported poisoned, evicted — and never
+// returned.
+func TestCachePoisonDetected(t *testing.T) {
+	c := newCache(4)
+	c.put(7, entryFor(".func f\n\tadd a, b\n.endfunc\n"))
+	if !c.tamper(faultinject.InjectCachePoison) {
+		t.Fatal("InjectCachePoison found no site")
+	}
+	e, ok, poisoned := c.get(7)
+	if ok || e != nil {
+		t.Fatal("poisoned entry must never be served")
+	}
+	if !poisoned {
+		t.Fatal("poisoned entry must be reported as such")
+	}
+	if _, ok, _ := c.get(7); ok {
+		t.Fatal("poisoned entry must have been evicted")
+	}
+	// Recompile path: a fresh put under the same key serves again.
+	c.put(7, entryFor(".func f\n\tadd a, b\n.endfunc\n"))
+	if _, ok, _ := c.get(7); !ok {
+		t.Fatal("recompiled entry must serve")
+	}
+}
+
+func TestInjectCachePoisonDeterministic(t *testing.T) {
+	code := []byte(".func f\nbb0:\n\tadd a, b\n.endfunc\n")
+	want := []byte(".func f\nbb0:\n\tAdd a, b\n.endfunc\n")
+	if !faultinject.InjectCachePoison(code) {
+		t.Fatal("no site found")
+	}
+	if string(code) != string(want) {
+		t.Fatalf("got %q, want %q", code, want)
+	}
+	if faultinject.InjectCachePoison([]byte("no tabs here")) {
+		t.Fatal("want no site without an instruction line")
+	}
+}

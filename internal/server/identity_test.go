@@ -1,0 +1,82 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"outofssa/internal/ir"
+	"outofssa/internal/obs/metrics"
+	"outofssa/internal/workload"
+)
+
+// TestSuiteIdentityThroughServer keeps the Tables 1-5 byte-identity
+// gate honest across the network: compiling every stats-suite function
+// through the server path (raw-IR mode) must yield exactly the output
+// of pipeline.Run locally — cold, and again warm from the verified
+// cache.
+func TestSuiteIdentityThroughServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite identity run in -short mode")
+	}
+	reg := metrics.New()
+	s, hs, _ := startServer(t, Config{
+		Workers:         4,
+		QueueDepth:      256,
+		DefaultDeadline: 30 * time.Second,
+		MaxDeadline:     30 * time.Second,
+		CacheEntries:    1024,
+		Metrics:         reg,
+	})
+	_ = s
+
+	suites := []*workload.Suite{
+		workload.VALcc1(), workload.VALcc2(), workload.Examples(),
+		workload.LAILarge(), workload.SPECint(),
+	}
+	type wantRec struct {
+		doc    []byte
+		output string
+		moves  int
+	}
+	var wants []wantRec
+	for _, suite := range suites {
+		for _, f := range suite.Funcs {
+			doc, err := ir.Marshal(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", suite.Name, f.Name, err)
+			}
+			out, res := localOutput(t, f.Clone(), s.conf.Experiment)
+			wants = append(wants, wantRec{doc: doc, output: out, moves: res.Moves})
+		}
+	}
+
+	passes := []struct {
+		name       string
+		wantCached bool
+	}{{"cold", false}, {"warm", true}}
+	for _, p := range passes {
+		pass, wantCached := p.name, p.wantCached
+		for i, w := range wants {
+			rep := postCompile(t, hs.URL, compileRequest{IR: w.doc})
+			if rep.status != http.StatusOK {
+				t.Fatalf("%s pass, func %d: status %d (%s)", pass, i, rep.status, rep.errK)
+			}
+			if rep.resp.Output != w.output {
+				t.Fatalf("%s pass, func %d (%s): server output differs from local pipeline.Run", pass, i, rep.resp.Name)
+			}
+			if rep.resp.Moves != w.moves {
+				t.Fatalf("%s pass, func %d: moves %d != local %d", pass, i, rep.resp.Moves, w.moves)
+			}
+			if rep.resp.FellBack || rep.resp.Degraded {
+				t.Fatalf("%s pass, func %d: unexpected flags %+v", pass, i, rep.resp)
+			}
+			if rep.resp.Cached != wantCached {
+				t.Fatalf("%s pass, func %d: cached=%v, want %v", pass, i, rep.resp.Cached, wantCached)
+			}
+		}
+	}
+	if hits := counterValue(reg, MetricCacheHits); hits != int64(len(wants)) {
+		t.Fatalf("cache hits = %d, want %d (one per warm request)", hits, len(wants))
+	}
+}

@@ -1,0 +1,67 @@
+// Metric names and help strings for the compilation service. The
+// schema extends DESIGN.md's laoc_<subsystem>_<name> convention with
+// the laocd_ prefix for daemon-side concerns: everything under laocd_
+// is about requests, queues and caches, while the laoc_pipeline_*
+// family the workers also feed stays about passes.
+package server
+
+import "outofssa/internal/obs/metrics"
+
+const (
+	// MetricRequests counts every /compile request accepted for
+	// processing, labelled by final outcome kind ("ok", "parse",
+	// "shed", "deadline", "draining", "compile").
+	MetricRequests = "laocd_requests_total"
+	// MetricShed counts requests rejected with 429 because the
+	// admission queue was full.
+	MetricShed = "laocd_shed_total"
+	// MetricDeadline counts requests that ran out of their deadline
+	// (in the queue or between passes).
+	MetricDeadline = "laocd_deadline_exceeded_total"
+	// MetricBreakerTrips counts closed→open transitions per corruption
+	// class (the failing pass name).
+	MetricBreakerTrips = "laocd_breaker_trips_total"
+	// MetricBreakerProbes counts half-open probe attempts, labelled by
+	// result ("ok", "fail").
+	MetricBreakerProbes = "laocd_breaker_probes_total"
+	// MetricDegraded counts requests compiled in naive-translation-only
+	// mode while a breaker was open.
+	MetricDegraded = "laocd_degraded_total"
+	// MetricCacheHits / Misses / Poison count result-cache reads:
+	// checksum-verified hits, misses (including singleflight leaders),
+	// and entries whose stored checksum no longer matched — detected
+	// poison, evicted and recompiled, never served.
+	MetricCacheHits   = "laocd_cache_hits_total"
+	MetricCacheMisses = "laocd_cache_misses_total"
+	MetricCachePoison = "laocd_cache_poison_total"
+	// MetricFallbacks counts responses served from the naive fallback
+	// after a contained pipeline failure.
+	MetricFallbacks = "laocd_fallback_total"
+	// MetricWorkerPanics counts panics that escaped the pipeline's own
+	// containment and were caught by the worker's last-resort recover.
+	MetricWorkerPanics = "laocd_worker_panics_total"
+	// MetricQueueDepth / Inflight are the admission-control gauges
+	// /readyz reports.
+	MetricQueueDepth = "laocd_queue_depth"
+	MetricInflight   = "laocd_inflight"
+	// MetricRequestWallNS is the end-to-end request latency
+	// distribution (accepted requests only).
+	MetricRequestWallNS = "laocd_request_wall_ns"
+)
+
+func registerHelp(reg *metrics.Registry) {
+	reg.SetHelp(MetricRequests, "laocd /compile requests by outcome kind")
+	reg.SetHelp(MetricShed, "requests rejected 429 by admission control")
+	reg.SetHelp(MetricDeadline, "requests that exceeded their deadline")
+	reg.SetHelp(MetricBreakerTrips, "circuit-breaker closed-to-open transitions per corruption class")
+	reg.SetHelp(MetricBreakerProbes, "circuit-breaker half-open probes by result")
+	reg.SetHelp(MetricDegraded, "requests compiled in naive-translation-only (breaker open) mode")
+	reg.SetHelp(MetricCacheHits, "result-cache hits (checksum verified)")
+	reg.SetHelp(MetricCacheMisses, "result-cache misses")
+	reg.SetHelp(MetricCachePoison, "poisoned cache entries detected on read and evicted")
+	reg.SetHelp(MetricFallbacks, "responses served from the naive fallback translation")
+	reg.SetHelp(MetricWorkerPanics, "panics contained by the worker's last-resort recover")
+	reg.SetHelp(MetricQueueDepth, "requests waiting for a worker")
+	reg.SetHelp(MetricInflight, "requests being compiled right now")
+	reg.SetHelp(MetricRequestWallNS, "end-to-end request latency (ns)")
+}

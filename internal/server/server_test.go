@@ -1,0 +1,451 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"outofssa/internal/faultinject"
+	"outofssa/internal/ir"
+	"outofssa/internal/lai"
+	"outofssa/internal/obs/metrics"
+	"outofssa/internal/pipeline"
+	"outofssa/internal/testprog"
+)
+
+const srcSimple = `
+.func simple
+.input A:R0, B:R1
+entry:
+    add     C, A, B
+    mul     D, C, C
+    ret     D
+.endfunc
+`
+
+// startServer builds, starts and exposes a server over httptest; the
+// cleanup drains it and fails the test if drain misbehaves.
+func startServer(t *testing.T, conf Config) (*Server, *httptest.Server, *metrics.Registry) {
+	t.Helper()
+	if conf.Metrics == nil {
+		conf.Metrics = metrics.New()
+	}
+	s, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, hs, conf.Metrics
+}
+
+type compileReply struct {
+	status int
+	resp   compileResponse
+	errK   string
+}
+
+func postCompile(t *testing.T, url string, body any) compileReply {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(url+"/compile", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var rep compileReply
+	rep.status = hr.StatusCode
+	if hr.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(hr.Body).Decode(&rep.resp); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	var env struct {
+		Error *httpError `json:"error"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	rep.errK = env.Error.Kind
+	return rep
+}
+
+// counterValue sums a counter family across labels.
+func counterValue(reg *metrics.Registry, name string) int64 {
+	var total int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// localOutput runs the server's exact configuration locally.
+func localOutput(t *testing.T, f *ir.Func, exp string) (string, *pipeline.Result) {
+	t.Helper()
+	conf, err := pipeline.Preset(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf.Verify, conf.Fallback = true, true
+	res, err := pipeline.Run(f, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.String(), res
+}
+
+func TestCompileLAI(t *testing.T) {
+	_, hs, reg := startServer(t, Config{})
+	rep := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if rep.status != http.StatusOK {
+		t.Fatalf("status %d (%s)", rep.status, rep.errK)
+	}
+	f, err := lai.Parse(srcSimple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, res := localOutput(t, f, pipeline.ExpLphiABIC)
+	if rep.resp.Output != want {
+		t.Fatalf("server output differs from local pipeline:\n--- server ---\n%s--- local ---\n%s",
+			rep.resp.Output, want)
+	}
+	if rep.resp.Moves != res.Moves || rep.resp.Instrs != res.Instrs {
+		t.Fatalf("counters differ: %d/%d vs %d/%d", rep.resp.Moves, rep.resp.Instrs, res.Moves, res.Instrs)
+	}
+	if rep.resp.Cached || rep.resp.FellBack || rep.resp.Degraded {
+		t.Fatalf("unexpected flags in %+v", rep.resp)
+	}
+	if got := counterValue(reg, MetricRequests); got != 1 {
+		t.Fatalf("requests_total = %d, want 1", got)
+	}
+}
+
+func TestCompileIR(t *testing.T) {
+	_, hs, _ := startServer(t, Config{})
+	f := testprog.Rand(11, testprog.DefaultRandOptions())
+	doc, err := ir.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := postCompile(t, hs.URL, compileRequest{IR: doc})
+	if rep.status != http.StatusOK {
+		t.Fatalf("status %d (%s)", rep.status, rep.errK)
+	}
+	want, _ := localOutput(t, testprog.Rand(11, testprog.DefaultRandOptions()), pipeline.ExpLphiABIC)
+	if rep.resp.Output != want {
+		t.Fatal("IR-mode server output differs from local pipeline")
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	_, hs, _ := startServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		kind string
+	}{
+		{"empty", compileRequest{}, "parse"},
+		{"both", compileRequest{LAI: srcSimple, IR: json.RawMessage(`{}`)}, "parse"},
+		{"bad-lai", compileRequest{LAI: ".func broken\n"}, "parse"},
+		{"bad-ir", compileRequest{IR: json.RawMessage(`{"schema":"nope"}`)}, "parse"},
+		{"debug-disabled", compileRequest{LAI: srcSimple, Debug: &debugRequest{SleepMS: 1}}, "parse"},
+	}
+	for _, tc := range cases {
+		rep := postCompile(t, hs.URL, tc.body)
+		if rep.status != http.StatusBadRequest || rep.errK != tc.kind {
+			t.Fatalf("%s: status=%d kind=%q, want 400/%s", tc.name, rep.status, rep.errK, tc.kind)
+		}
+	}
+	// Malformed JSON body and wrong method, below the typed layer.
+	hr, err := http.Post(hs.URL+"/compile", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: status %d", hr.StatusCode)
+	}
+	hg, err := http.Get(hs.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg.Body.Close()
+	if hg.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", hg.StatusCode)
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	_, hs, reg := startServer(t, Config{AllowDebug: true})
+	rep := postCompile(t, hs.URL, compileRequest{
+		LAI:        srcSimple,
+		DeadlineMS: 30,
+		Debug:      &debugRequest{SleepMS: 120},
+	})
+	if rep.status != http.StatusGatewayTimeout || rep.errK != "deadline" {
+		t.Fatalf("status=%d kind=%q, want 504/deadline", rep.status, rep.errK)
+	}
+	if got := counterValue(reg, MetricDeadline); got == 0 {
+		t.Fatal("deadline counter not incremented")
+	}
+}
+
+func TestShedUnderOverload(t *testing.T) {
+	_, hs, reg := startServer(t, Config{Workers: 1, QueueDepth: 1, AllowDebug: true})
+	const n = 6
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := postCompile(t, hs.URL, compileRequest{
+				LAI:        srcSimple,
+				DeadlineMS: 2000,
+				Debug:      &debugRequest{SleepMS: 80},
+			})
+			codes[i] = rep.status
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("want both served and shed requests, got ok=%d shed=%d", ok, shed)
+	}
+	if got := counterValue(reg, MetricShed); got != int64(shed) {
+		t.Fatalf("shed counter %d != %d observed 429s", got, shed)
+	}
+}
+
+func TestSingleflightAndCache(t *testing.T) {
+	_, hs, reg := startServer(t, Config{Workers: 2})
+	const n = 8
+	var wg sync.WaitGroup
+	outs := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+			if rep.status != http.StatusOK {
+				t.Errorf("status %d", rep.status)
+				return
+			}
+			outs[i] = rep.resp.Output
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if outs[i] != outs[0] {
+			t.Fatal("singleflight followers must see the leader's output")
+		}
+	}
+	// All n raced one singleflight slot: compiles = misses ≤ n, and at
+	// least one request piggybacked if any overlapped. The hard
+	// invariant is the counter bookkeeping, not the schedule.
+	misses := counterValue(reg, MetricCacheMisses)
+	if misses == 0 || misses > n {
+		t.Fatalf("cache misses = %d", misses)
+	}
+	// A later identical request is a checksum-verified cache hit.
+	rep := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if !rep.resp.Cached || rep.resp.Output != outs[0] {
+		t.Fatalf("want cached identical reply, got cached=%v", rep.resp.Cached)
+	}
+	if counterValue(reg, MetricCacheHits) == 0 {
+		t.Fatal("cache hit not counted")
+	}
+}
+
+// TestCachePoisonNeverServed drives the poison class end to end
+// through the server: corrupt the cached translation after insert,
+// and the next request must detect it, recompile, and serve the
+// correct output — the poisoned bytes must never appear in a reply.
+func TestCachePoisonNeverServed(t *testing.T) {
+	s, hs, reg := startServer(t, Config{})
+	first := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if first.status != http.StatusOK {
+		t.Fatalf("status %d", first.status)
+	}
+	if !s.cache.tamper(faultinject.InjectCachePoison) {
+		t.Fatal("no cache entry to poison")
+	}
+	second := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if second.status != http.StatusOK {
+		t.Fatalf("status %d", second.status)
+	}
+	if second.resp.Cached {
+		t.Fatal("poisoned entry must not be served as a cache hit")
+	}
+	if second.resp.Output != first.resp.Output {
+		t.Fatal("recompiled output must match the original translation")
+	}
+	if got := counterValue(reg, MetricCachePoison); got != 1 {
+		t.Fatalf("poison counter = %d, want 1", got)
+	}
+	// And the recompiled entry serves clean afterwards.
+	third := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if !third.resp.Cached || third.resp.Output != first.resp.Output {
+		t.Fatal("recompiled entry must serve as a verified hit")
+	}
+}
+
+func TestBreakerDegradesAndRecovers(t *testing.T) {
+	_, hs, reg := startServer(t, Config{
+		AllowDebug:       true,
+		BreakerThreshold: 2,
+		BreakerWindow:    time.Minute,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	// Two injected pass panics of the same class trip the breaker; the
+	// fallback still answers both requests.
+	for i := 0; i < 2; i++ {
+		rep := postCompile(t, hs.URL, compileRequest{
+			LAI:   srcSimple,
+			Debug: &debugRequest{PanicPass: "pinning-sp"},
+		})
+		if rep.status != http.StatusOK || !rep.resp.FellBack {
+			t.Fatalf("faulted request %d: status=%d fellBack=%v", i, rep.status, rep.resp.FellBack)
+		}
+	}
+	if got := counterValue(reg, MetricBreakerTrips); got != 1 {
+		t.Fatalf("breaker trips = %d, want 1", got)
+	}
+	// /readyz names the open class.
+	hr, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if !strings.Contains(string(body), "pinning-sp") {
+		t.Fatalf("/readyz must report the open class, got %s", body)
+	}
+	// While open (pre-cooldown), a clean request compiles degraded.
+	f := testprog.Rand(21, testprog.DefaultRandOptions())
+	doc, err := ir.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := postCompile(t, hs.URL, compileRequest{IR: doc})
+	if rep.status != http.StatusOK || !rep.resp.Degraded {
+		t.Fatalf("want degraded compile while breaker open, got %+v", rep.resp)
+	}
+	// After the cooldown a clean probe closes the class again.
+	time.Sleep(70 * time.Millisecond)
+	probe := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if probe.status != http.StatusOK || probe.resp.Degraded {
+		t.Fatalf("probe after cooldown: %+v", probe.resp)
+	}
+	f2 := testprog.Rand(22, testprog.DefaultRandOptions())
+	doc2, err := ir.Marshal(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := postCompile(t, hs.URL, compileRequest{IR: doc2})
+	if after.resp.Degraded {
+		t.Fatal("breaker must have closed after a successful probe")
+	}
+	if counterValue(reg, MetricBreakerProbes) == 0 {
+		t.Fatal("probe not counted")
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	conf := Config{Metrics: metrics.New()}
+	s, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	ok := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if ok.status != http.StatusOK {
+		t.Fatalf("status %d", ok.status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rep := postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	if rep.status != http.StatusServiceUnavailable || rep.errK != "draining" {
+		t.Fatalf("post-drain: status=%d kind=%q, want 503/draining", rep.status, rep.errK)
+	}
+	hr, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %d", hr.StatusCode)
+	}
+}
+
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	_, hs, _ := startServer(t, Config{})
+	postCompile(t, hs.URL, compileRequest{LAI: srcSimple})
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/metrics.json"} {
+		hr, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, hr.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "laocd_requests_total") {
+			t.Fatalf("/metrics must expose laocd_* families, got:\n%s", body)
+		}
+	}
+}
+
+func TestExecBudget(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1 << 14},
+		{time.Millisecond, 50_000},
+		{time.Minute, 1 << 20},
+	}
+	for _, tc := range cases {
+		if got := execBudget(tc.d); got != tc.want {
+			t.Fatalf("execBudget(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

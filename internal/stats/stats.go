@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -80,6 +81,13 @@ var Checked bool
 // any setting. ssabench -parallel sets this.
 var Parallel = 1
 
+// Context, when non-nil, bounds every table batch: once it is done,
+// queued pipeline jobs are skipped and in-flight ones stop at their
+// next pass boundary, surfacing as a table error wrapping ctx.Err().
+// ssabench sets this from its signal context so an interrupt stops the
+// worker pool instead of finishing all tables. Nil means uncancellable.
+var Context context.Context
+
 // Metrics, when non-nil, attaches the registry to every table batch
 // (pipeline.WithBatchMetrics): per-pass histograms, pass-counter
 // mirrors, batch gauges and the MAXLIVE distribution all accumulate
@@ -144,7 +152,11 @@ func buildTable(title, note string, cols []string, tr obs.Tracer, spec func(col 
 				})
 			}
 		}
-		results := pipeline.RunBatch(jobs,
+		ctx := Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		results := pipeline.RunBatchCtx(ctx, jobs,
 			pipeline.WithParallelism(Parallel),
 			pipeline.WithBatchTracer(tr),
 			pipeline.WithBatchMetrics(Metrics))
