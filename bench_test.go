@@ -16,6 +16,7 @@ package outofssa_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"outofssa/internal/cfg"
@@ -382,7 +383,7 @@ func BenchmarkInterferenceQueries(b *testing.B) {
 				type prep struct {
 					an    *interference.Analysis
 					res   *pin.Resources
-					roots []*ir.Value
+					roots []ir.ValueID
 				}
 				var ps []prep
 				for _, f := range funcs {
@@ -392,10 +393,10 @@ func BenchmarkInterferenceQueries(b *testing.B) {
 						b.Fatal(err)
 					}
 					an := interference.New(f, liveness.Compute(f), cfg.Dominators(f), interference.Exact)
-					seen := make(map[*ir.Value]bool)
-					var roots []*ir.Value
-					for _, v := range f.Values() {
-						if r := res.Find(v); !seen[r] {
+					seen := make(map[ir.ValueID]bool)
+					var roots []ir.ValueID
+					for id := 0; id < f.NumValues(); id++ {
+						if r := res.Find(ir.ValueID(id)); !seen[r] {
 							seen[r] = true
 							roots = append(roots, r)
 						}
@@ -472,15 +473,15 @@ func BenchmarkInterferenceModes(b *testing.B) {
 			type prep struct {
 				f    *ir.Func
 				an   *interference.Analysis
-				vals []*ir.Value
+				vals []ir.ValueID
 			}
 			var ps []prep
 			for _, f := range funcs {
 				live := liveness.Compute(f)
 				an := interference.New(f, live, cfg.Dominators(f), mode)
-				var vals []*ir.Value
-				for _, v := range f.Values() {
-					if !v.IsPhys() {
+				var vals []ir.ValueID
+				for id := 0; id < f.NumValues(); id++ {
+					if v := ir.ValueID(id); !f.IsPhys(v) {
 						vals = append(vals, v)
 					}
 				}
@@ -534,10 +535,10 @@ func BenchmarkLivenessEngines(b *testing.B) {
 						} else {
 							l = liveness.Compute(f)
 						}
-						for _, blk := range f.Blocks {
+						for _, blk := range f.Blocks() {
 							for _, phi := range blk.Phis() {
-								for pi, u := range phi.Uses {
-									if pi < len(blk.Preds) && l.LiveOutID(u.Val.ID, blk.Preds[pi]) {
+								for pi, u := range phi.Uses() {
+									if pi < blk.NumPreds() && l.LiveOut(u.Val, blk.Pred(pi)) {
 										hits++
 									}
 								}
@@ -551,4 +552,53 @@ func BenchmarkLivenessEngines(b *testing.B) {
 			})
 		}
 	}
+}
+
+// ---- SoA arena benchmarks (DESIGN.md §12) ----
+
+// sinkFunc keeps the cloned function observable so the compiler cannot
+// elide the Clone call.
+var sinkFunc *ir.Func
+
+// BenchmarkClone measures ir.Func.Clone over the pinned-SSA suites.
+// With the SoA arenas a clone is a handful of slab memcpys; allocs/op
+// stays O(arena chunks) per function (pinned by ir.TestCloneAllocs),
+// independent of instruction count.
+func BenchmarkClone(b *testing.B) {
+	for _, name := range []string{"VALcc1", "LAI_Large", "SPECint"} {
+		b.Run(name, func(b *testing.B) {
+			funcs := ssaSuite(b, name, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range funcs {
+					sinkFunc = f.Clone()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGCScanIR measures the garbage collector's cost of a resident
+// population of IR functions: it parks a few hundred clones on the heap
+// and times full GC cycles over them. The SoA layout keeps values,
+// operands and code in flat slabs whose only pointers are value names
+// and chunk back-references, so scan work tracks the chunk count rather
+// than the instruction count — the GC-pressure half of the re-platform
+// argument alongside BenchmarkClone's alloc count.
+func BenchmarkGCScanIR(b *testing.B) {
+	funcs := ssaSuite(b, "SPECint", true)
+	resident := make([]*ir.Func, 0, 256)
+	for len(resident) < 256 {
+		for _, f := range funcs {
+			resident = append(resident, f.Clone())
+		}
+	}
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+	}
+	b.StopTimer()
+	runtime.KeepAlive(resident)
 }

@@ -3,12 +3,13 @@
 //
 // Passes request an analysis — analysis.Liveness(f) instead of
 // liveness.Compute(f) — and get the memoized result back as long as the
-// function has not changed since it was computed. Every structural
-// mutator in package ir bumps the generation automatically; passes that
-// rewrite operands in place bump it via ir.Func.NoteMutation (the
-// contract is spelled out in DESIGN.md §8). Changes no cached analysis
-// reads — pin fields, loop depths — do not bump, which is what lets one
-// liveness computation survive a whole string of pin-collect phases.
+// function has not changed since it was computed. Every mutator in
+// package ir bumps the generation inside the arena accessors — operand
+// rewrites included, since SetDefVal/SetUseVal are the only way to
+// write an operand (the contract is spelled out in DESIGN.md §8 and
+// §12). Changes no cached analysis reads — pins, loop depths — do not
+// bump, which is what lets one liveness computation survive a whole
+// string of pin-collect phases.
 //
 // The memo lives on the function itself (ir.Func.AnalysisSlot), so it
 // has exactly the function's lifetime: no global map, nothing to evict,

@@ -74,14 +74,16 @@ func TestStructuralMutatorsInvalidate(t *testing.T) {
 	}{
 		{"NewValue", false, func(f *ir.Func) { f.NewValue("g") }},
 		{"NewBlock", true, func(f *ir.Func) { f.NewBlock("g") }},
-		{"AddEdge", true, func(f *ir.Func) { f.AddEdge(f.Blocks[len(f.Blocks)-1], f.Entry()) }},
+		{"AddEdge", true, func(f *ir.Func) { f.AddEdge(f.Blocks()[len(f.Blocks())-1], f.Entry()) }},
 		{"Append", false, func(f *ir.Func) {
-			f.Entry().Append(&ir.Instr{Op: ir.Const, Imm: 7,
-				Defs: []ir.Operand{{Val: f.NewValue("k")}}})
+			in := f.NewInstr(ir.Const, ir.Ops(f.NewValue("k")), nil)
+			in.Imm = 7
+			f.Entry().Append(in)
 		}},
 		{"InsertAt", false, func(f *ir.Func) {
-			f.Entry().InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 7,
-				Defs: []ir.Operand{{Val: f.NewValue("k")}}})
+			in := f.NewInstr(ir.Const, ir.Ops(f.NewValue("k")), nil)
+			in.Imm = 7
+			f.Entry().InsertAt(0, in)
 		}},
 		{"RemoveAt", false, func(f *ir.Func) { f.Entry().RemoveAt(0) }},
 		{"NoteMutation", false, func(f *ir.Func) { f.NoteMutation() }},
@@ -204,7 +206,7 @@ func TestStaleVarLivenessCaught(t *testing.T) {
 	}
 	// Force the per-variable walks to be memoized before the corruption
 	// lands, so the stale answers below come from the old memos.
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		stale.LiveOutSet(b)
 	}
 	if !faultinject.InjectSilent(f, faultinject.StaleVarLiveness) {
@@ -216,9 +218,10 @@ func TestStaleVarLivenessCaught(t *testing.T) {
 
 	fresh := liveness.Compute(f)
 	differs := false
-	for _, b := range f.Blocks {
-		for _, v := range f.Values() {
-			if v == nil || v.IsPhys() {
+	for _, b := range f.Blocks() {
+		for id := 0; id < f.NumValues(); id++ {
+			v := ir.ValueID(id)
+			if f.IsPhys(v) {
 				continue
 			}
 			if stale.LiveOut(v, b) != fresh.LiveOut(v, b) ||

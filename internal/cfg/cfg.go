@@ -14,9 +14,9 @@ func Postorder(f *ir.Func) []*ir.Block {
 	var walk func(*ir.Block)
 	walk = func(b *ir.Block) {
 		seen[b.ID] = true
-		for _, s := range b.Succs {
-			if !seen[s.ID] {
-				walk(s)
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				walk(f.Block(s))
 			}
 		}
 		order = append(order, b)
@@ -93,8 +93,9 @@ func Dominators(f *ir.Func) *DomTree {
 				continue
 			}
 			var newIdom *ir.Block
-			for _, p := range b.Preds {
-				if rpoNum[p.ID] < 0 || idom[p.ID] == nil {
+			for _, pid := range b.Preds() {
+				p := f.Block(pid)
+				if rpoNum[pid] < 0 || idom[pid] == nil {
 					continue // unreachable or not yet processed
 				}
 				if newIdom == nil {
@@ -165,10 +166,10 @@ func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
 // deduplicated and ordered by block ID.
 func DominanceFrontiers(f *ir.Func, t *DomTree) [][]*ir.Block {
 	df := make([][]*ir.Block, f.NumBlocks())
-	inDF := make([]map[int]bool, f.NumBlocks())
+	inDF := make([]map[ir.BlockID]bool, f.NumBlocks())
 	add := func(b, frontier *ir.Block) {
 		if inDF[b.ID] == nil {
-			inDF[b.ID] = make(map[int]bool)
+			inDF[b.ID] = make(map[ir.BlockID]bool)
 		}
 		if !inDF[b.ID][frontier.ID] {
 			inDF[b.ID][frontier.ID] = true
@@ -176,14 +177,14 @@ func DominanceFrontiers(f *ir.Func, t *DomTree) [][]*ir.Block {
 		}
 	}
 	for _, b := range ReversePostorder(f) {
-		if len(b.Preds) < 2 {
+		if b.NumPreds() < 2 {
 			continue
 		}
-		for _, p := range b.Preds {
-			if t.pre[p.ID] < 0 {
+		for _, pid := range b.Preds() {
+			if t.pre[pid] < 0 {
 				continue
 			}
-			for runner := p; runner != nil && runner != t.Idom[b.ID]; runner = t.Idom[runner.ID] {
+			for runner := f.Block(pid); runner != nil && runner != t.Idom[b.ID]; runner = t.Idom[runner.ID] {
 				add(runner, b)
 			}
 		}

@@ -9,7 +9,7 @@ import (
 )
 
 func blockByName(f *ir.Func, name string) *ir.Block {
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		if b.Name == name {
 			return b
 		}
@@ -77,8 +77,8 @@ func slowDominates(f *ir.Func, a, b *ir.Block) bool {
 			return false
 		}
 		seen[x] = true
-		for _, s := range x.Succs {
-			if walk(s) {
+		for _, sid := range x.Succs() {
+			if walk(f.Block(sid)) {
 				return true
 			}
 		}
@@ -228,8 +228,8 @@ func TestRemoveUnreachable(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("removed %d, want 1", n)
 	}
-	if len(exit.Preds) != 1 || exit.Preds[0] != entry {
-		t.Fatalf("exit preds wrong after removal: %v", exit.Preds)
+	if exit.NumPreds() != 1 || exit.Pred(0) != entry {
+		t.Fatalf("exit preds wrong after removal: %v", exit.Preds())
 	}
 	if err := bld.Fn.Verify(); err != nil {
 		t.Fatal(err)

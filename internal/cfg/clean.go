@@ -8,33 +8,33 @@ import "outofssa/internal/ir"
 func RemoveUnreachable(f *ir.Func) int {
 	reach := Reachable(f)
 	removed := 0
-	var kept []*ir.Block
-	for _, b := range f.Blocks {
+	var kept []ir.BlockID
+	for _, b := range f.Blocks() {
 		if reach[b.ID] {
-			kept = append(kept, b)
+			kept = append(kept, b.ID)
 			continue
 		}
 		removed++
-		for _, s := range b.Succs {
-			if !reach[s.ID] {
+		for _, sid := range b.Succs() {
+			if !reach[sid] {
 				continue
 			}
+			s := f.Block(sid)
 			// Drop the φ argument positions corresponding to b.
 			for {
-				pi := s.PredIndex(b)
+				pi := s.PredIndex(b.ID)
 				if pi < 0 {
 					break
 				}
-				s.Preds = append(s.Preds[:pi], s.Preds[pi+1:]...)
+				s.RemovePredAt(pi)
 				for _, phi := range s.Phis() {
-					phi.Uses = append(phi.Uses[:pi], phi.Uses[pi+1:]...)
+					phi.RemoveUseAt(pi)
 				}
 			}
 		}
 	}
-	f.Blocks = kept
 	if removed > 0 {
-		f.NoteCFGMutation() // block list, Preds and φ operand slices edited in place
+		f.SetBlockOrder(kept)
 	}
 	return removed
 }

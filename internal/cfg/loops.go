@@ -20,7 +20,8 @@ func ComputeLoopDepth(f *ir.Func) {
 	type backEdge struct{ tail, head *ir.Block }
 	var backs []backEdge
 	for _, b := range ReversePostorder(f) {
-		for _, s := range b.Succs {
+		for _, sid := range b.Succs() {
+			s := f.Block(sid)
 			if t.Dominates(s, b) {
 				backs = append(backs, backEdge{b, s})
 			}
@@ -29,7 +30,7 @@ func ComputeLoopDepth(f *ir.Func) {
 
 	// Natural loop of each back edge; a block's depth counts the distinct
 	// headers of loops containing it.
-	headersOf := make([]map[int]bool, f.NumBlocks())
+	headersOf := make([]map[ir.BlockID]bool, f.NumBlocks())
 	for _, be := range backs {
 		inLoop := make([]bool, f.NumBlocks())
 		inLoop[be.head.ID] = true
@@ -41,10 +42,10 @@ func ComputeLoopDepth(f *ir.Func) {
 		for len(stack) > 0 {
 			b := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, p := range b.Preds {
-				if reach[p.ID] && !inLoop[p.ID] {
-					inLoop[p.ID] = true
-					stack = append(stack, p)
+			for _, p := range b.Preds() {
+				if reach[p] && !inLoop[p] {
+					inLoop[p] = true
+					stack = append(stack, f.Block(p))
 				}
 			}
 		}
@@ -53,7 +54,7 @@ func ComputeLoopDepth(f *ir.Func) {
 				continue
 			}
 			if headersOf[id] == nil {
-				headersOf[id] = make(map[int]bool)
+				headersOf[id] = make(map[ir.BlockID]bool)
 			}
 			headersOf[id][be.head.ID] = true
 		}
@@ -61,7 +62,7 @@ func ComputeLoopDepth(f *ir.Func) {
 	for id := range depth {
 		depth[id] = len(headersOf[id])
 	}
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		b.LoopDepth = depth[b.ID]
 	}
 }
@@ -80,22 +81,25 @@ func ComputeLoopDepth(f *ir.Func) {
 func SplitCriticalEdges(f *ir.Func) int {
 	n := 0
 	// Snapshot: we mutate the block list while iterating.
-	blocks := append([]*ir.Block(nil), f.Blocks...)
+	blocks := append([]*ir.Block(nil), f.Blocks()...)
 	for _, b := range blocks {
-		if len(b.Succs) < 2 {
+		if b.NumSuccs() < 2 {
 			continue
 		}
-		for si, s := range b.Succs {
-			if len(s.Preds) < 2 {
+		for si := 0; si < b.NumSuccs(); si++ {
+			s := b.Succ(si)
+			if s.NumPreds() < 2 {
 				continue
 			}
 			mid := f.NewBlock("")
-			mid.Append(&ir.Instr{Op: ir.Jump})
+			mid.Append(f.NewInstr(ir.Jump, nil, nil))
 			// Rewire b -> mid -> s, preserving positions.
-			b.Succs[si] = mid
-			mid.Preds = []*ir.Block{b}
-			mid.Succs = []*ir.Block{s}
-			s.ReplacePred(b, mid)
+			ss := append([]ir.BlockID(nil), b.Succs()...)
+			ss[si] = mid.ID
+			b.SetSuccs(ss)
+			mid.SetPreds([]ir.BlockID{b.ID})
+			mid.SetSuccs([]ir.BlockID{s.ID})
+			s.ReplacePred(b.ID, mid.ID)
 			// φ uses in s keep their index, so nothing else to update.
 			n++
 		}
@@ -105,12 +109,12 @@ func SplitCriticalEdges(f *ir.Func) int {
 
 // HasCriticalEdge reports whether f contains any critical edge.
 func HasCriticalEdge(f *ir.Func) bool {
-	for _, b := range f.Blocks {
-		if len(b.Succs) < 2 {
+	for _, b := range f.Blocks() {
+		if b.NumSuccs() < 2 {
 			continue
 		}
-		for _, s := range b.Succs {
-			if len(s.Preds) > 1 {
+		for _, sid := range b.Succs() {
+			if f.Block(sid).NumPreds() > 1 {
 				return true
 			}
 		}

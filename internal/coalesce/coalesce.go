@@ -84,7 +84,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 
 	// Inner-to-outer traversal: blocks ordered by decreasing loop depth
 	// (ties broken by block ID for determinism).
-	blocks := append([]*ir.Block(nil), f.Blocks...)
+	blocks := append([]*ir.Block(nil), f.Blocks()...)
 	sort.SliceStable(blocks, func(i, j int) bool {
 		if blocks[i].LoopDepth != blocks[j].LoopDepth {
 			return blocks[i].LoopDepth > blocks[j].LoopDepth
@@ -94,14 +94,14 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 
 	if opt.DepthConstraint {
 		maxDepth := 0
-		for _, b := range f.Blocks {
+		for _, b := range f.Blocks() {
 			if b.LoopDepth > maxDepth {
 				maxDepth = b.LoopDepth
 			}
 		}
 		for d := maxDepth; d >= 0; d-- {
 			for _, b := range blocks {
-				if len(b.Phis()) == 0 {
+				if b.NumPhis() == 0 {
 					continue
 				}
 				g := createAffinityGraph(b, res, rg, an, d)
@@ -111,7 +111,7 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 		}
 	} else {
 		for _, b := range blocks {
-			if len(b.Phis()) == 0 {
+			if b.NumPhis() == 0 {
 				continue
 			}
 			g := createAffinityGraph(b, res, rg, an, -1)
@@ -131,8 +131,8 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 		for _, b := range blocks {
 			for _, phi := range b.Phis() {
 				x := res.Find(phi.Def(0))
-				for _, u := range phi.Uses {
-					if rg.KilledSet(u.Val).Has(u.Val.ID) {
+				for _, u := range phi.Uses() {
+					if rg.KilledSet(u.Val).Has(int(u.Val)) {
 						continue // repaired argument: nothing to gain
 					}
 					a := res.Find(u.Val)
@@ -159,12 +159,12 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 	// Final gain accounting: a slot only saves its move when the argument
 	// shares the φ's resource AND still reaches the φ point in it (not
 	// through a repair variable).
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
 			x := res.Find(phi.Def(0))
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				st.PhiSlots++
-				if res.Find(u.Val) == x && !rg.KilledSet(x).Has(u.Val.ID) {
+				if res.Find(u.Val) == x && !rg.KilledSet(x).Has(int(u.Val)) {
 					st.Gain++
 				}
 			}
@@ -178,12 +178,12 @@ func ProgramPinning(f *ir.Func, opt Options) (*Stats, error) {
 // resources (represented by their current root), edges carry the copy
 // multiplicity between a φ-def resource and a φ-arg resource.
 type graph struct {
-	verts []*ir.Value
+	verts []ir.ValueID
 	edges []*edge
 }
 
 type edge struct {
-	def, arg *ir.Value // resource roots at graph construction time
+	def, arg ir.ValueID // resource roots at graph construction time
 	mult     int
 	weight   int
 	deleted  bool
@@ -201,8 +201,8 @@ type edge struct {
 // from being dragged into R0's class for nothing).
 func createAffinityGraph(b *ir.Block, res *pin.Resources, rg *interference.ResourceGraph, an *interference.Analysis, depth int) *graph {
 	g := &graph{}
-	seen := make(map[*ir.Value]bool)
-	addVert := func(v *ir.Value) *ir.Value {
+	seen := make(map[ir.ValueID]bool)
+	addVert := func(v ir.ValueID) ir.ValueID {
 		r := res.Find(v)
 		if !seen[r] {
 			seen[r] = true
@@ -210,7 +210,7 @@ func createAffinityGraph(b *ir.Block, res *pin.Resources, rg *interference.Resou
 		}
 		return r
 	}
-	findEdge := func(d, a *ir.Value) *edge {
+	findEdge := func(d, a ir.ValueID) *edge {
 		for _, e := range g.edges {
 			if e.def == d && e.arg == a {
 				return e
@@ -220,12 +220,12 @@ func createAffinityGraph(b *ir.Block, res *pin.Resources, rg *interference.Resou
 	}
 	// Resource_killed sets are memoized inside the graph (generation-
 	// keyed), so repeated probes per root cost a map hit.
-	isKilled := func(v *ir.Value) bool {
-		return rg.KilledSet(v).Has(v.ID)
+	isKilled := func(v ir.ValueID) bool {
+		return rg.KilledSet(v).Has(int(v))
 	}
 	for _, phi := range b.Phis() {
 		rX := addVert(phi.Def(0))
-		for _, u := range phi.Uses {
+		for _, u := range phi.Uses() {
 			if depth >= 0 {
 				def := an.Def(u.Val)
 				if def == nil || def.Block().LoopDepth != depth {
@@ -281,7 +281,7 @@ func pinBlock(g *graph, res *pin.Resources, rg *interference.ResourceGraph, st *
 	for i := 0; i < len(edges); i++ {
 		for j := i + 1; j < len(edges); j++ {
 			e1, e2 := edges[i], edges[j]
-			var common, o1, o2 *ir.Value
+			var common, o1, o2 ir.ValueID
 			switch {
 			case e1.def == e2.def:
 				common, o1, o2 = e1.def, e1.arg, e2.arg
@@ -332,8 +332,9 @@ func pinBlock(g *graph, res *pin.Resources, rg *interference.ResourceGraph, st *
 	// incremental recheck guarantees Condition 2 against long-range
 	// interferences the weights cannot see.
 	remaining := liveEdges()
+	f := res.Func()
 	isPhysEdge := func(e *edge) bool {
-		return res.Find(e.def).IsPhys() || res.Find(e.arg).IsPhys()
+		return f.IsPhys(res.Find(e.def)) || f.IsPhys(res.Find(e.arg))
 	}
 	sort.SliceStable(remaining, func(i, j int) bool {
 		// Virtual-virtual merges first: joining a dedicated register's
@@ -347,10 +348,10 @@ func pinBlock(g *graph, res *pin.Resources, rg *interference.ResourceGraph, st *
 		if remaining[i].mult != remaining[j].mult {
 			return remaining[i].mult > remaining[j].mult
 		}
-		if remaining[i].def.ID != remaining[j].def.ID {
-			return remaining[i].def.ID < remaining[j].def.ID
+		if remaining[i].def != remaining[j].def {
+			return remaining[i].def < remaining[j].def
 		}
-		return remaining[i].arg.ID < remaining[j].arg.ID
+		return remaining[i].arg < remaining[j].arg
 	})
 	for _, e := range remaining {
 		a, b := res.Find(e.def), res.Find(e.arg)

@@ -94,11 +94,11 @@ func fig9() *ir.Func {
 	bld.Input(c)
 	bld.Br(c, p1, p2)
 	bld.SetBlock(p1)
-	bld.Call("f1", []*ir.Value{x})
-	bld.Call("f3", []*ir.Value{z})
+	bld.Call("f1", []ir.ValueID{x})
+	bld.Call("f3", []ir.ValueID{z})
 	bld.Jump(join)
 	bld.SetBlock(p2)
-	bld.Call("f2", []*ir.Value{y})
+	bld.Call("f2", []ir.ValueID{y})
 	bld.Jump(join)
 	bld.SetBlock(join)
 	bld.Phi(xx, x, y)
@@ -139,8 +139,10 @@ func TestSameBlockPhisNeverMerged(t *testing.T) {
 		t.Fatal(err)
 	}
 	var phis []*ir.Instr
-	for _, b := range f.Blocks {
-		phis = append(phis, b.Phis()...)
+	for _, b := range f.Blocks() {
+		for _, p := range b.Phis() {
+			phis = append(phis, p)
+		}
 	}
 	if len(phis) != 2 {
 		t.Fatalf("want 2 φs, got %d", len(phis))

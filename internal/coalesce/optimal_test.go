@@ -15,15 +15,15 @@ import (
 )
 
 // slot is one φ argument position that could be coalesced.
-type slot struct{ def, arg *ir.Value }
+type slot struct{ def, arg ir.ValueID }
 
 // collectSlots gathers the coalescable φ slots of f (arguments not
 // already killed within their resource).
 func collectSlots(f *ir.Func, rg *interference.ResourceGraph, res *pin.Resources) []slot {
 	var out []slot
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				if u.Val == phi.Def(0) {
 					continue
 				}

@@ -48,7 +48,7 @@ func PrePinDefs(f *ir.Func, mode interference.Mode) (*PrePinStats, error) {
 	an := interference.New(f, live, dom, mode)
 	rg := interference.NewResourceGraph(an, res)
 
-	blocks := append([]*ir.Block(nil), f.Blocks...)
+	blocks := append([]*ir.Block(nil), f.Blocks()...)
 	for i := 1; i < len(blocks); i++ {
 		for j := i; j > 0 && deeperFirst(blocks[j], blocks[j-1]); j-- {
 			blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
@@ -57,17 +57,17 @@ func PrePinDefs(f *ir.Func, mode interference.Mode) (*PrePinStats, error) {
 
 	st := &PrePinStats{}
 	for _, b := range blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Phi {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Phi {
 				continue // φ argument affinities belong to ProgramPinning
 			}
-			for _, u := range in.Uses {
-				if u.Pin == nil {
+			for _, u := range in.Uses() {
+				if !u.Pinned() {
 					continue
 				}
 				v := u.Val
-				want := res.Find(u.Pin)
-				if want.IsPhys() {
+				want := res.Find(u.Pin())
+				if f.IsPhys(want) {
 					// Joining a dedicated register's class wholesale is a
 					// bad trade: it blocks later φ merges against the whole
 					// class. Physical slots keep their local move (or are
@@ -80,7 +80,7 @@ func PrePinDefs(f *ir.Func, mode interference.Mode) (*PrePinStats, error) {
 				// The value must not be killed in its own resource at this
 				// point (then the repair move is unavoidable anyway), and
 				// merging must not create a new interference.
-				if rg.KilledSet(v).Has(v.ID) || rg.Interfere(v, want) {
+				if rg.KilledSet(v).Has(int(v)) || rg.Interfere(v, want) {
 					st.Skipped++
 					continue
 				}

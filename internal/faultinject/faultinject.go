@@ -96,43 +96,52 @@ func Inject(f *ir.Func, c Class) bool {
 	return true
 }
 
-// InjectSilent is Inject without the NoteMutation bump: it models a pass
+// InjectSilent is Inject without the generation bump: it models a pass
 // that mutates the IR but violates the generation-counter contract, so
-// cached analyses remain (wrongly) valid. Classes that corrupt through
-// the ir mutator API (NewValue, InsertAt, ...) still bump the counter
-// automatically; the purely in-place classes — UseBeforeDef,
-// PhiArityMismatch, DanglingEdge, MisplacedPhi, StaleVarLiveness — are
-// the genuinely silent ones. The analysis cache tests use this to
-// demonstrate what staleness looks like; everything else should call
-// Inject.
+// cached analyses remain (wrongly) valid. The SoA mutators bump the
+// counters automatically, so a contract-violating pass can no longer
+// exist by accident; the injector recreates one deliberately by
+// restoring the counters with SetGenerations after the operand-only
+// classes — UseBeforeDef, PhiArityMismatch, DanglingEdge, MisplacedPhi,
+// StaleVarLiveness — have mutated through the API. Classes that create
+// values or instructions keep their bumps (a fresh value would make the
+// restored counters lie about slab sizes, not just about staleness).
+// The analysis cache tests use this to demonstrate what staleness looks
+// like; everything else should call Inject.
 func InjectSilent(f *ir.Func, c Class) bool {
+	gen, cfgGen := f.Generation(), f.CFGGeneration()
+	ok := false
+	silent := false
 	switch c {
 	case ClobberPhiArg:
-		return clobberPhiArg(f)
+		ok = clobberPhiArg(f)
 	case DuplicatePin:
-		return duplicatePin(f)
+		ok = duplicatePin(f)
 	case UseBeforeDef:
-		return useBeforeDef(f)
+		ok, silent = useBeforeDef(f), true
 	case BrokenCopyCycle:
-		return brokenCopyCycle(f)
+		ok = brokenCopyCycle(f)
 	case DoubleDef:
-		return doubleDef(f)
+		ok = doubleDef(f)
 	case PhiArityMismatch:
-		return phiArityMismatch(f)
+		ok, silent = phiArityMismatch(f), true
 	case DanglingEdge:
-		return danglingEdge(f)
+		ok, silent = danglingEdge(f), true
 	case MisplacedPhi:
-		return misplacedPhi(f)
+		ok, silent = misplacedPhi(f), true
 	case StaleVarLiveness:
-		return staleVarLiveness(f)
+		ok, silent = staleVarLiveness(f), true
 	}
-	return false
+	if ok && silent {
+		f.SetGenerations(gen, cfgGen)
+	}
+	return ok
 }
 
 func firstPhi(f *ir.Func) *ir.Instr {
-	for _, b := range f.Blocks {
-		if phis := b.Phis(); len(phis) > 0 {
-			return phis[0]
+	for _, b := range f.Blocks() {
+		for _, phi := range b.Phis() {
+			return phi
 		}
 	}
 	return nil
@@ -140,40 +149,39 @@ func firstPhi(f *ir.Func) *ir.Instr {
 
 func clobberPhiArg(f *ir.Func) bool {
 	phi := firstPhi(f)
-	if phi == nil || len(phi.Uses) == 0 {
+	if phi == nil || phi.NumUses() == 0 {
 		return false
 	}
-	phi.Uses[0].Val = f.NewValue("fault.undef")
+	phi.SetUseVal(0, f.NewValue("fault.undef"))
 	return true
 }
 
 func duplicatePin(f *ir.Func) bool {
-	for _, b := range f.Blocks {
-		phis := b.Phis()
-		if len(phis) < 2 {
+	for _, b := range f.Blocks() {
+		if b.NumPhis() < 2 {
 			continue
 		}
 		res := f.NewValue("fault.res")
-		ir.PinDef(phis[0], 0, res)
-		ir.PinDef(phis[1], 0, res)
+		ir.PinDef(b.Instr(0), 0, res)
+		ir.PinDef(b.Instr(1), 0, res)
 		return true
 	}
 	return false
 }
 
 func useBeforeDef(f *ir.Func) bool {
-	for _, b := range f.Blocks {
-		for i, in := range b.Instrs {
-			if in.Op == ir.Phi || len(in.Uses) == 0 {
+	for _, b := range f.Blocks() {
+		for i, in := range b.Instrs() {
+			if in.Op() == ir.Phi || in.NumUses() == 0 {
 				continue
 			}
 			// A value defined strictly later in the same block.
-			for _, later := range b.Instrs[i+1:] {
-				for _, d := range later.Defs {
-					if d.Val.IsPhys() || d.Val == in.Uses[0].Val {
+			for j := i + 1; j < b.NumInstrs(); j++ {
+				for _, d := range b.Instr(j).Defs() {
+					if f.IsPhys(d.Val) || d.Val == in.Use(0) {
 						continue
 					}
-					in.Uses[0].Val = d.Val
+					in.SetUseVal(0, d.Val)
 					return true
 				}
 			}
@@ -183,40 +191,36 @@ func useBeforeDef(f *ir.Func) bool {
 }
 
 func brokenCopyCycle(f *ir.Func) bool {
-	var v *ir.Value
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
-				if !d.Val.IsPhys() {
+	v := ir.NoValue
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				if !f.IsPhys(d.Val) {
 					v = d.Val
 					break
 				}
 			}
 		}
 	}
-	if v == nil {
+	if v == ir.NoValue {
 		return false
 	}
-	pc := &ir.Instr{Op: ir.ParCopy,
-		Defs: []ir.Operand{{Val: v}, {Val: v}},
-		Uses: []ir.Operand{{Val: v}, {Val: v}}}
+	pc := f.NewInstr(ir.ParCopy, ir.Ops(v, v), ir.Ops(v, v))
 	f.Entry().InsertBeforeTerminator(pc)
 	return true
 }
 
 func doubleDef(f *ir.Func) bool {
-	for _, b := range f.Blocks {
-		for i, in := range b.Instrs {
-			if in.Op == ir.Phi || in.Op.IsTerminator() {
+	for _, b := range f.Blocks() {
+		for i, in := range b.Instrs() {
+			if in.Op() == ir.Phi || in.Op().IsTerminator() {
 				continue
 			}
-			for _, d := range in.Defs {
-				if d.Val.IsPhys() {
+			for _, d := range in.Defs() {
+				if f.IsPhys(d.Val) {
 					continue
 				}
-				b.InsertAt(i+1, &ir.Instr{Op: ir.Copy,
-					Defs: []ir.Operand{{Val: d.Val}},
-					Uses: []ir.Operand{{Val: d.Val}}})
+				b.InsertAt(i+1, f.NewInstr(ir.Copy, ir.Ops(d.Val), ir.Ops(d.Val)))
 				return true
 			}
 		}
@@ -226,19 +230,20 @@ func doubleDef(f *ir.Func) bool {
 
 func phiArityMismatch(f *ir.Func) bool {
 	phi := firstPhi(f)
-	if phi == nil || len(phi.Uses) == 0 {
+	if phi == nil || phi.NumUses() == 0 {
 		return false
 	}
-	phi.Uses = phi.Uses[:len(phi.Uses)-1]
+	phi.RemoveUseAt(phi.NumUses() - 1)
 	return true
 }
 
 func danglingEdge(f *ir.Func) bool {
-	if len(f.Blocks) == 0 {
+	blocks := f.Blocks()
+	if len(blocks) == 0 {
 		return false
 	}
-	b := f.Blocks[0]
-	b.Succs = append(b.Succs, f.Blocks[len(f.Blocks)-1])
+	b := blocks[0]
+	b.SetSuccs(append(append([]ir.BlockID(nil), b.Succs()...), blocks[len(blocks)-1].ID))
 	return true
 }
 
@@ -251,35 +256,36 @@ func danglingEdge(f *ir.Func) bool {
 // instruction counts and pins all stay intact — so the only evidence
 // is liveness flowing along the wrong φ edges.
 func staleVarLiveness(f *ir.Func) bool {
-	defBlk := make(map[*ir.Value]*ir.Block)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
-				if !d.Val.IsPhys() {
+	defBlk := make(map[ir.ValueID]*ir.Block)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				if !f.IsPhys(d.Val) {
 					defBlk[d.Val] = b
 				}
 			}
 		}
 	}
 	dom := cfg.Dominators(f)
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
-			n := len(phi.Uses)
-			if n > len(b.Preds) {
-				n = len(b.Preds)
+			n := phi.NumUses()
+			if n > b.NumPreds() {
+				n = b.NumPreds()
 			}
 			for i := 0; i < n; i++ {
-				vi := phi.Uses[i].Val
-				if vi.IsPhys() || defBlk[vi] == nil {
+				vi := phi.Use(i)
+				if f.IsPhys(vi) || defBlk[vi] == nil {
 					continue
 				}
 				for j := 0; j < n; j++ {
-					vj := phi.Uses[j].Val
-					if i == j || vi == vj || vj.IsPhys() {
+					vj := phi.Use(j)
+					if i == j || vi == vj || f.IsPhys(vj) {
 						continue
 					}
-					if !dom.Dominates(defBlk[vi], b.Preds[j]) {
-						phi.Uses[i].Val, phi.Uses[j].Val = vj, vi
+					if !dom.Dominates(defBlk[vi], b.Pred(j)) {
+						phi.SetUseVal(i, vj)
+						phi.SetUseVal(j, vi)
 						return true
 					}
 				}
@@ -290,12 +296,13 @@ func staleVarLiveness(f *ir.Func) bool {
 }
 
 func misplacedPhi(f *ir.Func) bool {
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		n := b.FirstNonPhi()
-		if n == 0 || n >= len(b.Instrs) {
+		if n == 0 || n >= b.NumInstrs() {
 			continue
 		}
-		b.Instrs[n-1], b.Instrs[n] = b.Instrs[n], b.Instrs[n-1]
+		phi := b.RemoveAt(n - 1)
+		b.InsertAt(n, phi)
 		return true
 	}
 	return false

@@ -54,8 +54,8 @@ type ResourceGraph struct {
 	// excluded — those are Class 2).
 	Sites []PinSite
 
-	killedMemo    map[int]killedEntry
-	interfereMemo map[[2]int]interfereEntry
+	killedMemo    map[ir.ValueID]killedEntry
+	interfereMemo map[[2]ir.ValueID]interfereEntry
 	pool          bitset.Pool
 
 	// Sweep scratch, recycled across queries: defPoint structs, the
@@ -85,17 +85,17 @@ func NewResourceGraph(an *Analysis, res *pin.Resources) *ResourceGraph {
 		An:            an,
 		Res:           res,
 		Engine:        DefaultEngine,
-		killedMemo:    make(map[int]killedEntry),
-		interfereMemo: make(map[[2]int]interfereEntry),
+		killedMemo:    make(map[ir.ValueID]killedEntry),
+		interfereMemo: make(map[[2]ir.ValueID]interfereEntry),
 	}
-	for _, b := range an.fn.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Phi {
+	for _, b := range an.fn.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Phi {
 				continue
 			}
-			for _, u := range in.Uses {
-				if u.Pin != nil {
-					g.Sites = append(g.Sites, PinSite{Pin: u.Pin, Val: u.Val, In: in})
+			for _, u := range in.Uses() {
+				if u.Pinned() {
+					g.Sites = append(g.Sites, PinSite{Pin: u.Pin(), Val: u.Val, In: in})
 				}
 			}
 		}
@@ -108,11 +108,11 @@ func NewResourceGraph(an *Analysis, res *pin.Resources) *ResourceGraph {
 // case), or by a pinned use writing the resource while they are live.
 // The returned set is memoized and must be treated as read-only; it is
 // valid until the next Resources.Union.
-func (g *ResourceGraph) KilledSet(v *ir.Value) *bitset.Set {
+func (g *ResourceGraph) KilledSet(v ir.ValueID) *bitset.Set {
 	g.An.c.ResourceKilled++
 	root := g.Res.Find(v)
 	gen := g.Res.Gen()
-	if e, ok := g.killedMemo[root.ID]; ok && e.gen == gen {
+	if e, ok := g.killedMemo[root]; ok && e.gen == gen {
 		g.An.c.KilledMemoHits++
 		return e.set
 	}
@@ -122,33 +122,32 @@ func (g *ResourceGraph) KilledSet(v *ir.Value) *bitset.Set {
 	} else {
 		s = g.killedSweep(root)
 	}
-	g.killedMemo[root.ID] = killedEntry{gen: gen, set: s}
+	g.killedMemo[root] = killedEntry{gen: gen, set: s}
 	return s
 }
 
 // Killed is KilledSet as a map, for callers (and tests) that want value
 // keys rather than a bitset.
-func (g *ResourceGraph) Killed(v *ir.Value) map[*ir.Value]bool {
+func (g *ResourceGraph) Killed(v ir.ValueID) map[ir.ValueID]bool {
 	set := g.KilledSet(v)
-	vals := g.An.fn.Values()
-	killed := make(map[*ir.Value]bool, set.Len())
-	set.ForEach(func(id int) { killed[vals[id]] = true })
+	killed := make(map[ir.ValueID]bool, set.Len())
+	set.ForEach(func(id int) { killed[ir.ValueID(id)] = true })
 	return killed
 }
 
 // Interfere implements Resource_interfere(A, B): merging the two
 // resources would create a new simple interference (a repair not already
 // needed) or a strong interference (incorrect code).
-func (g *ResourceGraph) Interfere(a, b *ir.Value) bool {
+func (g *ResourceGraph) Interfere(a, b ir.ValueID) bool {
 	g.An.c.ResourceInterfere++
 	ra, rb := g.Res.Find(a), g.Res.Find(b)
 	if ra == rb {
 		return false
 	}
-	if ra.IsPhys() && rb.IsPhys() {
+	if g.An.fn.IsPhys(ra) && g.An.fn.IsPhys(rb) {
 		return true // distinct dedicated registers
 	}
-	key := [2]int{ra.ID, rb.ID}
+	key := [2]ir.ValueID{ra, rb}
 	if key[0] > key[1] {
 		key[0], key[1] = key[1], key[0]
 	}
@@ -170,18 +169,19 @@ func (g *ResourceGraph) Interfere(a, b *ir.Value) bool {
 // ---------------------------------------------------------------------
 // Pairwise engine: the direct O(k²) expansion of the paper's lifting.
 
-func (g *ResourceGraph) killedPairwise(root *ir.Value, members []*ir.Value) *bitset.Set {
-	killed := bitset.New(g.An.fn.NumValues())
+func (g *ResourceGraph) killedPairwise(root ir.ValueID, members []ir.ValueID) *bitset.Set {
+	f := g.An.fn
+	killed := bitset.New(f.NumValues())
 	for _, ai := range members {
-		if ai.IsPhys() {
+		if f.IsPhys(ai) {
 			continue
 		}
 		for _, aj := range members {
-			if aj.IsPhys() {
+			if f.IsPhys(aj) {
 				continue
 			}
 			if g.An.Kills(aj, ai) {
-				killed.Add(ai.ID)
+				killed.Add(int(ai))
 				break
 			}
 		}
@@ -191,32 +191,33 @@ func (g *ResourceGraph) killedPairwise(root *ir.Value, members []*ir.Value) *bit
 			continue
 		}
 		for _, m := range members {
-			if m.IsPhys() || killed.Has(m.ID) {
+			if f.IsPhys(m) || killed.Has(int(m)) {
 				continue
 			}
 			if site.kills(g.An, m) {
-				killed.Add(m.ID)
+				killed.Add(int(m))
 			}
 		}
 	}
 	return killed
 }
 
-func (g *ResourceGraph) interferePairwise(ra, rb *ir.Value, ma, mb []*ir.Value) bool {
+func (g *ResourceGraph) interferePairwise(ra, rb ir.ValueID, ma, mb []ir.ValueID) bool {
+	f := g.An.fn
 	killedA := g.KilledSet(ra)
 	killedB := g.KilledSet(rb)
 	for _, x := range ma {
-		if x.IsPhys() {
+		if f.IsPhys(x) {
 			continue
 		}
 		for _, y := range mb {
-			if y.IsPhys() {
+			if f.IsPhys(y) {
 				continue
 			}
-			if !killedA.Has(x.ID) && g.An.Kills(y, x) {
+			if !killedA.Has(int(x)) && g.An.Kills(y, x) {
 				return true
 			}
-			if !killedB.Has(y.ID) && g.An.Kills(x, y) {
+			if !killedB.Has(int(y)) && g.An.Kills(x, y) {
 				return true
 			}
 			if g.An.StronglyInterfere(x, y) {
@@ -228,7 +229,7 @@ func (g *ResourceGraph) interferePairwise(ra, rb *ir.Value, ma, mb []*ir.Value) 
 	// once merged.
 	for _, site := range g.Sites {
 		rs := g.Res.Find(site.Pin)
-		var victims []*ir.Value
+		var victims []ir.ValueID
 		var killedV *bitset.Set
 		switch rs {
 		case ra:
@@ -239,7 +240,7 @@ func (g *ResourceGraph) interferePairwise(ra, rb *ir.Value, ma, mb []*ir.Value) 
 			continue
 		}
 		for _, m := range victims {
-			if m.IsPhys() || killedV.Has(m.ID) {
+			if f.IsPhys(m) || killedV.Has(int(m)) {
 				continue
 			}
 			if site.kills(g.An, m) {
@@ -279,7 +280,7 @@ type defPoint struct {
 	block  *ir.Block
 	def    *ir.Instr // representative def (any φ of the block for idxKey -1)
 	side   int       // 0/1 during Interfere merges; 0 for Killed
-	vals   []*ir.Value
+	vals   []ir.ValueID
 }
 
 // covers reports whether a definition at point p strictly dominates a
@@ -328,19 +329,19 @@ func (g *ResourceGraph) putPoints(pts []*defPoint) {
 // two results of one instruction (strong interference) or two φs of one
 // block (Class 4) — interference either way. The returned slice is valid
 // either way and must be recycled with putPoints.
-func (g *ResourceGraph) collectPoints(pts []*defPoint, members []*ir.Value, side int, merge bool) ([]*defPoint, bool) {
+func (g *ResourceGraph) collectPoints(pts []*defPoint, members []ir.ValueID, side int, merge bool) ([]*defPoint, bool) {
 	an := g.An
 	for _, m := range members {
-		if m.IsPhys() {
+		if an.fn.IsPhys(m) {
 			continue
 		}
-		def := an.defs[m.ID]
+		def := an.defs[m]
 		if def == nil {
 			continue
 		}
 		b := def.Block()
-		idxKey := an.defIdx[m.ID]
-		if def.Op == ir.Phi {
+		idxKey := an.defIdx[m]
+		if def.Op() == ir.Phi {
 			idxKey = -1
 		}
 		found := false
@@ -358,7 +359,7 @@ func (g *ResourceGraph) collectPoints(pts []*defPoint, members []*ir.Value, side
 			region := -1
 			pre := an.dom.PreNum(b)
 			if pre < 0 {
-				region = b.ID
+				region = int(b.ID)
 			}
 			p := g.takePoint()
 			p.region, p.pre, p.idxKey = region, pre, idxKey
@@ -404,15 +405,15 @@ func sortPoints(pts []*defPoint) {
 // with defV = p's definition. The test reads only p (every member
 // defined at one point shares its live-after set and block), which is
 // what lets the sweep run it per point instead of per member pair.
-func (an *Analysis) killsAtPoint(p *defPoint, victim *ir.Value) bool {
+func (an *Analysis) killsAtPoint(p *defPoint, victim ir.ValueID) bool {
 	switch an.mode {
 	case Exact:
-		return an.liveAfterHas(p.def, victim.ID)
+		return an.liveAfterHas(p.def, victim)
 	case Optimistic:
-		return an.live.LiveOutID(victim.ID, p.block)
+		return an.live.LiveOut(victim, p.block)
 	default: // Pessimistic
-		return an.live.LiveInID(victim.ID, p.block) ||
-			an.defs[victim.ID].Block() == p.block
+		return an.live.LiveIn(victim, p.block) ||
+			an.defs[victim].Block() == p.block
 	}
 }
 
@@ -427,23 +428,24 @@ func (an *Analysis) killsAtPoint(p *defPoint, victim *ir.Value) bool {
 // any value of it).
 const sweepCutoff = 8
 
-func virtualCount(members []*ir.Value) int {
+func virtualCount(f *ir.Func, members []ir.ValueID) int {
 	n := 0
 	for _, m := range members {
-		if !m.IsPhys() {
+		if !f.IsPhys(m) {
 			n++
 		}
 	}
 	return n
 }
 
-func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
+func (g *ResourceGraph) killedSweep(root ir.ValueID) *bitset.Set {
 	an := g.An
+	f := an.fn
 	members := g.Res.Members(root)
-	if virtualCount(members) <= sweepCutoff {
+	if virtualCount(f, members) <= sweepCutoff {
 		return g.killedPairwise(root, members)
 	}
-	nv := an.fn.NumValues()
+	nv := f.NumValues()
 	killed := bitset.New(nv)
 
 	// Class 2: a φ member's replacement move at the end of predecessor i
@@ -452,22 +454,22 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 	// per member rather than an intersection with the dense live-out set:
 	// under the query engine only the members' own walks are consulted.
 	for _, m := range members {
-		if m.IsPhys() {
+		if f.IsPhys(m) {
 			continue
 		}
-		def := an.defs[m.ID]
-		if def == nil || def.Op != ir.Phi {
+		def := an.defs[m]
+		if def == nil || def.Op() != ir.Phi {
 			continue
 		}
 		blk := def.Block()
-		for i, u := range def.Uses {
-			arg := u.Val.ID
+		for i, u := range def.Uses() {
+			arg := u.Val
 			for _, v := range members {
-				if v.IsPhys() || v.ID == arg || killed.Has(v.ID) {
+				if f.IsPhys(v) || v == arg || killed.Has(int(v)) {
 					continue
 				}
-				if an.live.LiveOutID(v.ID, blk.Preds[i]) {
-					killed.Add(v.ID)
+				if an.live.LiveOut(v, blk.Pred(i)) {
+					killed.Add(int(v))
 				}
 			}
 		}
@@ -485,7 +487,7 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 	unkilledOf := func(p *defPoint) int {
 		n := 0
 		for _, m := range p.vals {
-			if !killed.Has(m.ID) {
+			if !killed.Has(int(m)) {
 				n++
 			}
 		}
@@ -502,11 +504,11 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 		if alive > 0 {
 			for _, q := range stack {
 				for _, victim := range q.vals {
-					if killed.Has(victim.ID) {
+					if killed.Has(int(victim)) {
 						continue
 					}
 					if an.killsAtPoint(p, victim) {
-						killed.Add(victim.ID)
+						killed.Add(int(victim))
 						alive--
 					}
 				}
@@ -523,29 +525,30 @@ func (g *ResourceGraph) killedSweep(root *ir.Value) *bitset.Set {
 			continue
 		}
 		for _, m := range members {
-			if m.IsPhys() || killed.Has(m.ID) {
+			if f.IsPhys(m) || killed.Has(int(m)) {
 				continue
 			}
 			if site.kills(an, m) {
-				killed.Add(m.ID)
+				killed.Add(int(m))
 			}
 		}
 	}
 	return killed
 }
 
-func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
+func (g *ResourceGraph) interfereSweep(ra, rb ir.ValueID) bool {
 	an := g.An
+	f := an.fn
 	ma, mb := g.Res.Members(ra), g.Res.Members(rb)
 	// The pairwise cost of Interfere is the PRODUCT of the class sizes
 	// (one huge class probed against a singleton is only k queries), so
 	// the cutoff is on the product.
-	if virtualCount(ma)*virtualCount(mb) <= sweepCutoff*sweepCutoff {
+	if virtualCount(f, ma)*virtualCount(f, mb) <= sweepCutoff*sweepCutoff {
 		return g.interferePairwise(ra, rb, ma, mb)
 	}
 	killedA := g.KilledSet(ra)
 	killedB := g.KilledSet(rb)
-	nv := an.fn.NumValues()
+	nv := f.NumValues()
 
 	// Shared definition points across the two classes interfere outright
 	// (same instruction → strong; same block's φ prefix → Class 4).
@@ -571,12 +574,12 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 				continue
 			}
 			for _, x := range p.vals {
-				defX := an.defs[x.ID]
+				defX := an.defs[x]
 				for _, y := range q.vals {
-					defY := an.defs[y.ID]
-					for i, u := range defX.Uses {
-						j := defY.Block().PredIndex(defX.Block().Preds[i])
-						if j >= 0 && u.Val != defY.Uses[j].Val {
+					defY := an.defs[y]
+					for i, u := range defX.Uses() {
+						j := defY.Block().PredIndex(defX.Block().Pred(i).ID)
+						if j >= 0 && u.Val != defY.Use(j) {
 							return true
 						}
 					}
@@ -593,33 +596,33 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 	defer g.pool.Put(aliveA)
 	defer g.pool.Put(aliveB)
 	for _, x := range ma {
-		if !x.IsPhys() && !killedA.Has(x.ID) {
-			aliveA.Add(x.ID)
+		if !f.IsPhys(x) && !killedA.Has(int(x)) {
+			aliveA.Add(int(x))
 		}
 	}
 	for _, y := range mb {
-		if !y.IsPhys() && !killedB.Has(y.ID) {
-			aliveB.Add(y.ID)
+		if !f.IsPhys(y) && !killedB.Has(int(y)) {
+			aliveB.Add(int(y))
 		}
 	}
 
 	// Class 2 across the merge: a φ member of one class clobbering an
 	// alive member of the other at a predecessor exit. Point queries per
 	// victim keep the query engine on its memoized per-variable walks.
-	phiClobbers := func(members []*ir.Value, victims *bitset.Set) bool {
+	phiClobbers := func(members []ir.ValueID, victims *bitset.Set) bool {
 		for _, m := range members {
-			if m.IsPhys() {
+			if f.IsPhys(m) {
 				continue
 			}
-			def := an.defs[m.ID]
-			if def == nil || def.Op != ir.Phi {
+			def := an.defs[m]
+			if def == nil || def.Op() != ir.Phi {
 				continue
 			}
 			blk := def.Block()
-			for i, u := range def.Uses {
-				pred := blk.Preds[i]
+			for i, u := range def.Uses() {
+				pred := blk.Pred(i)
 				for id := victims.NextSet(0); id >= 0; id = victims.NextSet(id + 1) {
-					if id != u.Val.ID && an.live.LiveOutID(id, pred) {
+					if ir.ValueID(id) != u.Val && an.live.LiveOut(ir.ValueID(id), pred) {
 						return true
 					}
 				}
@@ -653,7 +656,7 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 				continue
 			}
 			for _, victim := range q.vals {
-				if alive.Has(victim.ID) && an.killsAtPoint(p, victim) {
+				if alive.Has(int(victim)) && an.killsAtPoint(p, victim) {
 					return true
 				}
 			}
@@ -673,9 +676,8 @@ func (g *ResourceGraph) interfereSweep(ra, rb *ir.Value) bool {
 		default:
 			continue
 		}
-		vals := an.fn.Values()
 		for id := victims.NextSet(0); id >= 0; id = victims.NextSet(id + 1) {
-			if site.kills(an, vals[id]) {
+			if site.kills(an, ir.ValueID(id)) {
 				return true
 			}
 		}

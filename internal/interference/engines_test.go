@@ -34,11 +34,11 @@ func crossCheckEngines(t *testing.T, f *ir.Func, mode interference.Mode) {
 	gP := interference.NewResourceGraph(an, res)
 	gP.Engine = interference.EnginePairwise
 
-	roots := func() []*ir.Value {
-		seen := make(map[*ir.Value]bool)
-		var out []*ir.Value
-		for _, v := range f.Values() {
-			r := res.Find(v)
+	roots := func() []ir.ValueID {
+		seen := make(map[ir.ValueID]bool)
+		var out []ir.ValueID
+		for id := 0; id < f.NumValues(); id++ {
+			r := res.Find(ir.ValueID(id))
 			if !seen[r] {
 				seen[r] = true
 				out = append(out, r)
@@ -52,7 +52,7 @@ func crossCheckEngines(t *testing.T, f *ir.Func, mode interference.Mode) {
 			kd, kp := gD.KilledSet(r), gP.KilledSet(r)
 			if !kd.Equal(kp) {
 				t.Fatalf("%s: %s: Resource_killed(%v) diverges:\n dominance %v\n pairwise  %v",
-					stage, f.Name, r, kd.Elems(), kp.Elems())
+					stage, f.Name, f.VStr(r), kd.Elems(), kp.Elems())
 			}
 		}
 		for i := 0; i < len(rs); i++ {
@@ -73,9 +73,9 @@ func crossCheckEngines(t *testing.T, f *ir.Func, mode interference.Mode) {
 	// unions the coalescer's residual sweep would perform — and
 	// re-check on the grown classes.
 	merges := 0
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				a, x := res.Find(u.Val), res.Find(phi.Def(0))
 				if a == x {
 					continue

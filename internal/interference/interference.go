@@ -126,11 +126,11 @@ func New(f *ir.Func, live *liveness.Info, dom *cfg.DomTree, mode Mode) *Analysis
 		laBuilt:  make([]bool, f.NumBlocks()),
 		liveBase: live.QueryStats(),
 	}
-	for _, b := range f.Blocks {
-		for idx, in := range b.Instrs {
-			for _, d := range in.Defs {
-				a.defs[d.Val.ID] = in
-				a.defIdx[d.Val.ID] = idx
+	for _, b := range f.Blocks() {
+		for idx, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				a.defs[d.Val] = in
+				a.defIdx[d.Val] = idx
 			}
 		}
 	}
@@ -139,7 +139,7 @@ func New(f *ir.Func, live *liveness.Info, dom *cfg.DomTree, mode Mode) *Analysis
 
 // Def returns the unique SSA definition of v, or nil (e.g. physical
 // registers have none).
-func (a *Analysis) Def(v *ir.Value) *ir.Instr { return a.defs[v.ID] }
+func (a *Analysis) Def(v ir.ValueID) *ir.Instr { return a.defs[v] }
 
 // instrDominates reports whether definition x dominates definition y
 // strictly (x's value is available when y executes). φ definitions act at
@@ -149,13 +149,13 @@ func (a *Analysis) instrDominates(x, y *ir.Instr, xIdx, yIdx int) bool {
 	if bx != by {
 		return a.dom.StrictlyDominates(bx, by)
 	}
-	if x.Op == ir.Phi && y.Op == ir.Phi {
+	if x.Op() == ir.Phi && y.Op() == ir.Phi {
 		return false // parallel at block entry
 	}
-	if x.Op == ir.Phi {
+	if x.Op() == ir.Phi {
 		return true
 	}
-	if y.Op == ir.Phi {
+	if y.Op() == ir.Phi {
 		return false
 	}
 	return xIdx < yIdx
@@ -164,10 +164,10 @@ func (a *Analysis) instrDominates(x, y *ir.Instr, xIdx, yIdx int) bool {
 // liveAfterHas reports whether the value with the given ID is live
 // immediately after def executes; for φ defs, whether it is live-in to
 // the φ's block (φ defs act at block entry).
-func (a *Analysis) liveAfterHas(def *ir.Instr, id int) bool {
-	if def.Op == ir.Phi {
+func (a *Analysis) liveAfterHas(def *ir.Instr, id ir.ValueID) bool {
+	if def.Op() == ir.Phi {
 		a.c.LiveAfterHits++
-		return a.live.LiveInID(id, def.Block())
+		return a.live.LiveIn(id, def.Block())
 	}
 	b := def.Block()
 	if !a.laBuilt[b.ID] {
@@ -176,7 +176,7 @@ func (a *Analysis) liveAfterHas(def *ir.Instr, id int) bool {
 	} else {
 		a.c.LiveAfterHits++
 	}
-	return sparseHas(a.laSnap[def], id)
+	return sparseHas(a.laSnap[def], int(id))
 }
 
 // buildBlockLiveAfter walks b backward once from its exit-live set,
@@ -187,15 +187,15 @@ func (a *Analysis) liveAfterHas(def *ir.Instr, id int) bool {
 func (a *Analysis) buildBlockLiveAfter(b *ir.Block) {
 	cur := a.laPool.Get(a.fn.NumValues())
 	cur.CopyFrom(a.live.ExitLiveSet(b))
-	for i := len(b.Instrs) - 1; i >= 0; i-- {
-		in := b.Instrs[i]
-		if in.Op == ir.Phi {
+	for i := b.NumInstrs() - 1; i >= 0; i-- {
+		in := b.Instr(i)
+		if in.Op() == ir.Phi {
 			break // φ defs are answered from the block's live-in set
 		}
-		snapshot := len(in.Defs) > 0
+		snapshot := in.NumDefs() > 0
 		if !snapshot {
-			for _, u := range in.Uses {
-				if u.Pin != nil {
+			for _, u := range in.Uses() {
+				if u.Pinned() {
 					snapshot = true
 					break
 				}
@@ -206,11 +206,11 @@ func (a *Analysis) buildBlockLiveAfter(b *ir.Block) {
 			cur.ForEach(func(id int) { snap = append(snap, int32(id)) })
 			a.laSnap[in] = snap
 		}
-		for _, d := range in.Defs {
-			cur.Remove(d.Val.ID)
+		for _, d := range in.Defs() {
+			cur.Remove(int(d.Val))
 		}
-		for _, u := range in.Uses {
-			cur.Add(u.Val.ID)
+		for _, u := range in.Uses() {
+			cur.Add(int(u.Val))
 		}
 	}
 	a.laPool.Put(cur)
@@ -241,15 +241,15 @@ func sparseHas(s []int32, id int) bool {
 //	        argument other than b — the φ move at the end of that
 //	        predecessor would overwrite b. Note b == v is possible here:
 //	        this is the lost-copy self-kill.
-func (an *Analysis) Kills(v, b *ir.Value) bool {
+func (an *Analysis) Kills(v, b ir.ValueID) bool {
 	an.c.KillQueries++
-	defV, defB := an.defs[v.ID], an.defs[b.ID]
+	defV, defB := an.defs[v], an.defs[b]
 	// Case 1.
 	if v != b && defV != nil && defB != nil &&
-		an.instrDominates(defB, defV, an.defIdx[b.ID], an.defIdx[v.ID]) {
+		an.instrDominates(defB, defV, an.defIdx[b], an.defIdx[v]) {
 		switch an.mode {
 		case Exact:
-			if an.liveAfterHas(defV, b.ID) {
+			if an.liveAfterHas(defV, b) {
 				return true
 			}
 		case Optimistic:
@@ -263,10 +263,10 @@ func (an *Analysis) Kills(v, b *ir.Value) bool {
 		}
 	}
 	// Case 2.
-	if defV != nil && defV.Op == ir.Phi {
+	if defV != nil && defV.Op() == ir.Phi {
 		blk := defV.Block()
-		for i, u := range defV.Uses {
-			if b != u.Val && an.live.LiveOut(b, blk.Preds[i]) {
+		for i, u := range defV.Uses() {
+			if b != u.Val && an.live.LiveOut(b, blk.Pred(i)) {
 				return true
 			}
 		}
@@ -277,25 +277,25 @@ func (an *Analysis) Kills(v, b *ir.Value) bool {
 // StronglyInterfere implements Variable_stronglyInterfere (Classes 3-4):
 // strong interferences cannot be repaired, so pinning the two variables
 // together would be incorrect.
-func (an *Analysis) StronglyInterfere(a, b *ir.Value) bool {
+func (an *Analysis) StronglyInterfere(a, b ir.ValueID) bool {
 	an.c.StrongQueries++
 	if a == b {
 		return false
 	}
-	defA, defB := an.defs[a.ID], an.defs[b.ID]
+	defA, defB := an.defs[a], an.defs[b]
 	if defA == nil || defB == nil {
 		return false
 	}
-	if defA.Op == ir.Phi && defB.Op == ir.Phi {
+	if defA.Op() == ir.Phi && defB.Op() == ir.Phi {
 		ba, bb := defA.Block(), defB.Block()
 		if ba == bb {
 			return true // Case 4: φs of one block execute in parallel
 		}
 		// Case 3: arguments flowing from a shared predecessor must agree.
-		for i, u := range defA.Uses {
-			pred := ba.Preds[i]
-			j := bb.PredIndex(pred)
-			if j >= 0 && u.Val != defB.Uses[j].Val {
+		for i, u := range defA.Uses() {
+			pred := ba.Pred(i)
+			j := bb.PredIndex(pred.ID)
+			if j >= 0 && u.Val != defB.Use(j) {
 				return true
 			}
 		}
@@ -311,26 +311,26 @@ func (an *Analysis) StronglyInterfere(a, b *ir.Value) bool {
 // algorithm and by register coalescing at SSA level: a and b interfere
 // iff the dominator-wise earlier one is live at the definition of the
 // other (Budimlic et al.).
-func (an *Analysis) Interfere(a, b *ir.Value) bool {
+func (an *Analysis) Interfere(a, b ir.ValueID) bool {
 	an.c.InterfereQueries++
 	if a == b {
 		return false
 	}
-	defA, defB := an.defs[a.ID], an.defs[b.ID]
+	defA, defB := an.defs[a], an.defs[b]
 	if defA == nil || defB == nil {
 		return false
 	}
-	if an.instrDominates(defA, defB, an.defIdx[a.ID], an.defIdx[b.ID]) {
-		return an.liveAfterHas(defB, a.ID)
+	if an.instrDominates(defA, defB, an.defIdx[a], an.defIdx[b]) {
+		return an.liveAfterHas(defB, a)
 	}
-	if an.instrDominates(defB, defA, an.defIdx[b.ID], an.defIdx[a.ID]) {
-		return an.liveAfterHas(defA, b.ID)
+	if an.instrDominates(defB, defA, an.defIdx[b], an.defIdx[a]) {
+		return an.liveAfterHas(defA, b)
 	}
 	// Same instruction or parallel φs: both values born together.
 	if defA == defB {
 		return true
 	}
-	if defA.Op == ir.Phi && defB.Op == ir.Phi && defA.Block() == defB.Block() {
+	if defA.Op() == ir.Phi && defB.Op() == ir.Phi && defA.Block() == defB.Block() {
 		// Parallel φ defs of one block: live ranges both start at entry;
 		// they interfere if both are live somewhere, which is true unless
 		// one is dead — conservatively report interference.
@@ -346,9 +346,9 @@ func (an *Analysis) Interfere(a, b *ir.Value) bool {
 type PinSite struct {
 	// Pin is the resource the use is pinned to (resolve through the
 	// union-find at query time).
-	Pin *ir.Value
+	Pin ir.ValueID
 	// Val is the value being read into the resource.
-	Val *ir.Value
+	Val ir.ValueID
 	// In is the instruction carrying the pinned use.
 	In *ir.Instr
 }
@@ -359,8 +359,8 @@ type PinSite struct {
 // rescued locally by the translator. The live-across test goes through
 // the analysis' lazy snapshots (and, under the query engine, its
 // memoized per-variable walks) instead of an eagerly stored set.
-func (s PinSite) kills(an *Analysis, m *ir.Value) bool {
-	return m != s.Val && an.liveAfterHas(s.In, m.ID) && !s.In.HasDef(m)
+func (s PinSite) kills(an *Analysis, m ir.ValueID) bool {
+	return m != s.Val && an.liveAfterHas(s.In, m) && !s.In.HasDef(m)
 }
 
 // The resource-level lifting of these queries — Resource_killed and

@@ -16,13 +16,13 @@ func analyze(f *ir.Func, mode interference.Mode) *interference.Analysis {
 	return interference.New(f, liveness.Compute(f), cfg.Dominators(f), mode)
 }
 
-func valByName(f *ir.Func, name string) *ir.Value {
-	for _, v := range f.Values() {
-		if v.Name == name {
-			return v
+func valByName(f *ir.Func, name string) ir.ValueID {
+	for id := 0; id < f.NumValues(); id++ {
+		if f.ValueName(ir.ValueID(id)) == name {
+			return ir.ValueID(id)
 		}
 	}
-	return nil
+	return ir.NoValue
 }
 
 // Class 1 (Fig. 6 left): x = ...; y = ...; ... = x — y kills x because
@@ -225,7 +225,7 @@ func TestSameInstructionDefsStronglyInterfere(t *testing.T) {
 	bld := ir.NewBuilder("multi")
 	bld.Block("entry")
 	a, b := bld.Val("a"), bld.Val("b")
-	bld.Call("f", []*ir.Value{a, b})
+	bld.Call("f", []ir.ValueID{a, b})
 	s := bld.Val("s")
 	bld.Binary(ir.Add, s, a, b)
 	bld.Output(s)
@@ -332,7 +332,7 @@ func TestPinSiteKills(t *testing.T) {
 	p, arg, d, s := bld.Val("p"), bld.Val("arg"), bld.Val("d"), bld.Val("s")
 	in := bld.Input(p, arg)
 	ir.PinDef(in, 0, r2) // p lives in R2
-	call := bld.Call("f", []*ir.Value{d}, arg)
+	call := bld.Call("f", []ir.ValueID{d}, arg)
 	ir.PinUse(call, 0, r2) // the call wants arg in R2 — clobbers p
 	bld.Binary(ir.Add, s, p, d)
 	bld.Output(s)
@@ -354,18 +354,18 @@ func TestInterfereSymmetric(t *testing.T) {
 		f := testprog.Rand(seed, testprog.DefaultRandOptions())
 		ssa.Build(f)
 		an := analyze(f, interference.Exact)
-		vals := f.Values()
-		for i := 0; i < len(vals); i += 3 {
-			for j := 0; j < len(vals); j += 3 {
-				a, b := vals[i], vals[j]
-				if a.IsPhys() || b.IsPhys() {
+		nv := f.NumValues()
+		for i := 0; i < nv; i += 3 {
+			for j := 0; j < nv; j += 3 {
+				a, b := ir.ValueID(i), ir.ValueID(j)
+				if f.IsPhys(a) || f.IsPhys(b) {
 					continue
 				}
 				if an.Interfere(a, b) != an.Interfere(b, a) {
-					t.Fatalf("seed %d: Interfere(%v,%v) asymmetric", seed, a, b)
+					t.Fatalf("seed %d: Interfere(%v,%v) asymmetric", seed, f.VStr(a), f.VStr(b))
 				}
 				if an.StronglyInterfere(a, b) != an.StronglyInterfere(b, a) {
-					t.Fatalf("seed %d: StronglyInterfere(%v,%v) asymmetric", seed, a, b)
+					t.Fatalf("seed %d: StronglyInterfere(%v,%v) asymmetric", seed, f.VStr(a), f.VStr(b))
 				}
 			}
 		}

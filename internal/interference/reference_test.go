@@ -28,27 +28,27 @@ func TestInterfereMatchesOverlapReference(t *testing.T) {
 		// at each block entry (including the parallel φ definitions that
 		// are born there), and at each block's φ-copy point.
 		var points []*bitset.Set
-		for _, b := range f.Blocks {
+		for _, b := range f.Blocks() {
 			entry := live.LiveInSet(b).Copy()
 			for _, phi := range b.Phis() {
 				// A φ def participates at entry only if its value is used.
-				entry.Add(phi.Def(0).ID)
+				entry.Add(int(phi.Def(0)))
 			}
 			points = append(points, entry)
-			for i, in := range b.Instrs {
+			for i, in := range b.Instrs() {
 				p := live.LiveAfter(b, i)
 				// The write instant: even a dead definition occupies its
 				// register while the instruction executes.
-				for _, d := range in.Defs {
-					p.Add(d.Val.ID)
+				for _, d := range in.Defs() {
+					p.Add(int(d.Val))
 				}
 				points = append(points, p)
 			}
 			points = append(points, live.ExitLiveSet(b))
 		}
-		overlap := func(a, b *ir.Value) bool {
+		overlap := func(a, b ir.ValueID) bool {
 			for _, p := range points {
-				if p.Has(a.ID) && p.Has(b.ID) {
+				if p.Has(int(a)) && p.Has(int(b)) {
 					return true
 				}
 			}
@@ -56,20 +56,20 @@ func TestInterfereMatchesOverlapReference(t *testing.T) {
 		}
 
 		defs := f.SSADefs()
-		sameInstr := func(a, b *ir.Value) bool {
-			return defs[a.ID] != nil && defs[a.ID] == defs[b.ID]
+		sameInstr := func(a, b ir.ValueID) bool {
+			return defs[a] != nil && defs[a] == defs[b]
 		}
-		sameBlockPhis := func(a, b *ir.Value) bool {
-			da, db := defs[a.ID], defs[b.ID]
-			return da != nil && db != nil && da.Op == ir.Phi && db.Op == ir.Phi &&
+		sameBlockPhis := func(a, b ir.ValueID) bool {
+			da, db := defs[a], defs[b]
+			return da != nil && db != nil && da.Op() == ir.Phi && db.Op() == ir.Phi &&
 				da.Block() == db.Block()
 		}
 
-		vals := f.Values()
-		for i := 0; i < len(vals); i++ {
-			for j := i + 1; j < len(vals); j++ {
-				a, b := vals[i], vals[j]
-				if a.IsPhys() || b.IsPhys() || defs[a.ID] == nil || defs[b.ID] == nil {
+		nv := f.NumValues()
+		for i := 0; i < nv; i++ {
+			for j := i + 1; j < nv; j++ {
+				a, b := ir.ValueID(i), ir.ValueID(j)
+				if f.IsPhys(a) || f.IsPhys(b) || defs[a] == nil || defs[b] == nil {
 					continue
 				}
 				got := an.Interfere(a, b)
@@ -81,7 +81,7 @@ func TestInterfereMatchesOverlapReference(t *testing.T) {
 					continue // documented conservatism
 				}
 				t.Fatalf("seed %d: Interfere(%v,%v)=%v but overlap=%v\ndef a: %v\ndef b: %v",
-					seed, a, b, got, want, defs[a.ID], defs[b.ID])
+					seed, f.VStr(a), f.VStr(b), got, want, defs[a], defs[b])
 			}
 		}
 	}

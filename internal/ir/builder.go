@@ -27,7 +27,7 @@ func (bld *Builder) Block(name string) *Block {
 func (bld *Builder) SetBlock(b *Block) { bld.Cur = b }
 
 // Val creates a fresh virtual register.
-func (bld *Builder) Val(name string) *Value { return bld.Fn.NewValue(name) }
+func (bld *Builder) Val(name string) ValueID { return bld.Fn.NewValue(name) }
 
 func (bld *Builder) emit(in *Instr) *Instr {
 	if bld.Cur == nil {
@@ -41,97 +41,101 @@ func (bld *Builder) emit(in *Instr) *Instr {
 	return in
 }
 
-func ops(vals ...*Value) []Operand {
-	out := make([]Operand, len(vals))
-	for i, v := range vals {
-		out[i] = Operand{Val: v}
-	}
-	return out
-}
-
 // Input emits the .input pseudo-instruction defining the parameters.
 // Imm records the declared parameter count so the ABI collect phase can
 // distinguish parameters from implicit entry definitions appended later.
-func (bld *Builder) Input(params ...*Value) *Instr {
-	return bld.emit(&Instr{Op: Input, Defs: ops(params...), Imm: int64(len(params))})
+func (bld *Builder) Input(params ...ValueID) *Instr {
+	in := bld.Fn.NewInstr(Input, Ops(params...), nil)
+	in.Imm = int64(len(params))
+	return bld.emit(in)
 }
 
 // Output emits the .output terminator returning the given values.
-func (bld *Builder) Output(rets ...*Value) *Instr {
-	return bld.emit(&Instr{Op: Output, Uses: ops(rets...)})
+func (bld *Builder) Output(rets ...ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(Output, nil, Ops(rets...)))
 }
 
 // Const emits d = imm.
-func (bld *Builder) Const(d *Value, imm int64) *Instr {
-	return bld.emit(&Instr{Op: Const, Defs: ops(d), Imm: imm})
+func (bld *Builder) Const(d ValueID, imm int64) *Instr {
+	in := bld.Fn.NewInstr(Const, Ops(d), nil)
+	in.Imm = imm
+	return bld.emit(in)
 }
 
 // Make emits the high-half immediate load d = upper16(imm).
-func (bld *Builder) Make(d *Value, imm int64) *Instr {
-	return bld.emit(&Instr{Op: Make, Defs: ops(d), Imm: imm})
+func (bld *Builder) Make(d ValueID, imm int64) *Instr {
+	in := bld.Fn.NewInstr(Make, Ops(d), nil)
+	in.Imm = imm
+	return bld.emit(in)
 }
 
 // More emits the 2-operand low-half immediate d = s | imm.
-func (bld *Builder) More(d, s *Value, imm int64) *Instr {
-	return bld.emit(&Instr{Op: More, Defs: ops(d), Uses: ops(s), Imm: imm})
+func (bld *Builder) More(d, s ValueID, imm int64) *Instr {
+	in := bld.Fn.NewInstr(More, Ops(d), Ops(s))
+	in.Imm = imm
+	return bld.emit(in)
 }
 
 // Copy emits the move d = s.
-func (bld *Builder) Copy(d, s *Value) *Instr {
-	return bld.emit(&Instr{Op: Copy, Defs: ops(d), Uses: ops(s)})
+func (bld *Builder) Copy(d, s ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(Copy, Ops(d), Ops(s)))
 }
 
 // Binary emits d = op(a, b) for a plain 3-address arithmetic op.
-func (bld *Builder) Binary(op Op, d, a, b *Value) *Instr {
-	return bld.emit(&Instr{Op: op, Defs: ops(d), Uses: ops(a, b)})
+func (bld *Builder) Binary(op Op, d, a, b ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(op, Ops(d), Ops(a, b)))
 }
 
 // Unary emits d = op(a).
-func (bld *Builder) Unary(op Op, d, a *Value) *Instr {
-	return bld.emit(&Instr{Op: op, Defs: ops(d), Uses: ops(a)})
+func (bld *Builder) Unary(op Op, d, a ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(op, Ops(d), Ops(a)))
 }
 
 // Mac emits the 2-operand multiply-accumulate d = acc + a*b.
-func (bld *Builder) Mac(d, acc, a, b *Value) *Instr {
-	return bld.emit(&Instr{Op: Mac, Defs: ops(d), Uses: ops(acc, a, b)})
+func (bld *Builder) Mac(d, acc, a, b ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(Mac, Ops(d), Ops(acc, a, b)))
 }
 
 // Select emits d = cond != 0 ? a : b.
-func (bld *Builder) Select(d, cond, a, b *Value) *Instr {
-	return bld.emit(&Instr{Op: Select, Defs: ops(d), Uses: ops(cond, a, b)})
+func (bld *Builder) Select(d, cond, a, b ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(Select, Ops(d), Ops(cond, a, b)))
 }
 
 // AutoAdd emits the 2-operand auto-increment d = p + imm.
-func (bld *Builder) AutoAdd(d, p *Value, imm int64) *Instr {
-	return bld.emit(&Instr{Op: AutoAdd, Defs: ops(d), Uses: ops(p), Imm: imm})
+func (bld *Builder) AutoAdd(d, p ValueID, imm int64) *Instr {
+	in := bld.Fn.NewInstr(AutoAdd, Ops(d), Ops(p))
+	in.Imm = imm
+	return bld.emit(in)
 }
 
 // Load emits d = mem[addr].
-func (bld *Builder) Load(d, addr *Value) *Instr {
-	return bld.emit(&Instr{Op: Load, Defs: ops(d), Uses: ops(addr)})
+func (bld *Builder) Load(d, addr ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(Load, Ops(d), Ops(addr)))
 }
 
 // Store emits mem[addr] = v.
-func (bld *Builder) Store(addr, v *Value) *Instr {
-	return bld.emit(&Instr{Op: Store, Uses: ops(addr, v)})
+func (bld *Builder) Store(addr, v ValueID) *Instr {
+	return bld.emit(bld.Fn.NewInstr(Store, nil, Ops(addr, v)))
 }
 
 // Call emits results = callee(args...).
-func (bld *Builder) Call(callee string, results []*Value, args ...*Value) *Instr {
-	return bld.emit(&Instr{Op: Call, Callee: callee, Defs: ops(results...), Uses: ops(args...)})
+func (bld *Builder) Call(callee string, results []ValueID, args ...ValueID) *Instr {
+	in := bld.Fn.NewInstr(Call, Ops(results...), Ops(args...))
+	in.Callee = callee
+	return bld.emit(in)
 }
 
 // Phi emits a φ at the end of the current φ prefix of the block. Uses
 // must be parallel to the block's predecessor list (possibly set later).
-func (bld *Builder) Phi(d *Value, args ...*Value) *Instr {
-	in := &Instr{Op: Phi, Defs: ops(d), Uses: ops(args...)}
+func (bld *Builder) Phi(d ValueID, args ...ValueID) *Instr {
+	in := bld.Fn.NewInstr(Phi, Ops(d), Ops(args...))
 	bld.Cur.InsertAt(bld.Cur.FirstNonPhi(), in)
 	return in
 }
 
 // Br emits a conditional branch and wires the taken/fallthrough edges.
-func (bld *Builder) Br(cond *Value, taken, fallthru *Block) *Instr {
-	in := bld.emit(&Instr{Op: Br, Uses: ops(cond)})
+func (bld *Builder) Br(cond ValueID, taken, fallthru *Block) *Instr {
+	in := bld.emit(bld.Fn.NewInstr(Br, nil, Ops(cond)))
 	bld.Fn.AddEdge(bld.Cur, taken)
 	bld.Fn.AddEdge(bld.Cur, fallthru)
 	return in
@@ -139,26 +143,26 @@ func (bld *Builder) Br(cond *Value, taken, fallthru *Block) *Instr {
 
 // Jump emits an unconditional branch and wires the edge.
 func (bld *Builder) Jump(to *Block) *Instr {
-	in := bld.emit(&Instr{Op: Jump, Uses: nil})
+	in := bld.emit(bld.Fn.NewInstr(Jump, nil, nil))
 	bld.Fn.AddEdge(bld.Cur, to)
 	return in
 }
 
 // PinDef pins the i-th definition of in to resource r.
-func PinDef(in *Instr, i int, r *Value) {
-	if i >= len(in.Defs) {
+func PinDef(in *Instr, i int, r ValueID) {
+	if i >= in.NumDefs() {
 		// Panic audit: programmer invariant — the collect phases index
 		// operands they just enumerated; no user input reaches here.
 		panic(fmt.Sprintf("ir: PinDef index %d out of range for %v", i, in))
 	}
-	in.Defs[i].Pin = r
+	in.SetDefPin(i, r)
 }
 
 // PinUse pins the i-th use of in to resource r.
-func PinUse(in *Instr, i int, r *Value) {
-	if i >= len(in.Uses) {
+func PinUse(in *Instr, i int, r ValueID) {
+	if i >= in.NumUses() {
 		// Panic audit: programmer invariant, same as PinDef.
 		panic(fmt.Sprintf("ir: PinUse index %d out of range for %v", i, in))
 	}
-	in.Uses[i].Pin = r
+	in.SetUsePin(i, r)
 }

@@ -1,0 +1,60 @@
+package ir
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildCloneFixture assembles a function large enough to span several
+// instruction-arena chunks (straight-line adds over a rolling pair of
+// values) so the per-chunk copies show up in the allocation budget.
+func buildCloneFixture(nInstrs int) *Func {
+	bld := NewBuilder("clonefix")
+	bld.Block("entry")
+	a, b := bld.Val("a"), bld.Val("b")
+	bld.Input(a, b)
+	prev := b
+	for i := 0; i < nInstrs; i++ {
+		next := bld.Val(fmt.Sprintf("t%d", i))
+		bld.Binary(Add, next, a, prev)
+		prev = next
+	}
+	bld.Output(prev)
+	return bld.Fn
+}
+
+// TestCloneAllocs pins Clone's allocation budget to the slab count: the
+// whole point of the SoA re-platform is that cloning is O(arena chunks)
+// slab copies, not O(values + instructions + operands) node copies. If
+// this fails, someone reintroduced a per-entity allocation.
+func TestCloneAllocs(t *testing.T) {
+	for _, n := range []int{10, 600} { // one chunk; multiple chunks
+		f := buildCloneFixture(n)
+		budget := f.cloneSlabCount()
+		allocs := int(testing.AllocsPerRun(50, func() {
+			_ = f.Clone()
+		}))
+		if allocs > budget {
+			t.Errorf("n=%d: Clone made %d allocations, slab budget is %d", n, allocs, budget)
+		}
+		// The budget itself must stay O(chunks): a 60x instruction growth
+		// may only add the extra chunk allocations, nothing per-entity.
+		if n == 600 && budget > 20 {
+			t.Errorf("slab budget %d for %d instructions — budget is no longer O(chunks)", budget, n)
+		}
+	}
+}
+
+// TestCloneSlabCountTracksClone keeps the budget honest in the other
+// direction: it must not drift far above what Clone actually allocates,
+// or the pin stops meaning anything.
+func TestCloneSlabCountTracksClone(t *testing.T) {
+	f := buildCloneFixture(300)
+	budget := f.cloneSlabCount()
+	allocs := int(testing.AllocsPerRun(50, func() {
+		_ = f.Clone()
+	}))
+	if budget > 2*allocs {
+		t.Errorf("slab budget %d is more than twice the measured %d allocations", budget, allocs)
+	}
+}

@@ -3,30 +3,50 @@ package ir
 import "fmt"
 
 // Func is a single function: a control flow graph of basic blocks over a
-// set of values. Blocks[0] is the entry block.
+// set of values. Blocks()[0] is the entry block.
+//
+// The function owns all storage (structure-of-arrays): value metadata,
+// operands and block instruction lists live in flat slabs; instructions
+// and blocks live in chunked arenas with stable addresses. All mutation
+// goes through methods of *Func, *Block and *Instr, which maintain the
+// generation counters by construction — there is no struct field whose
+// direct assignment could silently invalidate a cached analysis.
 type Func struct {
 	Name   string
-	Blocks []*Block
 	Target *Target
 
-	values []*Value
-	nextID int
-	nextBB int
+	// vals[id] is the metadata of value id. Values are immutable after
+	// creation and the slab is append-only, so Clone copies it verbatim.
+	vals []valData
+	// ops is the operand slab. Every instruction's Defs/Uses are a
+	// (offset, length) span of this slab; spans are append-carved and
+	// never move (growth copies the prefix, so offsets stay valid).
+	ops []Operand
+	// code is the instruction-list slab: every block's instruction
+	// sequence is a capacity-capped span of this slab. In-place edits
+	// shift within the span; growing past capacity re-carves the span at
+	// the tail (the old span becomes garbage until the next Clone).
+	code []InstrID
+
+	instrChunks []*instrChunk
+	numInstrs   int32
+	blockChunks []*blockChunk
+	numBlocks   int32
+	// blockList is the live block order — print order, iteration order,
+	// entry first. Dead blocks (removed by CFG cleanup) stay in the arena
+	// but leave this list.
+	blockList []*Block
 
 	// generation counts mutations of the function's code. Every change
 	// that can affect a dataflow analysis — creating values or blocks,
 	// adding edges, inserting or removing instructions, rewriting operand
-	// values in place — moves it forward. internal/analysis keys its
-	// per-function memoization on this counter, so a cached analysis is
-	// reused exactly until the function changes.
-	//
-	// The structural mutators of this package (NewValue, NewBlock,
-	// AddEdge, the Block instruction helpers, RestoreFrom) bump it
-	// automatically. Passes that write Operand.Val fields or block/instr
-	// slices directly must call NoteMutation after their last such write.
-	// Changes that no cached analysis reads — Operand.Pin fields,
-	// Block.LoopDepth — deliberately do not bump, which is what lets a
-	// liveness computed before a pin-collect phase survive it.
+	// values — moves it forward. internal/analysis keys its per-function
+	// memoization on this counter, so a cached analysis is reused exactly
+	// until the function changes. All mutators of this package bump it
+	// automatically; changes that no cached analysis reads — operand
+	// pins, Block.LoopDepth, Instr.Imm/Callee — deliberately do not,
+	// which is what lets a liveness computed before a pin-collect phase
+	// survive it.
 	generation uint64
 	// cfgGeneration counts only CFG-shape mutations: creating blocks,
 	// adding or rewiring edges, deleting blocks. Analyses that read just
@@ -56,13 +76,11 @@ func NewFunc(name string) *Func {
 func (f *Func) Generation() uint64 { return f.generation }
 
 // NoteMutation records that the function's code changed, invalidating
-// every analysis memoized for an earlier generation. The structural
-// mutators of this package call it automatically; a pass that rewrites
-// Operand.Val fields or Instrs/Blocks slices in place must call it
-// after its last such write (see DESIGN.md §8 for the pass-author
-// contract). Code-only mutations leave CFG-keyed analyses (dominators)
-// valid; a pass that edits the block graph in place must call
-// NoteCFGMutation instead.
+// every analysis memoized for an earlier generation. Every mutator of
+// this package bumps the generation itself, so unlike the pre-SoA API
+// there is no pass-author obligation to call this; it remains exported
+// for tests and for code that stages out-of-band state keyed on the
+// generation.
 func (f *Func) NoteMutation() { f.generation++ }
 
 // CFGGeneration returns the CFG-shape generation counter. Two calls
@@ -72,12 +90,21 @@ func (f *Func) CFGGeneration() uint64 { return f.cfgGeneration }
 
 // NoteCFGMutation records that the block graph changed. It implies
 // NoteMutation: a CFG change invalidates every cached analysis, code-
-// and CFG-keyed alike. NewBlock and AddEdge call it automatically; a
-// pass that splices Preds/Succs or the Blocks slice in place must call
-// it after its last such write.
+// and CFG-keyed alike. As with NoteMutation, the CFG mutators bump this
+// automatically; it remains exported for tests.
 func (f *Func) NoteCFGMutation() {
 	f.generation++
 	f.cfgGeneration++
+}
+
+// SetGenerations overwrites both generation counters. It exists solely
+// for internal/faultinject, which models a buggy pass that mutates the
+// IR without the bump the analysis cache depends on (the SoA mutators
+// make that impossible to do by accident, so the fault injector has to
+// ask for it explicitly). Nothing else may call it.
+func (f *Func) SetGenerations(gen, cfgGen uint64) {
+	f.generation = gen
+	f.cfgGeneration = cfgGen
 }
 
 // AnalysisSlot returns the per-function storage slot used by
@@ -85,71 +112,186 @@ func (f *Func) NoteCFGMutation() {
 // not touch it.
 func (f *Func) AnalysisSlot() *any { return &f.analyses }
 
-func (f *Func) newValue(name string, kind ValueKind) *Value {
-	v := &Value{ID: f.nextID, Name: name, Kind: kind}
-	f.nextID++
-	f.values = append(f.values, v)
+// ---- values ----
+
+func (f *Func) newValue(name string, kind ValueKind) ValueID {
+	id := ValueID(len(f.vals))
+	f.vals = append(f.vals, valData{name: name, kind: kind})
 	f.generation++
-	return v
+	return id
 }
 
 // NewValue creates a fresh virtual register. If name is empty a unique
 // name is generated.
-func (f *Func) NewValue(name string) *Value {
+func (f *Func) NewValue(name string) ValueID {
 	if name == "" {
-		name = "v" + itoa64(int64(f.nextID))
+		name = "v" + itoa64(int64(len(f.vals)))
 	}
 	return f.newValue(name, Virtual)
 }
 
-// Values returns all values of the function (physical and virtual) in ID
-// order. The returned slice must not be mutated.
-func (f *Func) Values() []*Value { return f.values }
-
 // NumValues returns the exclusive upper bound of value IDs; suitable for
-// sizing dense per-value tables.
-func (f *Func) NumValues() int { return f.nextID }
+// sizing dense per-value tables. Value IDs are dense: every id in
+// [0, NumValues) is a live value.
+func (f *Func) NumValues() int { return len(f.vals) }
 
-// NewBlock creates a block and appends it to the function.
-func (f *Func) NewBlock(name string) *Block {
-	b := &Block{ID: f.nextBB, Name: name, fn: f}
-	f.nextBB++
-	f.generation++
-	f.cfgGeneration++
-	if b.Name == "" {
-		b.Name = "b" + itoa64(int64(b.ID))
+// ValueName returns the name of value v.
+func (f *Func) ValueName(v ValueID) string { return f.vals[v].name }
+
+// ValueKind returns the kind of value v.
+func (f *Func) ValueKind(v ValueID) ValueKind { return f.vals[v].kind }
+
+// IsPhys reports whether v is a dedicated physical register.
+func (f *Func) IsPhys(v ValueID) bool { return f.vals[v].kind == Physical }
+
+// VStr renders a value handle for diagnostics: its name, or "<none>"
+// for NoValue.
+func (f *Func) VStr(v ValueID) string {
+	if v == NoValue {
+		return "<none>"
 	}
-	f.Blocks = append(f.Blocks, b)
-	return b
-}
-
-// Entry returns the function entry block.
-func (f *Func) Entry() *Block {
-	if len(f.Blocks) == 0 {
-		panic("ir: function has no blocks")
+	if int(v) >= len(f.vals) {
+		return "v?" + itoa64(int64(v))
 	}
-	return f.Blocks[0]
+	return f.vals[v].name
 }
 
-// NumBlocks returns the exclusive upper bound of block IDs.
-func (f *Func) NumBlocks() int { return f.nextBB }
-
-// AddEdge records a CFG edge from b to s, keeping Preds/Succs consistent.
-func (f *Func) AddEdge(b, s *Block) {
-	b.Succs = append(b.Succs, s)
-	s.Preds = append(s.Preds, b)
-	f.generation++
-	f.cfgGeneration++
+// OperandString renders an operand as the printer does: "val" or
+// "val^pin".
+func (f *Func) OperandString(o Operand) string {
+	if o.Pinned() {
+		return f.VStr(o.Val) + "^" + f.VStr(o.Pin())
+	}
+	return f.VStr(o.Val)
 }
 
-// NumInstrs counts instructions across all blocks.
+// ---- instructions ----
+
+// allocInstr reserves a fresh arena slot and returns its (zeroed,
+// detached) instruction.
+func (f *Func) allocInstr() *Instr {
+	id := f.numInstrs
+	if int(id>>instrChunkShift) == len(f.instrChunks) {
+		f.instrChunks = append(f.instrChunks, new(instrChunk))
+	}
+	f.numInstrs++
+	in := &f.instrChunks[id>>instrChunkShift][id&instrChunkMask]
+	*in = Instr{id: InstrID(id), fn: f, blk: NoBlock}
+	return in
+}
+
+// NewInstr creates a detached instruction with the given operands. The
+// operand slices are copied into the function's operand slab; the caller
+// keeps ownership of (and may reuse) the argument slices. Attach the
+// instruction with Block.Append / InsertAt / InsertBeforeTerminator.
+// Imm and Callee are plain fields set directly after creation.
+func (f *Func) NewInstr(op Op, defs, uses []Operand) *Instr {
+	in := f.allocInstr()
+	in.op = op
+	in.defOff, in.defLen = f.carveOps(defs)
+	in.useOff, in.useLen = f.carveOps(uses)
+	return in
+}
+
+func (f *Func) carveOps(src []Operand) (off, n int32) {
+	off = int32(len(f.ops))
+	f.ops = append(f.ops, src...)
+	return off, int32(len(src))
+}
+
+// Instr returns the instruction with the given handle. It panics on
+// handles that were never allocated by this function.
+func (f *Func) Instr(id InstrID) *Instr {
+	if id < 0 || int32(id) >= f.numInstrs {
+		panic(fmt.Sprintf("ir: %s: instruction handle %d out of range [0,%d)", f.Name, id, f.numInstrs))
+	}
+	return &f.instrChunks[id>>instrChunkShift][id&instrChunkMask]
+}
+
+// NumInstrSlots returns the exclusive upper bound of instruction handles,
+// counting detached (removed) instructions still parked in the arena.
+// For the number of instructions currently in blocks, use NumInstrs.
+func (f *Func) NumInstrSlots() int { return int(f.numInstrs) }
+
+// NumInstrs counts instructions across all (live) blocks.
 func (f *Func) NumInstrs() int {
 	n := 0
-	for _, b := range f.Blocks {
-		n += len(b.Instrs)
+	for _, b := range f.blockList {
+		n += int(b.codeLen)
 	}
 	return n
 }
+
+// ---- blocks ----
+
+// NewBlock creates a block and appends it to the function.
+func (f *Func) NewBlock(name string) *Block {
+	id := f.numBlocks
+	if int(id>>blockChunkShift) == len(f.blockChunks) {
+		f.blockChunks = append(f.blockChunks, new(blockChunk))
+	}
+	f.numBlocks++
+	b := &f.blockChunks[id>>blockChunkShift][id&blockChunkMask]
+	*b = Block{ID: BlockID(id), Name: name, fn: f}
+	if b.Name == "" {
+		b.Name = "b" + itoa64(int64(id))
+	}
+	f.blockList = append(f.blockList, b)
+	f.generation++
+	f.cfgGeneration++
+	return b
+}
+
+// Block returns the block with the given handle (live or removed). It
+// panics on handles that were never allocated by this function.
+func (f *Func) Block(id BlockID) *Block {
+	if id < 0 || int32(id) >= f.numBlocks {
+		panic(fmt.Sprintf("ir: %s: block handle %d out of range [0,%d)", f.Name, id, f.numBlocks))
+	}
+	return &f.blockChunks[id>>blockChunkShift][id&blockChunkMask]
+}
+
+// Blocks returns the live blocks in layout order (entry first). The
+// returned slice is a view owned by the function: treat it as read-only,
+// and do not hold it across NewBlock or SetBlockOrder.
+func (f *Func) Blocks() []*Block { return f.blockList }
+
+// Entry returns the function entry block.
+func (f *Func) Entry() *Block {
+	if len(f.blockList) == 0 {
+		panic("ir: function has no blocks")
+	}
+	return f.blockList[0]
+}
+
+// NumBlocks returns the exclusive upper bound of block IDs (including
+// blocks removed from the layout); suitable for sizing dense per-block
+// tables. For the live block count use len(f.Blocks()).
+func (f *Func) NumBlocks() int { return int(f.numBlocks) }
+
+// SetBlockOrder replaces the live block layout. ids must be distinct
+// handles of this function; blocks left out become detached (their
+// storage remains valid but they no longer print, execute or analyze).
+// This is how CFG cleanup removes unreachable blocks.
+func (f *Func) SetBlockOrder(ids []BlockID) {
+	nl := make([]*Block, len(ids))
+	for i, id := range ids {
+		nl[i] = f.Block(id)
+	}
+	f.blockList = nl
+	f.generation++
+	f.cfgGeneration++
+}
+
+// AddEdge records a CFG edge from b to s, keeping Preds/Succs consistent.
+func (f *Func) AddEdge(b, s *Block) {
+	b.succs = append(b.succs, s.ID)
+	s.preds = append(s.preds, b.ID)
+	f.generation++
+	f.cfgGeneration++
+}
+
+// ---- paper metrics ----
 
 // CountMoves returns the number of Copy instructions in the function —
 // the metric of the paper's Tables 2-4. A ParCopy counts one move per
@@ -157,16 +299,16 @@ func (f *Func) NumInstrs() int {
 // exact cost of copy cycles should sequentialize ParCopies first.
 func (f *Func) CountMoves() int {
 	n := 0
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			switch in.Op {
+	for _, b := range f.blockList {
+		for _, in := range b.Instrs() {
+			switch in.op {
 			case Copy:
 				if in.Def(0) != in.Use(0) {
 					n++
 				}
 			case ParCopy:
-				for i := range in.Defs {
-					if in.Defs[i].Val != in.Uses[i].Val {
+				for i := 0; i < in.NumDefs(); i++ {
+					if in.Def(i) != in.Use(i) {
 						n++
 					}
 				}
@@ -181,20 +323,20 @@ func (f *Func) CountMoves() int {
 // approximation where each loop would contain 5 iterations").
 func (f *Func) WeightedMoves() int64 {
 	var n int64
-	for _, b := range f.Blocks {
+	for _, b := range f.blockList {
 		w := int64(1)
 		for i := 0; i < b.LoopDepth; i++ {
 			w *= 5
 		}
-		for _, in := range b.Instrs {
-			switch in.Op {
+		for _, in := range b.Instrs() {
+			switch in.op {
 			case Copy:
 				if in.Def(0) != in.Use(0) {
 					n += w
 				}
 			case ParCopy:
-				for i := range in.Defs {
-					if in.Defs[i].Val != in.Uses[i].Val {
+				for i := 0; i < in.NumDefs(); i++ {
+					if in.Def(i) != in.Use(i) {
 						n += w
 					}
 				}
@@ -209,8 +351,8 @@ func (f *Func) WeightedMoves() int64 {
 // successful out-of-SSA translation.
 func (f *Func) CountPhis() int {
 	n := 0
-	for _, b := range f.Blocks {
-		n += len(b.Phis())
+	for _, b := range f.blockList {
+		n += b.NumPhis()
 	}
 	return n
 }
@@ -221,15 +363,15 @@ func (f *Func) CountPhis() int {
 // consumes it back to zero.
 func (f *Func) CountPins() int {
 	n := 0
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i := range in.Defs {
-				if in.Defs[i].Pin != nil {
+	for _, b := range f.blockList {
+		for _, in := range b.Instrs() {
+			for _, o := range in.Defs() {
+				if o.Pinned() {
 					n++
 				}
 			}
-			for i := range in.Uses {
-				if in.Uses[i].Pin != nil {
+			for _, o := range in.Uses() {
+				if o.Pinned() {
 					n++
 				}
 			}
@@ -238,12 +380,12 @@ func (f *Func) CountPins() int {
 	return n
 }
 
-// DefSites returns, for each value ID, the instructions defining it.
-func (f *Func) DefSites() map[*Value][]*Instr {
-	defs := make(map[*Value][]*Instr)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
+// DefSites returns, for each value, the instructions defining it.
+func (f *Func) DefSites() map[ValueID][]*Instr {
+	defs := make(map[ValueID][]*Instr)
+	for _, b := range f.blockList {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
 				defs[d.Val] = append(defs[d.Val], in)
 			}
 		}
@@ -256,17 +398,17 @@ func (f *Func) DefSites() map[*Value][]*Instr {
 // definition (i.e. the function is not in SSA form).
 func (f *Func) SSADefs() []*Instr {
 	defs := make([]*Instr, f.NumValues())
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
-				if d.Val.IsPhys() {
+	for _, b := range f.blockList {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				if f.IsPhys(d.Val) {
 					continue
 				}
-				if defs[d.Val.ID] != nil {
+				if defs[d.Val] != nil {
 					panic(fmt.Sprintf("ir: value %v defined twice (not SSA): %v and %v",
-						d.Val, defs[d.Val.ID], in))
+						f.VStr(d.Val), defs[d.Val], in))
 				}
-				defs[d.Val.ID] = in
+				defs[d.Val] = in
 			}
 		}
 	}

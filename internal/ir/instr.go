@@ -157,31 +157,180 @@ func (op Op) IsTerminator() bool {
 	return false
 }
 
-// Instr is a single IR instruction. Defs and Uses are ordered operand
-// lists; for Phi, Uses is parallel to the containing block's Preds.
+// Instr is a single IR instruction, living in its function's chunked
+// instruction arena (*Instr addresses are stable for the lifetime of the
+// Func, but not across Clone/RestoreFrom — re-resolve via f.Instr(id)).
+// Defs and Uses are ordered operand lists stored as spans of the
+// function's operand slab; for Phi, Uses is parallel to the containing
+// block's Preds.
+//
+// Imm and Callee are plain fields: no cached analysis reads them, so
+// their assignment does not need a generation bump. The opcode and the
+// operand values do feed analyses and are therefore mutable only through
+// SetOp and the operand mutators, which bump the generation themselves.
 type Instr struct {
-	Op     Op
-	Defs   []Operand
-	Uses   []Operand
+	op     Op
 	Imm    int64
 	Callee string
 
-	blk *Block
+	id  InstrID
+	fn  *Func
+	blk BlockID
+
+	defOff, defLen int32
+	useOff, useLen int32
 }
 
-// Block returns the basic block containing the instruction, or nil if the
-// instruction is detached.
-func (in *Instr) Block() *Block { return in.blk }
+// ID returns the instruction's handle within its function.
+func (in *Instr) ID() InstrID { return in.id }
+
+// Func returns the function owning the instruction.
+func (in *Instr) Func() *Func { return in.fn }
+
+// Op returns the instruction opcode.
+func (in *Instr) Op() Op { return in.op }
+
+// SetOp rewrites the opcode in place (strength reduction, φ→ψ
+// conversion, const folding). Bumps the generation: liveness semantics
+// depend on φ-ness and on the def/use pattern implied by the opcode.
+func (in *Instr) SetOp(op Op) {
+	in.op = op
+	in.fn.generation++
+}
+
+// Block returns the basic block containing the instruction, or nil if
+// the instruction is detached.
+func (in *Instr) Block() *Block {
+	if in.blk == NoBlock {
+		return nil
+	}
+	return in.fn.Block(in.blk)
+}
+
+// Defs returns the definition operands. The returned slice is a live
+// view into the function's operand slab: treat it as read-only (all
+// mutation goes through the Set* mutators) and do not hold it across
+// operand-list growth (AddDef/AddUse/SetOperands).
+func (in *Instr) Defs() []Operand {
+	return in.fn.ops[in.defOff : in.defOff+in.defLen : in.defOff+in.defLen]
+}
+
+// Uses returns the use operands, under the same view contract as Defs.
+func (in *Instr) Uses() []Operand {
+	return in.fn.ops[in.useOff : in.useOff+in.useLen : in.useOff+in.useLen]
+}
+
+// NumDefs returns the number of definition operands.
+func (in *Instr) NumDefs() int { return int(in.defLen) }
+
+// NumUses returns the number of use operands.
+func (in *Instr) NumUses() int { return int(in.useLen) }
 
 // Def returns the i-th defined value.
-func (in *Instr) Def(i int) *Value { return in.Defs[i].Val }
+func (in *Instr) Def(i int) ValueID { return in.fn.ops[in.defOff+int32(i)].Val }
 
 // Use returns the i-th used value.
-func (in *Instr) Use(i int) *Value { return in.Uses[i].Val }
+func (in *Instr) Use(i int) ValueID { return in.fn.ops[in.useOff+int32(i)].Val }
+
+// DefOp returns the i-th definition operand.
+func (in *Instr) DefOp(i int) Operand { return in.fn.ops[in.defOff+int32(i)] }
+
+// UseOp returns the i-th use operand.
+func (in *Instr) UseOp(i int) Operand { return in.fn.ops[in.useOff+int32(i)] }
+
+// SetDef replaces the i-th definition operand (value and pin). Bumps the
+// generation.
+func (in *Instr) SetDef(i int, o Operand) {
+	in.fn.ops[in.defOff+int32(i)] = o
+	in.fn.generation++
+}
+
+// SetUse replaces the i-th use operand (value and pin). Bumps the
+// generation.
+func (in *Instr) SetUse(i int, o Operand) {
+	in.fn.ops[in.useOff+int32(i)] = o
+	in.fn.generation++
+}
+
+// SetDefVal rewrites the value of the i-th definition, keeping its pin.
+// Bumps the generation.
+func (in *Instr) SetDefVal(i int, v ValueID) {
+	in.fn.ops[in.defOff+int32(i)].Val = v
+	in.fn.generation++
+}
+
+// SetUseVal rewrites the value of the i-th use, keeping its pin. Bumps
+// the generation.
+func (in *Instr) SetUseVal(i int, v ValueID) {
+	in.fn.ops[in.useOff+int32(i)].Val = v
+	in.fn.generation++
+}
+
+// SetDefPin pins the i-th definition to resource r (NoValue unpins).
+// Pins are not read by any cached analysis, so this deliberately does
+// not bump the generation — the invariant the pin-collect phases rely on
+// to keep a pre-collect liveness valid.
+func (in *Instr) SetDefPin(i int, r ValueID) {
+	o := &in.fn.ops[in.defOff+int32(i)]
+	*o = o.WithPin(r)
+}
+
+// SetUsePin pins the i-th use to resource r (NoValue unpins), without a
+// generation bump (see SetDefPin).
+func (in *Instr) SetUsePin(i int, r ValueID) {
+	o := &in.fn.ops[in.useOff+int32(i)]
+	*o = o.WithPin(r)
+}
+
+// SetOperands replaces both operand lists wholesale, re-carving them at
+// the tail of the operand slab. Bumps the generation.
+func (in *Instr) SetOperands(defs, uses []Operand) {
+	f := in.fn
+	in.defOff, in.defLen = f.carveOps(defs)
+	in.useOff, in.useLen = f.carveOps(uses)
+	f.generation++
+}
+
+// AddDef appends a definition operand, re-carving the def span if it
+// cannot grow in place. Bumps the generation.
+func (in *Instr) AddDef(o Operand) {
+	in.defOff, in.defLen = in.fn.growSpan(in.defOff, in.defLen, o)
+	in.fn.generation++
+}
+
+// AddUse appends a use operand (see AddDef). Bumps the generation.
+func (in *Instr) AddUse(o Operand) {
+	in.useOff, in.useLen = in.fn.growSpan(in.useOff, in.useLen, o)
+	in.fn.generation++
+}
+
+// RemoveUseAt splices out the i-th use operand in place (the φ-argument
+// splice when a predecessor edge is deleted). Bumps the generation.
+func (in *Instr) RemoveUseAt(i int) {
+	ops := in.fn.ops[in.useOff : in.useOff+in.useLen]
+	copy(ops[i:], ops[i+1:])
+	in.useLen--
+	in.fn.generation++
+}
+
+// growSpan extends the operand span [off, off+n) by one element. If the
+// span already sits at the slab tail it grows in place; otherwise the
+// whole span is copied to the tail (the old span becomes garbage that
+// the next Clone drops).
+func (f *Func) growSpan(off, n int32, o Operand) (int32, int32) {
+	if int(off+n) == len(f.ops) {
+		f.ops = append(f.ops, o)
+		return off, n + 1
+	}
+	noff := int32(len(f.ops))
+	f.ops = append(f.ops, f.ops[off:off+n]...)
+	f.ops = append(f.ops, o)
+	return noff, n + 1
+}
 
 // HasDef reports whether v appears among the instruction's definitions.
-func (in *Instr) HasDef(v *Value) bool {
-	for _, d := range in.Defs {
+func (in *Instr) HasDef(v ValueID) bool {
+	for _, d := range in.Defs() {
 		if d.Val == v {
 			return true
 		}
@@ -190,8 +339,8 @@ func (in *Instr) HasDef(v *Value) bool {
 }
 
 // HasUse reports whether v appears among the instruction's uses.
-func (in *Instr) HasUse(v *Value) bool {
-	for _, u := range in.Uses {
+func (in *Instr) HasUse(v ValueID) bool {
+	for _, u := range in.Uses() {
 		if u.Val == v {
 			return true
 		}
@@ -200,27 +349,28 @@ func (in *Instr) HasUse(v *Value) bool {
 }
 
 // IsMove reports whether the instruction is a (sequential) register move.
-func (in *Instr) IsMove() bool { return in.Op == Copy }
+func (in *Instr) IsMove() bool { return in.op == Copy }
 
 func (in *Instr) String() string {
 	var b strings.Builder
-	b.WriteString(in.Op.String())
+	f := in.fn
+	b.WriteString(in.op.String())
 	sep := " "
-	for _, d := range in.Defs {
+	for _, d := range in.Defs() {
 		b.WriteString(sep)
-		b.WriteString(d.String())
+		b.WriteString(f.OperandString(d))
 		sep = ", "
 	}
-	if len(in.Defs) > 0 && len(in.Uses) > 0 {
+	if in.defLen > 0 && in.useLen > 0 {
 		b.WriteString(" =")
 		sep = " "
 	}
-	for _, u := range in.Uses {
+	for _, u := range in.Uses() {
 		b.WriteString(sep)
-		b.WriteString(u.String())
+		b.WriteString(f.OperandString(u))
 		sep = ", "
 	}
-	switch in.Op {
+	switch in.op {
 	case Const, Make, More, AutoAdd:
 		b.WriteString(sep)
 		b.WriteString(itoa64(in.Imm))

@@ -43,154 +43,155 @@ func Exec(f *Func, args []int64, maxSteps int) (*ExecResult, error) {
 	mem := make(map[int64]int64)
 	res := &ExecResult{}
 
-	get := func(o Operand) int64 { return env[o.Val.ID] }
-	set := func(o Operand, v int64) { env[o.Val.ID] = v }
+	get := func(o Operand) int64 { return env[o.Val] }
+	set := func(o Operand, v int64) { env[o.Val] = v }
 
 	blk := f.Entry()
-	var prev *Block
+	prev := NoBlock
 	for {
 		// Evaluate the φ prefix in parallel.
-		phis := blk.Phis()
-		if len(phis) > 0 {
+		nPhis := blk.NumPhis()
+		if nPhis > 0 {
 			pi := blk.PredIndex(prev)
 			if pi < 0 {
 				return nil, fmt.Errorf("ir: entered %v from non-predecessor %v", blk, prev)
 			}
-			tmp := make([]int64, len(phis))
-			for i, in := range phis {
-				tmp[i] = get(in.Uses[pi])
+			tmp := make([]int64, nPhis)
+			for i := 0; i < nPhis; i++ {
+				tmp[i] = get(blk.Instr(i).UseOp(pi))
 			}
-			for i, in := range phis {
-				set(in.Defs[0], tmp[i])
+			for i := 0; i < nPhis; i++ {
+				set(blk.Instr(i).DefOp(0), tmp[i])
 			}
 		}
 
 		branched := false
-		for _, in := range blk.Instrs[len(phis):] {
+		for ii := nPhis; ii < blk.NumInstrs(); ii++ {
+			in := blk.Instr(ii)
 			res.Steps++
 			if res.Steps > maxSteps {
 				return nil, ErrStepBudget
 			}
-			switch in.Op {
+			switch in.Op() {
 			case Nop:
 			case Copy:
-				set(in.Defs[0], get(in.Uses[0]))
+				set(in.DefOp(0), get(in.UseOp(0)))
 			case ParCopy:
-				tmp := make([]int64, len(in.Uses))
-				for i, u := range in.Uses {
+				tmp := make([]int64, in.NumUses())
+				for i, u := range in.Uses() {
 					tmp[i] = get(u)
 				}
-				for i, d := range in.Defs {
+				for i, d := range in.Defs() {
 					set(d, tmp[i])
 				}
 			case Const:
-				set(in.Defs[0], in.Imm)
+				set(in.DefOp(0), in.Imm)
 			case Make:
-				set(in.Defs[0], in.Imm<<16)
+				set(in.DefOp(0), in.Imm<<16)
 			case More:
-				set(in.Defs[0], get(in.Uses[0])|(in.Imm&0xFFFF))
+				set(in.DefOp(0), get(in.UseOp(0))|(in.Imm&0xFFFF))
 			case Add:
-				set(in.Defs[0], get(in.Uses[0])+get(in.Uses[1]))
+				set(in.DefOp(0), get(in.UseOp(0))+get(in.UseOp(1)))
 			case Sub:
-				set(in.Defs[0], get(in.Uses[0])-get(in.Uses[1]))
+				set(in.DefOp(0), get(in.UseOp(0))-get(in.UseOp(1)))
 			case Mul:
-				set(in.Defs[0], get(in.Uses[0])*get(in.Uses[1]))
+				set(in.DefOp(0), get(in.UseOp(0))*get(in.UseOp(1)))
 			case Div:
-				d := get(in.Uses[1])
+				d := get(in.UseOp(1))
 				if d == 0 {
-					set(in.Defs[0], 0)
+					set(in.DefOp(0), 0)
 				} else {
-					set(in.Defs[0], get(in.Uses[0])/d)
+					set(in.DefOp(0), get(in.UseOp(0))/d)
 				}
 			case Rem:
-				d := get(in.Uses[1])
+				d := get(in.UseOp(1))
 				if d == 0 {
-					set(in.Defs[0], 0)
+					set(in.DefOp(0), 0)
 				} else {
-					set(in.Defs[0], get(in.Uses[0])%d)
+					set(in.DefOp(0), get(in.UseOp(0))%d)
 				}
 			case And:
-				set(in.Defs[0], get(in.Uses[0])&get(in.Uses[1]))
+				set(in.DefOp(0), get(in.UseOp(0))&get(in.UseOp(1)))
 			case Or:
-				set(in.Defs[0], get(in.Uses[0])|get(in.Uses[1]))
+				set(in.DefOp(0), get(in.UseOp(0))|get(in.UseOp(1)))
 			case Xor:
-				set(in.Defs[0], get(in.Uses[0])^get(in.Uses[1]))
+				set(in.DefOp(0), get(in.UseOp(0))^get(in.UseOp(1)))
 			case Shl:
-				set(in.Defs[0], get(in.Uses[0])<<(uint64(get(in.Uses[1]))&63))
+				set(in.DefOp(0), get(in.UseOp(0))<<(uint64(get(in.UseOp(1)))&63))
 			case Shr:
-				set(in.Defs[0], get(in.Uses[0])>>(uint64(get(in.Uses[1]))&63))
+				set(in.DefOp(0), get(in.UseOp(0))>>(uint64(get(in.UseOp(1)))&63))
 			case Neg:
-				set(in.Defs[0], -get(in.Uses[0]))
+				set(in.DefOp(0), -get(in.UseOp(0)))
 			case Not:
-				set(in.Defs[0], ^get(in.Uses[0]))
+				set(in.DefOp(0), ^get(in.UseOp(0)))
 			case CmpEQ:
-				set(in.Defs[0], b2i(get(in.Uses[0]) == get(in.Uses[1])))
+				set(in.DefOp(0), b2i(get(in.UseOp(0)) == get(in.UseOp(1))))
 			case CmpNE:
-				set(in.Defs[0], b2i(get(in.Uses[0]) != get(in.Uses[1])))
+				set(in.DefOp(0), b2i(get(in.UseOp(0)) != get(in.UseOp(1))))
 			case CmpLT:
-				set(in.Defs[0], b2i(get(in.Uses[0]) < get(in.Uses[1])))
+				set(in.DefOp(0), b2i(get(in.UseOp(0)) < get(in.UseOp(1))))
 			case CmpLE:
-				set(in.Defs[0], b2i(get(in.Uses[0]) <= get(in.Uses[1])))
+				set(in.DefOp(0), b2i(get(in.UseOp(0)) <= get(in.UseOp(1))))
 			case CmpGT:
-				set(in.Defs[0], b2i(get(in.Uses[0]) > get(in.Uses[1])))
+				set(in.DefOp(0), b2i(get(in.UseOp(0)) > get(in.UseOp(1))))
 			case CmpGE:
-				set(in.Defs[0], b2i(get(in.Uses[0]) >= get(in.Uses[1])))
+				set(in.DefOp(0), b2i(get(in.UseOp(0)) >= get(in.UseOp(1))))
 			case Min:
-				a, b := get(in.Uses[0]), get(in.Uses[1])
+				a, b := get(in.UseOp(0)), get(in.UseOp(1))
 				if b < a {
 					a = b
 				}
-				set(in.Defs[0], a)
+				set(in.DefOp(0), a)
 			case Max:
-				a, b := get(in.Uses[0]), get(in.Uses[1])
+				a, b := get(in.UseOp(0)), get(in.UseOp(1))
 				if b > a {
 					a = b
 				}
-				set(in.Defs[0], a)
+				set(in.DefOp(0), a)
 			case Mac:
-				set(in.Defs[0], get(in.Uses[0])+get(in.Uses[1])*get(in.Uses[2]))
+				set(in.DefOp(0), get(in.UseOp(0))+get(in.UseOp(1))*get(in.UseOp(2)))
 			case Select:
-				if get(in.Uses[0]) != 0 {
-					set(in.Defs[0], get(in.Uses[1]))
+				if get(in.UseOp(0)) != 0 {
+					set(in.DefOp(0), get(in.UseOp(1)))
 				} else {
-					set(in.Defs[0], get(in.Uses[2]))
+					set(in.DefOp(0), get(in.UseOp(2)))
 				}
 			case Psi:
 				// d = value of the last pair whose predicate is true, else 0.
 				var v int64
-				for i := 0; i+1 < len(in.Uses); i += 2 {
-					if get(in.Uses[i]) != 0 {
-						v = get(in.Uses[i+1])
+				for i := 0; i+1 < in.NumUses(); i += 2 {
+					if get(in.UseOp(i)) != 0 {
+						v = get(in.UseOp(i + 1))
 					}
 				}
-				set(in.Defs[0], v)
+				set(in.DefOp(0), v)
 			case AutoAdd:
-				set(in.Defs[0], get(in.Uses[0])+in.Imm)
+				set(in.DefOp(0), get(in.UseOp(0))+in.Imm)
 			case Load:
-				addr := get(in.Uses[0])
+				addr := get(in.UseOp(0))
 				v, ok := mem[addr]
 				if !ok {
 					v = hash2("mem", addr)
 				}
-				set(in.Defs[0], v)
+				set(in.DefOp(0), v)
 			case Store:
-				addr := get(in.Uses[0])
-				v := get(in.Uses[1])
+				addr := get(in.UseOp(0))
+				v := get(in.UseOp(1))
 				mem[addr] = v
 				res.Stores = append(res.Stores, StoreEvent{addr, v})
 			case Call:
 				h := hashStr(in.Callee)
-				for _, u := range in.Uses {
+				for _, u := range in.Uses() {
 					h = hashMix(h, get(u))
 				}
-				for i, d := range in.Defs {
+				for i, d := range in.Defs() {
 					set(d, int64(hashMix(h, int64(i))))
 				}
 			case Input:
 				// Only declared parameters (the first Imm defs) receive
 				// arguments; implicit entry definitions added by SSA
 				// construction are zero-initialized.
-				for i, d := range in.Defs {
+				for i, d := range in.Defs() {
 					if i < len(args) && i < int(in.Imm) {
 						set(d, args[i])
 					} else {
@@ -198,24 +199,24 @@ func Exec(f *Func, args []int64, maxSteps int) (*ExecResult, error) {
 					}
 				}
 			case Output:
-				for _, u := range in.Uses {
+				for _, u := range in.Uses() {
 					res.Outputs = append(res.Outputs, get(u))
 				}
 				return res, nil
 			case Br:
-				prev = blk
-				if get(in.Uses[0]) != 0 {
-					blk = blk.Succs[0]
+				prev = blk.ID
+				if get(in.UseOp(0)) != 0 {
+					blk = blk.Succ(0)
 				} else {
-					blk = blk.Succs[1]
+					blk = blk.Succ(1)
 				}
 			case Jump:
-				prev = blk
-				blk = blk.Succs[0]
+				prev = blk.ID
+				blk = blk.Succ(0)
 			default:
 				return nil, fmt.Errorf("ir: cannot interpret %q", in)
 			}
-			if in.Op == Br || in.Op == Jump {
+			if in.Op() == Br || in.Op() == Jump {
 				branched = true
 				break
 			}

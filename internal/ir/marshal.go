@@ -8,11 +8,27 @@
 // over the wire and still honor the Tables 1-5 byte-identity gate, and
 // what makes content hashes of the encoding stable cache keys.
 //
-// The format ties values to the function's own Target: the physical
+// Two schemas coexist:
+//
+//   - "laoc-ir-v1" walks the CFG and emits one JSON object per block and
+//     instruction. It predates the SoA re-platform and is kept, reader
+//     and writer, for wire compatibility with old clients.
+//   - "laoc-ir-v2" is the arena fast path: it encodes the function's
+//     slabs directly — value table, operand slab, code slab, instruction
+//     and block arenas — as flat integer arrays. Because the slabs are
+//     position-independent handle arrays, encoding is a few slice dumps
+//     and decoding reconstructs the arenas verbatim, so a v2 round trip
+//     is bit-exact down to span offsets (Clone-equivalent by memcmp, not
+//     just semantically).
+//
+// Marshal emits v2; Unmarshal auto-detects either schema. The laocd
+// server negotiates per-request (see internal/server).
+//
+// Both formats tie values to the function's own Target: the physical
 // register prefix of the value table (R0..R15, P0..P7, SP — created by
-// NewFunc before any virtual value) is emitted like every other value
-// and checked on decode, so a document produced against a different
-// target shape fails loudly instead of mis-binding registers.
+// NewFunc before any virtual value) is checked on decode, so a document
+// produced against a different target shape fails loudly instead of
+// mis-binding registers.
 package ir
 
 import (
@@ -20,7 +36,7 @@ import (
 	"fmt"
 )
 
-// wireFunc is the top-level JSON document.
+// wireFunc is the v1 top-level JSON document.
 type wireFunc struct {
 	// Schema tags the encoding; decoders reject unknown schemas.
 	Schema string `json:"schema"`
@@ -33,8 +49,11 @@ type wireFunc struct {
 	Blocks []wireBlock `json:"blocks"`
 }
 
-// WireSchemaV1 identifies the current function-encoding schema.
+// WireSchemaV1 identifies the legacy per-instruction function encoding.
 const WireSchemaV1 = "laoc-ir-v1"
+
+// WireSchemaV2 identifies the arena (structure-of-arrays) encoding.
+const WireSchemaV2 = "laoc-ir-v2"
 
 type wireValue struct {
 	Name string `json:"n"`
@@ -62,6 +81,48 @@ type wireInstr struct {
 	Callee string   `json:"callee,omitempty"`
 }
 
+// wireFuncV2 is the v2 top-level JSON document: the arenas, verbatim.
+type wireFuncV2 struct {
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	// NPhys is the length of the physical-register value prefix; must
+	// match the decoder's target shape.
+	NPhys int `json:"nphys"`
+	// VNames are the names of the virtual values (IDs NPhys and up); the
+	// physical prefix is implied by the target.
+	VNames []string `json:"vnames"`
+	// Ops is the operand slab: alternating value handle and biased pin
+	// (0 = unpinned, else pin+1), two entries per operand.
+	Ops []int32 `json:"ops,omitempty"`
+	// Code is the instruction-list slab: instruction handles, with -1 in
+	// unused capacity slots.
+	Code []int32 `json:"code,omitempty"`
+	// Instrs is the instruction arena, 7 numbers per slot:
+	// op, block, defOff, defLen, useOff, useLen, imm.
+	Instrs []int64 `json:"instrs,omitempty"`
+	// Callees carries the sparse callee strings: pairs of arena slot and
+	// name, in slot order.
+	Callees []wireCallee `json:"callees,omitempty"`
+	// Blocks is the block arena in handle order.
+	Blocks []wireBlockV2 `json:"blocks"`
+	// Order is the live block layout (entry first) as block handles.
+	Order []int32 `json:"order"`
+}
+
+type wireCallee struct {
+	Slot int32  `json:"i"`
+	Name string `json:"n"`
+}
+
+type wireBlockV2 struct {
+	Name    string  `json:"name"`
+	Depth   int     `json:"depth,omitempty"`
+	CodeOff int32   `json:"co"`
+	CodeLen int32   `json:"cl"`
+	Preds   []int32 `json:"preds,omitempty"`
+	Succs   []int32 `json:"succs,omitempty"`
+}
+
 // opByName inverts opNames for decoding.
 var opByName = func() map[string]Op {
 	m := make(map[string]Op, opCount)
@@ -73,21 +134,84 @@ var opByName = func() map[string]Op {
 	return m
 }()
 
-// Marshal encodes f into the wire format. The encoding is deterministic:
-// the same function always yields the same bytes, so hashes of the
-// output are stable content keys.
-func Marshal(f *Func) ([]byte, error) {
-	w := wireFunc{Schema: WireSchemaV1, Name: f.Name}
-	w.Values = make([]wireValue, len(f.values))
-	for i, v := range f.values {
-		if v.ID != i {
-			return nil, fmt.Errorf("ir: marshal %s: value table not dense at %d (ID %d)", f.Name, i, v.ID)
-		}
-		w.Values[i] = wireValue{Name: v.Name, Phys: v.IsPhys()}
+// Marshal encodes f into the current wire format (v2, the arena fast
+// path). The encoding is deterministic: the same function state always
+// yields the same bytes, so hashes of the output are stable content
+// keys. Use MarshalV1 when the peer only speaks the legacy schema.
+func Marshal(f *Func) ([]byte, error) { return MarshalV2(f) }
+
+// MarshalV2 encodes f's arenas directly (schema "laoc-ir-v2").
+func MarshalV2(f *Func) ([]byte, error) {
+	statMarshalsV2.Add(1)
+	nphys := 0
+	for nphys < len(f.vals) && f.vals[nphys].kind == Physical {
+		nphys++
 	}
-	blkIdx := make(map[*Block]int, len(f.Blocks))
-	for i, b := range f.Blocks {
-		blkIdx[b] = i
+	for i := nphys; i < len(f.vals); i++ {
+		if f.vals[i].kind == Physical {
+			return nil, fmt.Errorf("ir: marshal %s: physical value %q outside the target prefix", f.Name, f.vals[i].name)
+		}
+		if f.vals[i].name == "" {
+			return nil, fmt.Errorf("ir: marshal %s: value %d has no name", f.Name, i)
+		}
+	}
+	w := wireFuncV2{Schema: WireSchemaV2, Name: f.Name, NPhys: nphys}
+	w.VNames = make([]string, 0, len(f.vals)-nphys)
+	for i := nphys; i < len(f.vals); i++ {
+		w.VNames = append(w.VNames, f.vals[i].name)
+	}
+	w.Ops = make([]int32, 0, 2*len(f.ops))
+	for _, o := range f.ops {
+		w.Ops = append(w.Ops, int32(o.Val), int32(o.pin))
+	}
+	w.Code = make([]int32, len(f.code))
+	for i, id := range f.code {
+		w.Code[i] = int32(id)
+	}
+	w.Instrs = make([]int64, 0, 7*int(f.numInstrs))
+	for id := int32(0); id < f.numInstrs; id++ {
+		in := &f.instrChunks[id>>instrChunkShift][id&instrChunkMask]
+		w.Instrs = append(w.Instrs,
+			int64(in.op), int64(in.blk),
+			int64(in.defOff), int64(in.defLen),
+			int64(in.useOff), int64(in.useLen),
+			in.Imm)
+		if in.Callee != "" {
+			w.Callees = append(w.Callees, wireCallee{Slot: id, Name: in.Callee})
+		}
+	}
+	w.Blocks = make([]wireBlockV2, f.numBlocks)
+	for id := int32(0); id < f.numBlocks; id++ {
+		b := &f.blockChunks[id>>blockChunkShift][id&blockChunkMask]
+		wb := wireBlockV2{Name: b.Name, Depth: b.LoopDepth, CodeOff: b.codeOff, CodeLen: b.codeLen}
+		for _, p := range b.preds {
+			wb.Preds = append(wb.Preds, int32(p))
+		}
+		for _, s := range b.succs {
+			wb.Succs = append(wb.Succs, int32(s))
+		}
+		w.Blocks[id] = wb
+	}
+	w.Order = make([]int32, len(f.blockList))
+	for i, b := range f.blockList {
+		w.Order[i] = int32(b.ID)
+	}
+	return json.Marshal(&w)
+}
+
+// MarshalV1 encodes f in the legacy schema, for peers that have not
+// adopted v2. The bytes are identical to what the pre-SoA Marshal
+// produced for the same function.
+func MarshalV1(f *Func) ([]byte, error) {
+	statMarshalsV1.Add(1)
+	w := wireFunc{Schema: WireSchemaV1, Name: f.Name}
+	w.Values = make([]wireValue, len(f.vals))
+	for i, v := range f.vals {
+		w.Values[i] = wireValue{Name: v.name, Phys: v.kind == Physical}
+	}
+	blkIdx := make(map[BlockID]int, len(f.blockList))
+	for i, b := range f.blockList {
+		blkIdx[b.ID] = i
 	}
 	enc := func(ops []Operand) ([][2]int, error) {
 		if len(ops) == 0 {
@@ -95,73 +219,239 @@ func Marshal(f *Func) ([]byte, error) {
 		}
 		out := make([][2]int, len(ops))
 		for i, o := range ops {
-			if o.Val == nil {
-				return nil, fmt.Errorf("ir: marshal %s: nil operand value", f.Name)
+			if o.Val == NoValue {
+				return nil, fmt.Errorf("ir: marshal %s: missing operand value", f.Name)
 			}
 			pin := -1
-			if o.Pin != nil {
-				pin = o.Pin.ID
+			if o.Pinned() {
+				pin = int(o.Pin())
 			}
-			out[i] = [2]int{o.Val.ID, pin}
+			out[i] = [2]int{int(o.Val), pin}
 		}
 		return out, nil
 	}
-	for _, b := range f.Blocks {
-		wb := wireBlock{ID: b.ID, Name: b.Name, Depth: b.LoopDepth}
-		for _, p := range b.Preds {
+	for _, b := range f.blockList {
+		wb := wireBlock{ID: int(b.ID), Name: b.Name, Depth: b.LoopDepth}
+		for _, p := range b.Preds() {
 			i, ok := blkIdx[p]
 			if !ok {
-				return nil, fmt.Errorf("ir: marshal %s: block %v has detached pred %v", f.Name, b, p)
+				return nil, fmt.Errorf("ir: marshal %s: block %v has detached pred %v", f.Name, b, f.Block(p))
 			}
 			wb.Preds = append(wb.Preds, i)
 		}
-		for _, s := range b.Succs {
+		for _, s := range b.Succs() {
 			i, ok := blkIdx[s]
 			if !ok {
-				return nil, fmt.Errorf("ir: marshal %s: block %v has detached succ %v", f.Name, b, s)
+				return nil, fmt.Errorf("ir: marshal %s: block %v has detached succ %v", f.Name, b, f.Block(s))
 			}
 			wb.Succs = append(wb.Succs, i)
 		}
-		wb.Instrs = make([]wireInstr, len(b.Instrs))
-		for i, in := range b.Instrs {
-			defs, err := enc(in.Defs)
+		wb.Instrs = make([]wireInstr, b.NumInstrs())
+		for i, in := range b.Instrs() {
+			defs, err := enc(in.Defs())
 			if err != nil {
 				return nil, err
 			}
-			uses, err := enc(in.Uses)
+			uses, err := enc(in.Uses())
 			if err != nil {
 				return nil, err
 			}
-			wb.Instrs[i] = wireInstr{Op: in.Op.String(), Defs: defs, Uses: uses, Imm: in.Imm, Callee: in.Callee}
+			wb.Instrs[i] = wireInstr{Op: in.Op().String(), Defs: defs, Uses: uses, Imm: in.Imm, Callee: in.Callee}
 		}
 		w.Blocks = append(w.Blocks, wb)
 	}
 	return json.Marshal(&w)
 }
 
-// Unmarshal decodes a function from the wire format. The result owns a
-// fresh Target; the document's physical-register prefix must match the
-// target shape exactly.
+// wireSchema is the minimal probe used to dispatch on the schema tag.
+type wireSchema struct {
+	Schema string `json:"schema"`
+}
+
+// Unmarshal decodes a function from the wire format, accepting both the
+// v2 arena schema and the legacy v1 schema. The result owns a fresh
+// Target; the document's physical-register prefix must match the target
+// shape exactly.
 func Unmarshal(data []byte) (*Func, error) {
-	var w wireFunc
-	if err := json.Unmarshal(data, &w); err != nil {
+	var probe wireSchema
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("ir: unmarshal: %v", err)
 	}
-	if w.Schema != WireSchemaV1 {
-		return nil, fmt.Errorf("ir: unmarshal: unknown schema %q (want %q)", w.Schema, WireSchemaV1)
+	switch probe.Schema {
+	case WireSchemaV2:
+		statUnmarshalsV2.Add(1)
+		return unmarshalV2(data)
+	case WireSchemaV1:
+		statUnmarshalsV1.Add(1)
+		return unmarshalV1(data)
+	default:
+		return nil, fmt.Errorf("ir: unmarshal: unknown schema %q (want %q or %q)", probe.Schema, WireSchemaV2, WireSchemaV1)
+	}
+}
+
+func unmarshalV2(data []byte) (*Func, error) {
+	var w wireFuncV2
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("ir: unmarshal: %v", err)
 	}
 	if w.Name == "" {
 		return nil, fmt.Errorf("ir: unmarshal: function has no name")
 	}
 	f := NewFunc(w.Name)
-	nphys := len(f.values)
+	if w.NPhys != len(f.vals) {
+		return nil, fmt.Errorf("ir: unmarshal %s: document has %d target registers, target expects %d", w.Name, w.NPhys, len(f.vals))
+	}
+	for _, n := range w.VNames {
+		if n == "" {
+			return nil, fmt.Errorf("ir: unmarshal %s: value has no name", w.Name)
+		}
+		f.newValue(n, Virtual)
+	}
+	nv := int32(len(f.vals))
+
+	if len(w.Ops)%2 != 0 {
+		return nil, fmt.Errorf("ir: unmarshal %s: odd operand slab length %d", w.Name, len(w.Ops))
+	}
+	f.ops = make([]Operand, len(w.Ops)/2)
+	for i := range f.ops {
+		val, pin := w.Ops[2*i], w.Ops[2*i+1]
+		if val < 0 || val >= nv {
+			return nil, fmt.Errorf("ir: unmarshal %s: operand value %d out of range", w.Name, val)
+		}
+		if pin < 0 || pin > nv {
+			return nil, fmt.Errorf("ir: unmarshal %s: operand pin %d out of range", w.Name, pin)
+		}
+		f.ops[i] = Operand{Val: ValueID(val), pin: ValueID(pin)}
+	}
+
+	if len(w.Instrs)%7 != 0 {
+		return nil, fmt.Errorf("ir: unmarshal %s: instruction arena length %d not a multiple of 7", w.Name, len(w.Instrs))
+	}
+	nInstr := int32(len(w.Instrs) / 7)
+	nBlock := int32(len(w.Blocks))
+
+	f.code = make([]InstrID, len(w.Code))
+	for i, id := range w.Code {
+		if id != int32(NoInstr) && (id < 0 || id >= nInstr) {
+			return nil, fmt.Errorf("ir: unmarshal %s: code slab entry %d out of range", w.Name, id)
+		}
+		f.code[i] = InstrID(id)
+	}
+
+	nOps := int32(len(f.ops))
+	for i := int32(0); i < nInstr; i++ {
+		rec := w.Instrs[7*i : 7*i+7]
+		op := rec[0]
+		if op < 0 || op >= int64(opCount) {
+			return nil, fmt.Errorf("ir: unmarshal %s: unknown opcode %d", w.Name, op)
+		}
+		blk := rec[1]
+		if blk != int64(NoBlock) && (blk < 0 || blk >= int64(nBlock)) {
+			return nil, fmt.Errorf("ir: unmarshal %s: instruction block %d out of range", w.Name, blk)
+		}
+		span := func(off, n int64) error {
+			if off < 0 || n < 0 || off+n > int64(nOps) {
+				return fmt.Errorf("ir: unmarshal %s: operand span [%d,+%d) out of range", w.Name, off, n)
+			}
+			return nil
+		}
+		if err := span(rec[2], rec[3]); err != nil {
+			return nil, err
+		}
+		if err := span(rec[4], rec[5]); err != nil {
+			return nil, err
+		}
+		in := f.allocInstr()
+		in.op = Op(op)
+		in.blk = BlockID(blk)
+		in.defOff, in.defLen = int32(rec[2]), int32(rec[3])
+		in.useOff, in.useLen = int32(rec[4]), int32(rec[5])
+		in.Imm = rec[6]
+	}
+	for _, c := range w.Callees {
+		if c.Slot < 0 || c.Slot >= nInstr {
+			return nil, fmt.Errorf("ir: unmarshal %s: callee slot %d out of range", w.Name, c.Slot)
+		}
+		f.Instr(InstrID(c.Slot)).Callee = c.Name
+	}
+
+	nCode := int32(len(f.code))
+	for i, wb := range w.Blocks {
+		b := f.NewBlock(wb.Name)
+		if wb.Name == "" {
+			return nil, fmt.Errorf("ir: unmarshal %s: block %d has no name", w.Name, i)
+		}
+		b.LoopDepth = wb.Depth
+		if wb.CodeOff < 0 || wb.CodeLen < 0 || wb.CodeOff+wb.CodeLen > nCode {
+			return nil, fmt.Errorf("ir: unmarshal %s: block %q code span [%d,+%d) out of range", w.Name, wb.Name, wb.CodeOff, wb.CodeLen)
+		}
+		for j := wb.CodeOff; j < wb.CodeOff+wb.CodeLen; j++ {
+			if f.code[j] == NoInstr {
+				return nil, fmt.Errorf("ir: unmarshal %s: block %q has a hole in its code span", w.Name, wb.Name)
+			}
+		}
+		b.codeOff, b.codeLen, b.codeCap = wb.CodeOff, wb.CodeLen, wb.CodeLen
+		edge := func(ids []int32) ([]BlockID, error) {
+			if len(ids) == 0 {
+				return nil, nil
+			}
+			out := make([]BlockID, len(ids))
+			for k, id := range ids {
+				if id < 0 || id >= int32(nBlock) {
+					return nil, fmt.Errorf("ir: unmarshal %s: block %q edge %d out of range", w.Name, wb.Name, id)
+				}
+				out[k] = BlockID(id)
+			}
+			return out, nil
+		}
+		var err error
+		if b.preds, err = edge(wb.Preds); err != nil {
+			return nil, err
+		}
+		if b.succs, err = edge(wb.Succs); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(w.Order) == 0 {
+		return nil, fmt.Errorf("ir: unmarshal %s: function has no blocks", w.Name)
+	}
+	order := make([]BlockID, len(w.Order))
+	seen := make([]bool, nBlock)
+	for i, id := range w.Order {
+		if id < 0 || id >= int32(nBlock) {
+			return nil, fmt.Errorf("ir: unmarshal %s: layout block %d out of range", w.Name, id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("ir: unmarshal %s: block %d appears twice in the layout", w.Name, id)
+		}
+		seen[id] = true
+		order[i] = BlockID(id)
+	}
+	f.SetBlockOrder(order)
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("ir: unmarshal: %v", err)
+	}
+	return f, nil
+}
+
+func unmarshalV1(data []byte) (*Func, error) {
+	var w wireFunc
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("ir: unmarshal: %v", err)
+	}
+	if w.Name == "" {
+		return nil, fmt.Errorf("ir: unmarshal: function has no name")
+	}
+	f := NewFunc(w.Name)
+	nphys := len(f.vals)
 	if len(w.Values) < nphys {
 		return nil, fmt.Errorf("ir: unmarshal %s: value table shorter than the %d target registers", w.Name, nphys)
 	}
-	for i, v := range f.values {
-		if w.Values[i].Name != v.Name || !w.Values[i].Phys {
+	for i := 0; i < nphys; i++ {
+		if w.Values[i].Name != f.vals[i].name || !w.Values[i].Phys {
 			return nil, fmt.Errorf("ir: unmarshal %s: value %d is %q/phys=%v, target expects register %q",
-				w.Name, i, w.Values[i].Name, w.Values[i].Phys, v.Name)
+				w.Name, i, w.Values[i].Name, w.Values[i].Phys, f.vals[i].name)
 		}
 	}
 	for i := nphys; i < len(w.Values); i++ {
@@ -178,29 +468,43 @@ func Unmarshal(data []byte) (*Func, error) {
 	if len(w.Blocks) == 0 {
 		return nil, fmt.Errorf("ir: unmarshal %s: function has no blocks", w.Name)
 	}
-	blocks := make([]*Block, len(w.Blocks))
 	maxID := -1
-	for i, wb := range w.Blocks {
+	for _, wb := range w.Blocks {
 		if wb.ID < 0 {
 			return nil, fmt.Errorf("ir: unmarshal %s: negative block ID %d", w.Name, wb.ID)
 		}
 		if wb.Name == "" {
 			return nil, fmt.Errorf("ir: unmarshal %s: block %d has no name", w.Name, wb.ID)
 		}
-		blocks[i] = &Block{ID: wb.ID, Name: wb.Name, LoopDepth: wb.Depth, fn: f}
 		if wb.ID > maxID {
 			maxID = wb.ID
 		}
 	}
-	f.Blocks = blocks
-	f.nextBB = maxID + 1
-	f.NoteCFGMutation()
-
-	val := func(id int) (*Value, error) {
-		if id < 0 || id >= len(f.values) {
-			return nil, fmt.Errorf("ir: unmarshal %s: value ID %d out of range", w.Name, id)
+	// The v1 document carries explicit, possibly non-dense block IDs
+	// (passes may have compacted the layout before encoding). Allocate
+	// the full arena range so handles resolve, then install the layout.
+	for i := 0; i <= maxID; i++ {
+		f.NewBlock("")
+	}
+	order := make([]BlockID, len(w.Blocks))
+	seen := make([]bool, maxID+1)
+	for i, wb := range w.Blocks {
+		if seen[wb.ID] {
+			return nil, fmt.Errorf("ir: unmarshal %s: duplicate block ID %d", w.Name, wb.ID)
 		}
-		return f.values[id], nil
+		seen[wb.ID] = true
+		order[i] = BlockID(wb.ID)
+		b := f.Block(BlockID(wb.ID))
+		b.Name = wb.Name
+		b.LoopDepth = wb.Depth
+	}
+	f.SetBlockOrder(order)
+
+	val := func(id int) (ValueID, error) {
+		if id < 0 || id >= len(f.vals) {
+			return NoValue, fmt.Errorf("ir: unmarshal %s: value ID %d out of range", w.Name, id)
+		}
+		return ValueID(id), nil
 	}
 	dec := func(pairs [][2]int) ([]Operand, error) {
 		if len(pairs) == 0 {
@@ -218,32 +522,32 @@ func Unmarshal(data []byte) (*Func, error) {
 				if err != nil {
 					return nil, err
 				}
-				out[i].Pin = pin
+				out[i] = out[i].WithPin(pin)
 			}
 		}
 		return out, nil
 	}
-	ref := func(idx int) (*Block, error) {
-		if idx < 0 || idx >= len(blocks) {
-			return nil, fmt.Errorf("ir: unmarshal %s: block index %d out of range", w.Name, idx)
+	ref := func(idx int) (BlockID, error) {
+		if idx < 0 || idx >= len(w.Blocks) {
+			return NoBlock, fmt.Errorf("ir: unmarshal %s: block index %d out of range", w.Name, idx)
 		}
-		return blocks[idx], nil
+		return BlockID(w.Blocks[idx].ID), nil
 	}
-	for i, wb := range w.Blocks {
-		b := blocks[i]
+	for _, wb := range w.Blocks {
+		b := f.Block(BlockID(wb.ID))
 		for _, pi := range wb.Preds {
 			p, err := ref(pi)
 			if err != nil {
 				return nil, err
 			}
-			b.Preds = append(b.Preds, p)
+			b.preds = append(b.preds, p)
 		}
 		for _, si := range wb.Succs {
 			s, err := ref(si)
 			if err != nil {
 				return nil, err
 			}
-			b.Succs = append(b.Succs, s)
+			b.succs = append(b.succs, s)
 		}
 		for _, wi := range wb.Instrs {
 			op, ok := opByName[wi.Op]
@@ -258,7 +562,10 @@ func Unmarshal(data []byte) (*Func, error) {
 			if err != nil {
 				return nil, err
 			}
-			b.Instrs = append(b.Instrs, &Instr{Op: op, Defs: defs, Uses: uses, Imm: wi.Imm, Callee: wi.Callee, blk: b})
+			in := f.NewInstr(op, defs, uses)
+			in.Imm = wi.Imm
+			in.Callee = wi.Callee
+			b.Append(in)
 		}
 	}
 	if err := f.Verify(); err != nil {

@@ -12,8 +12,10 @@ import (
 	"outofssa/internal/workload"
 )
 
-// roundTrip marshals, unmarshals and re-marshals f, failing on any
-// decode error or byte drift.
+// roundTrip marshals, unmarshals and re-marshals f through both wire
+// schemas, failing on any decode error or byte drift. The v1 document
+// must decode to the same function as the v2 one — the schemas are
+// interchangeable on the wire.
 func roundTrip(t *testing.T, f *ir.Func) *ir.Func {
 	t.Helper()
 	data, err := ir.Marshal(f)
@@ -32,7 +34,26 @@ func roundTrip(t *testing.T, f *ir.Func) *ir.Func {
 		t.Fatalf("%s: re-Marshal: %v", f.Name, err)
 	}
 	if !bytes.Equal(data, data2) {
-		t.Fatalf("%s: encoding is not a fixed point of the round trip", f.Name)
+		t.Fatalf("%s: v2 encoding is not a fixed point of the round trip", f.Name)
+	}
+
+	v1, err := ir.MarshalV1(f)
+	if err != nil {
+		t.Fatalf("%s: MarshalV1: %v", f.Name, err)
+	}
+	g1, err := ir.Unmarshal(v1)
+	if err != nil {
+		t.Fatalf("%s: Unmarshal(v1): %v", f.Name, err)
+	}
+	if got, want := g1.String(), f.String(); got != want {
+		t.Fatalf("%s: v1-decoded function prints differently:\n--- original\n%s\n--- decoded\n%s", f.Name, want, got)
+	}
+	v12, err := ir.MarshalV1(g1)
+	if err != nil {
+		t.Fatalf("%s: re-MarshalV1: %v", f.Name, err)
+	}
+	if !bytes.Equal(v1, v12) {
+		t.Fatalf("%s: v1 encoding is not a fixed point of the round trip", f.Name)
 	}
 	return g
 }
@@ -81,31 +102,46 @@ func TestMarshalPipelineIdentity(t *testing.T) {
 	}
 }
 
-// TestMarshalRejects pins the decoder's validation: bad schema, unknown
-// op, out-of-range value, and a corrupted CFG all fail loudly.
+// TestMarshalRejects pins the decoder's validation on both schemas: bad
+// schema tag, unknown op, out-of-range handle, and a corrupted arena
+// all fail loudly.
 func TestMarshalRejects(t *testing.T) {
 	f, err := lai.Parse(".func f\n.input A:R0\nadd B, A, A\nret B\n.endfunc\n")
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := ir.Marshal(f)
+	v2, err := ir.Marshal(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tc := range []struct{ name, old, new string }{
-		{"schema", `"laoc-ir-v1"`, `"laoc-ir-v9"`},
-		{"op", `"add"`, `"frob"`},
-		{"value-id", `[[25,0]]`, `[[999,0]]`},
+	v1, err := ir.MarshalV1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		doc      []byte
+		old, new string
+	}{
+		{"v2-schema", v2, `"laoc-ir-v2"`, `"laoc-ir-v9"`},
+		{"v2-op", v2, `"instrs":[34,`, `"instrs":[9934,`},
+		{"v2-operand", v2, `"ops":[25,`, `"ops":[9925,`},
+		{"v1-schema", v1, `"laoc-ir-v1"`, `"laoc-ir-v9"`},
+		{"v1-op", v1, `"add"`, `"frob"`},
+		{"v1-value-id", v1, `[[25,0]]`, `[[999,0]]`},
 	} {
-		bad := bytes.Replace(data, []byte(tc.old), []byte(tc.new), 1)
-		if bytes.Equal(bad, data) {
-			t.Fatalf("%s: test substitution %q not found in %s", tc.name, tc.old, data)
+		bad := bytes.Replace(tc.doc, []byte(tc.old), []byte(tc.new), 1)
+		if bytes.Equal(bad, tc.doc) {
+			t.Fatalf("%s: test substitution %q not found in %s", tc.name, tc.old, tc.doc)
 		}
 		if _, err := ir.Unmarshal(bad); err == nil {
 			t.Errorf("%s: corrupted document decoded without error", tc.name)
 		}
 	}
 	if _, err := ir.Unmarshal([]byte(`{"schema":"laoc-ir-v1","name":"f","values":[],"blocks":[]}`)); err == nil {
-		t.Error("empty document decoded without error")
+		t.Error("empty v1 document decoded without error")
+	}
+	if _, err := ir.Unmarshal([]byte(`{"schema":"laoc-ir-v2","name":"f","nphys":25,"vnames":[],"blocks":[],"order":[]}`)); err == nil {
+		t.Error("empty v2 document decoded without error")
 	}
 }

@@ -9,28 +9,28 @@ import (
 func (f *Func) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, ".func %s\n", f.Name)
-	for _, blk := range f.Blocks {
+	for _, blk := range f.Blocks() {
 		fmt.Fprintf(&b, "%s:", blk)
-		if len(blk.Preds) > 0 {
+		if blk.NumPreds() > 0 {
 			b.WriteString(" ; preds=")
-			for i, p := range blk.Preds {
+			for i, p := range blk.Preds() {
 				if i > 0 {
 					b.WriteString(",")
 				}
-				b.WriteString(p.String())
+				b.WriteString(f.Block(p).String())
 			}
 		}
 		if blk.LoopDepth > 0 {
 			fmt.Fprintf(&b, " depth=%d", blk.LoopDepth)
 		}
 		b.WriteString("\n")
-		for _, in := range blk.Instrs {
+		for _, in := range blk.Instrs() {
 			fmt.Fprintf(&b, "\t%s", in)
-			switch in.Op {
+			switch in.Op() {
 			case Br:
-				fmt.Fprintf(&b, " -> %s, %s", blk.Succs[0], blk.Succs[1])
+				fmt.Fprintf(&b, " -> %s, %s", blk.Succ(0), blk.Succ(1))
 			case Jump:
-				fmt.Fprintf(&b, " -> %s", blk.Succs[0])
+				fmt.Fprintf(&b, " -> %s", blk.Succ(0))
 			}
 			b.WriteString("\n")
 		}

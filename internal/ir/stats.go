@@ -1,0 +1,50 @@
+package ir
+
+import "sync/atomic"
+
+// Package-wide slab-operation counters. ir sits below the metrics
+// registry in the import graph (obs depends on ir), so the counters are
+// plain atomics here; internal/pipeline bridges them into the
+// laoc_ir_* metric families via CounterFunc, where the CI perfgate
+// asserts over them. All counters are monotonic and deterministic for
+// a fixed serial workload.
+var (
+	statClones          atomic.Int64
+	statCloneSlabAllocs atomic.Int64
+	statRestores        atomic.Int64
+	statMarshalsV2      atomic.Int64
+	statMarshalsV1      atomic.Int64
+	statUnmarshalsV2    atomic.Int64
+	statUnmarshalsV1    atomic.Int64
+)
+
+// SlabStats is a snapshot of the package-wide slab-operation counters.
+type SlabStats struct {
+	// Clones counts Func.Clone calls; CloneSlabAllocs sums the slab
+	// allocations those clones performed (the cloneSlabCount budget per
+	// call), so CloneSlabAllocs/Clones is the observed allocations-per-
+	// clone ratio — O(arena chunks) by construction.
+	Clones          int64
+	CloneSlabAllocs int64
+	// Restores counts Func.RestoreFrom copy-backs.
+	Restores int64
+	// Marshal/Unmarshal counters split by wire schema; the v2 counters
+	// move on the arena fast path, v1 on the legacy per-instruction walk.
+	MarshalsV2   int64
+	MarshalsV1   int64
+	UnmarshalsV2 int64
+	UnmarshalsV1 int64
+}
+
+// Stats returns a snapshot of the slab-operation counters.
+func Stats() SlabStats {
+	return SlabStats{
+		Clones:          statClones.Load(),
+		CloneSlabAllocs: statCloneSlabAllocs.Load(),
+		Restores:        statRestores.Load(),
+		MarshalsV2:      statMarshalsV2.Load(),
+		MarshalsV1:      statMarshalsV1.Load(),
+		UnmarshalsV2:    statUnmarshalsV2.Load(),
+		UnmarshalsV1:    statUnmarshalsV1.Load(),
+	}
+}

@@ -6,19 +6,22 @@ package ir
 // results, pointer registers P0..P7 of which P0..P1 pass pointer
 // parameters, and the stack pointer SP.
 //
-// Target values are created per-Func by NewFunc so that physical register
-// *Value identity is function-local (value IDs are function-local).
+// Target tables are created per-Func by NewFunc so that physical register
+// handles are function-local (value IDs are function-local) and occupy
+// the dense ID prefix [0, NumPhysRegs). A Target is immutable after
+// NewFunc and holds only handles, so Clone shares it between the
+// original and the copy.
 type Target struct {
-	R  []*Value // general-purpose registers R0..
-	P  []*Value // pointer registers P0..
-	SP *Value   // stack pointer
+	R  []ValueID // general-purpose registers R0..
+	P  []ValueID // pointer registers P0..
+	SP ValueID   // stack pointer
 
 	// ArgRegs are the registers used for integer parameter passing, in
 	// order (R0, R1, ...). RetRegs are the result registers (R0, ...).
 	// PtrArgRegs pass pointer parameters (P0, ...).
-	ArgRegs    []*Value
-	RetRegs    []*Value
-	PtrArgRegs []*Value
+	ArgRegs    []ValueID
+	RetRegs    []ValueID
+	PtrArgRegs []ValueID
 }
 
 const (
@@ -28,6 +31,10 @@ const (
 	numRetRegs = 2
 	numPtrArgs = 2
 )
+
+// NumPhysRegs is the size of the physical-register ID prefix every
+// function's value table starts with (R0..R15, P0..P7, SP).
+const NumPhysRegs = numR + numP + 1
 
 func newTarget(f *Func) *Target {
 	t := &Target{}
@@ -45,8 +52,8 @@ func newTarget(f *Func) *Target {
 }
 
 // Physicals returns every dedicated register of the target in ID order.
-func (t *Target) Physicals() []*Value {
-	out := make([]*Value, 0, len(t.R)+len(t.P)+1)
+func (t *Target) Physicals() []ValueID {
+	out := make([]ValueID, 0, len(t.R)+len(t.P)+1)
 	out = append(out, t.R...)
 	out = append(out, t.P...)
 	out = append(out, t.SP)

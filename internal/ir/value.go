@@ -9,9 +9,14 @@
 // pinned to resources — either dedicated physical registers (R0, SP, ...)
 // or virtual resources — which is the mechanism the paper's out-of-SSA
 // algorithms use to express renaming constraints and coalescing decisions.
+//
+// The representation is structure-of-arrays: a *Func owns flat slabs of
+// value metadata, operands and instruction lists, addressed by the typed
+// int32 handles of handle.go. Entities never hold pointers to each other
+// — every cross-reference is a handle — which makes Clone a handful of
+// slab copies and keeps the long-lived analysis caches nearly free of GC
+// scan work.
 package ir
-
-import "fmt"
 
 // ValueKind distinguishes virtual registers (variables) from dedicated
 // physical registers.
@@ -27,39 +32,58 @@ const (
 	Physical
 )
 
-// Value is a resource in the paper's sense: either a variable (virtual
-// register) or a dedicated physical register. In SSA form each Virtual
-// value has exactly one defining instruction.
-type Value struct {
-	// ID is unique within a Func and totally orders values; all map
-	// iteration in the repository is done in ID order for determinism.
-	ID   int
-	Name string
-	Kind ValueKind
-}
-
-// IsPhys reports whether v is a dedicated physical register.
-func (v *Value) IsPhys() bool { return v.Kind == Physical }
-
-func (v *Value) String() string {
-	if v == nil {
-		return "<nil>"
-	}
-	return v.Name
+// valData is the per-value metadata slab entry. Values are immutable
+// after creation, so Clone can share the string backing and copy the
+// slab with a single append.
+type valData struct {
+	name string
+	kind ValueKind
 }
 
 // Operand is a textual occurrence of a value in an instruction, either as
-// a definition or a use. Pin, when non-nil, pre-colors this occurrence to
-// a resource (paper §2.1: "resource pinning is a pre-coloring of operands
-// to resources").
+// a definition or a use. The pin, when present, pre-colors this occurrence
+// to a resource (paper §2.1: "resource pinning is a pre-coloring of
+// operands to resources").
+//
+// Operands are pure handle pairs — position-independent and pointer-free —
+// so the per-function operand slab can be copied verbatim by Clone and
+// encoded verbatim by the v2 wire format. The pin is stored biased by +1
+// so that the zero Operand is an unpinned use of R0: constructing
+// Operand{Val: v} is always safe, and pins can only be attached through
+// WithPin or the Instr pin mutators (which is how the no-generation-bump
+// rule for pins is enforced).
 type Operand struct {
-	Val *Value
-	Pin *Value
+	Val ValueID
+	pin ValueID // 0 = unpinned, else pin+1
 }
 
-func (o Operand) String() string {
-	if o.Pin != nil {
-		return fmt.Sprintf("%s^%s", o.Val, o.Pin)
+// Pinned reports whether the operand is pinned to a resource.
+func (o Operand) Pinned() bool { return o.pin != 0 }
+
+// Pin returns the resource this operand is pinned to, or NoValue.
+func (o Operand) Pin() ValueID {
+	if o.pin == 0 {
+		return NoValue
 	}
-	return o.Val.String()
+	return o.pin - 1
+}
+
+// WithPin returns a copy of o pinned to r. r == NoValue clears the pin.
+func (o Operand) WithPin(r ValueID) Operand {
+	if r == NoValue {
+		o.pin = 0
+	} else {
+		o.pin = r + 1
+	}
+	return o
+}
+
+// Ops builds an operand list over the given values, unpinned. It is the
+// construction helper used by the Builder, the parsers and the passes.
+func Ops(vals ...ValueID) []Operand {
+	out := make([]Operand, len(vals))
+	for i, v := range vals {
+		out[i] = Operand{Val: v}
+	}
+	return out
 }

@@ -9,62 +9,69 @@ import "fmt"
 //   - φ instructions form a prefix of their block and have exactly one
 //     argument per predecessor;
 //   - operand counts fit the opcode;
-//   - values referenced by instructions belong to the function.
+//   - values referenced by instructions belong to the function;
+//   - arena spans are well-formed (every handle resolves).
 func (f *Func) Verify() error {
-	if len(f.Blocks) == 0 {
+	if len(f.blockList) == 0 {
 		return fmt.Errorf("%s: function has no blocks", f.Name)
 	}
-	owned := make(map[*Value]bool, len(f.values))
-	for _, v := range f.values {
-		owned[v] = true
-	}
-	for _, b := range f.Blocks {
+	nv := ValueID(len(f.vals))
+	for _, b := range f.blockList {
 		if b.fn != f {
 			return fmt.Errorf("%s: block %v does not belong to function", f.Name, b)
 		}
-		for _, p := range b.Preds {
-			if p.SuccIndex(b) < 0 {
-				return fmt.Errorf("%s: %v lists pred %v but is not its succ", f.Name, b, p)
+		if b.codeOff < 0 || b.codeLen < 0 || int(b.codeOff+b.codeLen) > len(f.code) {
+			return fmt.Errorf("%s: block %v has bad code span [%d,+%d) of %d", f.Name, b, b.codeOff, b.codeLen, len(f.code))
+		}
+		for _, p := range b.Preds() {
+			if p < 0 || int32(p) >= f.numBlocks {
+				return fmt.Errorf("%s: %v has out-of-range pred handle %d", f.Name, b, p)
+			}
+			if f.Block(p).SuccIndex(b.ID) < 0 {
+				return fmt.Errorf("%s: %v lists pred %v but is not its succ", f.Name, b, f.Block(p))
 			}
 		}
-		for _, s := range b.Succs {
-			if s.PredIndex(b) < 0 {
-				return fmt.Errorf("%s: %v lists succ %v but is not its pred", f.Name, b, s)
+		for _, s := range b.Succs() {
+			if s < 0 || int32(s) >= f.numBlocks {
+				return fmt.Errorf("%s: %v has out-of-range succ handle %d", f.Name, b, s)
+			}
+			if f.Block(s).PredIndex(b.ID) < 0 {
+				return fmt.Errorf("%s: %v lists succ %v but is not its pred", f.Name, b, f.Block(s))
 			}
 		}
 		term := b.Terminator()
 		if term == nil {
 			return fmt.Errorf("%s: block %v is not terminated", f.Name, b)
 		}
-		switch term.Op {
+		switch term.Op() {
 		case Br:
-			if len(b.Succs) != 2 {
-				return fmt.Errorf("%s: %v ends in br but has %d successors", f.Name, b, len(b.Succs))
+			if b.NumSuccs() != 2 {
+				return fmt.Errorf("%s: %v ends in br but has %d successors", f.Name, b, b.NumSuccs())
 			}
 		case Jump:
-			if len(b.Succs) != 1 {
-				return fmt.Errorf("%s: %v ends in jump but has %d successors", f.Name, b, len(b.Succs))
+			if b.NumSuccs() != 1 {
+				return fmt.Errorf("%s: %v ends in jump but has %d successors", f.Name, b, b.NumSuccs())
 			}
 		case Output:
-			if len(b.Succs) != 0 {
+			if b.NumSuccs() != 0 {
 				return fmt.Errorf("%s: %v ends in .output but has successors", f.Name, b)
 			}
 		}
 		seenNonPhi := false
-		for i, in := range b.Instrs {
-			if in.blk != b {
+		for i, in := range b.Instrs() {
+			if in.blk != b.ID {
 				return fmt.Errorf("%s: instruction %q not attached to block %v", f.Name, in, b)
 			}
-			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+			if in.Op().IsTerminator() && i != b.NumInstrs()-1 {
 				return fmt.Errorf("%s: terminator %q not last in block %v", f.Name, in, b)
 			}
-			if in.Op == Phi {
+			if in.Op() == Phi {
 				if seenNonPhi {
 					return fmt.Errorf("%s: φ %q after non-φ in block %v", f.Name, in, b)
 				}
-				if len(in.Uses) != len(b.Preds) {
+				if in.NumUses() != b.NumPreds() {
 					return fmt.Errorf("%s: φ %q has %d args for %d preds of %v",
-						f.Name, in, len(in.Uses), len(b.Preds), b)
+						f.Name, in, in.NumUses(), b.NumPreds(), b)
 				}
 			} else {
 				seenNonPhi = true
@@ -72,16 +79,22 @@ func (f *Func) Verify() error {
 			if err := checkArity(in); err != nil {
 				return fmt.Errorf("%s: block %v: %v", f.Name, b, err)
 			}
-			for _, o := range append(append([]Operand{}, in.Defs...), in.Uses...) {
-				if o.Val == nil {
-					return fmt.Errorf("%s: nil operand in %q", f.Name, in)
+			check := func(ops []Operand) error {
+				for _, o := range ops {
+					if o.Val < 0 || o.Val >= nv {
+						return fmt.Errorf("%s: foreign value %d in %q", f.Name, o.Val, in)
+					}
+					if o.Pinned() && (o.Pin() < 0 || o.Pin() >= nv) {
+						return fmt.Errorf("%s: foreign pin %d in %q", f.Name, o.Pin(), in)
+					}
 				}
-				if !owned[o.Val] {
-					return fmt.Errorf("%s: foreign value %v in %q", f.Name, o.Val, in)
-				}
-				if o.Pin != nil && !owned[o.Pin] {
-					return fmt.Errorf("%s: foreign pin %v in %q", f.Name, o.Pin, in)
-				}
+				return nil
+			}
+			if err := check(in.Defs()); err != nil {
+				return err
+			}
+			if err := check(in.Uses()); err != nil {
+				return err
 			}
 		}
 	}
@@ -90,67 +103,68 @@ func (f *Func) Verify() error {
 
 func checkArity(in *Instr) error {
 	bad := func() error {
-		return fmt.Errorf("bad arity for %q: %d defs, %d uses", in, len(in.Defs), len(in.Uses))
+		return fmt.Errorf("bad arity for %q: %d defs, %d uses", in, in.NumDefs(), in.NumUses())
 	}
-	switch in.Op {
+	nd, nu := in.NumDefs(), in.NumUses()
+	switch in.Op() {
 	case Nop:
 	case Phi:
-		if len(in.Defs) != 1 {
+		if nd != 1 {
 			return bad()
 		}
 	case Psi:
-		if len(in.Defs) != 1 || len(in.Uses) == 0 || len(in.Uses)%2 != 0 {
+		if nd != 1 || nu == 0 || nu%2 != 0 {
 			return bad()
 		}
 	case Copy:
-		if len(in.Defs) != 1 || len(in.Uses) != 1 {
+		if nd != 1 || nu != 1 {
 			return bad()
 		}
 	case ParCopy:
-		if len(in.Defs) != len(in.Uses) {
+		if nd != nu {
 			return bad()
 		}
 	case Const, Make:
-		if len(in.Defs) != 1 || len(in.Uses) != 0 {
+		if nd != 1 || nu != 0 {
 			return bad()
 		}
 	case More, AutoAdd, Neg, Not, Load:
-		if len(in.Defs) != 1 || len(in.Uses) != 1 {
+		if nd != 1 || nu != 1 {
 			return bad()
 		}
 	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
 		CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, Min, Max:
-		if len(in.Defs) != 1 || len(in.Uses) != 2 {
+		if nd != 1 || nu != 2 {
 			return bad()
 		}
 	case Mac, Select:
-		if len(in.Defs) != 1 || len(in.Uses) != 3 {
+		if nd != 1 || nu != 3 {
 			return bad()
 		}
 	case Store:
-		if len(in.Defs) != 0 || len(in.Uses) != 2 {
+		if nd != 0 || nu != 2 {
 			return bad()
 		}
 	case Call:
 		// any arity
 	case Input:
-		if len(in.Uses) != 0 {
+		if nu != 0 {
 			return bad()
 		}
 	case Output:
-		if len(in.Defs) != 0 {
+		if nd != 0 {
 			return bad()
 		}
 	case Br:
-		if len(in.Uses) != 1 {
+		if nu != 1 {
 			return bad()
 		}
 	case Jump:
-		if len(in.Defs) != 0 || len(in.Uses) != 0 {
+		if nd != 0 || nu != 0 {
 			return bad()
 		}
 	default:
-		return fmt.Errorf("unknown opcode %d", in.Op)
+		return fmt.Errorf("unknown opcode %d", in.Op())
 	}
 	return nil
 }

@@ -78,7 +78,7 @@ type parser struct {
 	pos   int
 
 	fn     *ir.Func
-	vals   map[string]*ir.Value
+	vals   map[string]ir.ValueID
 	blocks map[string]*ir.Block
 }
 
@@ -122,7 +122,7 @@ func (p *parser) parseFunc() (*ir.Func, error) {
 	p.pos++
 
 	p.fn = ir.NewFunc(header[1])
-	p.vals = make(map[string]*ir.Value)
+	p.vals = make(map[string]ir.ValueID)
 	p.blocks = make(map[string]*ir.Block)
 	cur := p.fn.NewBlock("entry")
 	p.blocks["entry"] = cur
@@ -156,7 +156,7 @@ func (p *parser) parseFunc() (*ir.Func, error) {
 			}
 			// Fall through from an unterminated previous block.
 			if !terminated {
-				cur.Append(&ir.Instr{Op: ir.Jump})
+				cur.Append(p.fn.NewInstr(ir.Jump, nil, nil))
 				p.fn.AddEdge(cur, blk)
 			}
 			cur = blk
@@ -184,7 +184,7 @@ func (p *parser) parseFunc() (*ir.Func, error) {
 			pendings = append(pendings, pend)
 			terminated = true
 		}
-		if t := cur.Terminator(); t != nil && t.Op == ir.Output {
+		if t := cur.Terminator(); t != nil && t.Op() == ir.Output {
 			terminated = true
 		}
 		p.pos++
@@ -244,7 +244,7 @@ func (p *parser) parseFunc() (*ir.Func, error) {
 
 // val resolves an identifier to a value, mapping register names to the
 // target's dedicated registers.
-func (p *parser) val(name string) (*ir.Value, error) {
+func (p *parser) val(name string) (ir.ValueID, error) {
 	t := p.fn.Target
 	switch {
 	case name == "SP":
@@ -254,13 +254,13 @@ func (p *parser) val(name string) (*ir.Value, error) {
 		if n < len(t.R) {
 			return t.R[n], nil
 		}
-		return nil, fmt.Errorf("no register %s", name)
+		return ir.NoValue, fmt.Errorf("no register %s", name)
 	case len(name) >= 2 && name[0] == 'P' && isDigits(name[1:]):
 		n, _ := strconv.Atoi(name[1:])
 		if n < len(t.P) {
 			return t.P[n], nil
 		}
-		return nil, fmt.Errorf("no register %s", name)
+		return ir.NoValue, fmt.Errorf("no register %s", name)
 	}
 	if v, ok := p.vals[name]; ok {
 		return v, nil
@@ -300,7 +300,7 @@ func (p *parser) operand(tok string) (ir.Operand, error) {
 		if err != nil {
 			return ir.Operand{}, err
 		}
-		op.Pin = pin
+		op = op.WithPin(pin)
 	}
 	return op, nil
 }
@@ -367,7 +367,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 
 	switch {
 	case op == ".input":
-		in := &ir.Instr{Op: ir.Input}
+		var defs []ir.Operand
 		for _, a := range args {
 			name, pinName, hasPin := strings.Cut(a, ":")
 			o, err := p.operand(strings.TrimSpace(name))
@@ -379,11 +379,12 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 				if err != nil {
 					return nil, p.errf("%v", err)
 				}
-				o.Pin = pin
+				o = o.WithPin(pin)
 			}
-			in.Defs = append(in.Defs, o)
+			defs = append(defs, o)
 		}
-		in.Imm = int64(len(in.Defs))
+		in := p.fn.NewInstr(ir.Input, defs, nil)
+		in.Imm = int64(len(defs))
 		blk.Append(in)
 		return nil, nil
 
@@ -392,7 +393,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
-		blk.Append(&ir.Instr{Op: ir.Output, Uses: uses})
+		blk.Append(p.fn.NewInstr(ir.Output, nil, uses))
 		return nil, nil
 
 	case op == "mov":
@@ -403,7 +404,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
-		blk.Append(&ir.Instr{Op: ir.Copy, Defs: ops[:1], Uses: ops[1:]})
+		blk.Append(p.fn.NewInstr(ir.Copy, ops[:1], ops[1:]))
 		return nil, nil
 
 	case op == "const" || op == "make":
@@ -422,7 +423,9 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if op == "make" {
 			o = ir.Make
 		}
-		blk.Append(&ir.Instr{Op: o, Defs: []ir.Operand{d}, Imm: imm})
+		cin := p.fn.NewInstr(o, []ir.Operand{d}, nil)
+		cin.Imm = imm
+		blk.Append(cin)
 		return nil, nil
 
 	case op == "more" || op == "autoadd":
@@ -441,7 +444,9 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if op == "autoadd" {
 			o = ir.AutoAdd
 		}
-		blk.Append(&ir.Instr{Op: o, Defs: ops[:1], Uses: ops[1:], Imm: imm})
+		min := p.fn.NewInstr(o, ops[:1], ops[1:])
+		min.Imm = imm
+		blk.Append(min)
 		return nil, nil
 
 	case op == "mac" || op == "select":
@@ -456,7 +461,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if op == "select" {
 			o = ir.Select
 		}
-		blk.Append(&ir.Instr{Op: o, Defs: ops[:1], Uses: ops[1:]})
+		blk.Append(p.fn.NewInstr(o, ops[:1], ops[1:]))
 		return nil, nil
 
 	case op == "load":
@@ -467,7 +472,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
-		blk.Append(&ir.Instr{Op: ir.Load, Defs: ops[:1], Uses: ops[1:]})
+		blk.Append(p.fn.NewInstr(ir.Load, ops[:1], ops[1:]))
 		return nil, nil
 
 	case op == "store":
@@ -478,7 +483,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
-		blk.Append(&ir.Instr{Op: ir.Store, Uses: ops})
+		blk.Append(p.fn.NewInstr(ir.Store, nil, ops))
 		return nil, nil
 
 	case op == "call":
@@ -503,14 +508,16 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
-		blk.Append(&ir.Instr{Op: ir.Call, Callee: callee, Defs: defs, Uses: uses})
+		cl := p.fn.NewInstr(ir.Call, defs, uses)
+		cl.Callee = callee
+		blk.Append(cl)
 		return nil, nil
 
 	case op == "jump":
 		if err := need(1); err != nil {
 			return nil, err
 		}
-		blk.Append(&ir.Instr{Op: ir.Jump})
+		blk.Append(p.fn.NewInstr(ir.Jump, nil, nil))
 		return &pending{block: blk, op: ir.Jump, targets: args}, nil
 
 	case op == "br":
@@ -521,7 +528,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
-		blk.Append(&ir.Instr{Op: ir.Br, Uses: []ir.Operand{c}})
+		blk.Append(p.fn.NewInstr(ir.Br, nil, []ir.Operand{c}))
 		return &pending{block: blk, op: ir.Br, targets: args[1:]}, nil
 
 	default:
@@ -534,8 +541,8 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 				return nil, p.errf("%v", err)
 			}
 			tmp := p.fn.NewValue("")
-			blk.Append(&ir.Instr{Op: cmpOp, Defs: []ir.Operand{{Val: tmp}}, Uses: ops})
-			blk.Append(&ir.Instr{Op: ir.Br, Uses: []ir.Operand{{Val: tmp}}})
+			blk.Append(p.fn.NewInstr(cmpOp, []ir.Operand{{Val: tmp}}, ops))
+			blk.Append(p.fn.NewInstr(ir.Br, nil, []ir.Operand{{Val: tmp}}))
 			return &pending{block: blk, op: ir.Br, targets: args[2:]}, nil
 		}
 		if o, ok := binaryOps[op]; ok {
@@ -546,7 +553,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 			if err != nil {
 				return nil, p.errf("%v", err)
 			}
-			blk.Append(&ir.Instr{Op: o, Defs: ops[:1], Uses: ops[1:]})
+			blk.Append(p.fn.NewInstr(o, ops[:1], ops[1:]))
 			return nil, nil
 		}
 		if o, ok := unaryOps[op]; ok {
@@ -557,7 +564,7 @@ func (p *parser) parseInstr(blk *ir.Block, line string) (*pending, error) {
 			if err != nil {
 				return nil, p.errf("%v", err)
 			}
-			blk.Append(&ir.Instr{Op: o, Defs: ops[:1], Uses: ops[1:]})
+			blk.Append(p.fn.NewInstr(o, ops[:1], ops[1:]))
 			return nil, nil
 		}
 	}

@@ -37,8 +37,8 @@ func TestParseFigure1(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The .input pins must be present.
-	in := f.Entry().Instrs[0]
-	if in.Op != ir.Input || in.Defs[0].Pin != f.Target.R[0] || in.Defs[1].Pin != f.Target.P[0] {
+	in := f.Entry().Instr(0)
+	if in.Op() != ir.Input || in.DefOp(0).Pin() != f.Target.R[0] || in.DefOp(1).Pin() != f.Target.P[0] {
 		t.Fatalf("input pins wrong: %v", in)
 	}
 	res, err := ir.Exec(f, []int64{7, 1000}, 1000)

@@ -282,17 +282,17 @@ func NewQuery(f *ir.Func, dom *cfg.DomTree) *Info {
 	// iff it is the entry or has an immediate dominator. Deriving it here
 	// saves the depth-first traversal cfg.Reachable would repeat.
 	q.reach = make([]bool, q.nb)
-	if len(f.Blocks) > 0 {
+	if len(f.Blocks()) > 0 {
 		entry := f.Entry()
-		for _, b := range f.Blocks {
-			if b == entry || (b.ID < len(dom.Idom) && dom.Idom[b.ID] != nil) {
+		for _, b := range f.Blocks() {
+			if b == entry || (int(b.ID) < len(dom.Idom) && dom.Idom[b.ID] != nil) {
 				q.reach[b.ID] = true
 			}
 		}
 	}
 	q.wpb = (q.nb + 63) / 64
 	q.blkByID = make([]*ir.Block, q.nb)
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		q.blkByID[b.ID] = b
 	}
 	q.buildSummaries(&q.cur)
@@ -400,49 +400,49 @@ func (q *queryState) buildSummaries(dst *summarySet) {
 	// counters) and record each seed as a packed (variable, block)
 	// event, so the arena fill below is a linear scatter instead of a
 	// second operand-chasing walk over the instruction stream.
-	for bi, b := range q.fn.Blocks {
+	for bi, b := range q.fn.Blocks() {
 		epoch := int32(bi + 1)
 		bid := int32(b.ID)
-		reachable := b.ID < len(q.reach) && q.reach[b.ID]
-		for _, in := range b.Instrs {
-			if in.Op != ir.Phi {
-				for _, u := range in.Uses {
-					id := u.Val.ID
+		reachable := int(b.ID) < len(q.reach) && q.reach[b.ID]
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.Phi {
+				for _, u := range in.Uses() {
+					id := u.Val
 					if defStamp[id] != epoch && useStamp[id] != epoch {
 						useStamp[id] = epoch
 						if reachable {
 							sums[id].upEnd++
-							evUp = append(evUp, packEvent(id, bid))
+							evUp = append(evUp, packEvent(int(id), bid))
 						}
 					}
 				}
 			}
-			for _, d := range in.Defs {
-				id := d.Val.ID
+			for _, d := range in.Defs() {
+				id := d.Val
 				sums[id].nDefs++
 				if defStamp[id] != epoch {
 					defStamp[id] = epoch
 					sums[id].defsEnd++
-					evDef = append(evDef, packEvent(id, bid))
+					evDef = append(evDef, packEvent(int(id), bid))
 				}
 			}
 		}
 		// φ uses read at the end of each reachable predecessor. Arity
 		// mismatches (corrupted IR, caught by the verifier) are skipped
 		// rather than crashed on: the engine stays total.
-		if phis := b.Phis(); len(phis) > 0 {
-			for i, p := range b.Preds {
-				if p.ID >= len(q.reach) || !q.reach[p.ID] {
+		if b.NumPhis() > 0 {
+			for i, p := range b.Preds() {
+				if int(p) >= len(q.reach) || !q.reach[p] {
 					continue
 				}
-				pid := int32(p.ID)
-				for _, phi := range phis {
-					if i >= len(phi.Uses) {
+				pid := int32(p)
+				for _, phi := range b.Phis() {
+					if i >= phi.NumUses() {
 						continue
 					}
-					id := phi.Uses[i].Val.ID
+					id := phi.Use(i)
 					sums[id].phiEnd++
-					evPhi = append(evPhi, packEvent(id, pid))
+					evPhi = append(evPhi, packEvent(int(id), pid))
 				}
 			}
 		}
@@ -672,13 +672,13 @@ func (q *queryState) walkOf(id int) int32 {
 	for len(queue) > 0 {
 		bid := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, p := range q.blkByID[bid].Preds {
-			if p.ID >= len(q.reach) || !q.reach[p.ID] {
+		for _, p := range q.blkByID[bid].Preds() {
+			if int(p) >= len(q.reach) || !q.reach[p] {
 				continue // the fixed point never visits unreachable blocks
 			}
-			if !hasBlk(defs, int32(p.ID)) && !bitHas(in, p.ID) {
-				bitAdd(in, p.ID)
-				queue = append(queue, int32(p.ID))
+			if !hasBlk(defs, int32(p)) && !bitHas(in, int(p)) {
+				bitAdd(in, int(p))
+				queue = append(queue, int32(p))
 			}
 		}
 	}
@@ -697,8 +697,8 @@ func (q *queryState) walkIn(off int32) []uint64 {
 // corrupted CFGs (a silently spliced edge may point at a block the
 // walk was not sized for).
 func (q *queryState) walkOutHas(in []uint64, bid int) bool {
-	for _, s := range q.blkByID[bid].Succs {
-		if s.ID < q.nb && bitHas(in, s.ID) {
+	for _, s := range q.blkByID[bid].Succs() {
+		if int(s) < q.nb && bitHas(in, int(s)) {
 			return true
 		}
 	}
@@ -724,36 +724,36 @@ func (q *queryState) countedWalk(id int) int32 {
 }
 
 func (q *queryState) liveIn(id int, b *ir.Block) bool {
-	if id < 0 || id >= len(q.cur.sums) || b.ID >= q.nb || !q.reach[b.ID] {
+	if id < 0 || id >= len(q.cur.sums) || int(b.ID) >= q.nb || !q.reach[b.ID] {
 		return false
 	}
 	if q.deadByDominance(&q.cur.sums[id], b) {
 		q.stats.Hits++
 		return false
 	}
-	return bitHas(q.walkIn(q.countedWalk(id)), b.ID)
+	return bitHas(q.walkIn(q.countedWalk(id)), int(b.ID))
 }
 
 func (q *queryState) liveOut(id int, b *ir.Block) bool {
-	if id < 0 || id >= len(q.cur.sums) || b.ID >= q.nb || !q.reach[b.ID] {
+	if id < 0 || id >= len(q.cur.sums) || int(b.ID) >= q.nb || !q.reach[b.ID] {
 		return false
 	}
 	if q.deadByDominance(&q.cur.sums[id], b) {
 		q.stats.Hits++
 		return false
 	}
-	return q.walkOutHas(q.walkIn(q.countedWalk(id)), b.ID)
+	return q.walkOutHas(q.walkIn(q.countedWalk(id)), int(b.ID))
 }
 
 func (q *queryState) exitLive(id int, b *ir.Block) bool {
-	if id < 0 || id >= len(q.cur.sums) || b.ID >= q.nb || !q.reach[b.ID] {
+	if id < 0 || id >= len(q.cur.sums) || int(b.ID) >= q.nb || !q.reach[b.ID] {
 		return false
 	}
 	if q.deadByDominance(&q.cur.sums[id], b) {
 		q.stats.Hits++
 		return false
 	}
-	if q.walkOutHas(q.walkIn(q.countedWalk(id)), b.ID) {
+	if q.walkOutHas(q.walkIn(q.countedWalk(id)), int(b.ID)) {
 		return true
 	}
 	return hasBlk(q.cur.phiOf(id), int32(b.ID))
@@ -765,7 +765,7 @@ func (q *queryState) exitLive(id int, b *ir.Block) bool {
 // has its def dominating b — plus every non-strict variable.
 // Unreachable blocks keep empty sets, like the iterative engine.
 func (q *queryState) blockSets(b *ir.Block) (in, out, exit *bitset.Set) {
-	bid := b.ID
+	bid := int(b.ID)
 	if bid < len(q.blkDone) && q.blkDone[bid] {
 		q.stats.Hits++
 		return q.blkIn[bid], q.blkOut[bid], q.blkExit[bid]
@@ -793,7 +793,7 @@ func (q *queryState) blockSets(b *ir.Block) (in, out, exit *bitset.Set) {
 		}
 	}
 	for blk := b; blk != nil; blk = q.dom.Idom[blk.ID] {
-		for _, id := range q.strictDefsOf(blk.ID) {
+		for _, id := range q.strictDefsOf(int(blk.ID)) {
 			add(id)
 		}
 	}

@@ -29,23 +29,21 @@ func crossCheckEngines(t *testing.T, f *ir.Func) {
 	qPoint := liveness.NewQuery(f, dom)
 	qSet := liveness.NewQuery(f, dom)
 
-	for _, b := range f.Blocks {
-		for _, v := range f.Values() {
-			if v == nil {
-				continue
-			}
+	for _, b := range f.Blocks() {
+		for id := 0; id < f.NumValues(); id++ {
+			v := ir.ValueID(id)
 			if got, want := qPoint.LiveIn(v, b), it.LiveIn(v, b); got != want {
-				t.Fatalf("%s: LiveIn(%v, %v): query=%v iterative=%v\n%s", f.Name, v, b, got, want, f)
+				t.Fatalf("%s: LiveIn(%v, %v): query=%v iterative=%v\n%s", f.Name, f.VStr(v), b, got, want, f)
 			}
 			if got, want := qPoint.LiveOut(v, b), it.LiveOut(v, b); got != want {
-				t.Fatalf("%s: LiveOut(%v, %v): query=%v iterative=%v\n%s", f.Name, v, b, got, want, f)
+				t.Fatalf("%s: LiveOut(%v, %v): query=%v iterative=%v\n%s", f.Name, f.VStr(v), b, got, want, f)
 			}
-			if got, want := qPoint.ExitLiveID(v.ID, b), it.ExitLiveSet(b).Has(v.ID); got != want {
-				t.Fatalf("%s: ExitLive(%v, %v): query=%v iterative=%v\n%s", f.Name, v, b, got, want, f)
+			if got, want := qPoint.ExitLive(v, b), it.ExitLiveSet(b).Has(id); got != want {
+				t.Fatalf("%s: ExitLive(%v, %v): query=%v iterative=%v\n%s", f.Name, f.VStr(v), b, got, want, f)
 			}
 		}
 	}
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		if !qSet.LiveInSet(b).Equal(it.LiveInSet(b)) {
 			t.Fatalf("%s: LiveInSet(%v): query %v, iterative %v\n%s",
 				f.Name, b, qSet.LiveInSet(b).Elems(), it.LiveInSet(b).Elems(), f)
@@ -58,7 +56,7 @@ func crossCheckEngines(t *testing.T, f *ir.Func) {
 			t.Fatalf("%s: ExitLiveSet(%v): query %v, iterative %v\n%s",
 				f.Name, b, qSet.ExitLiveSet(b).Elems(), it.ExitLiveSet(b).Elems(), f)
 		}
-		for i := range b.Instrs {
+		for i := 0; i < b.NumInstrs(); i++ {
 			if !qSet.LiveAfter(b, i).Equal(it.LiveAfter(b, i)) {
 				t.Fatalf("%s: LiveAfter(%v, %d): query %v, iterative %v\n%s",
 					f.Name, b, i, qSet.LiveAfter(b, i).Elems(), it.LiveAfter(b, i).Elems(), f)
@@ -163,7 +161,7 @@ func TestLivenessEnginesAgreeUnreachable(t *testing.T) {
 	if q.LiveOut(a, dead) || !q.LiveOutSet(dead).Empty() {
 		t.Fatal("unreachable block has a non-empty live set under the query engine")
 	}
-	if q.ExitLiveID(d.ID, dead) {
+	if q.ExitLive(d, dead) {
 		t.Fatal("φ argument from an unreachable predecessor reported exit-live")
 	}
 }
@@ -187,7 +185,7 @@ func TestLivenessEnginesAgreePhiHeavy(t *testing.T) {
 	bld.Binary(ir.CmpLT, c, a, one)
 	bld.Br(c, left, right)
 
-	var ls, rs, ms [k]*ir.Value
+	var ls, rs, ms [k]ir.ValueID
 	for i := range ls {
 		ls[i] = bld.Val(fmt.Sprintf("l%d", i))
 		rs[i] = bld.Val(fmt.Sprintf("r%d", i))
@@ -228,7 +226,7 @@ func TestRevalidateAfterCodeMutation(t *testing.T) {
 		f := ssaRand(t, seed, testprog.DefaultRandOptions())
 		q := liveness.NewQuery(f, cfg.Dominators(f))
 		// Materialize every walk so kept/dropped counts are observable.
-		for _, b := range f.Blocks {
+		for _, b := range f.Blocks() {
 			q.LiveOutSet(b)
 		}
 
@@ -237,21 +235,20 @@ func TestRevalidateAfterCodeMutation(t *testing.T) {
 		// giving it a new upward-exposed use there (the shape of a
 		// rematerialization or repair-copy pass). No CFG change.
 		cfgGen := f.CFGGeneration()
-		var src *ir.Value
-		for _, in := range f.Entry().Instrs {
-			if in.Op != ir.Phi && len(in.Defs) > 0 && !in.Defs[0].Val.IsPhys() {
-				src = in.Defs[0].Val
+		src := ir.NoValue
+		for _, in := range f.Entry().Instrs() {
+			if in.Op() != ir.Phi && in.NumDefs() > 0 && !f.IsPhys(in.Def(0)) {
+				src = in.Def(0)
 				break
 			}
 		}
-		last := f.Blocks[len(f.Blocks)-1]
-		if src == nil || last == f.Entry() {
+		blocks := f.Blocks()
+		last := blocks[len(blocks)-1]
+		if src == ir.NoValue || last == f.Entry() {
 			continue // degenerate shape; other seeds cover the property
 		}
 		dst := f.NewValue("reval.t")
-		last.InsertAt(last.FirstNonPhi(), &ir.Instr{Op: ir.Copy,
-			Defs: []ir.Operand{{Val: dst}},
-			Uses: []ir.Operand{{Val: src}}})
+		last.InsertAt(last.FirstNonPhi(), f.NewInstr(ir.Copy, ir.Ops(dst), ir.Ops(src)))
 		if f.CFGGeneration() != cfgGen {
 			t.Fatalf("seed %d: the copy insertion moved the CFG generation", seed)
 		}
@@ -268,7 +265,7 @@ func TestRevalidateAfterCodeMutation(t *testing.T) {
 		}
 
 		it := liveness.Compute(f)
-		for _, b := range f.Blocks {
+		for _, b := range f.Blocks() {
 			if !q2.LiveInSet(b).Equal(it.LiveInSet(b)) ||
 				!q2.LiveOutSet(b).Equal(it.LiveOutSet(b)) ||
 				!q2.ExitLiveSet(b).Equal(it.ExitLiveSet(b)) {

@@ -53,25 +53,25 @@ func Compute(f *ir.Func) *Info {
 		exitLive: make([]*bitset.Set, nb),
 	}
 
-	escaping := bitset.NewSlab(nv, 3*len(f.Blocks))
-	transient := bitset.NewSlab(nv, 2*len(f.Blocks))
+	escaping := bitset.NewSlab(nv, 3*len(f.Blocks()))
+	transient := bitset.NewSlab(nv, 2*len(f.Blocks()))
 
 	// Per-block gen (upward-exposed non-φ uses) and kill (all defs,
 	// including φ defs).
 	gen := make([]*bitset.Set, nb)
 	kill := make([]*bitset.Set, nb)
-	for bi, b := range f.Blocks {
+	for bi, b := range f.Blocks() {
 		g, k := transient[2*bi], transient[2*bi+1]
-		for _, in := range b.Instrs {
-			if in.Op != ir.Phi {
-				for _, u := range in.Uses {
-					if !k.Has(u.Val.ID) {
-						g.Add(u.Val.ID)
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.Phi {
+				for _, u := range in.Uses() {
+					if !k.Has(int(u.Val)) {
+						g.Add(int(u.Val))
 					}
 				}
 			}
-			for _, d := range in.Defs {
-				k.Add(d.Val.ID)
+			for _, d := range in.Defs() {
+				k.Add(int(d.Val))
 			}
 		}
 		gen[b.ID], kill[b.ID] = g, k
@@ -88,18 +88,19 @@ func Compute(f *ir.Func) *Info {
 			// exitLive = union of successor live-ins + φ uses from b.
 			el := info.exitLive[b.ID]
 			el.Clear()
-			for _, s := range b.Succs {
-				el.UnionWith(info.liveIn[s.ID])
-				pi := s.PredIndex(b)
+			for _, sid := range b.Succs() {
+				s := f.Block(sid)
+				el.UnionWith(info.liveIn[sid])
+				pi := s.PredIndex(b.ID)
 				for _, phi := range s.Phis() {
-					el.Add(phi.Uses[pi].Val.ID)
+					el.Add(int(phi.Use(pi)))
 				}
 			}
 			// liveOut = union of successor live-ins (without the φ uses).
 			lo := info.liveOut[b.ID]
 			lo.Clear()
-			for _, s := range b.Succs {
-				lo.UnionWith(info.liveIn[s.ID])
+			for _, sid := range b.Succs() {
+				lo.UnionWith(info.liveIn[sid])
 			}
 			// liveIn = gen ∪ (exitLive \ kill).
 			scratch.CopyFrom(el)
@@ -116,40 +117,29 @@ func Compute(f *ir.Func) *Info {
 
 // LiveIn reports whether v is live at the entry of b (φ defs of b are not
 // live-in; φ uses flowing into b are not live-in).
-func (l *Info) LiveIn(v *ir.Value, b *ir.Block) bool {
-	return l.LiveInID(v.ID, b)
-}
-
-// LiveInID is LiveIn by value ID — the form the point-query consumers
-// (interference live-after tests) already hold.
-func (l *Info) LiveInID(id int, b *ir.Block) bool {
+func (l *Info) LiveIn(v ir.ValueID, b *ir.Block) bool {
 	if l.q != nil {
-		return l.q.liveIn(id, b)
+		return l.q.liveIn(int(v), b)
 	}
-	return l.liveIn[b.ID].Has(id)
+	return l.liveIn[b.ID].Has(int(v))
 }
 
 // LiveOut reports whether v is live at the exit of b, after the φ-copy
 // point (paper Class 2 uses exactly this query).
-func (l *Info) LiveOut(v *ir.Value, b *ir.Block) bool {
-	return l.LiveOutID(v.ID, b)
+func (l *Info) LiveOut(v ir.ValueID, b *ir.Block) bool {
+	if l.q != nil {
+		return l.q.liveOut(int(v), b)
+	}
+	return l.liveOut[b.ID].Has(int(v))
 }
 
-// LiveOutID is LiveOut by value ID.
-func (l *Info) LiveOutID(id int, b *ir.Block) bool {
+// ExitLive reports whether v is live just before the φ parallel-copy
+// point at the end of b.
+func (l *Info) ExitLive(v ir.ValueID, b *ir.Block) bool {
 	if l.q != nil {
-		return l.q.liveOut(id, b)
+		return l.q.exitLive(int(v), b)
 	}
-	return l.liveOut[b.ID].Has(id)
-}
-
-// ExitLiveID reports whether the value with the given ID is live just
-// before the φ parallel-copy point at the end of b.
-func (l *Info) ExitLiveID(id int, b *ir.Block) bool {
-	if l.q != nil {
-		return l.q.exitLive(id, b)
-	}
-	return l.exitLive[b.ID].Has(id)
+	return l.exitLive[b.ID].Has(int(v))
 }
 
 // LiveInSet returns the live-in set of b (do not mutate).
@@ -190,16 +180,16 @@ func (l *Info) Incremental() bool { return l.q != nil }
 // freshly allocated.
 func (l *Info) LiveAfter(b *ir.Block, idx int) *bitset.Set {
 	cur := l.ExitLiveSet(b).Copy()
-	for i := len(b.Instrs) - 1; i > idx; i-- {
-		in := b.Instrs[i]
-		if in.Op == ir.Phi {
+	for i := b.NumInstrs() - 1; i > idx; i-- {
+		in := b.Instr(i)
+		if in.Op() == ir.Phi {
 			break
 		}
-		for _, d := range in.Defs {
-			cur.Remove(d.Val.ID)
+		for _, d := range in.Defs() {
+			cur.Remove(int(d.Val))
 		}
-		for _, u := range in.Uses {
-			cur.Add(u.Val.ID)
+		for _, u := range in.Uses() {
+			cur.Add(int(u.Val))
 		}
 	}
 	return cur
@@ -210,17 +200,17 @@ func (l *Info) LiveAfter(b *ir.Block, idx int) *bitset.Set {
 // precise query behind the exact Class-1 interference test: two SSA
 // values interfere iff the dominator-wise earlier one is live at the
 // definition point of the later one.
-func (l *Info) LiveAtDef(v *ir.Value, def *ir.Instr) bool {
+func (l *Info) LiveAtDef(v ir.ValueID, def *ir.Instr) bool {
 	b := def.Block()
-	if def.Op == ir.Phi {
+	if def.Op() == ir.Phi {
 		// φ defs happen at block entry, in parallel: v (not a def of this
 		// block's φ prefix unless v IS another φ def, handled by strong
 		// interference) is live there iff live-in.
-		return l.LiveInID(v.ID, b)
+		return l.LiveIn(v, b)
 	}
-	for i, in := range b.Instrs {
+	for i, in := range b.Instrs() {
 		if in == def {
-			return l.LiveAfter(b, i).Has(v.ID)
+			return l.LiveAfter(b, i).Has(int(v))
 		}
 	}
 	return false

@@ -10,7 +10,7 @@ import (
 )
 
 func blockByName(f *ir.Func, name string) *ir.Block {
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		if b.Name == name {
 			return b
 		}
@@ -18,13 +18,13 @@ func blockByName(f *ir.Func, name string) *ir.Block {
 	return nil
 }
 
-func valByName(f *ir.Func, name string) *ir.Value {
-	for _, v := range f.Values() {
-		if v.Name == name {
-			return v
+func valByName(f *ir.Func, name string) ir.ValueID {
+	for id := 0; id < f.NumValues(); id++ {
+		if f.ValueName(ir.ValueID(id)) == name {
+			return ir.ValueID(id)
 		}
 	}
-	return nil
+	return ir.NoValue
 }
 
 func TestLivenessLoop(t *testing.T) {
@@ -79,7 +79,7 @@ func TestPhiSemantics(t *testing.T) {
 	if live.LiveOut(x1, l) {
 		t.Error("φ use x1 must not be in LiveOut(l) (dead at exit of pred)")
 	}
-	if !live.ExitLiveSet(l).Has(x1.ID) {
+	if !live.ExitLiveSet(l).Has(int(x1)) {
 		t.Error("φ use x1 must be in ExitLive(l) (live before the copy point)")
 	}
 	if live.LiveIn(x1, join) || live.LiveIn(x3, join) {
@@ -126,7 +126,7 @@ func TestPhiArgLiveThrough(t *testing.T) {
 // Reference liveness: v is live-in at block b iff some path from the top
 // of b reaches a use of v (φ uses count at the end of the predecessor)
 // before any def of v.
-func refLiveIn(v *ir.Value, b *ir.Block) bool {
+func refLiveIn(v ir.ValueID, b *ir.Block) bool {
 	visited := make(map[*ir.Block]bool)
 	var from func(*ir.Block) bool
 	from = func(x *ir.Block) bool {
@@ -134,33 +134,35 @@ func refLiveIn(v *ir.Value, b *ir.Block) bool {
 			return false
 		}
 		visited[x] = true
-		for _, in := range x.Instrs {
-			if in.Op != ir.Phi {
-				for _, u := range in.Uses {
+		for _, in := range x.Instrs() {
+			if in.Op() != ir.Phi {
+				for _, u := range in.Uses() {
 					if u.Val == v {
 						return true
 					}
 				}
 			}
-			for _, d := range in.Defs {
+			for _, d := range in.Defs() {
 				if d.Val == v {
 					return false
 				}
 			}
 		}
-		for _, s := range x.Succs {
-			pi := s.PredIndex(x)
+		for si := 0; si < x.NumSuccs(); si++ {
+			s := x.Succ(si)
+			pi := s.PredIndex(x.ID)
 			for _, phi := range s.Phis() {
-				if phi.Uses[pi].Val == v {
+				if phi.Use(pi) == v {
 					return true
 				}
 			}
 		}
-		for _, s := range x.Succs {
+		for si := 0; si < x.NumSuccs(); si++ {
+			s := x.Succ(si)
 			// φ defs of s kill v on that path.
 			killed := false
 			for _, phi := range s.Phis() {
-				if phi.Defs[0].Val == v {
+				if phi.Def(0) == v {
 					killed = true
 				}
 			}
@@ -178,15 +180,16 @@ func TestLivenessAgainstReference(t *testing.T) {
 		f := testprog.Rand(seed, testprog.DefaultRandOptions())
 		ssa.Build(f) // exercise the φ semantics too
 		live := liveness.Compute(f)
-		for _, b := range f.Blocks {
-			for _, v := range f.Values() {
-				if v.IsPhys() {
+		for _, b := range f.Blocks() {
+			for id := 0; id < f.NumValues(); id++ {
+				v := ir.ValueID(id)
+				if f.IsPhys(v) {
 					continue
 				}
 				want := refLiveIn(v, b)
 				got := live.LiveIn(v, b)
 				if got != want {
-					t.Fatalf("seed %d: LiveIn(%v, %v) = %v, want %v", seed, v, b, got, want)
+					t.Fatalf("seed %d: LiveIn(%v, %v) = %v, want %v", seed, f.VStr(v), b, got, want)
 				}
 			}
 		}
@@ -201,7 +204,7 @@ func TestLiveAfter(t *testing.T) {
 	i := valByName(f, "i")
 	// After "s = s + i" (index 0), both s and i are live (i used next).
 	after0 := live.LiveAfter(body, 0)
-	if !after0.Has(s.ID) || !after0.Has(i.ID) {
+	if !after0.Has(int(s)) || !after0.Has(int(i)) {
 		t.Error("s and i must be live after the accumulation")
 	}
 }

@@ -23,24 +23,24 @@ import (
 func MaxLive(f *ir.Func, l *Info) int {
 	max := 0
 	cur := bitset.New(f.NumValues())
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		cur.CopyFrom(l.ExitLiveSet(b))
 		if n := cur.Len(); n > max {
 			max = n
 		}
-		for i := len(b.Instrs) - 1; i >= 0; i-- {
-			in := b.Instrs[i]
-			if in.Op == ir.Phi {
+		for i := b.NumInstrs() - 1; i >= 0; i-- {
+			in := b.Instr(i)
+			if in.Op() == ir.Phi {
 				// φ rows reached from below: everything above is the
 				// entry point, already counted via the predecessors'
 				// exit sets and this block's entry state below.
 				break
 			}
-			for _, d := range in.Defs {
-				cur.Remove(d.Val.ID)
+			for _, d := range in.Defs() {
+				cur.Remove(int(d.Val))
 			}
-			for _, u := range in.Uses {
-				cur.Add(u.Val.ID)
+			for _, u := range in.Uses() {
+				cur.Add(int(u.Val))
 			}
 			if n := cur.Len(); n > max {
 				max = n

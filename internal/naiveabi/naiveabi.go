@@ -29,107 +29,100 @@ func Apply(f *ir.Func) *Stats {
 	st := &Stats{}
 	t := f.Target
 
-	mov := func(d, s *ir.Value) *ir.Instr {
+	mov := func(d, s ir.ValueID) *ir.Instr {
 		st.Moves++
-		return &ir.Instr{Op: ir.Copy,
-			Defs: []ir.Operand{{Val: d}}, Uses: []ir.Operand{{Val: s}}}
+		return f.NewInstr(ir.Copy,
+			[]ir.Operand{{Val: d}}, []ir.Operand{{Val: s}})
 	}
 
-	for _, b := range f.Blocks {
-		for idx := 0; idx < len(b.Instrs); idx++ {
-			in := b.Instrs[idx]
+	for _, b := range f.Blocks() {
+		for idx := 0; idx < b.NumInstrs(); idx++ {
+			in := b.Instr(idx)
 			switch {
-			case in.Op == ir.Input:
+			case in.Op() == ir.Input:
 				n := int(in.Imm)
 				post := 0
-				for i := 0; i < n && i < len(t.ArgRegs) && i < len(in.Defs); i++ {
-					v := in.Defs[i].Val
+				for i := 0; i < n && i < len(t.ArgRegs) && i < in.NumDefs(); i++ {
+					v := in.Def(i)
 					r := t.ArgRegs[i]
 					if v == r {
 						continue
 					}
-					in.Defs[i].Val = r
+					in.SetDefVal(i, r)
 					b.InsertAt(idx+1+post, mov(v, r))
 					post++
 				}
 				idx += post
 
-			case in.Op == ir.Output:
-				pre := 0
-				for i := range in.Uses {
+			case in.Op() == ir.Output:
+				for i := 0; i < in.NumUses(); i++ {
 					if i >= len(t.RetRegs) {
 						break
 					}
-					v := in.Uses[i].Val
+					v := in.Use(i)
 					r := t.RetRegs[i]
 					if v == r {
 						continue
 					}
-					in.Uses[i].Val = r
+					in.SetUseVal(i, r)
 					b.InsertAt(idx, mov(r, v))
-					pre++
 					idx++
 				}
 
-			case in.Op == ir.Call:
-				pre := 0
-				for i := range in.Uses {
+			case in.Op() == ir.Call:
+				for i := 0; i < in.NumUses(); i++ {
 					if i >= len(t.ArgRegs) {
 						break
 					}
-					v := in.Uses[i].Val
+					v := in.Use(i)
 					r := t.ArgRegs[i]
 					if v == r {
 						continue
 					}
-					in.Uses[i].Val = r
+					in.SetUseVal(i, r)
 					b.InsertAt(idx, mov(r, v))
-					pre++
 					idx++
 				}
 				post := 0
-				for i := range in.Defs {
+				for i := 0; i < in.NumDefs(); i++ {
 					if i >= len(t.RetRegs) {
 						break
 					}
-					v := in.Defs[i].Val
+					v := in.Def(i)
 					r := t.RetRegs[i]
 					if v == r {
 						continue
 					}
-					in.Defs[i].Val = r
+					in.SetDefVal(i, r)
 					b.InsertAt(idx+1+post, mov(v, r))
 					post++
 				}
 				idx += post
 
-			case in.Op.IsTwoOperand():
-				d := in.Defs[0].Val
-				s := in.Uses[0].Val
+			case in.Op().IsTwoOperand():
+				d := in.Def(0)
+				s := in.Use(0)
 				if d != s {
 					// Other operands still reading d's previous value must
 					// be rescued before d is overwritten by the tie move.
-					var t *ir.Value
-					for i := 1; i < len(in.Uses); i++ {
-						if in.Uses[i].Val != d {
+					tmp := ir.NoValue
+					for i := 1; i < in.NumUses(); i++ {
+						if in.Use(i) != d {
 							continue
 						}
-						if t == nil {
-							t = f.NewValue("")
-							b.InsertAt(idx, mov(t, d))
+						if tmp == ir.NoValue {
+							tmp = f.NewValue("")
+							b.InsertAt(idx, mov(tmp, d))
 							idx++
 						}
-						in.Uses[i].Val = t
+						in.SetUseVal(i, tmp)
 					}
 					b.InsertAt(idx, mov(d, s))
-					in.Uses[0].Val = d
+					in.SetUseVal(0, d)
 					idx++
 				}
 			}
 		}
-	}
-	if st.Moves > 0 {
-		f.NoteMutation() // constrained operands rewritten in place
 	}
 	return st
 }

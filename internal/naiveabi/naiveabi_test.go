@@ -20,26 +20,26 @@ func TestApplyRewritesConstraints(t *testing.T) {
 	if st.Moves == 0 {
 		t.Fatal("expected ABI moves")
 	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
 			switch {
-			case in.Op == ir.Call:
-				for i, u := range in.Uses {
+			case in.Op() == ir.Call:
+				for i, u := range in.Uses() {
 					if i < len(f.Target.ArgRegs) && u.Val != f.Target.ArgRegs[i] {
-						t.Fatalf("call arg %d not in %v: %v", i, f.Target.ArgRegs[i], in)
+						t.Fatalf("call arg %d not in %v: %v", i, f.VStr(f.Target.ArgRegs[i]), in)
 					}
 				}
-				for i, d := range in.Defs {
+				for i, d := range in.Defs() {
 					if i < len(f.Target.RetRegs) && d.Val != f.Target.RetRegs[i] {
-						t.Fatalf("call result %d not in %v: %v", i, f.Target.RetRegs[i], in)
+						t.Fatalf("call result %d not in %v: %v", i, f.VStr(f.Target.RetRegs[i]), in)
 					}
 				}
-			case in.Op == ir.Output:
-				if len(in.Uses) > 0 && in.Uses[0].Val != f.Target.RetRegs[0] {
+			case in.Op() == ir.Output:
+				if in.NumUses() > 0 && in.Use(0) != f.Target.RetRegs[0] {
 					t.Fatalf("output not through R0: %v", in)
 				}
-			case in.Op.IsTwoOperand():
-				if in.Defs[0].Val != in.Uses[0].Val {
+			case in.Op().IsTwoOperand():
+				if in.Def(0) != in.Use(0) {
 					t.Fatalf("2-operand tie unsatisfied: %v", in)
 				}
 			}

@@ -43,8 +43,8 @@ func Snapshot(f *ir.Func) IRStat {
 		Instrs:        f.NumInstrs(),
 		Phis:          f.CountPhis(),
 		Pins:          f.CountPins(),
-		Blocks:        len(f.Blocks),
-		Values:        len(f.Values()),
+		Blocks:        len(f.Blocks()),
+		Values:        f.NumValues(),
 	}
 }
 

@@ -43,7 +43,7 @@ func TestPaperFigure12Limitation(t *testing.T) {
 	// after a pinningφ pass.
 	ir.PinDef(phi, 0, x)
 	bld.Binary(ir.Add, x1, x, one)
-	call := bld.Call("f", []*ir.Value{d}, x)
+	call := bld.Call("f", []ir.ValueID{d}, x)
 	ir.PinUse(call, 0, r0)
 	ir.PinDef(call, 0, r0)
 	bld.Binary(ir.CmpLT, c, d, n)
@@ -53,11 +53,11 @@ func TestPaperFigure12Limitation(t *testing.T) {
 	bld.Output(d)
 
 	// Pin x0 and x1 defs into x's web.
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i := range in.Defs {
-				if in.Defs[i].Val == x0 || in.Defs[i].Val == x1 {
-					in.Defs[i].Pin = x
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for i := 0; i < in.NumDefs(); i++ {
+				if in.Def(i) == x0 || in.Def(i) == x1 {
+					in.SetDefPin(i, x)
 				}
 			}
 		}

@@ -66,10 +66,12 @@ func Translate(f *ir.Func) (*Stats, error) {
 	rg := interference.NewResourceGraph(an, res)
 
 	// ---- Mark phase: which variables are killed within their resource?
-	killed := make(map[*ir.Value]bool)
-	seenRoot := make(map[*ir.Value]bool)
-	for _, v := range f.Values() {
-		if v.IsPhys() {
+	killed := make(map[ir.ValueID]bool)
+	seenRoot := make(map[ir.ValueID]bool)
+	numVals := f.NumValues()
+	for id := 0; id < numVals; id++ {
+		v := ir.ValueID(id)
+		if f.IsPhys(v) {
 			continue
 		}
 		root := res.Find(v)
@@ -77,33 +79,33 @@ func Translate(f *ir.Func) (*Stats, error) {
 			continue
 		}
 		seenRoot[root] = true
-		vals := f.Values()
-		rg.KilledSet(root).ForEach(func(id int) { killed[vals[id]] = true })
+		rg.KilledSet(root).ForEach(func(id int) { killed[ir.ValueID(id)] = true })
 	}
 
 	// Only killed variables with at least one use need a repair variable.
-	used := make(map[*ir.Value]bool)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, u := range in.Uses {
+	used := make(map[ir.ValueID]bool)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, u := range in.Uses() {
 				used[u.Val] = true
 			}
 		}
 	}
-	repair := make(map[*ir.Value]*ir.Value) // permanent: killed var -> repair var
-	for _, v := range f.Values() {
+	repair := make(map[ir.ValueID]ir.ValueID) // permanent: killed var -> repair var
+	for id := 0; id < numVals; id++ {
+		v := ir.ValueID(id)
 		if killed[v] && used[v] {
-			repair[v] = f.NewValue(v.Name + "'")
+			repair[v] = f.NewValue(f.ValueName(v) + "'")
 		}
 	}
 	st.Repairs = len(repair)
 	st.Killed = len(killed)
 
-	home := func(v *ir.Value) *ir.Value { return res.Find(v) }
+	home := func(v ir.ValueID) ir.ValueID { return res.Find(v) }
 	// src yields the location holding v's value at any point dominated by
 	// its repair snapshot: the repair variable if v was killed, else its
 	// home resource.
-	src := func(v *ir.Value) *ir.Value {
+	src := func(v ir.ValueID) ir.ValueID {
 		if r, ok := repair[v]; ok {
 			return r
 		}
@@ -113,31 +115,37 @@ func Translate(f *ir.Func) (*Stats, error) {
 	// Instructions created by the translation carry final names and must
 	// not be rewritten again when their block is processed later.
 	emitted := make(map[*ir.Instr]bool)
-	newCopy := func(d, s *ir.Value) *ir.Instr {
-		c := &ir.Instr{Op: ir.Copy,
-			Defs: []ir.Operand{{Val: d}}, Uses: []ir.Operand{{Val: s}}}
+	newCopy := func(d, s ir.ValueID) *ir.Instr {
+		c := f.NewInstr(ir.Copy,
+			[]ir.Operand{{Val: d}}, []ir.Operand{{Val: s}})
 		emitted[c] = true
 		return c
 	}
 
 	// ---- Reconstruct phase.
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		// Replace the φs of b by parallel copies at the end of each pred.
-		phis := b.Phis()
-		if len(phis) > 0 {
-			for pi, pred := range b.Preds {
-				pc := &ir.Instr{Op: ir.ParCopy}
+		nphis := b.NumPhis()
+		if nphis > 0 {
+			var phis []*ir.Instr
+			for _, phi := range b.Phis() {
+				phis = append(phis, phi)
+			}
+			for pi := 0; pi < b.NumPreds(); pi++ {
+				pred := b.Pred(pi)
+				var defs, uses []ir.Operand
 				for _, phi := range phis {
 					dst := home(phi.Def(0))
-					s := src(phi.Uses[pi].Val)
+					s := src(phi.Use(pi))
 					if dst == s {
 						continue // coalesced: no move needed (the "gain")
 					}
-					pc.Defs = append(pc.Defs, ir.Operand{Val: dst})
-					pc.Uses = append(pc.Uses, ir.Operand{Val: s})
+					defs = append(defs, ir.Operand{Val: dst})
+					uses = append(uses, ir.Operand{Val: s})
 				}
-				if len(pc.Defs) > 0 {
-					st.PhiMoves += len(pc.Defs)
+				if len(defs) > 0 {
+					st.PhiMoves += len(defs)
+					pc := f.NewInstr(ir.ParCopy, defs, uses)
 					emitted[pc] = true
 					pred.InsertBeforeTerminator(pc)
 				}
@@ -152,35 +160,36 @@ func Translate(f *ir.Func) (*Stats, error) {
 					snaps = append(snaps, newCopy(r, home(x)))
 				}
 			}
-			b.Instrs = b.Instrs[len(phis):]
+			for k := 0; k < nphis; k++ {
+				b.RemoveAt(0)
+			}
 			for k, c := range snaps {
 				b.InsertAt(k, c)
 			}
 		}
 
-		for idx := 0; idx < len(b.Instrs); idx++ {
-			in := b.Instrs[idx]
+		for idx := 0; idx < b.NumInstrs(); idx++ {
+			in := b.Instr(idx)
 			if emitted[in] {
 				continue
 			}
 
 			// Enforce use pins: needed (resource <- location) moves
 			// execute in parallel just before the instruction.
-			pre := &ir.Instr{Op: ir.ParCopy}
-			scheduled := make(map[*ir.Value]*ir.Value) // dst -> src
-			pinnedIdx := make(map[int]bool)            // operand indexes rewritten to pinned resources
-			for ui := range in.Uses {
-				u := &in.Uses[ui]
+			var preDefs, preUses []ir.Operand
+			scheduled := make(map[ir.ValueID]ir.ValueID) // dst -> src
+			pinnedIdx := make(map[int]bool)              // operand indexes rewritten to pinned resources
+			for ui := 0; ui < in.NumUses(); ui++ {
+				u := in.UseOp(ui)
 				v := u.Val
-				if u.Pin == nil {
-					u.Val = src(v)
+				if !u.Pinned() {
+					in.SetUse(ui, ir.Operand{Val: src(v)})
 					continue
 				}
 				pinnedIdx[ui] = true
-				want := res.Find(u.Pin)
-				u.Pin = nil
-				u.Val = want
-				if home(v) == want && repair[v] == nil {
+				want := res.Find(u.Pin())
+				in.SetUse(ui, ir.Operand{Val: want})
+				if _, wasKilled := repair[v]; home(v) == want && !wasKilled {
 					continue // value already lives in the pinned resource
 				}
 				s := src(v)
@@ -190,40 +199,41 @@ func Translate(f *ir.Func) (*Stats, error) {
 				if prev, ok := scheduled[want]; ok {
 					if prev != s {
 						return nil, fmt.Errorf("leung: conflicting pinned uses %v=%v vs %v=%v in %q",
-							want, prev, want, s, in)
+							f.VStr(want), f.VStr(prev), f.VStr(want), f.VStr(s), in)
 					}
 					continue
 				}
 				scheduled[want] = s
-				pre.Defs = append(pre.Defs, ir.Operand{Val: want})
-				pre.Uses = append(pre.Uses, ir.Operand{Val: s})
+				preDefs = append(preDefs, ir.Operand{Val: want})
+				preUses = append(preUses, ir.Operand{Val: s})
 			}
-			if len(pre.Defs) > 0 {
+			if len(preDefs) > 0 {
 				// The parallel pre-copy writes pinned resources. Any other
 				// operand of this instruction still reading one of those
 				// resources must be rescued into a temporary first (the
 				// kill analysis works at definition granularity and does
 				// not see values that die exactly at this instruction).
-				rescued := make(map[*ir.Value]*ir.Value)
-				for ui := range in.Uses {
-					u := &in.Uses[ui]
-					s, clobbered := scheduled[u.Val]
-					if !clobbered || s == u.Val {
+				rescued := make(map[ir.ValueID]ir.ValueID)
+				for ui := 0; ui < in.NumUses(); ui++ {
+					uv := in.Use(ui)
+					s, clobbered := scheduled[uv]
+					if !clobbered || s == uv {
 						continue
 					}
 					if !pinnedIdx[ui] {
-						t := rescued[u.Val]
-						if t == nil {
+						t, ok := rescued[uv]
+						if !ok {
 							t = f.NewValue("")
-							rescued[u.Val] = t
-							b.InsertAt(idx, newCopy(t, u.Val))
+							rescued[uv] = t
+							b.InsertAt(idx, newCopy(t, uv))
 							idx++
 							st.PinMoves++
 						}
-						u.Val = t
+						in.SetUseVal(ui, t)
 					}
 				}
-				st.PinMoves += len(pre.Defs)
+				st.PinMoves += len(preDefs)
+				pre := f.NewInstr(ir.ParCopy, preDefs, preUses)
 				emitted[pre] = true
 				b.InsertAt(idx, pre)
 				idx++
@@ -232,12 +242,10 @@ func Translate(f *ir.Func) (*Stats, error) {
 			// Rewrite definitions to their home resources; snapshot killed
 			// definitions immediately after the instruction.
 			post := 0
-			for di := range in.Defs {
-				d := &in.Defs[di]
-				v := d.Val
+			for di := 0; di < in.NumDefs(); di++ {
+				v := in.Def(di)
 				h := home(v)
-				d.Val = h
-				d.Pin = nil
+				in.SetDef(di, ir.Operand{Val: h})
 				if r, ok := repair[v]; ok {
 					b.InsertAt(idx+1+post, newCopy(r, h))
 					post++
@@ -248,7 +256,6 @@ func Translate(f *ir.Func) (*Stats, error) {
 	}
 
 	parcopy.Sequentialize(f)
-	f.NoteMutation() // reconstruction rewrote operands in place throughout
 	st.Interference = an.Counters()
 	return st, nil
 }

@@ -29,10 +29,10 @@ func destruct(t *testing.T, f *ir.Func, abi bool) *leung.Stats {
 	if err := f.Verify(); err != nil {
 		t.Fatalf("%s: post-translate verify: %v\n%s", f.Name, err, f)
 	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Phi || in.Op == ir.ParCopy {
-				t.Fatalf("%s: %v remains after translation", f.Name, in.Op)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Phi || in.Op() == ir.ParCopy {
+				t.Fatalf("%s: %v remains after translation", f.Name, in.Op())
 			}
 		}
 	}
@@ -127,20 +127,20 @@ func TestABIPinsMaterialized(t *testing.T) {
 	destruct(t, f, true)
 	r0 := f.Target.R[0]
 	sawR0Use := false
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Output {
-				for _, u := range in.Uses {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Output {
+				for _, u := range in.Uses() {
 					if u.Val == r0 {
 						sawR0Use = true
 					}
 				}
 			}
-			if in.Op == ir.Call {
-				if len(in.Uses) > 0 && in.Uses[0].Val != r0 {
+			if in.Op() == ir.Call {
+				if in.NumUses() > 0 && in.Use(0) != r0 {
 					t.Fatalf("call arg 0 not in R0: %v", in)
 				}
-				if len(in.Defs) > 0 && in.Defs[0].Val != r0 {
+				if in.NumDefs() > 0 && in.Def(0) != r0 {
 					t.Fatalf("call result not in R0: %v", in)
 				}
 			}
@@ -183,7 +183,7 @@ func TestPaperFigure3(t *testing.T) {
 	ir.PinDef(phiY1, 0, r1)
 
 	bld.Binary(ir.Add, y2, y1, k)
-	call := bld.Call("g", []*ir.Value{x4}, x1, y2)
+	call := bld.Call("g", []ir.ValueID{x4}, x1, y2)
 	ir.PinDef(call, 0, r0)
 	ir.PinUse(call, 0, r0)
 	ir.PinUse(call, 1, r1)
@@ -210,12 +210,12 @@ func TestPaperFigure3(t *testing.T) {
 	}
 	// The repaired value must flow back into R0 before the return.
 	var movesToR0InExit int
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		if b.Name != "exit" {
 			continue
 		}
-		for _, in := range b.Instrs {
-			if in.Op == ir.Copy && in.Def(0) == r0 {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Copy && in.Def(0) == r0 {
 				movesToR0InExit++
 			}
 		}
@@ -236,7 +236,7 @@ func TestNoRedundantMoveForPinnedUse(t *testing.T) {
 	a, b := bld.Val("a"), bld.Val("b")
 	in := bld.Input(a)
 	ir.PinDef(in, 0, r0) // a lives in R0
-	call := bld.Call("f", []*ir.Value{b}, a)
+	call := bld.Call("f", []ir.ValueID{b}, a)
 	ir.PinUse(call, 0, r0) // wants a in R0 — already there
 	ir.PinDef(call, 0, r0)
 	out := bld.Output(b)

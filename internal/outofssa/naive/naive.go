@@ -27,43 +27,49 @@ type Stats struct {
 func Translate(f *ir.Func) (*Stats, error) {
 	st := &Stats{EdgesSplit: cfg.SplitCriticalEdges(f)}
 
-	for _, b := range f.Blocks {
-		phis := b.Phis()
-		if len(phis) == 0 {
+	for _, b := range f.Blocks() {
+		nphis := b.NumPhis()
+		if nphis == 0 {
 			continue
 		}
-		for pi, pred := range b.Preds {
-			pc := &ir.Instr{Op: ir.ParCopy}
+		var phis []*ir.Instr
+		for _, phi := range b.Phis() {
+			phis = append(phis, phi)
+		}
+		for pi := 0; pi < b.NumPreds(); pi++ {
+			pred := b.Pred(pi)
+			var defs, uses []ir.Operand
 			for _, phi := range phis {
-				dst, src := phi.Def(0), phi.Uses[pi].Val
+				dst, src := phi.Def(0), phi.Use(pi)
 				if dst == src {
 					continue
 				}
-				pc.Defs = append(pc.Defs, ir.Operand{Val: dst})
-				pc.Uses = append(pc.Uses, ir.Operand{Val: src})
+				defs = append(defs, ir.Operand{Val: dst})
+				uses = append(uses, ir.Operand{Val: src})
 			}
-			if len(pc.Defs) > 0 {
-				st.PhiMoves += len(pc.Defs)
-				pred.InsertBeforeTerminator(pc)
+			if len(defs) > 0 {
+				st.PhiMoves += len(defs)
+				pred.InsertBeforeTerminator(f.NewInstr(ir.ParCopy, defs, uses))
 			}
 		}
-		b.Instrs = b.Instrs[len(phis):]
+		for k := 0; k < nphis; k++ {
+			b.RemoveAt(0)
+		}
 	}
 
 	// The naive translation leaves the pins unenforced; drop them so the
 	// result is plain non-SSA code.
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i := range in.Defs {
-				in.Defs[i].Pin = nil
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for i := 0; i < in.NumDefs(); i++ {
+				in.SetDef(i, ir.Operand{Val: in.Def(i)})
 			}
-			for i := range in.Uses {
-				in.Uses[i].Pin = nil
+			for i := 0; i < in.NumUses(); i++ {
+				in.SetUse(i, ir.Operand{Val: in.Use(i)})
 			}
 		}
 	}
 
 	parcopy.Sequentialize(f)
-	f.NoteMutation() // φ removal truncated instruction lists in place
 	return st, nil
 }

@@ -34,13 +34,13 @@ func TestTranslatePreservesSemantics(t *testing.T) {
 		if err := f.Verify(); err != nil {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op == ir.Phi || in.Op == ir.ParCopy {
-					t.Fatalf("%s: %v remains", f.Name, in.Op)
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.Op() == ir.Phi || in.Op() == ir.ParCopy {
+					t.Fatalf("%s: %v remains", f.Name, in.Op())
 				}
-				for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
-					if o.Pin != nil {
+				for _, o := range append(append([]ir.Operand{}, in.Defs()...), in.Uses()...) {
+					if o.Pinned() {
 						t.Fatalf("%s: pin survived naive translation: %v", f.Name, in)
 					}
 				}
@@ -63,9 +63,9 @@ func TestNaiveCostsFullPhiPrice(t *testing.T) {
 	f := testprog.Loop()
 	ssa.Build(f)
 	slots := 0
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				if u.Val != phi.Def(0) {
 					slots++
 				}

@@ -52,13 +52,13 @@ type Options struct {
 	// insertion, e.g. variables renamed from the dedicated SP register
 	// (the paper's pinningSP constraint: "splitting the SSA web of such
 	// variables poses some problems").
-	Unsplittable func(*ir.Value) bool
+	Unsplittable func(ir.ValueID) bool
 }
 
 // ConvertToCSSA transforms f (SSA) into conventional SSA in place and
 // returns the φ congruence classes as a value -> representative map
 // (values absent from the map are singleton classes).
-func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, error) {
+func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[ir.ValueID]ir.ValueID, error) {
 	st := &Stats{EdgesSplit: cfg.SplitCriticalEdges(f)}
 
 	cc := newClasses(f)
@@ -85,13 +85,17 @@ func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, er
 
 	// φs are processed one at a time, in block layout order — the
 	// sequential treatment of [CS1].
-	for _, b := range f.Blocks {
-		for _, phi := range append([]*ir.Instr(nil), b.Phis()...) {
+	for _, b := range f.Blocks() {
+		var phis []*ir.Instr
+		for _, phi := range b.Phis() {
+			phis = append(phis, phi)
+		}
+		for _, phi := range phis {
 			refresh()
 			st.PhisProcessed++
 			cc.processPhi(f, phi, live, an, opt, st)
 			// Merge the (possibly renamed) φ resources into one class.
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				cc.union(phi.Def(0), u.Val)
 			}
 		}
@@ -103,9 +107,10 @@ func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, er
 	// copies reveal the true cycles (a φ swap becomes "P=Q || Q=P", which
 	// needs a temporary). The out-of-pinned-SSA translation sequentializes
 	// every remaining ParCopy after renaming.
-	classes := make(map[*ir.Value]*ir.Value)
-	for _, v := range f.Values() {
-		if v.IsPhys() {
+	classes := make(map[ir.ValueID]ir.ValueID)
+	for id := 0; id < f.NumValues(); id++ {
+		v := ir.ValueID(id)
+		if f.IsPhys(v) {
 			continue
 		}
 		if r := cc.findValue(f, v); r != v {
@@ -120,7 +125,7 @@ func ConvertToCSSA(f *ir.Func, opt Options) (*Stats, map[*ir.Value]*ir.Value, er
 // phiResource is one resource position of a φ: the target (at the φ's
 // block entry) or an argument (at the end of a predecessor).
 type phiResource struct {
-	val      *ir.Value
+	val      ir.ValueID
 	blk      *ir.Block // L0 for the target, Li for arguments
 	isTarget bool
 	argIdx   int
@@ -131,8 +136,8 @@ type phiResource struct {
 func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an *interference.Analysis, opt Options, st *Stats) {
 	b := phi.Block()
 	res := []phiResource{{val: phi.Def(0), blk: b, isTarget: true, argIdx: -1}}
-	for i, u := range phi.Uses {
-		res = append(res, phiResource{val: u.Val, blk: b.Preds[i], argIdx: i})
+	for i, u := range phi.Uses() {
+		res = append(res, phiResource{val: u.Val, blk: b.Pred(i), argIdx: i})
 	}
 
 	// liveHit reports whether some member of x's congruence class is live
@@ -250,15 +255,13 @@ func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an
 	}
 
 	// Insert the copies (sequential moves — [CS2]).
-	inserted := false
 	for i := range res {
 		if !needCopy[i] {
 			continue
 		}
-		inserted = true
 		st.CopiesInserted++
 		r := res[i]
-		xnew := f.NewValue(r.val.Name + ".c")
+		xnew := f.NewValue(f.ValueName(r.val) + ".c")
 		if r.isTarget {
 			// xnew becomes the φ target; x0 = xnew joins the parallel copy
 			// at the top of L0 (all target copies of one block are
@@ -266,31 +269,25 @@ func (cc *classes) processPhi(f *ir.Func, phi *ir.Instr, live *liveness.Info, an
 			// new definition overlap another's pending read).
 			pc := cc.targetPC[b]
 			if pc == nil {
-				pc = &ir.Instr{Op: ir.ParCopy}
+				pc = f.NewInstr(ir.ParCopy, nil, nil)
 				b.InsertAt(b.FirstNonPhi(), pc)
 				cc.targetPC[b] = pc
 			}
-			pc.Defs = append(pc.Defs, ir.Operand{Val: r.val})
-			pc.Uses = append(pc.Uses, ir.Operand{Val: xnew})
-			phi.Defs[0].Val = xnew
+			pc.AddDef(ir.Operand{Val: r.val})
+			pc.AddUse(ir.Operand{Val: xnew})
+			phi.SetDefVal(0, xnew)
 		} else {
 			// xnew = xi joins the parallel copy at the end of Li.
 			pc := cc.edgePC[r.blk]
 			if pc == nil {
-				pc = &ir.Instr{Op: ir.ParCopy}
+				pc = f.NewInstr(ir.ParCopy, nil, nil)
 				r.blk.InsertBeforeTerminator(pc)
 				cc.edgePC[r.blk] = pc
 			}
-			pc.Defs = append(pc.Defs, ir.Operand{Val: xnew})
-			pc.Uses = append(pc.Uses, ir.Operand{Val: r.val})
-			phi.Uses[r.argIdx].Val = xnew
+			pc.AddDef(ir.Operand{Val: xnew})
+			pc.AddUse(ir.Operand{Val: r.val})
+			phi.SetUseVal(r.argIdx, xnew)
 		}
-	}
-	if inserted {
-		// The φ operands and the parallel copies were rewritten in place,
-		// past the automatic bumps of NewValue/InsertAt: note it so the
-		// next refresh() recomputes liveness.
-		f.NoteMutation()
 	}
 }
 
@@ -327,31 +324,32 @@ func (c *classes) find(id int) int {
 	return id
 }
 
-func (c *classes) union(a, b *ir.Value) {
-	ra, rb := c.find(a.ID), c.find(b.ID)
+func (c *classes) union(a, b ir.ValueID) {
+	ra, rb := c.find(int(a)), c.find(int(b))
 	if ra != rb {
 		c.parent[rb] = ra
 	}
 }
 
-func (c *classes) same(f *ir.Func, a, b *ir.Value) bool {
-	return c.find(a.ID) == c.find(b.ID)
+func (c *classes) same(f *ir.Func, a, b ir.ValueID) bool {
+	return c.find(int(a)) == c.find(int(b))
 }
 
-func (c *classes) findValue(f *ir.Func, v *ir.Value) *ir.Value {
-	return f.Values()[c.find(v.ID)]
+func (c *classes) findValue(f *ir.Func, v ir.ValueID) ir.ValueID {
+	return ir.ValueID(c.find(int(v)))
 }
 
 // members enumerates the congruence class of v. Linear in the number of
 // values; φ classes are small so this is acceptable for the workloads.
-func (c *classes) members(f *ir.Func, v *ir.Value) []*ir.Value {
-	root := c.find(v.ID)
-	var out []*ir.Value
-	for _, w := range f.Values() {
-		if w.IsPhys() {
+func (c *classes) members(f *ir.Func, v ir.ValueID) []ir.ValueID {
+	root := c.find(int(v))
+	var out []ir.ValueID
+	for id := 0; id < f.NumValues(); id++ {
+		w := ir.ValueID(id)
+		if f.IsPhys(w) {
 			continue
 		}
-		if c.find(w.ID) == root {
+		if c.find(id) == root {
 			out = append(out, w)
 		}
 	}

@@ -14,10 +14,10 @@ import (
 
 // verifyCSSA checks the defining property of conventional SSA: no two
 // members of a φ congruence class interfere.
-func verifyCSSA(t *testing.T, f *ir.Func, classes map[*ir.Value]*ir.Value) {
+func verifyCSSA(t *testing.T, f *ir.Func, classes map[ir.ValueID]ir.ValueID) {
 	t.Helper()
 	an := interference.New(f, liveness.Compute(f), cfg.Dominators(f), interference.Exact)
-	byRoot := make(map[*ir.Value][]*ir.Value)
+	byRoot := make(map[ir.ValueID][]ir.ValueID)
 	for v, r := range classes {
 		byRoot[r] = append(byRoot[r], v)
 	}
@@ -27,7 +27,7 @@ func verifyCSSA(t *testing.T, f *ir.Func, classes map[*ir.Value]*ir.Value) {
 				a, b := members[i], members[j]
 				if an.Interfere(a, b) {
 					t.Errorf("CSSA violated: %v and %v in class %v interfere\n%s",
-						a, b, root, f)
+						f.VStr(a), f.VStr(b), f.VStr(root), f)
 				}
 			}
 		}
@@ -183,7 +183,7 @@ func TestUnsplittableRedirection(t *testing.T) {
 		f := testprog.Rand(seed, testprog.DefaultRandOptions())
 		info := ssa.MustBuild(f)
 		st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
-			Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
+			Unsplittable: func(v ir.ValueID) bool { return info.OrigPhys(v) != ir.NoValue },
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -192,12 +192,12 @@ func TestUnsplittableRedirection(t *testing.T) {
 			t.Errorf("seed %d: %d illegal splits on a well-formed program", seed, st.IllegalSplits)
 		}
 		// No inserted copy may target an SP-derived variable's web.
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op != ir.Copy {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.Op() != ir.Copy {
 					continue
 				}
-				if info.OrigPhys(in.Use(0)) != nil {
+				if info.OrigPhys(in.Use(0)) != ir.NoValue {
 					t.Errorf("seed %d: SP web split by copy %v", seed, in)
 				}
 			}

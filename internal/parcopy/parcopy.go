@@ -17,20 +17,20 @@ import (
 // slot), which no correct φ replacement ever produces. The checked
 // pipeline's verifier calls this on every ParCopy it encounters.
 func Check(pc *ir.Instr) error {
-	if pc.Op != ir.ParCopy {
+	if pc.Op() != ir.ParCopy {
 		return fmt.Errorf("parcopy: %q is not a parallel copy", pc)
 	}
-	if len(pc.Defs) != len(pc.Uses) {
+	if pc.NumDefs() != pc.NumUses() {
 		return fmt.Errorf("parcopy: %q has %d destinations for %d sources",
-			pc, len(pc.Defs), len(pc.Uses))
+			pc, pc.NumDefs(), pc.NumUses())
 	}
-	seen := make(map[*ir.Value]bool, len(pc.Defs))
-	for _, d := range pc.Defs {
-		if d.Val == nil {
-			return fmt.Errorf("parcopy: nil destination in %q", pc)
+	seen := make(map[ir.ValueID]bool, pc.NumDefs())
+	for _, d := range pc.Defs() {
+		if d.Val == ir.NoValue {
+			return fmt.Errorf("parcopy: missing destination in %q", pc)
 		}
 		if seen[d.Val] {
-			return fmt.Errorf("parcopy: destination %v duplicated in %q", d.Val, pc)
+			return fmt.Errorf("parcopy: destination %v duplicated in %q", pc.Func().VStr(d.Val), pc)
 		}
 		seen[d.Val] = true
 	}
@@ -43,10 +43,10 @@ func Check(pc *ir.Instr) error {
 // instructions emitted.
 func Sequentialize(f *ir.Func) int {
 	emitted := 0
-	for _, b := range f.Blocks {
-		for idx := 0; idx < len(b.Instrs); idx++ {
-			in := b.Instrs[idx]
-			if in.Op != ir.ParCopy {
+	for _, b := range f.Blocks() {
+		for idx := 0; idx < b.NumInstrs(); idx++ {
+			in := b.Instr(idx)
+			if in.Op() != ir.ParCopy {
 				continue
 			}
 			seq := Lower(f, in)
@@ -67,21 +67,18 @@ func Sequentialize(f *ir.Func) int {
 // source — a cycle — which is broken by saving one destination to a fresh
 // temporary.
 func Lower(f *ir.Func, pc *ir.Instr) []*ir.Instr {
-	type cp struct{ dst, src *ir.Value }
+	type cp struct{ dst, src ir.ValueID }
 	var pending []cp
-	for i := range pc.Defs {
-		d, s := pc.Defs[i].Val, pc.Uses[i].Val
+	for i := 0; i < pc.NumDefs(); i++ {
+		d, s := pc.Def(i), pc.Use(i)
 		if d != s {
 			pending = append(pending, cp{d, s})
 		}
 	}
 	var out []*ir.Instr
-	emit := func(d, s *ir.Value) {
-		out = append(out, &ir.Instr{
-			Op:   ir.Copy,
-			Defs: []ir.Operand{{Val: d}},
-			Uses: []ir.Operand{{Val: s}},
-		})
+	emit := func(d, s ir.ValueID) {
+		out = append(out, f.NewInstr(ir.Copy,
+			[]ir.Operand{{Val: d}}, []ir.Operand{{Val: s}}))
 	}
 	for len(pending) > 0 {
 		progress := false

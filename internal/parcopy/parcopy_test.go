@@ -13,15 +13,15 @@ import (
 func buildParCopyFunc(n int, dst, src []int) *ir.Func {
 	bld := ir.NewBuilder("pc")
 	bld.Block("entry")
-	vals := make([]*ir.Value, n)
+	vals := make([]ir.ValueID, n)
 	for i := range vals {
 		vals[i] = bld.Val("")
 	}
 	bld.Input(vals...)
-	pc := &ir.Instr{Op: ir.ParCopy}
+	pc := bld.Fn.NewInstr(ir.ParCopy, nil, nil)
 	for i := range dst {
-		pc.Defs = append(pc.Defs, ir.Operand{Val: vals[dst[i]]})
-		pc.Uses = append(pc.Uses, ir.Operand{Val: vals[src[i]]})
+		pc.AddDef(ir.Operand{Val: vals[dst[i]]})
+		pc.AddUse(ir.Operand{Val: vals[src[i]]})
 	}
 	bld.Cur.Append(pc)
 	bld.Output(vals...)
@@ -37,9 +37,9 @@ func runBoth(t *testing.T, n int, dst, src []int, args []int64) bool {
 	}
 	f := buildParCopyFunc(n, dst, src)
 	parcopy.Sequentialize(f)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.ParCopy {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.ParCopy {
 				t.Fatal("ParCopy survived sequentialization")
 			}
 		}
@@ -153,15 +153,15 @@ func TestFullPermutationCycle(t *testing.T) {
 func TestCheckDetectsDuplicateDestination(t *testing.T) {
 	f := buildParCopyFunc(3, []int{0, 1}, []int{1, 2})
 	var pc *ir.Instr
-	for _, in := range f.Blocks[0].Instrs {
-		if in.Op == ir.ParCopy {
+	for _, in := range f.Blocks()[0].Instrs() {
+		if in.Op() == ir.ParCopy {
 			pc = in
 		}
 	}
 	if err := parcopy.Check(pc); err != nil {
 		t.Fatalf("valid parallel copy rejected: %v", err)
 	}
-	pc.Defs[1].Val = pc.Defs[0].Val // (a, a) = (b, c)
+	pc.SetDefVal(1, pc.Def(0)) // (a, a) = (b, c)
 	if err := parcopy.Check(pc); err == nil {
 		t.Fatal("duplicated destination not detected")
 	}
@@ -172,12 +172,14 @@ func TestCheckDetectsDuplicateDestination(t *testing.T) {
 func TestCheckDetectsArityMismatch(t *testing.T) {
 	f := buildParCopyFunc(3, []int{0, 1}, []int{1, 2})
 	var pc *ir.Instr
-	for _, in := range f.Blocks[0].Instrs {
-		if in.Op == ir.ParCopy {
+	for _, in := range f.Blocks()[0].Instrs() {
+		if in.Op() == ir.ParCopy {
 			pc = in
 		}
 	}
-	pc.Uses = pc.Uses[:1]
+	for pc.NumUses() > 1 {
+		pc.RemoveUseAt(pc.NumUses() - 1)
+	}
 	if err := parcopy.Check(pc); err == nil {
 		t.Fatal("def/use arity mismatch not detected")
 	}
@@ -187,8 +189,8 @@ func TestCheckDetectsArityMismatch(t *testing.T) {
 // sequentializer simply drops it.
 func TestCheckAllowsSelfCopy(t *testing.T) {
 	f := buildParCopyFunc(2, []int{0, 1}, []int{0, 1})
-	for _, in := range f.Blocks[0].Instrs {
-		if in.Op == ir.ParCopy {
+	for _, in := range f.Blocks()[0].Instrs() {
+		if in.Op() == ir.ParCopy {
 			if err := parcopy.Check(in); err != nil {
 				t.Fatalf("self copy rejected: %v", err)
 			}

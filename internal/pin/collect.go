@@ -13,14 +13,15 @@ import (
 // Only the definitions are pinned; φ webs over SP-derived values then
 // join SP's resource transitively.
 func CollectSP(f *ir.Func, info *ssa.Info) {
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i, d := range in.Defs {
-				if d.Pin != nil {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for i := 0; i < in.NumDefs(); i++ {
+				d := in.DefOp(i)
+				if d.Pinned() {
 					continue
 				}
-				if phys := info.OrigPhys(d.Val); phys != nil {
-					in.Defs[i].Pin = phys
+				if phys := info.OrigPhys(d.Val); phys != ir.NoValue {
+					in.SetDefPin(i, phys)
 				}
 			}
 		}
@@ -41,46 +42,46 @@ func CollectSP(f *ir.Func, info *ssa.Info) {
 // would live on the stack).
 func CollectABI(f *ir.Func) {
 	t := f.Target
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
 			switch {
-			case in.Op == ir.Input:
+			case in.Op() == ir.Input:
 				// Imm records the declared parameter count; implicit defs
 				// added by SSA construction (including SP) are not
 				// parameters.
 				n := int(in.Imm)
-				for i := 0; i < n && i < len(t.ArgRegs) && i < len(in.Defs); i++ {
-					if in.Defs[i].Pin == nil {
-						in.Defs[i].Pin = t.ArgRegs[i]
+				for i := 0; i < n && i < len(t.ArgRegs) && i < in.NumDefs(); i++ {
+					if !in.DefOp(i).Pinned() {
+						in.SetDefPin(i, t.ArgRegs[i])
 					}
 				}
-			case in.Op == ir.Output:
-				for i := range in.Uses {
-					if i < len(t.RetRegs) && in.Uses[i].Pin == nil {
-						in.Uses[i].Pin = t.RetRegs[i]
+			case in.Op() == ir.Output:
+				for i := 0; i < in.NumUses(); i++ {
+					if i < len(t.RetRegs) && !in.UseOp(i).Pinned() {
+						in.SetUsePin(i, t.RetRegs[i])
 					}
 				}
-			case in.Op == ir.Call:
-				for i := range in.Uses {
-					if i < len(t.ArgRegs) && in.Uses[i].Pin == nil {
-						in.Uses[i].Pin = t.ArgRegs[i]
+			case in.Op() == ir.Call:
+				for i := 0; i < in.NumUses(); i++ {
+					if i < len(t.ArgRegs) && !in.UseOp(i).Pinned() {
+						in.SetUsePin(i, t.ArgRegs[i])
 					}
 				}
-				for i := range in.Defs {
-					if i < len(t.RetRegs) && in.Defs[i].Pin == nil {
-						in.Defs[i].Pin = t.RetRegs[i]
+				for i := 0; i < in.NumDefs(); i++ {
+					if i < len(t.RetRegs) && !in.DefOp(i).Pinned() {
+						in.SetDefPin(i, t.RetRegs[i])
 					}
 				}
-			case in.Op.IsTwoOperand():
+			case in.Op().IsTwoOperand():
 				// Pin the tied source to the destination's resource: the
 				// def's existing pin if any, else the defined value itself
 				// (paper Fig. 1 S1: autoadd Q^Q, P^Q).
-				dst := in.Defs[0].Pin
-				if dst == nil {
-					dst = in.Defs[0].Val
+				dst := in.DefOp(0).Pin()
+				if dst == ir.NoValue {
+					dst = in.Def(0)
 				}
-				if in.Uses[0].Pin == nil {
-					in.Uses[0].Pin = dst
+				if !in.UseOp(0).Pinned() {
+					in.SetUsePin(0, dst)
 				}
 			}
 		}
@@ -91,7 +92,7 @@ func CollectABI(f *ir.Func) {
 // (strong interference); interference.Analysis.StronglyInterfere
 // satisfies it.
 type StrongChecker interface {
-	StronglyInterfere(a, b *ir.Value) bool
+	StronglyInterfere(a, b ir.ValueID) bool
 }
 
 // CollectPhiCSSA pins, for every φ, the definitions of the φ result and
@@ -119,23 +120,23 @@ func CollectPhiCSSA(f *ir.Func, strong StrongChecker) (*Resources, int, error) {
 		return nil, 0, err
 	}
 	unpinned := 0
-	canMerge := func(a, b *ir.Value) bool {
+	canMerge := func(a, b ir.ValueID) bool {
 		ra, rb := res.Find(a), res.Find(b)
 		if ra == rb {
 			return true
 		}
-		if ra.IsPhys() && rb.IsPhys() {
+		if f.IsPhys(ra) && f.IsPhys(rb) {
 			return false
 		}
 		if strong == nil {
 			return true
 		}
 		for _, ma := range res.Members(ra) {
-			if ma.IsPhys() {
+			if f.IsPhys(ma) {
 				continue
 			}
 			for _, mb := range res.Members(rb) {
-				if mb.IsPhys() {
+				if f.IsPhys(mb) {
 					continue
 				}
 				if strong.StronglyInterfere(ma, mb) {
@@ -145,10 +146,10 @@ func CollectPhiCSSA(f *ir.Func, strong StrongChecker) (*Resources, int, error) {
 		}
 		return true
 	}
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
 			x := phi.Def(0)
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				if !canMerge(x, u.Val) {
 					unpinned++
 					continue
@@ -169,19 +170,20 @@ func CollectPhiCSSA(f *ir.Func, strong StrongChecker) (*Resources, int, error) {
 // value belonging to a multi-member class. This is the "update of pinning
 // performed only once, just before the mark phase" of §3.5.
 func RepinDefs(f *ir.Func, res *Resources) {
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i, d := range in.Defs {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for i := 0; i < in.NumDefs(); i++ {
+				d := in.DefOp(i)
 				root := res.Find(d.Val)
 				if root != d.Val {
-					in.Defs[i].Pin = root
-				} else if d.Pin != nil {
-					in.Defs[i].Pin = root // self-rooted: drop stale pin names
+					in.SetDefPin(i, root)
+				} else if d.Pinned() {
+					in.SetDefPin(i, root) // self-rooted: drop stale pin names
 				}
 			}
-			for i, u := range in.Uses {
-				if u.Pin != nil {
-					in.Uses[i].Pin = res.Find(u.Pin)
+			for i := 0; i < in.NumUses(); i++ {
+				if u := in.UseOp(i); u.Pinned() {
+					in.SetUsePin(i, res.Find(u.Pin()))
 				}
 			}
 		}

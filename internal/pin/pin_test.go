@@ -56,7 +56,7 @@ func TestUnionPhysicalConflict(t *testing.T) {
 func TestMembersSorted(t *testing.T) {
 	f := ir.NewFunc("m")
 	res, _ := pin.NewResources(f)
-	vs := []*ir.Value{f.NewValue("x"), f.NewValue("y"), f.NewValue("z")}
+	vs := []ir.ValueID{f.NewValue("x"), f.NewValue("y"), f.NewValue("z")}
 	res.Union(vs[2], vs[0])
 	res.Union(vs[1], vs[0])
 	m := res.Members(vs[0])
@@ -64,7 +64,7 @@ func TestMembersSorted(t *testing.T) {
 		t.Fatalf("members = %v", m)
 	}
 	for i := 1; i < len(m); i++ {
-		if m[i].ID <= m[i-1].ID {
+		if m[i] <= m[i-1] {
 			t.Fatal("members not in ID order")
 		}
 	}
@@ -84,11 +84,12 @@ func TestCollectSP(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := false
-	for _, v := range f.Values() {
+	for id := 0; id < f.NumValues(); id++ {
+		v := ir.ValueID(id)
 		if info.OrigPhys(v) == f.Target.SP {
 			found = true
 			if res.Find(v) != f.Target.SP {
-				t.Fatalf("SP-derived %v not pinned to SP", v)
+				t.Fatalf("SP-derived %v not pinned to SP", f.VStr(v))
 			}
 		}
 	}
@@ -102,37 +103,37 @@ func TestCollectABI(t *testing.T) {
 	info := ssa.MustBuild(f)
 	pin.CollectSP(f, info)
 	pin.CollectABI(f)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
 			switch {
-			case in.Op == ir.Input:
+			case in.Op() == ir.Input:
 				for i := 0; i < int(in.Imm) && i < len(f.Target.ArgRegs); i++ {
 					want := f.Target.ArgRegs[i]
-					if got := in.Defs[i].Pin; got != want && got != f.Target.SP {
-						t.Fatalf("input def %d pinned to %v, want %v", i, got, want)
+					if got := in.DefOp(i).Pin(); got != want && got != f.Target.SP {
+						t.Fatalf("input def %d pinned to %v, want %v", i, f.VStr(got), f.VStr(want))
 					}
 				}
-			case in.Op == ir.Call:
-				for i := range in.Uses {
-					if i < len(f.Target.ArgRegs) && in.Uses[i].Pin != f.Target.ArgRegs[i] {
+			case in.Op() == ir.Call:
+				for i := 0; i < in.NumUses(); i++ {
+					if i < len(f.Target.ArgRegs) && in.UseOp(i).Pin() != f.Target.ArgRegs[i] {
 						t.Fatalf("call arg %d not pinned", i)
 					}
 				}
-				for i := range in.Defs {
-					if i < len(f.Target.RetRegs) && in.Defs[i].Pin != f.Target.RetRegs[i] {
+				for i := 0; i < in.NumDefs(); i++ {
+					if i < len(f.Target.RetRegs) && in.DefOp(i).Pin() != f.Target.RetRegs[i] {
 						t.Fatalf("call result %d not pinned", i)
 					}
 				}
-			case in.Op == ir.Output:
-				if len(in.Uses) > 0 && in.Uses[0].Pin != f.Target.RetRegs[0] {
+			case in.Op() == ir.Output:
+				if in.NumUses() > 0 && in.UseOp(0).Pin() != f.Target.RetRegs[0] {
 					t.Fatal("output not pinned to R0")
 				}
-			case in.Op.IsTwoOperand():
-				dst := in.Defs[0].Pin
-				if dst == nil {
-					dst = in.Defs[0].Val
+			case in.Op().IsTwoOperand():
+				dst := in.DefOp(0).Pin()
+				if dst == ir.NoValue {
+					dst = in.Def(0)
 				}
-				if in.Uses[0].Pin != dst {
+				if in.UseOp(0).Pin() != dst {
 					t.Fatalf("2-operand tie not pinned: %v", in)
 				}
 			}
@@ -147,13 +148,13 @@ func TestCollectABIRespectsSP(t *testing.T) {
 	info := ssa.MustBuild(f)
 	pin.CollectSP(f, info)
 	pin.CollectABI(f)
-	for _, in := range f.Entry().Instrs {
-		if in.Op != ir.Input {
+	for _, in := range f.Entry().Instrs() {
+		if in.Op() != ir.Input {
 			continue
 		}
-		for _, d := range in.Defs {
-			if info.OrigPhys(d.Val) == f.Target.SP && d.Pin != f.Target.SP {
-				t.Fatalf("SP def pinned to %v", d.Pin)
+		for _, d := range in.Defs() {
+			if info.OrigPhys(d.Val) == f.Target.SP && d.Pin() != f.Target.SP {
+				t.Fatalf("SP def pinned to %v", f.VStr(d.Pin()))
 			}
 		}
 	}
@@ -162,13 +163,13 @@ func TestCollectABIRespectsSP(t *testing.T) {
 // ---- Figure 4 pin-correctness cases ----
 
 func TestPinCorrectnessCases(t *testing.T) {
-	r0 := func(f *ir.Func) *ir.Value { return f.Target.R[0] }
+	r0 := func(f *ir.Func) ir.ValueID { return f.Target.R[0] }
 
 	t.Run("case1_two_defs_same_resource", func(t *testing.T) {
 		bld := ir.NewBuilder("c1")
 		bld.Block("entry")
 		x, y := bld.Val("x"), bld.Val("y")
-		call := bld.Call("f", []*ir.Value{x, y})
+		call := bld.Call("f", []ir.ValueID{x, y})
 		ir.PinDef(call, 0, r0(bld.Fn))
 		ir.PinDef(call, 1, r0(bld.Fn))
 		bld.Output(x)
@@ -186,7 +187,7 @@ func TestPinCorrectnessCases(t *testing.T) {
 		bld.Block("entry")
 		x, y, d := bld.Val("x"), bld.Val("y"), bld.Val("d")
 		bld.Input(x, y)
-		call := bld.Call("f", []*ir.Value{d}, x, y)
+		call := bld.Call("f", []ir.ValueID{d}, x, y)
 		ir.PinUse(call, 0, r0(bld.Fn))
 		ir.PinUse(call, 1, r0(bld.Fn))
 		bld.Output(d)
@@ -292,26 +293,27 @@ func TestRepinDefs(t *testing.T) {
 	}
 	// Merge the φ web by hand, then repin.
 	var phi *ir.Instr
-	for _, b := range f.Blocks {
-		if ps := b.Phis(); len(ps) > 0 {
-			phi = ps[0]
+	for _, b := range f.Blocks() {
+		for _, p := range b.Phis() {
+			phi = p
+			break
 		}
 	}
 	if phi == nil {
 		t.Fatal("no φ")
 	}
-	for _, u := range phi.Uses {
+	for _, u := range phi.Uses() {
 		if _, err := res.Union(phi.Def(0), u.Val); err != nil {
 			t.Fatal(err)
 		}
 	}
 	pin.RepinDefs(f, res)
 	root := res.Find(phi.Def(0))
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
-				if res.Same(d.Val, root) && d.Val != root && d.Pin != root {
-					t.Fatalf("def of %v not repinned to %v", d.Val, root)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				if res.Same(d.Val, root) && d.Val != root && d.Pin() != root {
+					t.Fatalf("def of %v not repinned to %v", f.VStr(d.Val), f.VStr(root))
 				}
 			}
 		}
@@ -328,11 +330,11 @@ func TestCollectPhiCSSA(t *testing.T) {
 	if unpinned != 0 {
 		t.Fatalf("unpinned = %d, want 0", unpinned)
 	}
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		for _, phi := range b.Phis() {
-			for _, u := range phi.Uses {
+			for _, u := range phi.Uses() {
 				if !res.Same(phi.Def(0), u.Val) {
-					t.Fatalf("φ web not unified: %v vs %v", phi.Def(0), u.Val)
+					t.Fatalf("φ web not unified: %v vs %v", f.VStr(phi.Def(0)), f.VStr(u.Val))
 				}
 			}
 		}

@@ -16,7 +16,7 @@ func TestResourcesQuick(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		f := ir.NewFunc("q")
-		var vals []*ir.Value
+		var vals []ir.ValueID
 		for i := 0; i < 12; i++ {
 			vals = append(vals, f.NewValue(""))
 		}
@@ -27,24 +27,24 @@ func TestResourcesQuick(t *testing.T) {
 			return false
 		}
 		// Model: class id per value.
-		model := make(map[*ir.Value]int)
+		model := make(map[ir.ValueID]int)
 		for i, v := range vals {
 			model[v] = i
 		}
-		classPhys := func(c int) *ir.Value {
+		classPhys := func(c int) ir.ValueID {
 			for v, cv := range model {
-				if cv == c && v.IsPhys() {
+				if cv == c && f.IsPhys(v) {
 					return v
 				}
 			}
-			return nil
+			return ir.NoValue
 		}
 		for op := 0; op < 60; op++ {
 			a := vals[rng.Intn(len(vals))]
 			b := vals[rng.Intn(len(vals))]
 			pa, pb := classPhys(model[a]), classPhys(model[b])
 			_, err := res.Union(a, b)
-			wantErr := pa != nil && pb != nil && pa != pb
+			wantErr := pa != ir.NoValue && pb != ir.NoValue && pa != pb
 			if wantErr != (err != nil) {
 				return false
 			}
@@ -65,11 +65,11 @@ func TestResourcesQuick(t *testing.T) {
 					}
 				}
 				root := res.Find(x)
-				if p := classPhys(model[x]); p != nil {
+				if p := classPhys(model[x]); p != ir.NoValue {
 					if root != p {
 						return false // physical register must be the representative
 					}
-				} else if root.IsPhys() {
+				} else if f.IsPhys(root) {
 					return false
 				}
 				// Members must be exactly the model class.

@@ -6,7 +6,7 @@
 // Variable pinning (pinning a definition) merges the variable into the
 // resource's class; the Resources union-find tracks these classes. Use
 // pinning (ABI argument slots, 2-operand reads) constrains only the
-// textual occurrence and is read directly from ir.Operand.Pin by the
+// textual occurrence and is read directly from ir.Operand pins by the
 // reconstruction phase.
 package pin
 
@@ -22,9 +22,9 @@ import (
 // anchored by one dedicated physical register.
 type Resources struct {
 	fn      *ir.Func
-	parent  []int
+	parent  []ir.ValueID
 	rank    []int
-	members map[int][]*ir.Value // root ID -> member values
+	members map[ir.ValueID][]ir.ValueID // root -> member values
 
 	// gen counts class-changing operations (successful Unions). Resource-
 	// level interference verdicts are memoized against it: a verdict
@@ -39,26 +39,29 @@ type Resources struct {
 // the same value guarantee no class was merged in between.
 func (r *Resources) Gen() uint64 { return r.gen }
 
+// Func returns the function whose values the classes partition.
+func (r *Resources) Func() *ir.Func { return r.fn }
+
 // NewResources builds the classes implied by the current definition pins
-// of f: for every definition operand with Pin != nil, the defined value
-// joins the pin's class.
+// of f: for every definition operand with a pin, the defined value joins
+// the pin's class.
 func NewResources(f *ir.Func) (*Resources, error) {
 	r := &Resources{
 		fn:      f,
-		parent:  make([]int, f.NumValues()),
+		parent:  make([]ir.ValueID, f.NumValues()),
 		rank:    make([]int, f.NumValues()),
-		members: make(map[int][]*ir.Value),
+		members: make(map[ir.ValueID][]ir.ValueID),
 	}
 	for i := range r.parent {
-		r.parent[i] = i
+		r.parent[i] = ir.ValueID(i)
 	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
-				if d.Pin == nil {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				if !d.Pinned() {
 					continue
 				}
-				if _, err := r.Union(d.Val, d.Pin); err != nil {
+				if _, err := r.Union(d.Val, d.Pin()); err != nil {
 					return nil, fmt.Errorf("%s: %q: %v", f.Name, in, err)
 				}
 			}
@@ -69,50 +72,46 @@ func NewResources(f *ir.Func) (*Resources, error) {
 
 // grow admits values created after the Resources was built (repair
 // variables, parallel-copy temporaries); they start as singletons.
-func (r *Resources) grow(id int) {
-	for len(r.parent) <= id {
-		r.parent = append(r.parent, len(r.parent))
+func (r *Resources) grow(id ir.ValueID) {
+	for len(r.parent) <= int(id) {
+		r.parent = append(r.parent, ir.ValueID(len(r.parent)))
 		r.rank = append(r.rank, 0)
 	}
 }
 
-func (r *Resources) find(id int) int {
-	r.grow(id)
-	for r.parent[id] != id {
-		r.parent[id] = r.parent[r.parent[id]]
-		id = r.parent[id]
-	}
-	return id
-}
-
 // Find returns the representative value of v's resource. Physical
 // registers are always their class's representative.
-func (r *Resources) Find(v *ir.Value) *ir.Value {
-	return r.fn.Values()[r.find(v.ID)]
+func (r *Resources) Find(v ir.ValueID) ir.ValueID {
+	r.grow(v)
+	for r.parent[v] != v {
+		r.parent[v] = r.parent[r.parent[v]]
+		v = r.parent[v]
+	}
+	return v
 }
 
 // Same reports whether a and b are pinned to the same resource.
-func (r *Resources) Same(a, b *ir.Value) bool {
-	return r.find(a.ID) == r.find(b.ID)
+func (r *Resources) Same(a, b ir.ValueID) bool {
+	return r.Find(a) == r.Find(b)
 }
 
 // Union merges the resources of a and b and returns the representative.
 // Merging two classes that both contain a physical register is an error
 // (two distinct dedicated registers always strongly interfere).
-func (r *Resources) Union(a, b *ir.Value) (*ir.Value, error) {
-	ra, rb := r.find(a.ID), r.find(b.ID)
+func (r *Resources) Union(a, b ir.ValueID) (ir.ValueID, error) {
+	ra, rb := r.Find(a), r.Find(b)
 	if ra == rb {
-		return r.fn.Values()[ra], nil
+		return ra, nil
 	}
-	va, vb := r.fn.Values()[ra], r.fn.Values()[rb]
-	if va.IsPhys() && vb.IsPhys() {
-		return nil, fmt.Errorf("pin: cannot merge physical registers %v and %v", va, vb)
+	f := r.fn
+	if f.IsPhys(ra) && f.IsPhys(rb) {
+		return ir.NoValue, fmt.Errorf("pin: cannot merge physical registers %s and %s", f.VStr(ra), f.VStr(rb))
 	}
 	// The physical register, if any, must be the root so Find reports it.
 	switch {
-	case vb.IsPhys():
+	case f.IsPhys(rb):
 		ra, rb = rb, ra
-	case va.IsPhys():
+	case f.IsPhys(ra):
 		// keep
 	case r.rank[ra] < r.rank[rb]:
 		ra, rb = rb, ra
@@ -123,44 +122,44 @@ func (r *Resources) Union(a, b *ir.Value) (*ir.Value, error) {
 	}
 	ma := r.members[ra]
 	if ma == nil {
-		ma = []*ir.Value{r.fn.Values()[ra]}
+		ma = []ir.ValueID{ra}
 	}
 	mb := r.members[rb]
 	if mb == nil {
-		mb = []*ir.Value{r.fn.Values()[rb]}
+		mb = []ir.ValueID{rb}
 	}
 	r.members[ra] = append(ma, mb...)
 	delete(r.members, rb)
 	r.gen++
-	return r.fn.Values()[ra], nil
+	return ra, nil
 }
 
 // Members returns every value in v's resource class, in ID order.
 // Singleton classes return just the value itself.
-func (r *Resources) Members(v *ir.Value) []*ir.Value {
-	root := r.find(v.ID)
+func (r *Resources) Members(v ir.ValueID) []ir.ValueID {
+	root := r.Find(v)
 	m := r.members[root]
 	if m == nil {
-		return []*ir.Value{r.fn.Values()[root]}
+		return []ir.ValueID{root}
 	}
-	out := append([]*ir.Value(nil), m...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := append([]ir.ValueID(nil), m...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // IsPhysResource reports whether v's resource contains a dedicated
 // register.
-func (r *Resources) IsPhysResource(v *ir.Value) bool {
-	return r.Find(v).IsPhys()
+func (r *Resources) IsPhysResource(v ir.ValueID) bool {
+	return r.fn.IsPhys(r.Find(v))
 }
 
 // Roots returns the representative of every multi-member or pinned class,
 // plus singletons on demand; used by tests.
-func (r *Resources) Roots() []*ir.Value {
-	var out []*ir.Value
+func (r *Resources) Roots() []ir.ValueID {
+	var out []ir.ValueID
 	for id := range r.members {
-		out = append(out, r.fn.Values()[id])
+		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

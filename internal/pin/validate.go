@@ -24,59 +24,59 @@ import (
 //	        here — over-constrained parallel φ webs are detected when
 //	        resources are interference-checked.
 func Validate(f *ir.Func, res *Resources) error {
-	resOf := func(o ir.Operand) *ir.Value {
-		if o.Pin != nil {
-			return res.Find(o.Pin)
+	resOf := func(o ir.Operand) ir.ValueID {
+		if o.Pinned() {
+			return res.Find(o.Pin())
 		}
 		return res.Find(o.Val)
 	}
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		// Case 3: φ defs of one block.
-		seen := make(map[*ir.Value]*ir.Instr)
+		seen := make(map[ir.ValueID]*ir.Instr)
 		for _, phi := range b.Phis() {
-			r := resOf(phi.Defs[0])
+			r := resOf(phi.DefOp(0))
 			if prev, ok := seen[r]; ok {
 				return fmt.Errorf("%s: φ defs %q and %q in %v pinned to common resource %v (Fig.4 case 3)",
-					f.Name, prev, phi, b, r)
+					f.Name, prev, phi, b, f.VStr(r))
 			}
 			seen[r] = phi
 		}
-		for _, in := range b.Instrs {
+		for _, in := range b.Instrs() {
 			// Case 1: defs of one instruction.
-			for i := 0; i < len(in.Defs); i++ {
-				for j := i + 1; j < len(in.Defs); j++ {
-					if in.Defs[i].Val != in.Defs[j].Val &&
-						resOf(in.Defs[i]) == resOf(in.Defs[j]) {
+			for i := 0; i < in.NumDefs(); i++ {
+				for j := i + 1; j < in.NumDefs(); j++ {
+					if in.Def(i) != in.Def(j) &&
+						resOf(in.DefOp(i)) == resOf(in.DefOp(j)) {
 						return fmt.Errorf("%s: defs %v and %v of %q pinned to common resource (Fig.4 case 1)",
-							f.Name, in.Defs[i].Val, in.Defs[j].Val, in)
+							f.Name, f.VStr(in.Def(i)), f.VStr(in.Def(j)), in)
 					}
 				}
 			}
 			// Case 2: uses of one instruction. Only explicitly pinned uses
 			// are constrained to be *in* the resource at the same time.
-			for i := 0; i < len(in.Uses); i++ {
-				if in.Uses[i].Pin == nil {
+			for i := 0; i < in.NumUses(); i++ {
+				if !in.UseOp(i).Pinned() {
 					continue
 				}
-				for j := i + 1; j < len(in.Uses); j++ {
-					if in.Uses[j].Pin == nil {
+				for j := i + 1; j < in.NumUses(); j++ {
+					if !in.UseOp(j).Pinned() {
 						continue
 					}
-					if in.Uses[i].Val != in.Uses[j].Val &&
-						res.Find(in.Uses[i].Pin) == res.Find(in.Uses[j].Pin) {
+					if in.Use(i) != in.Use(j) &&
+						res.Find(in.UseOp(i).Pin()) == res.Find(in.UseOp(j).Pin()) {
 						return fmt.Errorf("%s: uses %v and %v of %q pinned to common resource (Fig.4 case 2)",
-							f.Name, in.Uses[i].Val, in.Uses[j].Val, in)
+							f.Name, f.VStr(in.Use(i)), f.VStr(in.Use(j)), in)
 					}
 				}
 			}
 			// Case 5: explicitly pinned φ argument disagreeing with the
 			// φ result's resource.
-			if in.Op == ir.Phi {
-				rdef := resOf(in.Defs[0])
-				for _, u := range in.Uses {
-					if u.Pin != nil && res.Find(u.Pin) != rdef {
+			if in.Op() == ir.Phi {
+				rdef := resOf(in.DefOp(0))
+				for _, u := range in.Uses() {
+					if u.Pinned() && res.Find(u.Pin()) != rdef {
 						return fmt.Errorf("%s: φ arg %v pinned to %v but φ result resource is %v (Fig.4 case 5)",
-							f.Name, u.Val, u.Pin, rdef)
+							f.Name, f.VStr(u.Val), f.VStr(u.Pin()), f.VStr(rdef))
 					}
 				}
 			}

@@ -189,10 +189,10 @@ func TestFallbackRecoversFromFaults(t *testing.T) {
 		if err := f.Verify(); err != nil {
 			t.Fatalf("%s: fallback output invalid: %v", ref.Name, err)
 		}
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op == ir.Phi || in.Op == ir.ParCopy {
-					t.Fatalf("%s: %v survived the fallback", ref.Name, in.Op)
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.Op() == ir.Phi || in.Op() == ir.ParCopy {
+					t.Fatalf("%s: %v survived the fallback", ref.Name, in.Op())
 				}
 			}
 		}

@@ -27,10 +27,10 @@ func figure8() *ir.Func {
 	z, w, u1, u2 := bld.Val("z"), bld.Val("w"), bld.Val("u1"), bld.Val("u2")
 	one := bld.Val("one")
 	bld.Const(one, 1)
-	bld.Call("f1", []*ir.Value{z})
+	bld.Call("f1", []ir.ValueID{z})
 	bld.Binary(ir.Add, u1, z, one) // use of web 1
-	bld.Call("f2", []*ir.Value{z})
-	bld.Call("f3", []*ir.Value{w}) // kills R0 while web-2 z is live
+	bld.Call("f2", []ir.ValueID{z})
+	bld.Call("f3", []ir.ValueID{w}) // kills R0 while web-2 z is live
 	bld.Binary(ir.Add, u2, z, w)
 	r := bld.Val("r")
 	bld.Binary(ir.Add, r, u1, u2)
@@ -170,7 +170,7 @@ func figure11() *ir.Func {
 
 	bld.SetBlock(entry)
 	bld.Const(a, 100)
-	bld.Call("f1", []*ir.Value{b0})
+	bld.Call("f1", []ir.ValueID{b0})
 	bld.Jump(head)
 
 	bld.SetBlock(head)
@@ -195,8 +195,9 @@ func figure11() *ir.Func {
 	bld.Output(bb)
 
 	// k is live-in without a def: give it one in entry.
-	entry.InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 10,
-		Defs: []ir.Operand{{Val: k}}})
+	kdef := bld.Fn.NewInstr(ir.Const, ir.Ops(k), nil)
+	kdef.Imm = 10
+	entry.InsertAt(0, kdef)
 	return bld.Fn
 }
 

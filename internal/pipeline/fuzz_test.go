@@ -75,10 +75,10 @@ func FuzzPipelineDifferential(f *testing.F) {
 			if _, err := pipeline.Run(g, conf); err != nil {
 				t.Fatalf("seed=%d size=%d config=%s: %v", seed, size, name, err)
 			}
-			for _, b := range g.Blocks {
-				for _, in := range b.Instrs {
-					if in.Op == ir.Phi || in.Op == ir.ParCopy {
-						t.Fatalf("seed=%d size=%d config=%s: %v survived", seed, size, name, in.Op)
+			for _, b := range g.Blocks() {
+				for _, in := range b.Instrs() {
+					if in.Op() == ir.Phi || in.Op() == ir.ParCopy {
+						t.Fatalf("seed=%d size=%d config=%s: %v survived", seed, size, name, in.Op())
 					}
 				}
 			}

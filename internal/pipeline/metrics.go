@@ -9,6 +9,7 @@ import (
 	"errors"
 	"strings"
 
+	"outofssa/internal/ir"
 	"outofssa/internal/obs"
 	"outofssa/internal/obs/metrics"
 )
@@ -49,7 +50,36 @@ const (
 	MetricBatchJobWallNS  = "laoc_batch_job_wall_ns"
 	MetricBatchInflight   = "laoc_batch_jobs_inflight"
 	MetricBatchQueueDepth = "laoc_batch_queue_depth"
+
+	// IR slab-operation metrics. The counters themselves are atomics
+	// inside internal/ir (which sits below the registry in the import
+	// graph); init below bridges them onto metrics.Default via
+	// CounterFunc, so they show up in -metrics-out / laocd exposition
+	// without double bookkeeping. laoc_ir_clone_slab_allocs_total /
+	// laoc_ir_clones_total is the observed allocations-per-clone ratio
+	// the bench-smoke CI gate asserts on.
+	MetricIRClones          = "laoc_ir_clones_total"
+	MetricIRCloneSlabAllocs = "laoc_ir_clone_slab_allocs_total"
+	MetricIRRestores        = "laoc_ir_restores_total"
+	MetricIRMarshals        = "laoc_ir_marshal_total"
+	MetricIRUnmarshals      = "laoc_ir_unmarshal_total"
 )
+
+func init() {
+	d := metrics.Default
+	d.CounterFunc(MetricIRClones, func() int64 { return ir.Stats().Clones })
+	d.CounterFunc(MetricIRCloneSlabAllocs, func() int64 { return ir.Stats().CloneSlabAllocs })
+	d.CounterFunc(MetricIRRestores, func() int64 { return ir.Stats().Restores })
+	d.CounterFunc(MetricIRMarshals, func() int64 { return ir.Stats().MarshalsV2 }, metrics.L("schema", "v2"))
+	d.CounterFunc(MetricIRMarshals, func() int64 { return ir.Stats().MarshalsV1 }, metrics.L("schema", "v1"))
+	d.CounterFunc(MetricIRUnmarshals, func() int64 { return ir.Stats().UnmarshalsV2 }, metrics.L("schema", "v2"))
+	d.CounterFunc(MetricIRUnmarshals, func() int64 { return ir.Stats().UnmarshalsV1 }, metrics.L("schema", "v1"))
+	d.SetHelp(MetricIRClones, "ir.Func.Clone calls (slab memcpy clones).")
+	d.SetHelp(MetricIRCloneSlabAllocs, "Heap allocations performed by Clone, summed; divide by laoc_ir_clones_total for the per-clone ratio (O(arena chunks)).")
+	d.SetHelp(MetricIRRestores, "ir.Func.RestoreFrom copy-backs (snapshot rollbacks).")
+	d.SetHelp(MetricIRMarshals, "IR documents encoded, by wire schema (v2 = arena fast path).")
+	d.SetHelp(MetricIRUnmarshals, "IR documents decoded, by wire schema.")
+}
 
 // WithMetrics attaches a metrics registry to one Run call: the pass
 // runner records per-pass wall/alloc histograms, error/panic/fallback

@@ -319,7 +319,7 @@ func (conf Config) passes(f *ir.Func, info *ssa.Info, r *Result) []pass {
 	if conf.Sreedhar {
 		add("sreedhar", verify.StageSSA, func() error {
 			st, _, err := sreedhar.ConvertToCSSA(f, sreedhar.Options{
-				Unsplittable: func(v *ir.Value) bool { return info.OrigPhys(v) != nil },
+				Unsplittable: func(v ir.ValueID) bool { return info.OrigPhys(v) != ir.NoValue },
 			})
 			if err != nil {
 				return fmt.Errorf("pipeline: sreedhar: %v", err)
@@ -497,16 +497,16 @@ func runPasses(f *ir.Func, exp string, ps []pass, tr obs.Tracer, opts runOpts) e
 // SP, implementing the "without renaming constraints" experimental setup.
 func stripNonSPPins(f *ir.Func) {
 	sp := f.Target.SP
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i, d := range in.Defs {
-				if d.Pin != nil && d.Pin.IsPhys() && d.Pin != sp {
-					in.Defs[i].Pin = nil
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for i, d := range in.Defs() {
+				if d.Pinned() && f.IsPhys(d.Pin()) && d.Pin() != sp {
+					in.SetDef(i, ir.Operand{Val: d.Val})
 				}
 			}
-			for i, u := range in.Uses {
-				if u.Pin != nil && u.Pin.IsPhys() && u.Pin != sp {
-					in.Uses[i].Pin = nil
+			for i, u := range in.Uses() {
+				if u.Pinned() && f.IsPhys(u.Pin()) && u.Pin() != sp {
+					in.SetUse(i, ir.Operand{Val: u.Val})
 				}
 			}
 		}

@@ -53,10 +53,10 @@ func TestAllConfigsPreserveSemantics(t *testing.T) {
 			if err := f.Verify(); err != nil {
 				t.Fatalf("%s/%s: invalid output: %v", ref.Name, name, err)
 			}
-			for _, b := range f.Blocks {
-				for _, in := range b.Instrs {
-					if in.Op == ir.Phi || in.Op == ir.ParCopy {
-						t.Fatalf("%s/%s: %v survived the pipeline", ref.Name, name, in.Op)
+			for _, b := range f.Blocks() {
+				for _, in := range b.Instrs() {
+					if in.Op() == ir.Phi || in.Op() == ir.ParCopy {
+						t.Fatalf("%s/%s: %v survived the pipeline", ref.Name, name, in.Op())
 					}
 				}
 			}

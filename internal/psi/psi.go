@@ -44,15 +44,7 @@ const MaxArmInstrs = 6
 // fixed point (inner regions collapse first, enabling outer ones).
 func IfConvert(f *ir.Func) *Stats {
 	st := &Stats{}
-	converted := false
-	for {
-		if !ifConvertOne(f, st) {
-			break
-		}
-		converted = true
-	}
-	if converted {
-		f.NoteMutation() // φs rewritten into ψs in place
+	for ifConvertOne(f, st) {
 	}
 	return st
 }
@@ -60,7 +52,7 @@ func IfConvert(f *ir.Func) *Stats {
 // speculable reports whether an instruction may be executed under a
 // false predicate (pure, no memory or control effects).
 func speculable(in *ir.Instr) bool {
-	switch in.Op {
+	switch in.Op() {
 	case ir.Copy, ir.Const, ir.Make, ir.Add, ir.Sub, ir.Mul,
 		ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Neg, ir.Not,
 		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
@@ -76,17 +68,17 @@ func speculable(in *ir.Instr) bool {
 // armOK checks that blk is a single-pred arm of head consisting only of
 // speculable instructions plus a trailing jump to join.
 func armOK(head, blk, join *ir.Block) bool {
-	if len(blk.Preds) != 1 || blk.Preds[0] != head {
+	if blk.NumPreds() != 1 || blk.Pred(0) != head {
 		return false
 	}
-	if len(blk.Succs) != 1 || blk.Succs[0] != join {
+	if blk.NumSuccs() != 1 || blk.Succ(0) != join {
 		return false
 	}
-	if len(blk.Instrs) > MaxArmInstrs+1 {
+	if blk.NumInstrs() > MaxArmInstrs+1 {
 		return false
 	}
-	for _, in := range blk.Instrs {
-		if in.Op == ir.Jump {
+	for _, in := range blk.Instrs() {
+		if in.Op() == ir.Jump {
 			continue
 		}
 		if !speculable(in) {
@@ -97,19 +89,19 @@ func armOK(head, blk, join *ir.Block) bool {
 }
 
 func ifConvertOne(f *ir.Func, st *Stats) bool {
-	for _, head := range f.Blocks {
+	for _, head := range f.Blocks() {
 		term := head.Terminator()
-		if term == nil || term.Op != ir.Br {
+		if term == nil || term.Op() != ir.Br {
 			continue
 		}
-		taken, fall := head.Succs[0], head.Succs[1]
+		taken, fall := head.Succ(0), head.Succ(1)
 		cond := term.Use(0)
 
 		// Diamond: head -> taken/fall -> join.
-		if taken != fall && len(taken.Succs) == 1 && len(fall.Succs) == 1 &&
-			taken.Succs[0] == fall.Succs[0] {
-			join := taken.Succs[0]
-			if join != head && len(join.Preds) == 2 &&
+		if taken != fall && taken.NumSuccs() == 1 && fall.NumSuccs() == 1 &&
+			taken.Succs()[0] == fall.Succs()[0] {
+			join := taken.Succ(0)
+			if join != head && join.NumPreds() == 2 &&
 				armOK(head, taken, join) && armOK(head, fall, join) {
 				convertDiamond(f, head, taken, fall, join, cond, st)
 				return true
@@ -125,8 +117,8 @@ func ifConvertOne(f *ir.Func, st *Stats) bool {
 			if a == join || join == head {
 				continue
 			}
-			if len(a.Succs) == 1 && a.Succs[0] == join && len(join.Preds) == 2 &&
-				join.PredIndex(head) >= 0 && armOK(head, a, join) {
+			if a.NumSuccs() == 1 && a.Succ(0) == join && join.NumPreds() == 2 &&
+				join.PredIndex(head.ID) >= 0 && armOK(head, a, join) {
 				convertTriangle(f, head, a, join, cond, arm.negate, st)
 				return true
 			}
@@ -138,48 +130,56 @@ func ifConvertOne(f *ir.Func, st *Stats) bool {
 // hoist moves every non-terminator instruction of arm to the end of
 // head (before its terminator).
 func hoist(head, arm *ir.Block, st *Stats) {
-	for _, in := range arm.Instrs {
-		if in.Op == ir.Jump {
+	moved := append([]ir.InstrID(nil), arm.InstrIDs()...)
+	arm.Truncate(0)
+	f := arm.Func()
+	for _, id := range moved {
+		in := f.Instr(id)
+		if in.Op() == ir.Jump {
 			continue
 		}
-		arm2 := in // reattach
-		head.InsertBeforeTerminator(arm2)
+		head.InsertBeforeTerminator(in)
 		st.InstrsSpeculated++
 	}
-	arm.Instrs = nil
-	arm.Append(&ir.Instr{Op: ir.Jump})
+	arm.Append(f.NewInstr(ir.Jump, nil, nil))
 }
 
 // replacePhisWithPsis rewrites the φs of join (which currently merge
 // predIdxA/predIdxB) into ψ instructions predicated on cond.
-func replacePhisWithPsis(f *ir.Func, join *ir.Block, idxIfTrue, idxIfFalse int, cond *ir.Value) {
+func replacePhisWithPsis(f *ir.Func, join *ir.Block, idxIfTrue, idxIfFalse int, cond ir.ValueID) {
 	one := f.NewValue("")
 	needOne := false
-	phis := append([]*ir.Instr(nil), join.Phis()...)
+	var phis []*ir.Instr
+	for _, phi := range join.Phis() {
+		phis = append(phis, phi)
+	}
 	for _, phi := range phis {
-		vTrue := phi.Uses[idxIfTrue].Val
-		vFalse := phi.Uses[idxIfFalse].Val
+		vTrue := phi.Use(idxIfTrue)
+		vFalse := phi.Use(idxIfFalse)
 		// ψ semantics: the last pair whose predicate holds wins. The
 		// unconditional (false-path) value goes first under predicate 1.
-		phi.Op = ir.Psi
-		phi.Uses = []ir.Operand{
-			{Val: one}, {Val: vFalse},
-			{Val: cond}, {Val: vTrue},
-		}
+		phi.SetOp(ir.Psi)
+		phi.SetOperands(
+			[]ir.Operand{{Val: phi.Def(0)}},
+			[]ir.Operand{
+				{Val: one}, {Val: vFalse},
+				{Val: cond}, {Val: vTrue},
+			})
 		needOne = true
 	}
 	if needOne {
-		join.InsertAt(0, &ir.Instr{Op: ir.Const, Imm: 1,
-			Defs: []ir.Operand{{Val: one}}})
+		c := f.NewInstr(ir.Const, []ir.Operand{{Val: one}}, nil)
+		c.Imm = 1
+		join.InsertAt(0, c)
 	}
 }
 
-func convertDiamond(f *ir.Func, head, taken, fall, join *ir.Block, cond *ir.Value, st *Stats) {
+func convertDiamond(f *ir.Func, head, taken, fall, join *ir.Block, cond ir.ValueID, st *Stats) {
 	st.DiamondsConverted++
 	hoist(head, taken, st)
 	hoist(head, fall, st)
-	idxT := join.PredIndex(taken)
-	idxF := join.PredIndex(fall)
+	idxT := join.PredIndex(taken.ID)
+	idxF := join.PredIndex(fall.ID)
 	replacePhisWithPsis(f, join, idxT, idxF, cond)
 
 	// Rewire: head jumps straight to join; the arms become unreachable.
@@ -187,11 +187,11 @@ func convertDiamond(f *ir.Func, head, taken, fall, join *ir.Block, cond *ir.Valu
 	cfg.RemoveUnreachable(f)
 }
 
-func convertTriangle(f *ir.Func, head, arm, join *ir.Block, cond *ir.Value, negate bool, st *Stats) {
+func convertTriangle(f *ir.Func, head, arm, join *ir.Block, cond ir.ValueID, negate bool, st *Stats) {
 	st.TrianglesConverted++
 	hoist(head, arm, st)
-	idxArm := join.PredIndex(arm)
-	idxHead := join.PredIndex(head)
+	idxArm := join.PredIndex(arm.ID)
+	idxHead := join.PredIndex(head.ID)
 	if negate {
 		// Arm runs when cond is false: ψ pairs become (1, armVal),
 		// (cond, headVal) — i.e. the head value wins when cond holds.
@@ -207,17 +207,17 @@ func convertTriangle(f *ir.Func, head, arm, join *ir.Block, cond *ir.Value, nega
 // collapses join's two predecessor slots (idxA kept as the slot for
 // head; the ψs no longer use per-edge arguments).
 func rewireStraight(f *ir.Func, head, join *ir.Block, idxA, idxB int) {
-	head.RemoveAt(len(head.Instrs) - 1) // the Br
-	head.Succs = nil
-	head.Append(&ir.Instr{Op: ir.Jump})
+	head.RemoveAt(head.NumInstrs() - 1) // the Br
+	head.SetSuccs(nil)
+	head.Append(f.NewInstr(ir.Jump, nil, nil))
 
 	// Remove both old pred slots of join, then connect head -> join.
 	hi, lo := idxA, idxB
 	if hi < lo {
 		hi, lo = lo, hi
 	}
-	join.Preds = append(join.Preds[:hi], join.Preds[hi+1:]...)
-	join.Preds = append(join.Preds[:lo], join.Preds[lo+1:]...)
+	join.RemovePredAt(hi)
+	join.RemovePredAt(lo)
 	f.AddEdge(head, join)
 }
 
@@ -227,37 +227,35 @@ func rewireStraight(f *ir.Func, head, join *ir.Block, idxA, idxB int) {
 // the ψ's original destination.
 func ConvertPsi(f *ir.Func) *Stats {
 	st := &Stats{}
-	for _, b := range f.Blocks {
-		for idx := 0; idx < len(b.Instrs); idx++ {
-			in := b.Instrs[idx]
-			if in.Op != ir.Psi {
+	for _, b := range f.Blocks() {
+		for idx := 0; idx < b.NumInstrs(); idx++ {
+			in := b.Instr(idx)
+			if in.Op() != ir.Psi {
 				continue
 			}
 			st.PsisLowered++
 			d := in.Def(0)
-			pairs := in.Uses
+			pairs := append([]ir.Operand(nil), in.Uses()...)
 			// Seed: zero, like the interpreter's ψ default.
 			zero := f.NewValue("")
-			b.InsertAt(idx, &ir.Instr{Op: ir.Const, Imm: 0,
-				Defs: []ir.Operand{{Val: zero}}})
+			b.InsertAt(idx, f.NewInstr(ir.Const, []ir.Operand{{Val: zero}}, nil))
 			idx++
 			cur := zero
 			for p := 0; p+1 < len(pairs); p += 2 {
 				last := p+3 >= len(pairs)
-				var dst *ir.Value
+				var dst ir.ValueID
 				if last {
 					dst = d
 				} else {
-					dst = f.NewValue(d.Name + ".psi")
+					dst = f.NewValue(f.ValueName(d) + ".psi")
 				}
-				sel := &ir.Instr{Op: ir.Select,
-					Defs: []ir.Operand{{Val: dst}},
-					Uses: []ir.Operand{pairs[p], pairs[p+1], {Val: cur}},
-				}
+				sel := f.NewInstr(ir.Select,
+					[]ir.Operand{{Val: dst}},
+					[]ir.Operand{pairs[p], pairs[p+1], {Val: cur}})
 				// The running operand is tied to the destination: a
 				// predicated machine move modifies its target in place.
 				if cur != zero {
-					ir.PinUse(sel, 2, dst)
+					sel.SetUsePin(2, dst)
 					st.TiesPinned++
 				}
 				b.InsertAt(idx, sel)
@@ -268,9 +266,6 @@ func ConvertPsi(f *ir.Func) *Stats {
 			b.RemoveAt(idx)
 			idx--
 		}
-	}
-	if st.PsisLowered > 0 {
-		f.NoteMutation() // ψs expanded into select chains
 	}
 	return st
 }

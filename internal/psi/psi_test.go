@@ -22,8 +22,8 @@ func TestIfConvertDiamond(t *testing.T) {
 		t.Fatalf("%v\n%s", err, f)
 	}
 	// Control flow must be straight-line now.
-	for _, b := range f.Blocks {
-		if term := b.Terminator(); term != nil && term.Op == ir.Br {
+	for _, b := range f.Blocks() {
+		if term := b.Terminator(); term != nil && term.Op() == ir.Br {
 			t.Fatalf("branch survived if-conversion:\n%s", f)
 		}
 	}
@@ -119,9 +119,9 @@ func TestConvertPsiTies(t *testing.T) {
 	if err := ssa.Verify(f); err != nil {
 		t.Fatalf("%v\n%s", err, f)
 	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Psi {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Psi {
 				t.Fatal("ψ survived lowering")
 			}
 		}

@@ -62,28 +62,28 @@ func coalesceRound(f *ir.Func) int {
 			adj[b].Add(a)
 		}
 	}
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		cur := live.ExitLiveSet(b).Copy()
-		for i := len(b.Instrs) - 1; i >= 0; i-- {
-			in := b.Instrs[i]
-			for _, d := range in.Defs {
-				cur.Remove(d.Val.ID)
+		for i := b.NumInstrs() - 1; i >= 0; i-- {
+			in := b.Instr(i)
+			for _, d := range in.Defs() {
+				cur.Remove(int(d.Val))
 			}
-			for _, d := range in.Defs {
+			for _, d := range in.Defs() {
 				dv := d.Val
 				cur.ForEach(func(l int) {
-					if in.Op == ir.Copy && l == in.Use(0).ID {
+					if in.Op() == ir.Copy && l == int(in.Use(0)) {
 						return // move exception
 					}
-					addEdge(dv.ID, l)
+					addEdge(int(dv), l)
 				})
 				// Multiple defs of one instruction are born simultaneously.
-				for _, d2 := range in.Defs {
-					addEdge(dv.ID, d2.Val.ID)
+				for _, d2 := range in.Defs() {
+					addEdge(int(dv), int(d2.Val))
 				}
 			}
-			for _, u := range in.Uses {
-				cur.Add(u.Val.ID)
+			for _, u := range in.Uses() {
+				cur.Add(int(u.Val))
 			}
 		}
 	}
@@ -101,19 +101,18 @@ func coalesceRound(f *ir.Func) int {
 		}
 		return x
 	}
-	vals := f.Values()
 	removedMoves := make(map[*ir.Instr]bool)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op != ir.Copy {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.Copy {
 				continue
 			}
-			d, s := find(in.Def(0).ID), find(in.Use(0).ID)
+			d, s := find(int(in.Def(0))), find(int(in.Use(0)))
 			if d == s {
 				removedMoves[in] = true
 				continue
 			}
-			if vals[d].IsPhys() && vals[s].IsPhys() {
+			if f.IsPhys(ir.ValueID(d)) && f.IsPhys(ir.ValueID(s)) {
 				continue
 			}
 			if adj[d].Has(s) {
@@ -121,7 +120,7 @@ func coalesceRound(f *ir.Func) int {
 			}
 			// Merge s into d (or d into s if s is the physical one).
 			root, child := d, s
-			if vals[s].IsPhys() {
+			if f.IsPhys(ir.ValueID(s)) {
 				root, child = s, d
 			}
 			parent[child] = root
@@ -137,22 +136,21 @@ func coalesceRound(f *ir.Func) int {
 	}
 
 	// Rewrite operands through the union-find and drop coalesced moves.
-	for _, b := range f.Blocks {
-		out := b.Instrs[:0]
-		for _, in := range b.Instrs {
+	for _, b := range f.Blocks() {
+		for idx := 0; idx < b.NumInstrs(); {
+			in := b.Instr(idx)
 			if removedMoves[in] {
+				b.RemoveAt(idx)
 				continue
 			}
-			for i := range in.Defs {
-				in.Defs[i].Val = vals[find(in.Defs[i].Val.ID)]
+			for i := 0; i < in.NumDefs(); i++ {
+				in.SetDefVal(i, ir.ValueID(find(int(in.Def(i)))))
 			}
-			for i := range in.Uses {
-				in.Uses[i].Val = vals[find(in.Uses[i].Val.ID)]
+			for i := 0; i < in.NumUses(); i++ {
+				in.SetUseVal(i, ir.ValueID(find(int(in.Use(i)))))
 			}
-			out = append(out, in)
+			idx++
 		}
-		b.Instrs = out
 	}
-	f.NoteMutation() // operand rewrite and move removal happened in place
 	return len(removedMoves)
 }

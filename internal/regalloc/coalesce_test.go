@@ -66,17 +66,16 @@ func TestCoalescePhysicalPreference(t *testing.T) {
 	a := bld.Val("a")
 	bld.Input(a)
 	r0 := f.Target.R[0]
-	bld.Cur.Append(&ir.Instr{Op: ir.Copy,
-		Defs: []ir.Operand{{Val: r0}}, Uses: []ir.Operand{{Val: a}}})
-	bld.Cur.Append(&ir.Instr{Op: ir.Output, Uses: []ir.Operand{{Val: r0}}})
+	bld.Cur.Append(f.NewInstr(ir.Copy, ir.Ops(r0), ir.Ops(a)))
+	bld.Cur.Append(f.NewInstr(ir.Output, nil, ir.Ops(r0)))
 
 	regalloc.AggressiveCoalesce(f)
 	if f.CountMoves() != 0 {
 		t.Fatalf("R0 = a not coalesced:\n%s", f)
 	}
 	// a must have been renamed to R0, not the other way round.
-	for _, in := range f.Entry().Instrs {
-		if in.Op == ir.Input && in.Defs[0].Val != r0 {
+	for _, in := range f.Entry().Instrs() {
+		if in.Op() == ir.Input && in.Def(0) != r0 {
 			t.Fatalf("virtual did not take the register name: %v", in)
 		}
 	}
@@ -87,10 +86,11 @@ func TestNeverMergesTwoPhysicals(t *testing.T) {
 	f := bld.Fn
 	bld.Block("entry")
 	r0, r1 := f.Target.R[0], f.Target.R[1]
-	bld.Cur.Append(&ir.Instr{Op: ir.Input, Defs: []ir.Operand{{Val: r0}}, Imm: 1})
-	bld.Cur.Append(&ir.Instr{Op: ir.Copy,
-		Defs: []ir.Operand{{Val: r1}}, Uses: []ir.Operand{{Val: r0}}})
-	bld.Cur.Append(&ir.Instr{Op: ir.Output, Uses: []ir.Operand{{Val: r1}}})
+	in := f.NewInstr(ir.Input, ir.Ops(r0), nil)
+	in.Imm = 1
+	bld.Cur.Append(in)
+	bld.Cur.Append(f.NewInstr(ir.Copy, ir.Ops(r1), ir.Ops(r0)))
+	bld.Cur.Append(f.NewInstr(ir.Output, nil, ir.Ops(r1)))
 	st := regalloc.AggressiveCoalesce(f)
 	if st.MovesRemoved != 0 {
 		t.Fatal("merged two physical registers")

@@ -51,24 +51,24 @@ func AllocateLimited(f *ir.Func, maxRegs int) (*AllocStats, error) {
 	cfg.ComputeLoopDepth(f)
 
 	// Allocatable pool: every dedicated register except SP.
-	var pool []*ir.Value
+	var pool []ir.ValueID
 	pool = append(pool, f.Target.R...)
 	pool = append(pool, f.Target.P...)
 	if maxRegs > 0 && maxRegs < len(pool) {
 		pool = pool[:maxRegs]
 	}
 	k := len(pool)
-	poolIdx := make(map[*ir.Value]int, k)
+	poolIdx := make(map[ir.ValueID]int, k)
 	for i, r := range pool {
 		poolIdx[r] = i
 	}
 
 	// Pre-assign spill slots lazily; the frame grows downward from SP.
 	nextSlot := int64(64) // leave room for the workloads' own SP traffic
-	spillSlot := make(map[*ir.Value]int64)
+	spillSlot := make(map[ir.ValueID]int64)
 	// Reload/store temporaries have minimal live ranges and must never be
 	// spill candidates themselves, or spilling diverges.
-	noSpill := make(map[*ir.Value]bool)
+	noSpill := make(map[ir.ValueID]bool)
 
 	for {
 		st.Rounds++
@@ -88,9 +88,9 @@ func AllocateLimited(f *ir.Func, maxRegs int) (*AllocStats, error) {
 
 // colorRound builds the interference graph and attempts a coloring;
 // on failure it spills the chosen candidates and reports true.
-func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
-	st *AllocStats, spillSlot map[*ir.Value]int64, nextSlot *int64,
-	noSpill map[*ir.Value]bool) (bool, error) {
+func colorRound(f *ir.Func, pool []ir.ValueID, poolIdx map[ir.ValueID]int,
+	st *AllocStats, spillSlot map[ir.ValueID]int64, nextSlot *int64,
+	noSpill map[ir.ValueID]bool) (bool, error) {
 
 	nv := f.NumValues()
 	k := len(pool)
@@ -108,7 +108,7 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 	}
 	cost := make([]float64, nv)
 	pressure := 0
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		w := 1.0
 		for d := 0; d < b.LoopDepth; d++ {
 			w *= 5
@@ -117,27 +117,27 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 		if n := cur.Len(); n > pressure {
 			pressure = n
 		}
-		for i := len(b.Instrs) - 1; i >= 0; i-- {
-			in := b.Instrs[i]
-			for _, d := range in.Defs {
-				cur.Remove(d.Val.ID)
-				cost[d.Val.ID] += w
+		for i := b.NumInstrs() - 1; i >= 0; i-- {
+			in := b.Instr(i)
+			for _, d := range in.Defs() {
+				cur.Remove(int(d.Val))
+				cost[d.Val] += w
 			}
-			for _, d := range in.Defs {
+			for _, d := range in.Defs() {
 				dv := d.Val
 				cur.ForEach(func(l int) {
-					if in.Op == ir.Copy && l == in.Use(0).ID {
+					if in.Op() == ir.Copy && l == int(in.Use(0)) {
 						return
 					}
-					addEdge(dv.ID, l)
+					addEdge(int(dv), l)
 				})
-				for _, d2 := range in.Defs {
-					addEdge(dv.ID, d2.Val.ID)
+				for _, d2 := range in.Defs() {
+					addEdge(int(dv), int(d2.Val))
 				}
 			}
-			for _, u := range in.Uses {
-				cur.Add(u.Val.ID)
-				cost[u.Val.ID] += w
+			for _, u := range in.Uses() {
+				cur.Add(int(u.Val))
+				cost[u.Val] += w
 			}
 			if n := cur.Len(); n > pressure {
 				pressure = n
@@ -149,37 +149,37 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 	}
 
 	// Also: every pair of distinct physical registers interferes.
-	vals := f.Values()
-	var virtuals []*ir.Value
+	var virtuals []ir.ValueID
 	inUse := make([]bool, nv)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, o := range in.Defs {
-				inUse[o.Val.ID] = true
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, o := range in.Defs() {
+				inUse[o.Val] = true
 			}
-			for _, o := range in.Uses {
-				inUse[o.Val.ID] = true
+			for _, o := range in.Uses() {
+				inUse[o.Val] = true
 			}
 		}
 	}
-	for _, v := range vals {
-		if !v.IsPhys() && inUse[v.ID] {
+	for id := 0; id < nv; id++ {
+		v := ir.ValueID(id)
+		if !f.IsPhys(v) && inUse[v] {
 			virtuals = append(virtuals, v)
 		}
 	}
 
-	degree := func(v *ir.Value) int { return adj[v.ID].Len() }
+	degree := func(v ir.ValueID) int { return adj[v].Len() }
 
 	// Simplify with optimistic push (Briggs).
 	removed := make([]bool, nv)
-	var stack []*ir.Value
-	remaining := append([]*ir.Value(nil), virtuals...)
+	var stack []ir.ValueID
+	remaining := append([]ir.ValueID(nil), virtuals...)
 	for len(remaining) > 0 {
 		// Pick a low-degree node if possible.
 		pick := -1
 		for i, v := range remaining {
 			deg := 0
-			adj[v.ID].ForEach(func(n int) {
+			adj[v].ForEach(func(n int) {
 				if !removed[n] {
 					deg++
 				}
@@ -202,9 +202,9 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 				if d == 0 {
 					d = 1
 				}
-				ratio := cost[v.ID] / float64(d)
+				ratio := cost[v] / float64(d)
 				if best < 0 || ratio < bestRatio ||
-					(ratio == bestRatio && v.ID < remaining[best].ID) {
+					(ratio == bestRatio && v < remaining[best]) {
 					best, bestRatio = i, ratio
 				}
 			}
@@ -215,19 +215,19 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 		}
 		v := remaining[pick]
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
-		removed[v.ID] = true
+		removed[v] = true
 		stack = append(stack, v)
 	}
 
 	// Select.
-	assign := make(map[*ir.Value]*ir.Value)
-	var mustSpill []*ir.Value
+	assign := make(map[ir.ValueID]ir.ValueID)
+	var mustSpill []ir.ValueID
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
 		taken := make([]bool, k)
-		adj[v.ID].ForEach(func(n int) {
-			nb := vals[n]
-			if nb.IsPhys() {
+		adj[v].ForEach(func(n int) {
+			nb := ir.ValueID(n)
+			if f.IsPhys(nb) {
 				if idx, ok := poolIdx[nb]; ok {
 					taken[idx] = true
 				}
@@ -251,11 +251,11 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 	}
 
 	if len(mustSpill) > 0 {
-		sort.Slice(mustSpill, func(i, j int) bool { return mustSpill[i].ID < mustSpill[j].ID })
+		sort.Slice(mustSpill, func(i, j int) bool { return mustSpill[i] < mustSpill[j] })
 		progress := false
-		doSpill := func(v *ir.Value) error {
+		doSpill := func(v ir.ValueID) error {
 			if _, ok := spillSlot[v]; ok {
-				return fmt.Errorf("regalloc: %v spilled twice", v)
+				return fmt.Errorf("regalloc: %v spilled twice", f.VStr(v))
 			}
 			spillSlot[v] = *nextSlot
 			*nextSlot += 8
@@ -264,7 +264,7 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 			progress = true
 			return nil
 		}
-		spilledThisRound := make(map[*ir.Value]bool)
+		spilledThisRound := make(map[ir.ValueID]bool)
 		for _, v := range mustSpill {
 			if !noSpill[v] {
 				if err := doSpill(v); err != nil {
@@ -275,26 +275,26 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 			}
 			// An unspillable reload temporary failed to color: relieve the
 			// pressure by spilling its cheapest ordinary neighbour instead.
-			var best *ir.Value
+			best := ir.NoValue
 			bestRatio := 0.0
-			adj[v.ID].ForEach(func(n int) {
-				nb := vals[n]
-				if nb.IsPhys() || noSpill[nb] || spilledThisRound[nb] {
+			adj[v].ForEach(func(n int) {
+				nb := ir.ValueID(n)
+				if f.IsPhys(nb) || noSpill[nb] || spilledThisRound[nb] {
 					return
 				}
 				if _, ok := spillSlot[nb]; ok {
 					return
 				}
-				d := adj[nb.ID].Len()
+				d := adj[nb].Len()
 				if d == 0 {
 					d = 1
 				}
-				ratio := cost[nb.ID] / float64(d)
-				if best == nil || ratio < bestRatio || (ratio == bestRatio && nb.ID < best.ID) {
+				ratio := cost[nb] / float64(d)
+				if best == ir.NoValue || ratio < bestRatio || (ratio == bestRatio && nb < best) {
 					best, bestRatio = nb, ratio
 				}
 			})
-			if best != nil {
+			if best != ir.NoValue {
 				if err := doSpill(best); err != nil {
 					return false, err
 				}
@@ -309,84 +309,77 @@ func colorRound(f *ir.Func, pool []*ir.Value, poolIdx map[*ir.Value]int,
 	}
 
 	// Commit: rewrite every virtual operand to its register.
-	used := make(map[*ir.Value]bool)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for idx := range in.Defs {
-				if r, ok := assign[in.Defs[idx].Val]; ok {
-					in.Defs[idx].Val = r
+	used := make(map[ir.ValueID]bool)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for idx := 0; idx < in.NumDefs(); idx++ {
+				if r, ok := assign[in.Def(idx)]; ok {
+					in.SetDefVal(idx, r)
 					used[r] = true
-				} else if in.Defs[idx].Val.IsPhys() {
-					used[in.Defs[idx].Val] = true
+				} else if f.IsPhys(in.Def(idx)) {
+					used[in.Def(idx)] = true
 				}
 			}
-			for idx := range in.Uses {
-				if r, ok := assign[in.Uses[idx].Val]; ok {
-					in.Uses[idx].Val = r
+			for idx := 0; idx < in.NumUses(); idx++ {
+				if r, ok := assign[in.Use(idx)]; ok {
+					in.SetUseVal(idx, r)
 					used[r] = true
-				} else if in.Uses[idx].Val.IsPhys() {
-					used[in.Uses[idx].Val] = true
+				} else if f.IsPhys(in.Use(idx)) {
+					used[in.Use(idx)] = true
 				}
 			}
 		}
 	}
 	st.ColorsUsed = len(used)
-	f.NoteMutation() // the commit rewrote operands in place
 	return false, nil
 }
 
 // spillValue rewrites every def of v to store to its slot and every use
 // to reload into a fresh short-lived temporary.
-func spillValue(f *ir.Func, v *ir.Value, slot int64, st *AllocStats, noSpill map[*ir.Value]bool) {
+func spillValue(f *ir.Func, v ir.ValueID, slot int64, st *AllocStats, noSpill map[ir.ValueID]bool) {
 	sp := f.Target.SP
-	for _, b := range f.Blocks {
-		for idx := 0; idx < len(b.Instrs); idx++ {
-			in := b.Instrs[idx]
+	for _, b := range f.Blocks() {
+		for idx := 0; idx < b.NumInstrs(); idx++ {
+			in := b.Instr(idx)
 			// Reload before uses.
-			var tmp *ir.Value
-			for ui := range in.Uses {
-				if in.Uses[ui].Val != v {
+			tmp := ir.NoValue
+			for ui := 0; ui < in.NumUses(); ui++ {
+				if in.Use(ui) != v {
 					continue
 				}
-				if tmp == nil {
-					tmp = f.NewValue(v.Name + ".r")
+				if tmp == ir.NoValue {
+					tmp = f.NewValue(f.ValueName(v) + ".r")
 					addr := f.NewValue("")
 					off := f.NewValue("")
 					noSpill[tmp], noSpill[addr], noSpill[off] = true, true, true
-					b.InsertAt(idx, &ir.Instr{Op: ir.Const, Imm: slot,
-						Defs: []ir.Operand{{Val: off}}})
-					b.InsertAt(idx+1, &ir.Instr{Op: ir.Add,
-						Defs: []ir.Operand{{Val: addr}},
-						Uses: []ir.Operand{{Val: sp}, {Val: off}}})
-					b.InsertAt(idx+2, &ir.Instr{Op: ir.Load,
-						Defs: []ir.Operand{{Val: tmp}},
-						Uses: []ir.Operand{{Val: addr}}})
+					cst := f.NewInstr(ir.Const, ir.Ops(off), nil)
+					cst.Imm = slot
+					b.InsertAt(idx, cst)
+					b.InsertAt(idx+1, f.NewInstr(ir.Add, ir.Ops(addr), ir.Ops(sp, off)))
+					b.InsertAt(idx+2, f.NewInstr(ir.Load, ir.Ops(tmp), ir.Ops(addr)))
 					idx += 3
 					st.SpillLoads++
 				}
-				in.Uses[ui].Val = tmp
+				in.SetUseVal(ui, tmp)
 			}
 			// Store after defs.
-			for di := range in.Defs {
-				if in.Defs[di].Val != v {
+			for di := 0; di < in.NumDefs(); di++ {
+				if in.Def(di) != v {
 					continue
 				}
-				tmp2 := f.NewValue(v.Name + ".s")
-				in.Defs[di].Val = tmp2
+				tmp2 := f.NewValue(f.ValueName(v) + ".s")
+				in.SetDefVal(di, tmp2)
 				addr := f.NewValue("")
 				off := f.NewValue("")
 				noSpill[tmp2], noSpill[addr], noSpill[off] = true, true, true
-				b.InsertAt(idx+1, &ir.Instr{Op: ir.Const, Imm: slot,
-					Defs: []ir.Operand{{Val: off}}})
-				b.InsertAt(idx+2, &ir.Instr{Op: ir.Add,
-					Defs: []ir.Operand{{Val: addr}},
-					Uses: []ir.Operand{{Val: sp}, {Val: off}}})
-				b.InsertAt(idx+3, &ir.Instr{Op: ir.Store,
-					Uses: []ir.Operand{{Val: addr}, {Val: tmp2}}})
+				cst := f.NewInstr(ir.Const, ir.Ops(off), nil)
+				cst.Imm = slot
+				b.InsertAt(idx+1, cst)
+				b.InsertAt(idx+2, f.NewInstr(ir.Add, ir.Ops(addr), ir.Ops(sp, off)))
+				b.InsertAt(idx+3, f.NewInstr(ir.Store, nil, ir.Ops(addr, tmp2)))
 				idx += 3
 				st.SpillStores++
 			}
 		}
 	}
-	f.NoteMutation() // spill rewriting touched operands in place
 }

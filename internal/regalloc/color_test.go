@@ -26,11 +26,11 @@ func outputsEqual(a, b *ir.ExecResult) bool {
 
 func noVirtualsRemain(t *testing.T, f *ir.Func) {
 	t.Helper()
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
-				if !o.Val.IsPhys() {
-					t.Fatalf("virtual %v survived allocation in %q", o.Val, in)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, o := range append(append([]ir.Operand{}, in.Defs()...), in.Uses()...) {
+				if !f.IsPhys(o.Val) {
+					t.Fatalf("virtual %v survived allocation in %q", f.VStr(o.Val), in)
 				}
 			}
 		}

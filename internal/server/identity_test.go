@@ -12,9 +12,11 @@ import (
 
 // TestSuiteIdentityThroughServer keeps the Tables 1-5 byte-identity
 // gate honest across the network: compiling every stats-suite function
-// through the server path (raw-IR mode) must yield exactly the output
-// of pipeline.Run locally — cold, and again warm from the verified
-// cache.
+// through the server path (raw-IR mode, both wire schemas) must yield
+// exactly the output of pipeline.Run locally — cold, and again warm
+// from the verified cache. Posting the v1 and v2 documents of one
+// function exercises the schema negotiation: the server dispatches on
+// the document's schema tag and both must land on identical output.
 func TestSuiteIdentityThroughServer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite identity run in -short mode")
@@ -35,19 +37,24 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 		workload.LAILarge(), workload.SPECint(),
 	}
 	type wantRec struct {
-		doc    []byte
+		docV2  []byte
+		docV1  []byte
 		output string
 		moves  int
 	}
 	var wants []wantRec
 	for _, suite := range suites {
 		for _, f := range suite.Funcs {
-			doc, err := ir.Marshal(f)
+			docV2, err := ir.Marshal(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", suite.Name, f.Name, err)
+			}
+			docV1, err := ir.MarshalV1(f)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", suite.Name, f.Name, err)
 			}
 			out, res := localOutput(t, f.Clone(), s.conf.Experiment)
-			wants = append(wants, wantRec{doc: doc, output: out, moves: res.Moves})
+			wants = append(wants, wantRec{docV2: docV2, docV1: docV1, output: out, moves: res.Moves})
 		}
 	}
 
@@ -58,25 +65,27 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 	for _, p := range passes {
 		pass, wantCached := p.name, p.wantCached
 		for i, w := range wants {
-			rep := postCompile(t, hs.URL, compileRequest{IR: w.doc})
-			if rep.status != http.StatusOK {
-				t.Fatalf("%s pass, func %d: status %d (%s)", pass, i, rep.status, rep.errK)
-			}
-			if rep.resp.Output != w.output {
-				t.Fatalf("%s pass, func %d (%s): server output differs from local pipeline.Run", pass, i, rep.resp.Name)
-			}
-			if rep.resp.Moves != w.moves {
-				t.Fatalf("%s pass, func %d: moves %d != local %d", pass, i, rep.resp.Moves, w.moves)
-			}
-			if rep.resp.FellBack || rep.resp.Degraded {
-				t.Fatalf("%s pass, func %d: unexpected flags %+v", pass, i, rep.resp)
-			}
-			if rep.resp.Cached != wantCached {
-				t.Fatalf("%s pass, func %d: cached=%v, want %v", pass, i, rep.resp.Cached, wantCached)
+			for _, doc := range [][]byte{w.docV2, w.docV1} {
+				rep := postCompile(t, hs.URL, compileRequest{IR: doc})
+				if rep.status != http.StatusOK {
+					t.Fatalf("%s pass, func %d: status %d (%s)", pass, i, rep.status, rep.errK)
+				}
+				if rep.resp.Output != w.output {
+					t.Fatalf("%s pass, func %d (%s): server output differs from local pipeline.Run", pass, i, rep.resp.Name)
+				}
+				if rep.resp.Moves != w.moves {
+					t.Fatalf("%s pass, func %d: moves %d != local %d", pass, i, rep.resp.Moves, w.moves)
+				}
+				if rep.resp.FellBack || rep.resp.Degraded {
+					t.Fatalf("%s pass, func %d: unexpected flags %+v", pass, i, rep.resp)
+				}
+				if rep.resp.Cached != wantCached {
+					t.Fatalf("%s pass, func %d: cached=%v, want %v", pass, i, rep.resp.Cached, wantCached)
+				}
 			}
 		}
 	}
-	if hits := counterValue(reg, MetricCacheHits); hits != int64(len(wants)) {
-		t.Fatalf("cache hits = %d, want %d (one per warm request)", hits, len(wants))
+	if hits := counterValue(reg, MetricCacheHits); hits != int64(2*len(wants)) {
+		t.Fatalf("cache hits = %d, want %d (one per warm request, both schemas)", hits, 2*len(wants))
 	}
 }

@@ -246,8 +246,10 @@ func (s *Server) Handler() http.Handler {
 // --- request/response wire types -----------------------------------
 
 // compileRequest is the /compile body: exactly one of LAI (a single
-// function in LAI assembly) or IR (a laoc-ir-v1 document, see
-// ir.Marshal) must be set.
+// function in LAI assembly) or IR (a laoc-ir-v1 or laoc-ir-v2 document,
+// see ir.Marshal / ir.MarshalV1) must be set; the schema tag in the
+// document selects the decoder, so clients on either wire version are
+// served transparently.
 type compileRequest struct {
 	LAI        string          `json:"lai,omitempty"`
 	IR         json.RawMessage `json:"ir,omitempty"`

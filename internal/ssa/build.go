@@ -19,9 +19,10 @@ import (
 
 // Info describes the SSA form produced by Build.
 type Info struct {
+	fn *ir.Func
 	// OrigOf maps each SSA value to the pre-SSA value it renames.
 	// Pre-existing values that were never renamed map to themselves.
-	OrigOf map[*ir.Value]*ir.Value
+	OrigOf map[ir.ValueID]ir.ValueID
 	// Dom is the dominator tree of the (unchanged) CFG.
 	Dom *cfg.DomTree
 }
@@ -29,16 +30,16 @@ type Info struct {
 // EmptyInfo returns an Info with no renaming history, for code built
 // directly in SSA form (hand-written tests, figure reproductions).
 func EmptyInfo() *Info {
-	return &Info{OrigOf: map[*ir.Value]*ir.Value{}}
+	return &Info{OrigOf: map[ir.ValueID]ir.ValueID{}}
 }
 
-// OrigPhys returns the dedicated physical register v renames, or nil.
-func (i *Info) OrigPhys(v *ir.Value) *ir.Value {
-	o := i.OrigOf[v]
-	if o != nil && o.IsPhys() {
+// OrigPhys returns the dedicated physical register v renames, or
+// NoValue.
+func (i *Info) OrigPhys(v ir.ValueID) ir.ValueID {
+	if o, ok := i.OrigOf[v]; ok && i.fn.IsPhys(o) {
 		return o
 	}
-	return nil
+	return ir.NoValue
 }
 
 // buildError carries a construction failure out of the recursive rename
@@ -76,11 +77,11 @@ func Build(f *ir.Func) (info *Info, err error) {
 	live := analysis.Liveness(f)
 
 	// Variables needing renaming: anything defined anywhere.
-	defBlocks := make(map[*ir.Value][]*ir.Block)
-	var order []*ir.Value // deterministic processing order
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, d := range in.Defs {
+	defBlocks := make(map[ir.ValueID][]*ir.Block)
+	var order []ir.ValueID // deterministic processing order
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, d := range in.Defs() {
 				if _, ok := defBlocks[d.Val]; !ok {
 					order = append(order, d.Val)
 				}
@@ -91,14 +92,14 @@ func Build(f *ir.Func) (info *Info, err error) {
 
 	// Pruned φ placement: iterated dominance frontier of the def sites,
 	// filtered by live-in.
-	phiFor := make(map[*ir.Instr]*ir.Value) // placed φ -> original variable
+	phiFor := make(map[*ir.Instr]ir.ValueID) // placed φ -> original variable
 	for _, v := range order {
 		placed := bitset.New(f.NumBlocks())
 		onWork := bitset.New(f.NumBlocks())
 		var work []*ir.Block
 		for _, b := range defBlocks[v] {
-			if !onWork.Has(b.ID) {
-				onWork.Add(b.ID)
+			if !onWork.Has(int(b.ID)) {
+				onWork.Add(int(b.ID))
 				work = append(work, b)
 			}
 		}
@@ -106,22 +107,22 @@ func Build(f *ir.Func) (info *Info, err error) {
 			b := work[len(work)-1]
 			work = work[:len(work)-1]
 			for _, fr := range df[b.ID] {
-				if placed.Has(fr.ID) {
+				if placed.Has(int(fr.ID)) {
 					continue
 				}
-				placed.Add(fr.ID)
+				placed.Add(int(fr.ID))
 				if !live.LiveIn(v, fr) {
 					continue // pruned SSA: dead φ not inserted
 				}
-				phi := &ir.Instr{Op: ir.Phi, Defs: []ir.Operand{{Val: v}},
-					Uses: make([]ir.Operand, len(fr.Preds))}
-				for i := range phi.Uses {
-					phi.Uses[i] = ir.Operand{Val: v}
+				uses := make([]ir.Operand, fr.NumPreds())
+				for i := range uses {
+					uses[i] = ir.Operand{Val: v}
 				}
+				phi := f.NewInstr(ir.Phi, ir.Ops(v), uses)
 				fr.InsertAt(0, phi)
 				phiFor[phi] = v
-				if !onWork.Has(fr.ID) {
-					onWork.Add(fr.ID)
+				if !onWork.Has(int(fr.ID)) {
+					onWork.Add(int(fr.ID))
 					work = append(work, fr)
 				}
 			}
@@ -129,21 +130,21 @@ func Build(f *ir.Func) (info *Info, err error) {
 	}
 
 	// Renaming via dominator-tree walk with stacks.
-	info = &Info{OrigOf: make(map[*ir.Value]*ir.Value), Dom: dom}
-	for _, v := range f.Values() {
-		info.OrigOf[v] = v
+	info = &Info{fn: f, OrigOf: make(map[ir.ValueID]ir.ValueID), Dom: dom}
+	for id := 0; id < f.NumValues(); id++ {
+		info.OrigOf[ir.ValueID(id)] = ir.ValueID(id)
 	}
-	stacks := make(map[*ir.Value][]*ir.Value)
-	versions := make(map[*ir.Value]int)
+	stacks := make(map[ir.ValueID][]ir.ValueID)
+	versions := make(map[ir.ValueID]int)
 
-	fresh := func(orig *ir.Value) *ir.Value {
+	fresh := func(orig ir.ValueID) ir.ValueID {
 		versions[orig]++
-		name := fmt.Sprintf("%s.%d", orig.Name, versions[orig])
+		name := fmt.Sprintf("%s.%d", f.ValueName(orig), versions[orig])
 		nv := f.NewValue(name)
 		info.OrigOf[nv] = orig
 		return nv
 	}
-	top := func(orig *ir.Value, b *ir.Block, in *ir.Instr) *ir.Value {
+	top := func(orig ir.ValueID, b *ir.Block, in *ir.Instr) ir.ValueID {
 		s := stacks[orig]
 		if len(s) == 0 {
 			// Use of a never-defined variable on this path; ensureEntryDefs
@@ -151,35 +152,37 @@ func Build(f *ir.Func) (info *Info, err error) {
 			// reaching here means the input (or an earlier phase) is broken.
 			// Reported with position context instead of crashing the process.
 			panic(buildError{fmt.Errorf("ssa: %s: block %v: %q: use of %v has no reaching definition",
-				f.Name, b, in, orig)})
+				f.Name, b, in, f.VStr(orig))})
 		}
 		return s[len(s)-1]
 	}
 
 	var rename func(b *ir.Block)
 	rename = func(b *ir.Block) {
-		var pushed []*ir.Value
-		for _, in := range b.Instrs {
-			if in.Op != ir.Phi {
-				for i, u := range in.Uses {
-					in.Uses[i].Val = top(u.Val, b, in)
+		var pushed []ir.ValueID
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.Phi {
+				for i := 0; i < in.NumUses(); i++ {
+					in.SetUseVal(i, top(in.Use(i), b, in))
 				}
 			}
-			for i, d := range in.Defs {
-				nv := fresh(d.Val)
-				stacks[d.Val] = append(stacks[d.Val], nv)
-				pushed = append(pushed, d.Val)
-				in.Defs[i].Val = nv
+			for i := 0; i < in.NumDefs(); i++ {
+				d := in.Def(i)
+				nv := fresh(d)
+				stacks[d] = append(stacks[d], nv)
+				pushed = append(pushed, d)
+				in.SetDefVal(i, nv)
 			}
 		}
-		for _, s := range b.Succs {
-			pi := s.PredIndex(b)
+		for _, sid := range b.Succs() {
+			s := f.Block(sid)
+			pi := s.PredIndex(b.ID)
 			for _, phi := range s.Phis() {
 				orig, ok := phiFor[phi]
 				if !ok {
 					continue // pre-existing φ (input already SSA) — leave it
 				}
-				phi.Uses[pi].Val = top(orig, s, phi)
+				phi.SetUseVal(pi, top(orig, s, phi))
 			}
 		}
 		for _, c := range dom.Children[b.ID] {
@@ -191,7 +194,6 @@ func Build(f *ir.Func) (info *Info, err error) {
 		}
 	}
 	rename(f.Entry())
-	f.NoteMutation() // renaming rewrote operands in place
 	return info, nil
 }
 
@@ -216,19 +218,17 @@ func ensureEntryDefs(f *ir.Func) {
 		return
 	}
 	var input *ir.Instr
-	for _, in := range entry.Instrs {
-		if in.Op == ir.Input {
+	for _, in := range entry.Instrs() {
+		if in.Op() == ir.Input {
 			input = in
 			break
 		}
 	}
 	if input == nil {
-		input = &ir.Instr{Op: ir.Input}
+		input = f.NewInstr(ir.Input, nil, nil)
 		entry.InsertAt(0, input)
 	}
-	vals := f.Values()
 	undef.ForEach(func(id int) {
-		input.Defs = append(input.Defs, ir.Operand{Val: vals[id]})
+		input.AddDef(ir.Operand{Val: ir.ValueID(id)})
 	})
-	f.NoteMutation() // grew the entry instruction's def list in place
 }

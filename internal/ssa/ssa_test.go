@@ -10,12 +10,20 @@ import (
 )
 
 func blockByName(f *ir.Func, name string) *ir.Block {
-	for _, b := range f.Blocks {
+	for _, b := range f.Blocks() {
 		if b.Name == name {
 			return b
 		}
 	}
 	return nil
+}
+
+func phisOf(b *ir.Block) []*ir.Instr {
+	var phis []*ir.Instr
+	for _, p := range b.Phis() {
+		phis = append(phis, p)
+	}
+	return phis
 }
 
 func TestBuildDiamond(t *testing.T) {
@@ -25,17 +33,17 @@ func TestBuildDiamond(t *testing.T) {
 		t.Fatal(err)
 	}
 	join := blockByName(f, "join")
-	phis := join.Phis()
+	phis := phisOf(join)
 	if len(phis) != 1 {
 		t.Fatalf("join has %d φs, want 1 (only x is live)", len(phis))
 	}
 	phi := phis[0]
-	if info.OrigOf[phi.Def(0)].Name != "x" {
-		t.Fatalf("φ merges %v, want renames of x", phi.Def(0))
+	if f.ValueName(info.OrigOf[phi.Def(0)]) != "x" {
+		t.Fatalf("φ merges %v, want renames of x", f.VStr(phi.Def(0)))
 	}
-	for _, u := range phi.Uses {
-		if info.OrigOf[u.Val].Name != "x" {
-			t.Fatalf("φ arg %v does not rename x", u.Val)
+	for _, u := range phi.Uses() {
+		if f.ValueName(info.OrigOf[u.Val]) != "x" {
+			t.Fatalf("φ arg %v does not rename x", f.VStr(u.Val))
 		}
 	}
 }
@@ -67,12 +75,12 @@ func TestBuildPruned(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, phi := range join.Phis() {
-		if info.OrigOf[phi.Def(0)].Name == "x" {
+		if bld.Fn.ValueName(info.OrigOf[phi.Def(0)]) == "x" {
 			t.Fatal("dead variable x received a φ — SSA is not pruned")
 		}
 	}
-	if len(join.Phis()) != 1 {
-		t.Fatalf("join should have exactly the φ for y, got %d", len(join.Phis()))
+	if join.NumPhis() != 1 {
+		t.Fatalf("join should have exactly the φ for y, got %d", join.NumPhis())
 	}
 }
 
@@ -83,7 +91,7 @@ func TestBuildLoopPhis(t *testing.T) {
 		t.Fatal(err)
 	}
 	head := blockByName(f, "head")
-	if n := len(head.Phis()); n != 2 {
+	if n := head.NumPhis(); n != 2 {
 		t.Fatalf("loop head has %d φs, want 2 (i and s)", n)
 	}
 }
@@ -97,11 +105,11 @@ func TestBuildRenamesPhysical(t *testing.T) {
 	// SP must no longer appear as an operand value, and its renamed
 	// version must be recorded in OrigOf.
 	foundSPRename := false
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
-				if o.Val.IsPhys() {
-					t.Fatalf("physical %v still an operand of %q", o.Val, in)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, o := range append(append([]ir.Operand{}, in.Defs()...), in.Uses()...) {
+				if f.IsPhys(o.Val) {
+					t.Fatalf("physical %v still an operand of %q", f.VStr(o.Val), in)
 				}
 				if info.OrigPhys(o.Val) == f.Target.SP {
 					foundSPRename = true

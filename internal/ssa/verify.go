@@ -21,17 +21,17 @@ func Verify(f *ir.Func) error {
 
 	defAt := make([]*ir.Instr, f.NumValues())
 	defIdx := make([]int, f.NumValues())
-	for _, b := range f.Blocks {
-		for idx, in := range b.Instrs {
-			for _, d := range in.Defs {
-				if d.Val.IsPhys() {
-					return fmt.Errorf("%s: physical register %v defined by %q in SSA form", f.Name, d.Val, in)
+	for _, b := range f.Blocks() {
+		for idx, in := range b.Instrs() {
+			for _, d := range in.Defs() {
+				if f.IsPhys(d.Val) {
+					return fmt.Errorf("%s: physical register %v defined by %q in SSA form", f.Name, f.VStr(d.Val), in)
 				}
-				if defAt[d.Val.ID] != nil {
-					return fmt.Errorf("%s: %v has two definitions: %q and %q", f.Name, d.Val, defAt[d.Val.ID], in)
+				if defAt[d.Val] != nil {
+					return fmt.Errorf("%s: %v has two definitions: %q and %q", f.Name, f.VStr(d.Val), defAt[d.Val], in)
 				}
-				defAt[d.Val.ID] = in
-				defIdx[d.Val.ID] = idx
+				defAt[d.Val] = in
+				defIdx[d.Val] = idx
 			}
 		}
 	}
@@ -39,46 +39,46 @@ func Verify(f *ir.Func) error {
 	// A def at (bd, i) is available at use (bu, j) iff bd strictly
 	// dominates bu, or same block with i < j (φ defs at the top count as
 	// preceding everything).
-	avail := func(v *ir.Value, b *ir.Block, idx int) bool {
-		def := defAt[v.ID]
+	avail := func(v ir.ValueID, b *ir.Block, idx int) bool {
+		def := defAt[v]
 		if def == nil {
 			return false
 		}
 		db := def.Block()
 		if db == b {
-			return defIdx[v.ID] < idx || def.Op == ir.Phi
+			return defIdx[v] < idx || def.Op() == ir.Phi
 		}
 		return dom.StrictlyDominates(db, b)
 	}
 
-	for _, b := range f.Blocks {
-		for idx, in := range b.Instrs {
-			if in.Op == ir.Phi {
-				for pi, u := range in.Uses {
-					if u.Val.IsPhys() {
-						return fmt.Errorf("%s: physical register %v used by φ %q", f.Name, u.Val, in)
+	for _, b := range f.Blocks() {
+		for idx, in := range b.Instrs() {
+			if in.Op() == ir.Phi {
+				for pi, u := range in.Uses() {
+					if f.IsPhys(u.Val) {
+						return fmt.Errorf("%s: physical register %v used by φ %q", f.Name, f.VStr(u.Val), in)
 					}
-					pred := b.Preds[pi]
+					pred := b.Pred(pi)
 					// The φ use happens at the end of pred: def must
 					// dominate pred (reflexively).
-					def := defAt[u.Val.ID]
+					def := defAt[u.Val]
 					if def == nil {
-						return fmt.Errorf("%s: φ %q uses undefined %v", f.Name, in, u.Val)
+						return fmt.Errorf("%s: φ %q uses undefined %v", f.Name, in, f.VStr(u.Val))
 					}
 					if !dom.Dominates(def.Block(), pred) {
 						return fmt.Errorf("%s: φ arg %v (from %v) not dominated by its def in %v",
-							f.Name, u.Val, pred, def.Block())
+							f.Name, f.VStr(u.Val), pred, def.Block())
 					}
 				}
 				continue
 			}
-			for _, u := range in.Uses {
-				if u.Val.IsPhys() {
-					return fmt.Errorf("%s: physical register %v used by %q in SSA form", f.Name, u.Val, in)
+			for _, u := range in.Uses() {
+				if f.IsPhys(u.Val) {
+					return fmt.Errorf("%s: physical register %v used by %q in SSA form", f.Name, f.VStr(u.Val), in)
 				}
 				if !avail(u.Val, b, idx) {
 					return fmt.Errorf("%s: use of %v in %q (block %v) not dominated by its definition",
-						f.Name, u.Val, in, b)
+						f.Name, f.VStr(u.Val), in, b)
 				}
 			}
 		}

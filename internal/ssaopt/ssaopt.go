@@ -48,11 +48,11 @@ func Optimize(f *ir.Func, info *ssa.Info) *Stats {
 // protected reports whether v belongs to a dedicated-register web or is
 // itself physical: such values are never propagated or merged, per the
 // paper's correctness discussion (§2.2).
-func protected(v *ir.Value, info *ssa.Info) bool {
-	if v.IsPhys() {
+func protected(f *ir.Func, v ir.ValueID, info *ssa.Info) bool {
+	if f.IsPhys(v) {
 		return true
 	}
-	return info != nil && info.OrigPhys(v) != nil
+	return info != nil && info.OrigPhys(v) != ir.NoValue
 }
 
 // CopyPropagate replaces uses of b with a for every copy b = a, when
@@ -60,17 +60,17 @@ func protected(v *ir.Value, info *ssa.Info) bool {
 // and are collected by EliminateDeadCode. Returns the number of copies
 // propagated.
 func CopyPropagate(f *ir.Func, info *ssa.Info) int {
-	repl := make(map[*ir.Value]*ir.Value)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op != ir.Copy {
+	repl := make(map[ir.ValueID]ir.ValueID)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.Copy {
 				continue
 			}
 			d, s := in.Def(0), in.Use(0)
-			if in.Defs[0].Pin != nil || in.Uses[0].Pin != nil {
+			if in.DefOp(0).Pinned() || in.UseOp(0).Pinned() {
 				continue
 			}
-			if protected(d, info) || protected(s, info) {
+			if protected(f, d, info) || protected(f, s, info) {
 				continue
 			}
 			repl[d] = s
@@ -79,7 +79,7 @@ func CopyPropagate(f *ir.Func, info *ssa.Info) int {
 	if len(repl) == 0 {
 		return 0
 	}
-	resolve := func(v *ir.Value) *ir.Value {
+	resolve := func(v ir.ValueID) ir.ValueID {
 		seen := 0
 		for {
 			w, ok := repl[v]
@@ -93,18 +93,15 @@ func CopyPropagate(f *ir.Func, info *ssa.Info) int {
 		}
 	}
 	n := 0
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i := range in.Uses {
-				if w := resolve(in.Uses[i].Val); w != in.Uses[i].Val {
-					in.Uses[i].Val = w
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for i := 0; i < in.NumUses(); i++ {
+				if w := resolve(in.Use(i)); w != in.Use(i) {
+					in.SetUseVal(i, w)
 					n++
 				}
 			}
 		}
-	}
-	if n > 0 {
-		f.NoteMutation() // use operands rewritten in place
 	}
 	return n
 }
@@ -112,43 +109,40 @@ func CopyPropagate(f *ir.Func, info *ssa.Info) int {
 // ConstFold evaluates arithmetic over constant operands, rewriting the
 // instruction into a Const. Returns the number of folds.
 func ConstFold(f *ir.Func) int {
-	constOf := make(map[*ir.Value]int64)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Const {
+	constOf := make(map[ir.ValueID]int64)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Const {
 				constOf[in.Def(0)] = in.Imm
 			}
 		}
 	}
 	n := 0
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if len(in.Defs) != 1 || in.Defs[0].Pin != nil {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.NumDefs() != 1 || in.DefOp(0).Pinned() {
 				continue
 			}
 			v, ok := foldable(in, constOf)
 			if !ok {
 				continue
 			}
-			in.Op = ir.Const
-			in.Uses = nil
+			in.SetOp(ir.Const)
+			in.SetOperands([]ir.Operand{in.DefOp(0)}, nil)
 			in.Imm = v
 			constOf[in.Def(0)] = v
 			n++
 		}
 	}
-	if n > 0 {
-		f.NoteMutation() // instructions rewritten into Consts in place
-	}
 	return n
 }
 
-func foldable(in *ir.Instr, constOf map[*ir.Value]int64) (int64, bool) {
+func foldable(in *ir.Instr, constOf map[ir.ValueID]int64) (int64, bool) {
 	arg := func(i int) (int64, bool) {
-		if in.Uses[i].Pin != nil {
+		if in.UseOp(i).Pinned() {
 			return 0, false
 		}
-		v, ok := constOf[in.Uses[i].Val]
+		v, ok := constOf[in.Use(i)]
 		return v, ok
 	}
 	bin := func(fn func(a, b int64) int64) (int64, bool) {
@@ -162,7 +156,7 @@ func foldable(in *ir.Instr, constOf map[*ir.Value]int64) (int64, bool) {
 		}
 		return fn(a, b), true
 	}
-	switch in.Op {
+	switch in.Op() {
 	case ir.Add:
 		return bin(func(a, b int64) int64 { return a + b })
 	case ir.Sub:
@@ -196,38 +190,35 @@ func foldable(in *ir.Instr, constOf map[*ir.Value]int64) (int64, bool) {
 // constant into copies (the ψ-conventional lowering seeds its chains
 // with constant-true predicates). Returns the number of folds.
 func FoldSelects(f *ir.Func) int {
-	constOf := make(map[*ir.Value]int64)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.Const {
+	constOf := make(map[ir.ValueID]int64)
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.Const {
 				constOf[in.Def(0)] = in.Imm
 			}
 		}
 	}
 	n := 0
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op != ir.Select || in.Defs[0].Pin != nil {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.Select || in.DefOp(0).Pinned() {
 				continue
 			}
-			if in.Uses[0].Pin != nil || in.Uses[1].Pin != nil || in.Uses[2].Pin != nil {
+			if in.UseOp(0).Pinned() || in.UseOp(1).Pinned() || in.UseOp(2).Pinned() {
 				continue
 			}
 			c, ok := constOf[in.Use(0)]
 			if !ok {
 				continue
 			}
-			src := in.Uses[1]
+			src := in.UseOp(1)
 			if c == 0 {
-				src = in.Uses[2]
+				src = in.UseOp(2)
 			}
-			in.Op = ir.Copy
-			in.Uses = []ir.Operand{src}
+			in.SetOp(ir.Copy)
+			in.SetOperands([]ir.Operand{in.DefOp(0)}, []ir.Operand{src})
 			n++
 		}
-	}
-	if n > 0 {
-		f.NoteMutation() // selects rewritten into copies in place
 	}
 	return n
 }
@@ -238,18 +229,18 @@ func FoldSelects(f *ir.Func) int {
 // dissolves). Returns the number of replacements.
 func LocalCSE(f *ir.Func, info *ssa.Info) int {
 	n := 0
-	for _, b := range f.Blocks {
-		avail := make(map[string]*ir.Value)
-		for _, in := range b.Instrs {
-			if !pureOp(in.Op) || len(in.Defs) != 1 {
+	for _, b := range f.Blocks() {
+		avail := make(map[string]ir.ValueID)
+		for _, in := range b.Instrs() {
+			if !pureOp(in.Op()) || in.NumDefs() != 1 {
 				continue
 			}
-			if in.Defs[0].Pin != nil || protected(in.Def(0), info) {
+			if in.DefOp(0).Pinned() || protected(f, in.Def(0), info) {
 				continue
 			}
 			pinned := false
-			for _, u := range in.Uses {
-				if u.Pin != nil {
+			for _, u := range in.Uses() {
+				if u.Pinned() {
 					pinned = true
 				}
 			}
@@ -258,17 +249,14 @@ func LocalCSE(f *ir.Func, info *ssa.Info) int {
 			}
 			key := exprKey(in)
 			if prev, ok := avail[key]; ok {
-				in.Op = ir.Copy
-				in.Uses = []ir.Operand{{Val: prev}}
+				in.SetOp(ir.Copy)
+				in.SetOperands([]ir.Operand{in.DefOp(0)}, []ir.Operand{{Val: prev}})
 				in.Imm = 0
 				n++
 				continue
 			}
 			avail[key] = in.Def(0)
 		}
-	}
-	if n > 0 {
-		f.NoteMutation() // instructions rewritten into copies in place
 	}
 	return n
 }
@@ -285,9 +273,9 @@ func pureOp(op ir.Op) bool {
 }
 
 func exprKey(in *ir.Instr) string {
-	key := fmt.Sprintf("%d:%d", in.Op, in.Imm)
-	for _, u := range in.Uses {
-		key += fmt.Sprintf(":%d", u.Val.ID)
+	key := fmt.Sprintf("%d:%d", in.Op(), in.Imm)
+	for _, u := range in.Uses() {
+		key += fmt.Sprintf(":%d", int32(u.Val))
 	}
 	return key
 }
@@ -298,24 +286,24 @@ func exprKey(in *ir.Instr) string {
 func EliminateDeadCode(f *ir.Func) int {
 	removed := 0
 	for {
-		used := make(map[*ir.Value]bool)
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				for _, u := range in.Uses {
+		used := make(map[ir.ValueID]bool)
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				for _, u := range in.Uses() {
 					used[u.Val] = true
 				}
 			}
 		}
 		n := 0
-		for _, b := range f.Blocks {
-			for idx := 0; idx < len(b.Instrs); idx++ {
-				in := b.Instrs[idx]
+		for _, b := range f.Blocks() {
+			for idx := 0; idx < b.NumInstrs(); idx++ {
+				in := b.Instr(idx)
 				if !removable(in) {
 					continue
 				}
 				live := false
-				for _, d := range in.Defs {
-					if used[d.Val] || d.Pin != nil {
+				for _, d := range in.Defs() {
+					if used[d.Val] || d.Pinned() {
 						live = true
 						break
 					}
@@ -336,8 +324,8 @@ func EliminateDeadCode(f *ir.Func) int {
 }
 
 func removable(in *ir.Instr) bool {
-	if in.Op == ir.Phi || in.Op == ir.Copy {
+	if in.Op() == ir.Phi || in.Op() == ir.Copy {
 		return true
 	}
-	return pureOp(in.Op)
+	return pureOp(in.Op())
 }

@@ -121,7 +121,7 @@ func TestDCEKeepsStoresAndCalls(t *testing.T) {
 	a, d := bld.Val("a"), bld.Val("d")
 	bld.Input(a)
 	bld.Store(a, a)
-	bld.Call("f", []*ir.Value{d}, a) // result unused but call has effects
+	bld.Call("f", []ir.ValueID{d}, a) // result unused but call has effects
 	bld.Output(a)
 
 	n := ssaopt.EliminateDeadCode(bld.Fn)
@@ -160,9 +160,9 @@ func TestOptimizeProtectsSPWeb(t *testing.T) {
 	ssaopt.Optimize(f, info)
 	// The SP-derived values must still be present (not propagated away).
 	found := false
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, o := range append(append([]ir.Operand{}, in.Defs()...), in.Uses()...) {
 				if info.OrigPhys(o.Val) == f.Target.SP {
 					found = true
 				}

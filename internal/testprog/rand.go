@@ -39,13 +39,13 @@ type randGen struct {
 	rng  *rand.Rand
 	opt  RandOptions
 	bld  *ir.Builder
-	vars []*ir.Value
+	vars []ir.ValueID
 	nval int
 }
 
-func (g *randGen) v() *ir.Value { return g.vars[g.rng.Intn(len(g.vars))] }
+func (g *randGen) v() ir.ValueID { return g.vars[g.rng.Intn(len(g.vars))] }
 
-func (g *randGen) temp() *ir.Value {
+func (g *randGen) temp() ir.ValueID {
 	g.nval++
 	return g.bld.Val("")
 }
@@ -57,10 +57,10 @@ func (g *randGen) build() *ir.Func {
 		g.vars = append(g.vars, g.bld.Val(""))
 	}
 	nParams := 1 + g.rng.Intn(3)
-	params := append([]*ir.Value(nil), g.vars[:nParams]...)
+	params := append([]ir.ValueID(nil), g.vars[:nParams]...)
 	in := g.bld.Input(params...)
 	if g.opt.Stack {
-		in.Defs = append(in.Defs, ir.Operand{Val: g.bld.Fn.Target.SP})
+		in.AddDef(ir.Operand{Val: g.bld.Fn.Target.SP})
 	}
 	for _, v := range g.vars[nParams:] {
 		g.bld.Const(v, int64(g.rng.Intn(16)))
@@ -128,12 +128,12 @@ func (g *randGen) statement() {
 				// the register-friendly flow real call-heavy code has
 				// (result in R0 becomes the next argument in R0).
 				t := g.temp()
-				bld.Call(callees[g.rng.Intn(len(callees))], []*ir.Value{t}, g.v())
-				bld.Call(callees[g.rng.Intn(len(callees))], []*ir.Value{g.v()}, t, g.v())
+				bld.Call(callees[g.rng.Intn(len(callees))], []ir.ValueID{t}, g.v())
+				bld.Call(callees[g.rng.Intn(len(callees))], []ir.ValueID{g.v()}, t, g.v())
 			case 1:
 				// Plain call.
 				nres := 1 + g.rng.Intn(2)
-				res := []*ir.Value{g.v()}
+				res := []ir.ValueID{g.v()}
 				if nres == 2 {
 					res = append(res, g.v())
 					if res[1] == res[0] {
@@ -141,7 +141,7 @@ func (g *randGen) statement() {
 					}
 				}
 				nargs := g.rng.Intn(4)
-				args := make([]*ir.Value, nargs)
+				args := make([]ir.ValueID, nargs)
 				for i := range args {
 					args[i] = g.v()
 				}
@@ -150,11 +150,11 @@ func (g *randGen) statement() {
 				// Pass-through: forward the leading variables in order
 				// (parameter re-forwarding, cheap when pinned).
 				n := 1 + g.rng.Intn(3)
-				args := make([]*ir.Value, n)
+				args := make([]ir.ValueID, n)
 				for i := range args {
 					args[i] = g.vars[i%len(g.vars)]
 				}
-				bld.Call(callees[g.rng.Intn(len(callees))], []*ir.Value{g.v()}, args...)
+				bld.Call(callees[g.rng.Intn(len(callees))], []ir.ValueID{g.v()}, args...)
 			}
 		} else {
 			bld.Unary(ir.Neg, g.v(), g.v())

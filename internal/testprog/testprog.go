@@ -232,12 +232,12 @@ func WithCallsAndStack() *ir.Func {
 	bld.SetBlock(entry)
 	// SP is a dedicated register available at entry.
 	in := bld.Input(cc, p)
-	in.Defs = append(in.Defs, ir.Operand{Val: sp})
+	in.AddDef(ir.Operand{Val: sp})
 	bld.Load(a, p)
 	bld.AutoAdd(q, p, 1)
 	bld.Load(b, q)
 	bld.Store(sp, a) // spill A to the stack
-	bld.Call("f", []*ir.Value{d}, a, b)
+	bld.Call("f", []ir.ValueID{d}, a, b)
 	bld.Binary(ir.Add, e, cc, d)
 	bld.Make(l, 0x00A1)
 	bld.More(k, l, 0x2BFA)

@@ -69,12 +69,12 @@ func TestRandOptionsRespected(t *testing.T) {
 	opts := testprog.RandOptions{MaxDepth: 3, Vars: 6, StmtsPerBlock: 5}
 	for seed := int64(0); seed < 10; seed++ {
 		f := testprog.Rand(seed, opts)
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op == ir.Call {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.Op() == ir.Call {
 					t.Fatalf("seed %d: call emitted with Calls disabled", seed)
 				}
-				for _, o := range append(append([]ir.Operand{}, in.Defs...), in.Uses...) {
+				for _, o := range append(append([]ir.Operand{}, in.Defs()...), in.Uses()...) {
 					if o.Val == f.Target.SP {
 						t.Fatalf("seed %d: SP used with Stack disabled", seed)
 					}

@@ -4,9 +4,9 @@
 //
 //   - structural well-formedness (CFG edge symmetry, terminator
 //     placement, φ prefix and arity, operand ownership — ir.Func.Verify);
-//   - dense-table coherence: value and block IDs index the function's
-//     ID-ordered tables, the assumption every liveness/dominator/
-//     interference cache in the repository is built on;
+//   - handle-table coherence: block and instruction handles resolve to
+//     the entries that carry them, the assumption every liveness/
+//     dominator/interference cache in the repository is built on;
 //   - parallel-copy consistency (paired slots, no duplicated
 //     destination — parcopy.Check);
 //   - SSA form: single definitions and dominance of uses (ssa.Verify);
@@ -85,43 +85,44 @@ func Func(f *ir.Func, stage Stage) error {
 	return nil
 }
 
-// checkDenseTables asserts the ID/index coherence every dense cache in
-// the repository assumes: f.Values()[i].ID == i, block IDs unique and
-// below NumBlocks. Liveness bitsets, dominator arrays and interference
-// def tables are all sized by NumValues/NumBlocks and indexed by ID; a
-// pass that corrupts this mapping silently aliases unrelated variables
-// in every later analysis.
+// checkDenseTables asserts the handle coherence every dense cache in
+// the repository assumes: every block in the ordered block list is
+// reachable through its own handle, block IDs are unique and below
+// NumBlocks, and every instruction reached through a block resolves
+// back to itself through f.Instr. Liveness bitsets, dominator arrays
+// and interference def tables are all sized by NumValues/NumBlocks and
+// indexed by handle; corrupting this mapping silently aliases unrelated
+// variables in every later analysis.
 func checkDenseTables(f *ir.Func) error {
-	vals := f.Values()
-	if len(vals) != f.NumValues() {
-		return fmt.Errorf("%s: %d values but NumValues()=%d", f.Name, len(vals), f.NumValues())
+	if f.NumValues() < 0 {
+		return fmt.Errorf("%s: negative value count", f.Name)
 	}
-	for i, v := range vals {
-		if v == nil {
-			return fmt.Errorf("%s: nil value at index %d", f.Name, i)
-		}
-		if v.ID != i {
-			return fmt.Errorf("%s: value %v has ID %d at index %d", f.Name, v, v.ID, i)
-		}
-	}
-	seen := make(map[int]*ir.Block, len(f.Blocks))
-	for _, b := range f.Blocks {
-		if b.ID < 0 || b.ID >= f.NumBlocks() {
+	seen := make(map[ir.BlockID]*ir.Block, len(f.Blocks()))
+	for _, b := range f.Blocks() {
+		if int(b.ID) < 0 || int(b.ID) >= f.NumBlocks() {
 			return fmt.Errorf("%s: block %v has ID %d outside [0,%d)", f.Name, b, b.ID, f.NumBlocks())
 		}
 		if prev, dup := seen[b.ID]; dup {
 			return fmt.Errorf("%s: blocks %v and %v share ID %d", f.Name, prev, b, b.ID)
 		}
 		seen[b.ID] = b
+		if f.Block(b.ID) != b {
+			return fmt.Errorf("%s: block %v does not resolve through its handle %d", f.Name, b, b.ID)
+		}
+		for _, in := range b.Instrs() {
+			if f.Instr(in.ID()) != in {
+				return fmt.Errorf("%s: instruction %q does not resolve through its handle %d", f.Name, in, in.ID())
+			}
+		}
 	}
 	return nil
 }
 
 // checkParCopies validates every parallel copy in the function.
 func checkParCopies(f *ir.Func) error {
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op != ir.ParCopy {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Op() != ir.ParCopy {
 				continue
 			}
 			if err := parcopy.Check(in); err != nil {
@@ -153,7 +154,7 @@ func checkPins(f *ir.Func) error {
 		members := res.Members(root)
 		virt := members[:0:0]
 		for _, m := range members {
-			if !m.IsPhys() {
+			if !f.IsPhys(m) {
 				virt = append(virt, m)
 			}
 		}
@@ -168,7 +169,7 @@ func checkPins(f *ir.Func) error {
 			for j := i + 1; j < len(virt); j++ {
 				if an.StronglyInterfere(virt[i], virt[j]) {
 					return fmt.Errorf("%s: %v and %v pinned to resource %v but strongly interfere (Classes 3-4)",
-						f.Name, virt[i], virt[j], res.Find(root))
+						f.Name, f.VStr(virt[i]), f.VStr(virt[j]), f.VStr(res.Find(root)))
 				}
 			}
 		}
@@ -180,9 +181,9 @@ func checkPins(f *ir.Func) error {
 // parallel copy survives (ParCopy sequentialization is part of the
 // translation contract).
 func checkTranslated(f *ir.Func) error {
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			switch in.Op {
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			switch in.Op() {
 			case ir.Phi:
 				return fmt.Errorf("%s: φ %q survived out-of-SSA translation in %v", f.Name, in, b)
 			case ir.ParCopy:

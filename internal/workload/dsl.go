@@ -38,8 +38,8 @@ func newKB(name string, st style) *kb {
 }
 
 // param declares the function parameters (and SP when stack is needed).
-func (k *kb) params(names ...string) []*ir.Value {
-	vs := make([]*ir.Value, len(names))
+func (k *kb) params(names ...string) []ir.ValueID {
+	vs := make([]ir.ValueID, len(names))
 	for i, n := range names {
 		vs[i] = k.Val(n)
 	}
@@ -57,26 +57,26 @@ func (k *kb) params(names ...string) []*ir.Value {
 }
 
 // num materializes a constant.
-func (k *kb) num(v int64) *ir.Value {
+func (k *kb) num(v int64) ir.ValueID {
 	c := k.Val("")
 	k.Const(c, v)
 	return c
 }
 
 // temp returns a fresh destination for an intermediate result.
-func (k *kb) temp() *ir.Value {
+func (k *kb) temp() ir.ValueID {
 	return k.Val("")
 }
 
 // binOp emits d = a op b into a style-chosen destination.
-func (k *kb) binOp(op ir.Op, a, b *ir.Value) *ir.Value {
+func (k *kb) binOp(op ir.Op, a, b ir.ValueID) ir.ValueID {
 	d := k.temp()
 	k.Binary(op, d, a, b)
 	return d
 }
 
 // macc emits acc += a*b per style: fused Mac (2-operand) or mul+add.
-func (k *kb) macc(acc, a, b *ir.Value) {
+func (k *kb) macc(acc, a, b ir.ValueID) {
 	if k.st.mac {
 		k.Mac(acc, acc, a, b)
 		return
@@ -88,7 +88,7 @@ func (k *kb) macc(acc, a, b *ir.Value) {
 
 // loadStep loads *p and advances p by step per style: AutoAdd on the
 // pointer, or an explicit base+offset add.
-func (k *kb) loadStep(p *ir.Value, step int64) *ir.Value {
+func (k *kb) loadStep(p ir.ValueID, step int64) ir.ValueID {
 	d := k.Val("")
 	k.Load(d, p)
 	if k.st.autoInc {
@@ -101,7 +101,7 @@ func (k *kb) loadStep(p *ir.Value, step int64) *ir.Value {
 }
 
 // storeStep stores v to *p and advances p.
-func (k *kb) storeStep(p, v *ir.Value, step int64) {
+func (k *kb) storeStep(p, v ir.ValueID, step int64) {
 	k.Store(p, v)
 	if k.st.autoInc {
 		k.AutoAdd(p, p, step)
@@ -114,7 +114,7 @@ func (k *kb) storeStep(p, v *ir.Value, step int64) {
 // loop emits a counted loop `for i = 0; i < n; i++ { body(i) }`. Style A
 // tests at the top; style B emits a guarded do-while (rotated) loop. The
 // builder is left in the exit block.
-func (k *kb) loop(n *ir.Value, body func(i *ir.Value)) {
+func (k *kb) loop(n ir.ValueID, body func(i ir.ValueID)) {
 	f := k.Fn
 	i := k.Val("")
 	one := k.num(1)
@@ -157,7 +157,7 @@ func (k *kb) loop(n *ir.Value, body func(i *ir.Value)) {
 }
 
 // loopDown emits `for i = n-1; i >= 0; i--`.
-func (k *kb) loopDown(n *ir.Value, body func(i *ir.Value)) {
+func (k *kb) loopDown(n ir.ValueID, body func(i ir.ValueID)) {
 	f := k.Fn
 	i := k.Val("")
 	one := k.num(1)
@@ -184,7 +184,7 @@ func (k *kb) loopDown(n *ir.Value, body func(i *ir.Value)) {
 
 // ifElse emits a two-way conditional; both arms run with the builder
 // positioned in their block, and the builder ends in the join block.
-func (k *kb) ifElse(cond *ir.Value, then, els func()) {
+func (k *kb) ifElse(cond ir.ValueID, then, els func()) {
 	f := k.Fn
 	tb := f.NewBlock("")
 	join := f.NewBlock("")
@@ -207,7 +207,7 @@ func (k *kb) ifElse(cond *ir.Value, then, els func()) {
 }
 
 // ret finishes the function.
-func (k *kb) ret(vals ...*ir.Value) *ir.Func {
+func (k *kb) ret(vals ...ir.ValueID) *ir.Func {
 	k.Output(vals...)
 	if err := k.Fn.Verify(); err != nil {
 		panic("workload: " + k.Fn.Name + ": " + err.Error())
@@ -216,13 +216,13 @@ func (k *kb) ret(vals ...*ir.Value) *ir.Func {
 }
 
 // addr computes base+idx (element size 1 for simplicity).
-func (k *kb) addr(base, idx *ir.Value) *ir.Value {
+func (k *kb) addr(base, idx ir.ValueID) ir.ValueID {
 	return k.binOpFresh(ir.Add, base, idx)
 }
 
 // binOpFresh always uses a fresh destination (for values that must stay
 // live across scratch reuse).
-func (k *kb) binOpFresh(op ir.Op, a, b *ir.Value) *ir.Value {
+func (k *kb) binOpFresh(op ir.Op, a, b ir.ValueID) ir.ValueID {
 	d := k.Val("")
 	k.Binary(op, d, a, b)
 	return d

@@ -27,7 +27,7 @@ func buildKernels(st style) []*ir.Func {
 
 // clampN bounds a parameter-derived trip count so every kernel
 // terminates quickly under any interpreter input.
-func (k *kb) clampN(n *ir.Value, bound int64) *ir.Value {
+func (k *kb) clampN(n ir.ValueID, bound int64) ir.ValueID {
 	b := k.num(bound)
 	zero := k.num(0)
 	m := k.Val("n_cl")
@@ -37,7 +37,7 @@ func (k *kb) clampN(n *ir.Value, bound int64) *ir.Value {
 }
 
 // walker returns a fresh pointer initialized to base for loadStep walks.
-func (k *kb) walker(base *ir.Value) *ir.Value {
+func (k *kb) walker(base ir.ValueID) ir.ValueID {
 	p := k.Val("")
 	k.Copy(p, base)
 	return p
@@ -45,12 +45,12 @@ func (k *kb) walker(base *ir.Value) *ir.Value {
 
 // useSP appends the stack pointer to the entry .input so stack-relative
 // code has a defined SP (the ABI guarantees SP on entry).
-func (k *kb) useSP() *ir.Value {
-	in := k.Fn.Entry().Instrs[0]
-	if in.Op != ir.Input {
+func (k *kb) useSP() ir.ValueID {
+	in := k.Fn.Entry().Instr(0)
+	if in.Op() != ir.Input {
 		panic("workload: useSP before params")
 	}
-	in.Defs = append(in.Defs, ir.Operand{Val: k.Fn.Target.SP})
+	in.AddDef(ir.Operand{Val: k.Fn.Target.SP})
 	return k.Fn.Target.SP
 }
 
@@ -62,7 +62,7 @@ func kDotProd(st style) *ir.Func {
 	acc := k.Val("acc")
 	k.Const(acc, 0)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		b := k.loadStep(wb, 1)
 		k.macc(acc, a, b)
@@ -77,12 +77,12 @@ func kFIR4(st style) *ir.Func {
 	n = k.clampN(n, 8)
 	wy := k.walker(py)
 	four := k.num(4)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		acc := k.Val("acc")
 		k.Const(acc, 0)
 		xi := k.addr(px, i)
 		wx, wh := k.walker(xi), k.walker(ph)
-		k.loop(four, func(j *ir.Value) {
+		k.loop(four, func(j ir.ValueID) {
 			x := k.loadStep(wx, 1)
 			h := k.loadStep(wh, 1)
 			k.macc(acc, x, h)
@@ -104,7 +104,7 @@ func kIIRBiquad(st style) *ir.Func {
 	wx := k.walker(px)
 	acc := k.Val("y")
 	k.Const(acc, 0)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wx, 1)
 		t := k.binOpFresh(ir.Add, x, w1)
 		k.macc(t, a1, w1)
@@ -122,7 +122,7 @@ func kVecAdd(st style) *ir.Func {
 	pa, pb, pc, n := ps[0], ps[1], ps[2], ps[3]
 	n = k.clampN(n, 16)
 	wa, wb, wc := k.walker(pa), k.walker(pb), k.walker(pc)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		b := k.loadStep(wb, 1)
 		s := k.binOp(ir.Add, a, b)
@@ -137,7 +137,7 @@ func kVecScale(st style) *ir.Func {
 	pa, pc, n, s := ps[0], ps[1], ps[2], ps[3]
 	n = k.clampN(n, 16)
 	wa, wc := k.walker(pa), k.walker(pc)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		v := k.binOp(ir.Mul, a, s)
 		k.storeStep(wc, v, 1)
@@ -151,7 +151,7 @@ func kSaxpy(st style) *ir.Func {
 	pa, pb, n, s := ps[0], ps[1], ps[2], ps[3]
 	n = k.clampN(n, 16)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		b := k.Val("")
 		k.Load(b, wb)
@@ -171,7 +171,7 @@ func kEnergy(st style) *ir.Func {
 	acc := k.Val("acc")
 	k.Const(acc, 0)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		k.macc(acc, a, a)
 	})
@@ -187,7 +187,7 @@ func kAbsSum(st style) *ir.Func {
 	zero := k.num(0)
 	k.Const(acc, 0)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		isNeg := k.binOpFresh(ir.CmpLT, a, zero)
 		na := k.Val("")
@@ -207,7 +207,7 @@ func kMaxSearch(st style) *ir.Func {
 	best := k.Val("best")
 	k.Const(best, -(1 << 30))
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		k.Binary(ir.Max, best, best, a)
 	})
@@ -222,7 +222,7 @@ func kMinSearch(st style) *ir.Func {
 	best := k.Val("best")
 	k.Const(best, 1<<30)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		k.Binary(ir.Min, best, best, a)
 	})
@@ -239,7 +239,7 @@ func kArgMax(st style) *ir.Func {
 	k.Const(best, -(1 << 30))
 	k.Const(idx, 0)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		gt := k.binOpFresh(ir.CmpGT, a, best)
 		k.ifElse(gt, func() {
@@ -259,7 +259,7 @@ func kClip(st style) *ir.Func {
 	count := k.Val("count")
 	k.Const(count, 0)
 	one := k.num(1)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.Val("")
 		k.Load(a, wa)
 		cl := k.binOpFresh(ir.Max, a, lo)
@@ -280,11 +280,11 @@ func kMovingAvg(st style) *ir.Func {
 	n = k.clampN(n, 12)
 	wa, wb := k.walker(pa), k.walker(pb)
 	four := k.num(4)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		w := k.walker(wa)
 		acc := k.Val("acc")
 		k.Const(acc, 0)
-		k.loop(four, func(j *ir.Value) {
+		k.loop(four, func(j ir.ValueID) {
 			x := k.loadStep(w, 1)
 			k.Binary(ir.Add, acc, acc, x)
 		})
@@ -302,10 +302,10 @@ func kConv4(st style) *ir.Func {
 	n = k.clampN(n, 8)
 	wc := k.walker(pc)
 	four := k.num(4)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		acc := k.Val("acc")
 		k.Const(acc, 0)
-		k.loop(four, func(j *ir.Value) {
+		k.loop(four, func(j ir.ValueID) {
 			d := k.binOpFresh(ir.Sub, i, j)
 			av := k.Val("")
 			k.Load(av, k.addr(pa, d))
@@ -326,7 +326,7 @@ func kCorrLag(st style) *ir.Func {
 	lag = k.clampN(lag, 4)
 	acc := k.Val("acc")
 	k.Const(acc, 0)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.Val("")
 		k.Load(x, k.addr(pa, i))
 		sh := k.binOpFresh(ir.Add, i, lag)
@@ -417,7 +417,7 @@ func kComplexMAC(st style) *ir.Func {
 	k.Const(re, 0)
 	k.Const(im, 0)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		ar := k.loadStep(wa, 1)
 		ai := k.loadStep(wa, 1)
 		br := k.loadStep(wb, 1)
@@ -442,7 +442,7 @@ func kBubblePass(st style) *ir.Func {
 	m := k.binOpFresh(ir.Sub, n, one)
 	zero := k.num(0)
 	k.Binary(ir.Max, m, m, zero)
-	k.loop(m, func(i *ir.Value) {
+	k.loop(m, func(i ir.ValueID) {
 		a0 := k.addr(pa, i)
 		i1 := k.binOpFresh(ir.Add, i, one)
 		a1 := k.addr(pa, i1)
@@ -506,12 +506,12 @@ func kSelectionMin(st style) *ir.Func {
 	n = k.clampN(n, 8)
 	total := k.Val("total")
 	k.Const(total, 0)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		bi := k.Val("bi")
 		k.Copy(bi, i)
 		bv := k.Val("bv")
 		k.Load(bv, k.addr(pa, i))
-		k.loop(n, func(j *ir.Value) {
+		k.loop(n, func(j ir.ValueID) {
 			after := k.binOpFresh(ir.CmpGT, j, i)
 			k.ifElse(after, func() {
 				x := k.Val("")
@@ -581,7 +581,7 @@ func kLinSearch(st style) *ir.Func {
 	found := k.Val("found")
 	k.Const(found, -1)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wa, 1)
 		eq := k.binOpFresh(ir.CmpEQ, x, key)
 		k.ifElse(eq, func() {
@@ -604,7 +604,7 @@ func kStrLen(st style) *ir.Func {
 	one := k.num(1)
 	mask := k.num(0xFF)
 	wp := k.walker(p)
-	k.loop(bound, func(i *ir.Value) {
+	k.loop(bound, func(i ir.ValueID) {
 		c := k.loadStep(wp, 1)
 		k.Binary(ir.And, c, c, mask)
 		z := k.binOpFresh(ir.CmpEQ, c, k.num(0))
@@ -626,7 +626,7 @@ func kStrCmp(st style) *ir.Func {
 	k.Const(res, 0)
 	wa, wb := k.walker(pa), k.walker(pb)
 	mask := k.num(0xFF)
-	k.loop(bound, func(i *ir.Value) {
+	k.loop(bound, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		b := k.loadStep(wb, 1)
 		k.Binary(ir.And, a, a, mask)
@@ -650,7 +650,7 @@ func kStrChr(st style) *ir.Func {
 	wp := k.walker(p)
 	mask := k.num(0xFF)
 	want := k.binOpFresh(ir.And, c, mask)
-	k.loop(bound, func(i *ir.Value) {
+	k.loop(bound, func(i ir.ValueID) {
 		x := k.loadStep(wp, 1)
 		k.Binary(ir.And, x, x, mask)
 		eq := k.binOpFresh(ir.CmpEQ, x, want)
@@ -667,7 +667,7 @@ func kMemCpy(st style) *ir.Func {
 	pd, psrc, n := ps[0], ps[1], ps[2]
 	n = k.clampN(n, 16)
 	wd, ws := k.walker(pd), k.walker(psrc)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		v := k.loadStep(ws, 1)
 		k.storeStep(wd, v, 1)
 	})
@@ -680,7 +680,7 @@ func kMemSet(st style) *ir.Func {
 	pd, v, n := ps[0], ps[1], ps[2]
 	n = k.clampN(n, 16)
 	wd := k.walker(pd)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		k.storeStep(wd, v, 1)
 	})
 	return k.ret(wd)
@@ -694,7 +694,7 @@ func kCRC8(st style) *ir.Func {
 	k.Copy(crc, x)
 	eight := k.num(8)
 	one := k.num(1)
-	k.loop(eight, func(i *ir.Value) {
+	k.loop(eight, func(i ir.ValueID) {
 		top := k.binOpFresh(ir.Shr, crc, k.num(7))
 		k.Binary(ir.And, top, top, one)
 		k.Binary(ir.Shl, crc, crc, one)
@@ -715,7 +715,7 @@ func kParity(st style) *ir.Func {
 	w := k.Val("w")
 	k.Copy(w, x)
 	one := k.num(1)
-	k.loop(k.num(16), func(i *ir.Value) {
+	k.loop(k.num(16), func(i ir.ValueID) {
 		bit := k.binOpFresh(ir.And, w, one)
 		k.Binary(ir.Xor, p, p, bit)
 		k.Binary(ir.Shr, w, w, one)
@@ -732,7 +732,7 @@ func kPopCount(st style) *ir.Func {
 	w := k.Val("w")
 	k.Copy(w, x)
 	one := k.num(1)
-	k.loop(k.num(16), func(i *ir.Value) {
+	k.loop(k.num(16), func(i ir.ValueID) {
 		bit := k.binOpFresh(ir.And, w, one)
 		k.Binary(ir.Add, cnt, cnt, bit)
 		k.Binary(ir.Shr, w, w, one)
@@ -749,7 +749,7 @@ func kGCD(st style) *ir.Func {
 	k.Copy(x, a)
 	k.Copy(y, b)
 	// Bounded Euclid: 24 iterations is plenty for 64-bit inputs.
-	k.loop(k.num(24), func(i *ir.Value) {
+	k.loop(k.num(24), func(i ir.ValueID) {
 		nz := k.binOpFresh(ir.CmpNE, y, k.num(0))
 		k.ifElse(nz, func() {
 			r := k.binOpFresh(ir.Rem, x, y)
@@ -768,7 +768,7 @@ func kFib(st style) *ir.Func {
 	b := k.Val("b")
 	k.Const(a, 0)
 	k.Const(b, 1)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		t := k.binOpFresh(ir.Add, a, b)
 		k.Copy(a, b)
 		k.Copy(b, t)
@@ -784,7 +784,7 @@ func kHorner(st style) *ir.Func {
 	acc := k.Val("acc")
 	k.Const(acc, 0)
 	wc := k.walker(pc)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		c := k.loadStep(wc, 1)
 		k.Binary(ir.Mul, acc, acc, x)
 		k.Binary(ir.Add, acc, acc, c)
@@ -832,7 +832,7 @@ func kQuantize(st style) *ir.Func {
 	pa, pb, n, q := ps[0], ps[1], ps[2], ps[3]
 	n = k.clampN(n, 16)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wa, 1)
 		d := k.binOp(ir.Div, x, q)
 		k.storeStep(wb, d, 1)
@@ -848,7 +848,7 @@ func kDeltaEnc(st style) *ir.Func {
 	prev := k.Val("prev")
 	k.Const(prev, 0)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wa, 1)
 		d := k.binOp(ir.Sub, x, prev)
 		k.storeStep(wb, d, 1)
@@ -865,7 +865,7 @@ func kDeltaDec(st style) *ir.Func {
 	acc := k.Val("acc")
 	k.Const(acc, 0)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		d := k.loadStep(wa, 1)
 		k.Binary(ir.Add, acc, acc, d)
 		k.storeStep(wb, acc, 1)
@@ -895,7 +895,7 @@ func kViterbiACS(st style) *ir.Func {
 	wm, wb := k.walker(pm), k.walker(pb)
 	best := k.Val("best")
 	k.Const(best, 0)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		m0 := k.loadStep(wm, 1)
 		m1 := k.loadStep(wm, 1)
 		br := k.loadStep(wb, 1)
@@ -923,7 +923,7 @@ func kHist4(st style) *ir.Func {
 	three := k.num(3)
 	one := k.num(1)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wa, 1)
 		bin := k.binOpFresh(ir.And, x, three)
 		slot := k.addr(sp, bin)
@@ -945,7 +945,7 @@ func kPreemph(st style) *ir.Func {
 	prev := k.Val("prev")
 	k.Const(prev, 0)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wa, 1)
 		t := k.binOpFresh(ir.Mul, prev, mu)
 		sh := k.binOpFresh(ir.Shr, t, k.num(7))
@@ -965,13 +965,13 @@ func kRMSCall(st style) *ir.Func {
 	acc := k.Val("acc")
 	k.Const(acc, 0)
 	wa := k.walker(pa)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		a := k.loadStep(wa, 1)
 		k.macc(acc, a, a)
 	})
 	mean := k.binOpFresh(ir.Div, acc, k.binOpFresh(ir.Max, n, k.num(1)))
 	r := k.Val("r")
-	k.Call("isqrt", []*ir.Value{r}, mean)
+	k.Call("isqrt", []ir.ValueID{r}, mean)
 	return k.ret(r)
 }
 
@@ -983,10 +983,10 @@ func kNormalizeCall(st style) *ir.Func {
 	pa, pb, n, g := ps[0], ps[1], ps[2], ps[3]
 	n = k.clampN(n, 8)
 	wa, wb := k.walker(pa), k.walker(pb)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wa, 1)
 		y := k.Val("")
-		k.Call("scale_q15", []*ir.Value{y}, x, g)
+		k.Call("scale_q15", []ir.ValueID{y}, x, g)
 		k.storeStep(wb, y, 1)
 	})
 	return k.ret(wb)

@@ -22,10 +22,10 @@ func lAutocorr() *ir.Func {
 	n = k.clampN(n, 16)
 	lags := k.num(8)
 	wr := k.walker(pr)
-	k.loop(lags, func(lag *ir.Value) {
+	k.loop(lags, func(lag ir.ValueID) {
 		acc := k.Val("acc")
 		k.Const(acc, 0)
-		k.loop(n, func(i *ir.Value) {
+		k.loop(n, func(i ir.ValueID) {
 			x := k.Val("")
 			k.Load(x, k.addr(px, i))
 			j := k.binOpFresh(ir.Add, i, lag)
@@ -57,13 +57,13 @@ func lLevinson() *ir.Func {
 	// a[0] = 1 (fixed point 1<<12)
 	k.Store(pa, k.num(1<<12))
 
-	k.loop(order, func(i *ir.Value) {
+	k.loop(order, func(i ir.ValueID) {
 		i1 := k.binOpFresh(ir.Add, i, one)
 		// acc = r[i+1] + sum_{j=1..i} a[j]*r[i+1-j]
 		acc := k.Val("acc")
 		k.Load(acc, k.addr(pr, i1))
 		k.Binary(ir.Shl, acc, acc, k.num(12))
-		k.loop(i1, func(j *ir.Value) {
+		k.loop(i1, func(j ir.ValueID) {
 			nz := k.binOpFresh(ir.CmpGT, j, k.num(0))
 			k.ifElse(nz, func() {
 				aj := k.Val("")
@@ -101,7 +101,7 @@ func lLagWindow() *ir.Func {
 	wr, ww := k.walker(pr), k.walker(pw)
 	peak := k.Val("peak")
 	k.Const(peak, 1)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		r := k.Val("")
 		k.Load(r, wr)
 		w := k.loadStep(ww, 1)
@@ -117,7 +117,7 @@ func lLagWindow() *ir.Func {
 	})
 	// Normalization pass, as Lag_window's caller does in the EFR code.
 	wr2 := k.walker(pr)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		r := k.Val("")
 		k.Load(r, wr2)
 		sc := k.binOpFresh(ir.Shl, r, k.num(4))
@@ -143,14 +143,14 @@ func lChebyshevEval() *ir.Func {
 	prev := k.Val("prev")
 	k.Const(prev, 0)
 	one := k.num(1)
-	k.loop(grid, func(g *ir.Value) {
+	k.loop(grid, func(g ir.ValueID) {
 		x := k.binOpFresh(ir.Sub, k.num(8), g) // grid point in [-8, 8]
 		b1 := k.Val("b1")
 		b2 := k.Val("b2")
 		k.Const(b1, 0)
 		k.Const(b2, 0)
 		wf := k.walker(pf)
-		k.loop(order, func(j *ir.Value) {
+		k.loop(order, func(j ir.ValueID) {
 			f := k.loadStep(wf, 1)
 			t := k.binOpFresh(ir.Mul, x, b1)
 			k.Binary(ir.Shr, t, t, k.num(2))
@@ -189,13 +189,13 @@ func lPitchOL() *ir.Func {
 	k.Copy(bestLag, minLag)
 	k.Const(bestScore, -(1 << 30))
 
-	k.loop(span, func(d *ir.Value) {
+	k.loop(span, func(d ir.ValueID) {
 		lag := k.binOpFresh(ir.Add, minLag, d)
 		corr := k.Val("corr")
 		en := k.Val("en")
 		k.Const(corr, 0)
 		k.Const(en, 0)
-		k.loop(n, func(i *ir.Value) {
+		k.loop(n, func(i ir.ValueID) {
 			x := k.Val("")
 			k.Load(x, k.addr(px, i))
 			j := k.binOpFresh(ir.Add, i, lag)
@@ -205,7 +205,7 @@ func lPitchOL() *ir.Func {
 			k.macc(en, y, y)
 		})
 		score := k.Val("score")
-		k.Call("norm_score", []*ir.Value{score}, corr, en)
+		k.Call("norm_score", []ir.ValueID{score}, corr, en)
 		better := k.binOpFresh(ir.CmpGT, score, bestScore)
 		k.ifElse(better, func() {
 			k.Copy(bestScore, score)
@@ -226,7 +226,7 @@ func lCodebookSearch() *ir.Func {
 	bestScore := k.Val("bestScore")
 	k.Const(bestIdx, 0)
 	k.Const(bestScore, -(1 << 30))
-	k.loop(words, func(w *ir.Value) {
+	k.loop(words, func(w ir.ValueID) {
 		base := k.binOpFresh(ir.Mul, w, n)
 		cw := k.addr(pcb, base)
 		corr := k.Val("corr")
@@ -234,7 +234,7 @@ func lCodebookSearch() *ir.Func {
 		k.Const(corr, 0)
 		k.Const(en, 1)
 		wx, wc := k.walker(px), k.walker(cw)
-		k.loop(n, func(i *ir.Value) {
+		k.loop(n, func(i ir.ValueID) {
 			x := k.loadStep(wx, 1)
 			c := k.loadStep(wc, 1)
 			k.macc(corr, x, c)
@@ -260,12 +260,12 @@ func lSynthesisFilter() *ir.Func {
 	four := k.num(4)
 	one := k.num(1)
 	wx, wy := k.walker(px), k.walker(py)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		acc := k.Val("acc")
 		x := k.loadStep(wx, 1)
 		k.Copy(acc, x)
 		k.Binary(ir.Shl, acc, acc, k.num(12))
-		k.loop(four, func(j *ir.Value) {
+		k.loop(four, func(j ir.ValueID) {
 			j1 := k.binOpFresh(ir.Add, j, one)
 			inRange := k.binOpFresh(ir.CmpGE, k.binOpFresh(ir.Sub, i, j1), k.num(0))
 			k.ifElse(inRange, func() {
@@ -292,13 +292,13 @@ func lResidualFilter() *ir.Func {
 	n = k.clampN(n, 12)
 	four := k.num(4)
 	wy := k.walker(py)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		acc := k.Val("acc")
 		x0 := k.Val("")
 		k.Load(x0, k.addr(px, i))
 		k.Copy(acc, x0)
 		k.Binary(ir.Shl, acc, acc, k.num(12))
-		k.loop(four, func(j *ir.Value) {
+		k.loop(four, func(j ir.ValueID) {
 			aj := k.Val("")
 			k.Load(aj, k.addr(pa, j))
 			d := k.binOpFresh(ir.Sub, i, j)
@@ -323,7 +323,7 @@ func lGainQuant() *ir.Func {
 	k.Const(bestIdx, 0)
 	k.Const(bestDist, 1<<30)
 	wt := k.walker(ptab)
-	k.loop(entries, func(i *ir.Value) {
+	k.loop(entries, func(i ir.ValueID) {
 		t := k.loadStep(wt, 1)
 		d := k.binOpFresh(ir.Sub, t, g)
 		neg := k.binOpFresh(ir.CmpLT, d, k.num(0))
@@ -350,12 +350,12 @@ func lInterpolateLSP() *ir.Func {
 	subframes := k.num(4)
 	order := k.num(10)
 	wout := k.walker(pout)
-	k.loop(subframes, func(s *ir.Value) {
+	k.loop(subframes, func(s ir.ValueID) {
 		// weight = (s+1) / 4 in Q2
 		one := k.num(1)
 		wNew := k.binOpFresh(ir.Add, s, one)
 		wOld := k.binOpFresh(ir.Sub, k.num(4), wNew)
-		k.loop(order, func(j *ir.Value) {
+		k.loop(order, func(j ir.ValueID) {
 			o := k.Val("")
 			k.Load(o, k.addr(pold, j))
 			nw := k.Val("")
@@ -381,7 +381,7 @@ func lAGC() *ir.Func {
 	k.Const(eIn, 1)
 	k.Const(eOut, 1)
 	wx, wy := k.walker(px), k.walker(py)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		x := k.loadStep(wx, 1)
 		y := k.loadStep(wy, 1)
 		k.macc(eIn, x, x)
@@ -389,9 +389,9 @@ func lAGC() *ir.Func {
 	})
 	ratio := k.binOpFresh(ir.Div, eIn, eOut)
 	gain := k.Val("gain")
-	k.Call("isqrt", []*ir.Value{gain}, ratio)
+	k.Call("isqrt", []ir.ValueID{gain}, ratio)
 	wy2 := k.walker(py)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		y := k.Val("")
 		k.Load(y, wy2)
 		t := k.binOpFresh(ir.Mul, y, gain)
@@ -416,7 +416,7 @@ func lVADDecision() *ir.Func {
 	k.Const(count, 0)
 	one := k.num(1)
 	we := k.walker(pe)
-	k.loop(n, func(i *ir.Value) {
+	k.loop(n, func(i ir.ValueID) {
 		e := k.loadStep(we, 1)
 		hi := k.binOpFresh(ir.CmpGT, e, thr)
 		k.ifElse(hi, func() {
