@@ -579,6 +579,77 @@ func BenchmarkClone(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshot measures ir.Func.Snapshot over the same suites as
+// BenchmarkClone. A snapshot copies only the chunk spines up front and
+// defers every slab copy until a mutation faults it, so allocs/op sits
+// strictly below Clone's and ns/op below a clone of the same function —
+// the per-job saving the batch driver banks for read-heavy work.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, name := range []string{"VALcc1", "LAI_Large", "SPECint"} {
+		b.Run(name, func(b *testing.B) {
+			funcs := ssaSuite(b, name, true)
+			for _, f := range funcs {
+				f.Freeze()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range funcs {
+					sinkFunc = f.Snapshot()
+					sinkFunc.Release()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchThroughput measures whole-pipeline functions/sec
+// through the shared-nothing batch driver with copy-on-write job
+// builds: the Table 2 job matrix over the full workload, snapshotting
+// every job from a frozen master. funcs/sec is reported as a custom
+// metric; `ssabench -bench-throughput` records a committed run of the
+// same shape (plus the read-only analyze phase) in
+// BENCH_throughput.json.
+func BenchmarkBatchThroughput(b *testing.B) {
+	exps := []string{pipeline.ExpLphiC, pipeline.ExpC2, pipeline.ExpSphiC}
+	var masters []*ir.Func
+	for _, build := range suiteBuilders {
+		for _, f := range build().Funcs {
+			f.Freeze()
+			masters = append(masters, f)
+		}
+	}
+	jobs := make([]pipeline.Job, 0, len(masters)*len(exps))
+	for _, e := range exps {
+		for _, f := range masters {
+			f := f
+			jobs = append(jobs, pipeline.Job{
+				Build:      func() *ir.Func { return f.Snapshot() },
+				Config:     pipeline.Configs[e],
+				Experiment: e,
+			})
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := pipeline.RunBatch(jobs, pipeline.WithParallelism(workers))
+				for j := range results {
+					if results[j].Err != nil {
+						b.Fatal(results[j].Err)
+					}
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(len(jobs)*b.N)/secs, "funcs/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkGCScanIR measures the garbage collector's cost of a resident
 // population of IR functions: it parks a few hundred clones on the heap
 // and times full GC cycles over them. The SoA layout keeps values,

@@ -57,6 +57,7 @@ func main() {
 		driveN         = flag.Int("n", 200, "client mode: number of requests")
 		driveC         = flag.Int("c", 8, "client mode: concurrency")
 		driveSeed      = flag.Int64("seed", 1, "client mode: synthetic workload seed")
+		driveDistinct  = flag.Int("distinct", 0, "client mode: distinct function pool size; 0 makes every request distinct (pool < n exercises the service's caches at scale)")
 		driveDeadline  = flag.Int("deadline-ms", 2000, "client mode: per-request deadline")
 		faultEvery     = flag.Int("fault-every", 0, "client mode: inject a pass panic every Nth request (needs -allow-debug server)")
 		malformedEvery = flag.Int("malformed-every", 0, "client mode: send a malformed body every Nth request")
@@ -65,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	if *drive != "" {
-		os.Exit(driveMain(*drive, *driveN, *driveC, *driveSeed, *driveDeadline, *faultEvery, *malformedEvery, *deadlineEvery))
+		os.Exit(driveMain(*drive, *driveN, *driveC, *driveDistinct, *driveSeed, *driveDeadline, *faultEvery, *malformedEvery, *deadlineEvery))
 	}
 
 	s, err := server.New(server.Config{
@@ -118,8 +119,8 @@ func main() {
 }
 
 // driveMain is client mode: generate, post, classify, report.
-func driveMain(baseURL string, n, c int, seed int64, deadlineMS, faultEvery, malformedEvery, deadlineEvery int) int {
-	funcs := workload.SynthFuncs(n, seed)
+func driveMain(baseURL string, n, c, distinct int, seed int64, deadlineMS, faultEvery, malformedEvery, deadlineEvery int) int {
+	funcs := workload.SynthPool(n, distinct, seed)
 	reqs, err := workload.MixedRequests(funcs, deadlineMS, faultEvery, malformedEvery, deadlineEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "laocd: drive:", err)

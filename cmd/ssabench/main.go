@@ -78,6 +78,8 @@ func main() {
 	benchInterference := flag.Bool("bench-interference", false, "time the selected table workload (default: table 2) under both interference engines, check byte-identical output, and report the speedup")
 	livenessEngineName := flag.String("liveness-engine", "", "liveness engine: query (default) or iterative (the fixed-point oracle)")
 	benchLiveness := flag.Bool("bench-liveness", false, "time the selected table workload (default: table 2) under both liveness engines, check byte-identical output, and report the speedup plus query/recompute counters")
+	benchThroughput := flag.Bool("bench-throughput", false, "measure whole-pipeline functions/sec at parallel=1/2/4/8 over a mixed compile+analyze workload and record it with the copy-on-write counter deltas")
+	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "write the -bench-throughput report to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, histograms, host stamp) to `file` at exit; cmd/perfgate compares these")
@@ -199,7 +201,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ssabench: serving metrics on http://%s/metrics\n", addr)
 			defer stop()
 		}
-		if *verifyMode && !*benchInterference && !*benchLiveness {
+		if *verifyMode && !*benchInterference && !*benchLiveness && !*benchThroughput {
 			// Checked mode: cross-reference the registry's pass-counter
 			// mirror against an independent shadow sum of the trace-event
 			// counters. Any skew — a counter bumped without its event, or
@@ -232,6 +234,12 @@ func main() {
 		}
 	}
 
+	if *benchThroughput {
+		if err := runBenchThroughput(*throughputOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *benchInterference {
 		if err := runBenchInterference(*table); err != nil {
 			fail(err)

@@ -11,12 +11,17 @@
 // bump, which is what lets one liveness computation survive a whole
 // string of pin-collect phases.
 //
-// The memo lives on the function itself (ir.Func.AnalysisSlot), so it
-// has exactly the function's lifetime: no global map, nothing to evict,
-// and cloned functions start cold. A function is owned by one goroutine
-// at a time (the batch driver clones per worker), so the per-function
-// memo is deliberately unsynchronized; the package-wide Stats counters
-// are atomic and therefore race-free across workers.
+// The memo lives on the function itself (ir.Func.AnalysisLoad/Init), so
+// it has exactly the function's lifetime: no global map, nothing to
+// evict, and cloned functions start cold. The memo is safe for
+// concurrent readers: entries are immutable once built and published
+// via atomic pointer swaps keyed on the generation they were computed
+// at, so a snapshot fanned out read-only across workers serves cache
+// hits lock-free; a per-slot mutex single-flights the compute on a
+// miss. Concurrent use requires the function itself to be read-only
+// while shared (the batch driver's ownership rule); functions marked
+// ir.Func.MarkSharedRead additionally get frozen (precompute-complete)
+// liveness engines, since the lazy query engine self-fills on reads.
 //
 // Liveness and dominators are cached today; further analyses (def-use
 // chains, dominance frontiers) slot in by adding a field to memo and an
@@ -24,37 +29,49 @@
 package analysis
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"outofssa/internal/cfg"
 	"outofssa/internal/ir"
 	"outofssa/internal/liveness"
 	"outofssa/internal/obs/metrics"
 )
 
-// memo is the per-function cache stored in the function's AnalysisSlot.
-// Each entry records the generation it was computed at; it is served
-// only while the function's generation still matches.
+// memo is the per-function cache stored in the function's analysis
+// slot. Each slot publishes immutable entries through an atomic
+// pointer — the lock-free hit path — and owns a mutex that
+// single-flights the compute on a miss. The mutexes are separate
+// because a liveness build calls Dominators while holding liveMu; a
+// single memo-wide lock would self-deadlock there.
 type memo struct {
-	liveGen uint64
-	live    *liveness.Info
-	// liveCFGGen and liveEngine qualify a stale `live` entry for
-	// incremental revalidation: a query-engine Info whose CFG generation
-	// still matches can absorb a code-only mutation by re-scanning its
-	// per-variable summaries instead of being rebuilt from scratch.
-	liveCFGGen uint64
-	liveEngine liveness.Engine
+	live   atomic.Pointer[liveEntry]
+	liveMu sync.Mutex
 
-	domGen uint64
-	dom    *cfg.DomTree
+	dom   atomic.Pointer[domEntry]
+	domMu sync.Mutex
+}
+
+// liveEntry is one published liveness result: the Info plus the
+// generation pair and engine it was computed under. Entries are
+// immutable after publication; revalidation publishes a fresh entry.
+type liveEntry struct {
+	gen    uint64
+	cfgGen uint64
+	engine liveness.Engine
+	info   *liveness.Info
+}
+
+type domEntry struct {
+	cfgGen uint64
+	tree   *cfg.DomTree
 }
 
 func memoOf(f *ir.Func) *memo {
-	slot := f.AnalysisSlot()
-	if m, ok := (*slot).(*memo); ok {
+	if m, ok := f.AnalysisLoad().(*memo); ok {
 		return m
 	}
-	m := &memo{}
-	*slot = m
-	return m
+	return f.AnalysisInit(&memo{}).(*memo)
 }
 
 // CacheStats counts cache traffic since the last ResetStats, across all
@@ -151,34 +168,49 @@ func Liveness(f *ir.Func) *liveness.Info {
 	gen := f.Generation()
 	eng := liveness.DefaultEngine
 	cLiveRequests.Inc()
-	if m.live != nil && m.liveGen == gen && m.liveEngine == eng {
+	if e := m.live.Load(); e != nil && e.gen == gen && e.engine == eng {
 		cLiveReused.Inc()
-		return m.live
+		return e.info
+	}
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
+	// Double-check under the single-flight lock: a racing reader may have
+	// computed and published the entry while we waited.
+	if e := m.live.Load(); e != nil && e.gen == gen && e.engine == eng {
+		cLiveReused.Inc()
+		return e.info
 	}
 	cLiveComputes.Inc()
+	ne := &liveEntry{gen: gen, engine: eng}
 	if eng == liveness.EngineQuery {
-		cfgGen := f.CFGGeneration()
-		if m.live != nil && m.liveEngine == eng && m.liveCFGGen == cfgGen && m.live.Incremental() {
+		ne.cfgGen = f.CFGGeneration()
+		if e := m.live.Load(); e != nil && e.engine == eng && e.cfgGen == ne.cfgGen && e.info.Incremental() {
 			// Code-only mutation under an unchanged CFG: revalidate the
 			// per-variable summaries and keep every walk whose summary is
-			// unchanged instead of rebuilding the whole engine.
-			live, kept, dropped := m.live.Revalidate()
-			m.live = live
+			// unchanged instead of rebuilding the whole engine. Only an
+			// exclusive owner can get here (a mutation happened), so
+			// recycling the old entry's storage is safe.
+			live, kept, dropped := e.info.Revalidate()
+			ne.info = live
 			cLiveReval.Inc()
 			cLiveVarsKept.Add(int64(kept))
 			cLiveVarsInval.Add(int64(dropped))
 		} else {
-			m.live = liveness.NewQuery(f, Dominators(f))
+			ne.info = liveness.NewQuery(f, Dominators(f))
 			cLiveFull.Inc()
 		}
-		m.liveCFGGen = cfgGen
 	} else {
-		m.live = liveness.Compute(f)
+		ne.info = liveness.Compute(f)
 		cLiveFull.Inc()
 	}
-	m.liveGen = gen
-	m.liveEngine = eng
-	return m.live
+	if f.SharedRead() {
+		// The function is fanned out read-only across goroutines: the
+		// lazy query engine self-fills on reads, so precompute everything
+		// and publish a frozen, purely-read-only Info.
+		ne.info.Freeze()
+	}
+	m.live.Store(ne)
+	return ne.info
 }
 
 // Dominators returns the dominator tree of f under the same memoization
@@ -191,19 +223,27 @@ func Dominators(f *ir.Func) *cfg.DomTree {
 	m := memoOf(f)
 	gen := f.CFGGeneration()
 	cDomRequests.Inc()
-	if m.dom != nil && m.domGen == gen {
+	if e := m.dom.Load(); e != nil && e.cfgGen == gen {
 		cDomReused.Inc()
-		return m.dom
+		return e.tree
+	}
+	m.domMu.Lock()
+	defer m.domMu.Unlock()
+	if e := m.dom.Load(); e != nil && e.cfgGen == gen {
+		cDomReused.Inc()
+		return e.tree
 	}
 	cDomComputes.Inc()
-	m.dom = cfg.Dominators(f)
-	m.domGen = gen
-	return m.dom
+	// DomTree is immutable after construction (pure array reads), so it
+	// needs no freezing to be shared.
+	e := &domEntry{cfgGen: gen, tree: cfg.Dominators(f)}
+	m.dom.Store(e)
+	return e.tree
 }
 
 // Invalidate drops every memoized analysis of f. Normal code never
 // needs it — mutators bump the generation instead — but tests use it to
 // establish a cold cache.
 func Invalidate(f *ir.Func) {
-	*f.AnalysisSlot() = nil
+	f.AnalysisClear()
 }

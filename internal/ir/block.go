@@ -107,6 +107,7 @@ func (b *Block) grow() {
 
 // Append adds in at the end of the block.
 func (b *Block) Append(in *Instr) {
+	b.fn.cowCode()
 	if b.codeLen == b.codeCap {
 		b.grow()
 	}
@@ -118,6 +119,7 @@ func (b *Block) Append(in *Instr) {
 
 // InsertAt inserts in at position i within the block.
 func (b *Block) InsertAt(i int, in *Instr) {
+	b.fn.cowCode()
 	if b.codeLen == b.codeCap {
 		b.grow()
 	}
@@ -132,6 +134,7 @@ func (b *Block) InsertAt(i int, in *Instr) {
 // RemoveAt removes and returns the instruction at position i. The
 // instruction becomes detached (its arena slot and handle stay valid).
 func (b *Block) RemoveAt(i int) *Instr {
+	b.fn.cowCode()
 	in := b.Instr(i)
 	code := b.fn.code[b.codeOff : b.codeOff+b.codeLen]
 	copy(code[i:], code[i+1:])
@@ -253,6 +256,7 @@ func (b *Block) SuccIndex(s BlockID) int {
 func (b *Block) ReplacePred(oldPred, newPred BlockID) {
 	for i, q := range b.preds {
 		if q == oldPred {
+			b.fn.cowEdges()
 			b.preds[i] = newPred
 			b.fn.NoteCFGMutation()
 			return
@@ -269,6 +273,7 @@ func (b *Block) ReplacePred(oldPred, newPred BlockID) {
 func (b *Block) ReplaceSucc(oldSucc, newSucc BlockID) {
 	for i, q := range b.succs {
 		if q == oldSucc {
+			b.fn.cowEdges()
 			b.succs[i] = newSucc
 			b.fn.NoteCFGMutation()
 			return
@@ -282,6 +287,7 @@ func (b *Block) ReplaceSucc(oldSucc, newSucc BlockID) {
 // is responsible for the matching φ-argument splice (cfg cleanup does
 // both in lockstep).
 func (b *Block) RemovePredAt(i int) {
+	b.fn.cowEdges()
 	b.preds = append(b.preds[:i], b.preds[i+1:]...)
 	b.fn.NoteCFGMutation()
 }

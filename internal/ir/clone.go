@@ -123,6 +123,15 @@ func (f *Func) cloneSlabCount() int {
 // headers plus a pointer-free fn fix-up — no per-entity work.
 func (f *Func) RestoreFrom(g *Func) {
 	statRestores.Add(1)
+	// Transfer g's copy-on-write membership to f: g is consumed, so its
+	// family ref moves over as-is, while f's previous membership (if any)
+	// is released — f's old storage is being discarded.
+	if old := f.cow; old != nil {
+		old.refs.Add(-1)
+	}
+	f.cow = g.cow
+	f.sharedOps, f.sharedCode, f.sharedEdges = g.sharedOps, g.sharedCode, g.sharedEdges
+	f.cowTouched = g.cowTouched
 	f.Name = g.Name
 	f.Target = g.Target
 	f.vals = g.vals
@@ -144,5 +153,5 @@ func (f *Func) RestoreFrom(g *Func) {
 	// entries recorded under earlier generations can never match again.
 	f.generation++
 	f.cfgGeneration++
-	f.analyses = nil
+	f.analyses.Store(nil)
 }

@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Func is a single function: a control flow graph of basic blocks over a
 // set of values. Blocks()[0] is the entry block.
@@ -58,8 +61,24 @@ type Func struct {
 	cfgGeneration uint64
 	// analyses is the opaque per-function memo slot owned by
 	// internal/analysis (kept opaque to avoid an ir → analysis cycle).
-	// Clone does not copy it; RestoreFrom discards it.
-	analyses any
+	// Published atomically so concurrent readers of a shared snapshot can
+	// install and load the memo without a lock. Clone does not copy it;
+	// RestoreFrom discards it.
+	analyses atomic.Pointer[any]
+
+	// cow links this Func to the copy-on-write family it shares slab
+	// storage with; nil when the Func owns all its storage exclusively.
+	// The shared* flags record which slabs are still the family's (see
+	// snapshot.go); cowTouched dedupes the materializations counter.
+	cow         *cowState
+	sharedOps   bool
+	sharedCode  bool
+	sharedEdges bool
+	cowTouched  bool
+	// sharedRead declares the Func read-only and fanned out across
+	// goroutines (see MarkSharedRead); analysis publishes frozen query
+	// structures for such functions.
+	sharedRead bool
 }
 
 // NewFunc creates an empty function with a fresh ST120-like target.
@@ -107,10 +126,33 @@ func (f *Func) SetGenerations(gen, cfgGen uint64) {
 	f.cfgGeneration = cfgGen
 }
 
-// AnalysisSlot returns the per-function storage slot used by
-// internal/analysis to memoize dataflow analyses. Other packages must
-// not touch it.
-func (f *Func) AnalysisSlot() *any { return &f.analyses }
+// AnalysisLoad returns the per-function memo installed by
+// internal/analysis, or nil. Safe for concurrent callers. Other
+// packages must not touch the slot.
+func (f *Func) AnalysisLoad() any {
+	if p := f.analyses.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// AnalysisInit publishes v as the function's analysis memo if none is
+// installed yet, and returns the winner — v, or the memo another
+// goroutine raced in first. Safe for concurrent callers.
+func (f *Func) AnalysisInit(v any) any {
+	p := &v
+	for {
+		if f.analyses.CompareAndSwap(nil, p) {
+			return v
+		}
+		if q := f.analyses.Load(); q != nil {
+			return *q
+		}
+	}
+}
+
+// AnalysisClear drops the function's analysis memo.
+func (f *Func) AnalysisClear() { f.analyses.Store(nil) }
 
 // ---- values ----
 
@@ -194,6 +236,7 @@ func (f *Func) NewInstr(op Op, defs, uses []Operand) *Instr {
 }
 
 func (f *Func) carveOps(src []Operand) (off, n int32) {
+	f.cowOps()
 	off = int32(len(f.ops))
 	f.ops = append(f.ops, src...)
 	return off, int32(len(src))
@@ -285,6 +328,7 @@ func (f *Func) SetBlockOrder(ids []BlockID) {
 
 // AddEdge records a CFG edge from b to s, keeping Preds/Succs consistent.
 func (f *Func) AddEdge(b, s *Block) {
+	f.cowEdges()
 	b.succs = append(b.succs, s.ID)
 	s.preds = append(s.preds, b.ID)
 	f.generation++

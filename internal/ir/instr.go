@@ -241,6 +241,7 @@ func (in *Instr) UseOp(i int) Operand { return in.fn.ops[in.useOff+int32(i)] }
 // SetDef replaces the i-th definition operand (value and pin). Bumps the
 // generation.
 func (in *Instr) SetDef(i int, o Operand) {
+	in.fn.cowOps()
 	in.fn.ops[in.defOff+int32(i)] = o
 	in.fn.generation++
 }
@@ -248,6 +249,7 @@ func (in *Instr) SetDef(i int, o Operand) {
 // SetUse replaces the i-th use operand (value and pin). Bumps the
 // generation.
 func (in *Instr) SetUse(i int, o Operand) {
+	in.fn.cowOps()
 	in.fn.ops[in.useOff+int32(i)] = o
 	in.fn.generation++
 }
@@ -255,6 +257,7 @@ func (in *Instr) SetUse(i int, o Operand) {
 // SetDefVal rewrites the value of the i-th definition, keeping its pin.
 // Bumps the generation.
 func (in *Instr) SetDefVal(i int, v ValueID) {
+	in.fn.cowOps()
 	in.fn.ops[in.defOff+int32(i)].Val = v
 	in.fn.generation++
 }
@@ -262,6 +265,7 @@ func (in *Instr) SetDefVal(i int, v ValueID) {
 // SetUseVal rewrites the value of the i-th use, keeping its pin. Bumps
 // the generation.
 func (in *Instr) SetUseVal(i int, v ValueID) {
+	in.fn.cowOps()
 	in.fn.ops[in.useOff+int32(i)].Val = v
 	in.fn.generation++
 }
@@ -271,6 +275,7 @@ func (in *Instr) SetUseVal(i int, v ValueID) {
 // not bump the generation — the invariant the pin-collect phases rely on
 // to keep a pre-collect liveness valid.
 func (in *Instr) SetDefPin(i int, r ValueID) {
+	in.fn.cowOps()
 	o := &in.fn.ops[in.defOff+int32(i)]
 	*o = o.WithPin(r)
 }
@@ -278,6 +283,7 @@ func (in *Instr) SetDefPin(i int, r ValueID) {
 // SetUsePin pins the i-th use to resource r (NoValue unpins), without a
 // generation bump (see SetDefPin).
 func (in *Instr) SetUsePin(i int, r ValueID) {
+	in.fn.cowOps()
 	o := &in.fn.ops[in.useOff+int32(i)]
 	*o = o.WithPin(r)
 }
@@ -307,6 +313,7 @@ func (in *Instr) AddUse(o Operand) {
 // RemoveUseAt splices out the i-th use operand in place (the φ-argument
 // splice when a predecessor edge is deleted). Bumps the generation.
 func (in *Instr) RemoveUseAt(i int) {
+	in.fn.cowOps()
 	ops := in.fn.ops[in.useOff : in.useOff+in.useLen]
 	copy(ops[i:], ops[i+1:])
 	in.useLen--
@@ -318,6 +325,7 @@ func (in *Instr) RemoveUseAt(i int) {
 // whole span is copied to the tail (the old span becomes garbage that
 // the next Clone drops).
 func (f *Func) growSpan(off, n int32, o Operand) (int32, int32) {
+	f.cowOps()
 	if int(off+n) == len(f.ops) {
 		f.ops = append(f.ops, o)
 		return off, n + 1

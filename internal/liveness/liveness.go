@@ -171,8 +171,9 @@ func (l *Info) ExitLiveSet(b *ir.Block) *bitset.Set {
 }
 
 // Incremental reports whether this Info supports Revalidate (query
-// engine only).
-func (l *Info) Incremental() bool { return l.q != nil }
+// engine only, and not after Freeze — a frozen engine's storage is
+// shared with concurrent readers and must not be recycled).
+func (l *Info) Incremental() bool { return l.q != nil && !l.q.frozen }
 
 // LiveAfter returns the set of values live immediately after the idx-th
 // instruction of b. φ instructions are transparent (their defs are live

@@ -143,7 +143,9 @@ func runContained(f *ir.Func, p *pass, hook func(string, *ir.Func)) (err error) 
 // The fallback passes run through the same instrumented runner, so a
 // tracer sees them as "fallback-*" events in the normal stream.
 func fallbackRun(f, backup *ir.Func, exp string, tr obs.Tracer, opts runOpts, r *Result) error {
-	ref := backup.Clone()
+	// ref is only ever executed (ir.Exec is a pure read), so a snapshot
+	// sharing backup's slabs is enough — no copy.
+	ref := backup.Snapshot()
 	f.RestoreFrom(backup)
 	budget := opts.execBudget
 	if budget <= 0 {

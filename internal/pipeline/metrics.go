@@ -63,6 +63,17 @@ const (
 	MetricIRRestores        = "laoc_ir_restores_total"
 	MetricIRMarshals        = "laoc_ir_marshal_total"
 	MetricIRUnmarshals      = "laoc_ir_unmarshal_total"
+
+	// Copy-on-write snapshot metrics. laoc_ir_cow_materializations_total
+	// / laoc_ir_snapshots_total is the copies-materialized ratio — the
+	// fraction of snapshots that ever had to privatize storage. The
+	// scaling-smoke CI gate asserts a ceiling on it for the mixed
+	// throughput workload; read-only fan-outs keep it at zero.
+	MetricIRSnapshots          = "laoc_ir_snapshots_total"
+	MetricIRSnapshotSlabAllocs = "laoc_ir_snapshot_slab_allocs_total"
+	MetricIRCOWMaterialized    = "laoc_ir_cow_materializations_total"
+	MetricIRCOWSlabCopies      = "laoc_ir_cow_slab_copies_total"
+	MetricIRCOWAdoptions       = "laoc_ir_cow_adoptions_total"
 )
 
 func init() {
@@ -74,6 +85,16 @@ func init() {
 	d.CounterFunc(MetricIRMarshals, func() int64 { return ir.Stats().MarshalsV1 }, metrics.L("schema", "v1"))
 	d.CounterFunc(MetricIRUnmarshals, func() int64 { return ir.Stats().UnmarshalsV2 }, metrics.L("schema", "v2"))
 	d.CounterFunc(MetricIRUnmarshals, func() int64 { return ir.Stats().UnmarshalsV1 }, metrics.L("schema", "v1"))
+	d.CounterFunc(MetricIRSnapshots, func() int64 { return ir.Stats().Snapshots })
+	d.CounterFunc(MetricIRSnapshotSlabAllocs, func() int64 { return ir.Stats().SnapshotSlabAllocs })
+	d.CounterFunc(MetricIRCOWMaterialized, func() int64 { return ir.Stats().COWMaterializations })
+	d.CounterFunc(MetricIRCOWSlabCopies, func() int64 { return ir.Stats().COWSlabCopies })
+	d.CounterFunc(MetricIRCOWAdoptions, func() int64 { return ir.Stats().COWAdoptions })
+	d.SetHelp(MetricIRSnapshots, "ir.Func.Snapshot calls (copy-on-write snapshots; chunk copies only, flat slabs deferred).")
+	d.SetHelp(MetricIRSnapshotSlabAllocs, "Up-front heap allocations performed by Snapshot, summed (O(arena chunks), no flat slabs).")
+	d.SetHelp(MetricIRCOWMaterialized, "Funcs that faulted at least one shared slab into private storage; divide by laoc_ir_snapshots_total for the copies-materialized ratio.")
+	d.SetHelp(MetricIRCOWSlabCopies, "Individual deferred slab copies performed by copy-on-write faults.")
+	d.SetHelp(MetricIRCOWAdoptions, "Mutations that adopted the family's shared storage copy-free (last reader standing).")
 	d.SetHelp(MetricIRClones, "ir.Func.Clone calls (slab memcpy clones).")
 	d.SetHelp(MetricIRCloneSlabAllocs, "Heap allocations performed by Clone, summed; divide by laoc_ir_clones_total for the per-clone ratio (O(arena chunks)).")
 	d.SetHelp(MetricIRRestores, "ir.Func.RestoreFrom copy-backs (snapshot rollbacks).")

@@ -1,0 +1,96 @@
+// The decode cache: content hash → frozen master IR, the front half of
+// the request fast path. Parsing (LAI text or a laoc-ir document) is
+// linear work the service used to repeat for every request carrying
+// the same content; now the first request interns the decoded function
+// as a frozen copy-on-write master and every later request — including
+// concurrent ones — compiles a Snapshot of it. The snapshot shares the
+// master's slabs until the pipeline actually mutates them, so a warm
+// request skips both the parse and the up-front IR copy.
+//
+// The masters are immutable by construction (frozen before they are
+// published, only ever handed out as snapshots), which is what makes
+// the concurrent snapshot traffic safe; see ir.Snapshot.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"outofssa/internal/ir"
+)
+
+// decodeEntry is one interned master.
+type decodeEntry struct {
+	key    uint64
+	master *ir.Func
+	elem   *list.Element
+}
+
+// decodeCache is a fixed-capacity LRU of frozen masters keyed by
+// content hash. All methods are safe for concurrent use.
+type decodeCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*decodeEntry
+	lru     *list.List // front = most recent; values are *decodeEntry
+}
+
+func newDecodeCache(capacity int) *decodeCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &decodeCache{
+		cap:     capacity,
+		entries: make(map[uint64]*decodeEntry, capacity),
+		lru:     list.New(),
+	}
+}
+
+// snapshot returns a private copy-on-write snapshot of the master
+// interned for key, or (nil, false) on a miss. The Snapshot call is
+// inside the lock only to order it against a concurrent evict of the
+// same master; the copy itself is O(arena chunks).
+func (c *decodeCache) snapshot(key uint64) (*ir.Func, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.master.Snapshot(), true
+}
+
+// intern freezes f, stores it as the master for key, and returns a
+// snapshot for the calling request to compile. If another request
+// interned the same key first, its master wins and f is discarded —
+// equal content decodes to an equivalent function, so either master
+// serves both.
+func (c *decodeCache) intern(key uint64, f *ir.Func) *ir.Func {
+	f.Freeze()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		return e.master.Snapshot()
+	}
+	e := &decodeEntry{key: key, master: f}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back().Value.(*decodeEntry)
+		delete(c.entries, old.key)
+		c.lru.Remove(old.elem)
+		// Dropping the family ref lets the last outstanding snapshot of
+		// the evicted master adopt the shared slabs copy-free.
+		old.master.Release()
+	}
+	return e.master.Snapshot()
+}
+
+// len reports the live master count.
+func (c *decodeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -34,6 +34,11 @@ const (
 	MetricCacheHits   = "laocd_cache_hits_total"
 	MetricCacheMisses = "laocd_cache_misses_total"
 	MetricCachePoison = "laocd_cache_poison_total"
+	// MetricDecodeHits / Misses count decode-cache reads: a hit skips
+	// the parse and compiles a copy-on-write snapshot of the interned
+	// frozen master; a miss parses and interns.
+	MetricDecodeHits   = "laocd_decode_hits_total"
+	MetricDecodeMisses = "laocd_decode_misses_total"
 	// MetricFallbacks counts responses served from the naive fallback
 	// after a contained pipeline failure.
 	MetricFallbacks = "laocd_fallback_total"
@@ -59,6 +64,8 @@ func registerHelp(reg *metrics.Registry) {
 	reg.SetHelp(MetricCacheHits, "result-cache hits (checksum verified)")
 	reg.SetHelp(MetricCacheMisses, "result-cache misses")
 	reg.SetHelp(MetricCachePoison, "poisoned cache entries detected on read and evicted")
+	reg.SetHelp(MetricDecodeHits, "decode-cache hits (request compiled a snapshot of the interned master)")
+	reg.SetHelp(MetricDecodeMisses, "decode-cache misses (request parsed and interned its content)")
 	reg.SetHelp(MetricFallbacks, "responses served from the naive fallback translation")
 	reg.SetHelp(MetricWorkerPanics, "panics contained by the worker's last-resort recover")
 	reg.SetHelp(MetricQueueDepth, "requests waiting for a worker")

@@ -92,6 +92,7 @@ type Server struct {
 	draining atomic.Bool
 
 	cache   *cache
+	decode  *decodeCache
 	breaker *breaker
 
 	sfMu sync.Mutex
@@ -106,6 +107,8 @@ type Server struct {
 	degradedCtr *metrics.Counter
 	hits        *metrics.Counter
 	misses      *metrics.Counter
+	decodeHits  *metrics.Counter
+	decodeMiss  *metrics.Counter
 	poison      *metrics.Counter
 	panics      *metrics.Counter
 	wall        *metrics.Histogram
@@ -168,6 +171,7 @@ func New(conf Config) (*Server, error) {
 		},
 		queue:   make(chan *task, conf.QueueDepth),
 		cache:   newCache(conf.CacheEntries),
+		decode:  newDecodeCache(conf.CacheEntries),
 		breaker: newBreaker(conf.BreakerThreshold, conf.BreakerWindow, conf.BreakerCooldown, conf.now),
 		sf:      make(map[uint64]*call),
 
@@ -180,6 +184,8 @@ func New(conf Config) (*Server, error) {
 		degradedCtr: reg.Counter(MetricDegraded),
 		hits:        reg.Counter(MetricCacheHits),
 		misses:      reg.Counter(MetricCacheMisses),
+		decodeHits:  reg.Counter(MetricDecodeHits),
+		decodeMiss:  reg.Counter(MetricDecodeMisses),
 		poison:      reg.Counter(MetricCachePoison),
 		panics:      reg.Counter(MetricWorkerPanics),
 		wall:        reg.Histogram(MetricRequestWallNS),
@@ -353,24 +359,36 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Parse in the handler: linear work bounded by MaxBodyBytes, and a
-	// malformed body must not occupy a queue slot.
-	var (
-		f       *ir.Func
-		err     error
-		content []byte
-		mode    string
-	)
-	if req.LAI != "" {
-		f, err = lai.Parse(req.LAI)
-		content, mode = []byte(req.LAI), "lai"
-	} else {
-		f, err = ir.Unmarshal(req.IR)
+	// Decode in the handler: linear work bounded by MaxBodyBytes, and a
+	// malformed body must not occupy a queue slot. Content seen before
+	// skips the parse entirely — the request compiles a copy-on-write
+	// snapshot of the interned frozen master (see decode.go). Only
+	// successfully decoded content is ever interned, so malformed bodies
+	// cannot hit.
+	var content []byte
+	mode := "lai"
+	if req.LAI == "" {
 		content, mode = req.IR, "ir"
+	} else {
+		content = []byte(req.LAI)
 	}
-	if err != nil {
-		s.finish(w, t0, nil, errParse(err))
-		return
+	key := contentKey(mode, content, s.conf.Experiment)
+	f, ok := s.decode.snapshot(key)
+	if ok {
+		s.decodeHits.Inc()
+	} else {
+		var err error
+		if mode == "lai" {
+			f, err = lai.Parse(req.LAI)
+		} else {
+			f, err = ir.Unmarshal(req.IR)
+		}
+		if err != nil {
+			s.finish(w, t0, nil, errParse(err))
+			return
+		}
+		s.decodeMiss.Inc()
+		f = s.decode.intern(key, f)
 	}
 
 	d := s.conf.DefaultDeadline
@@ -382,8 +400,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-
-	key := contentKey(mode, content, s.conf.Experiment)
 
 	// Debug requests bypass singleflight (their behavior is
 	// per-request, not content-determined); everything else

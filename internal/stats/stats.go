@@ -116,9 +116,12 @@ func presetCol(col string) (colSpec, error) {
 
 // buildTable runs every (suite, column) cell as a batch of per-function
 // pipeline jobs. Each suite is built once per row as a master; every
-// job clones its function from the master inside the worker that runs
-// it (ir.Clone preserves IDs and ordering, so a cloned run is
-// indistinguishable from one on a freshly built suite).
+// job snapshots its function from the frozen master inside the worker
+// that runs it. ir.Snapshot preserves IDs and ordering exactly as
+// Clone did, so a snapshotted run is indistinguishable from one on a
+// freshly built suite — but the per-job copy is O(arena chunks) up
+// front and slabs privatize lazily, only when the job's first pass
+// actually writes them.
 func buildTable(title, note string, cols []string, tr obs.Tracer, spec func(col string) (colSpec, error)) (*Table, error) {
 	t := &Table{Title: title, Note: note, Columns: cols}
 	specs := make([]colSpec, len(cols))
@@ -139,6 +142,9 @@ func buildTable(title, note string, cols []string, tr obs.Tracer, spec func(col 
 	// tables and the trace stream are byte-identical at any parallelism.
 	for _, build := range suiteBuilders() {
 		master := build()
+		for _, f := range master.Funcs {
+			f.Freeze() // masters are immutable for the row; jobs snapshot them
+		}
 		row := Row{Benchmark: master.Name, Cells: make([]int64, len(cols))}
 		var jobs []pipeline.Job
 		for ci := range cols {
@@ -146,7 +152,7 @@ func buildTable(title, note string, cols []string, tr obs.Tracer, spec func(col 
 			for _, f := range master.Funcs {
 				f := f
 				jobs = append(jobs, pipeline.Job{
-					Build:      func() *ir.Func { return f.Clone() },
+					Build:      func() *ir.Func { return f.Snapshot() },
 					Config:     sp.conf,
 					Experiment: sp.exp,
 				})

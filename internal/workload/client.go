@@ -29,6 +29,49 @@ func SynthFuncs(n int, seed int64) []*ir.Func {
 	return out
 }
 
+// SynthPool returns n functions drawn from a pool of distinct random
+// functions generated from seed: result[i] is pool[i%distinct], with
+// the *ir.Func pointers shared across repeats. distinct <= 0 or
+// >= n degenerates to SynthFuncs(n, seed). A pool smaller than the
+// request count is the cache-scaling workload shape: the stream is
+// long but its distinct content is bounded, so an LRU-capped service
+// must answer most of it from cache with O(distinct) residency.
+func SynthPool(n, distinct int, seed int64) []*ir.Func {
+	if distinct <= 0 || distinct >= n {
+		return SynthFuncs(n, seed)
+	}
+	pool := SynthFuncs(distinct, seed)
+	out := make([]*ir.Func, n)
+	for i := range out {
+		out[i] = pool[i%distinct]
+	}
+	return out
+}
+
+// PooledRequests builds n raw-IR ClientRequests over funcs (cycling
+// when n > len(funcs)), marshalling each distinct function exactly
+// once and sharing the encoded document across repeats — the request
+// stream for load tests where the marshal cost of the driver must not
+// dominate the service under test.
+func PooledRequests(funcs []*ir.Func, n, deadlineMS int) ([]ClientRequest, error) {
+	docs := make(map[*ir.Func]json.RawMessage, len(funcs))
+	reqs := make([]ClientRequest, n)
+	for i := 0; i < n; i++ {
+		f := funcs[i%len(funcs)]
+		doc, ok := docs[f]
+		if !ok {
+			var err error
+			doc, err = ir.Marshal(f)
+			if err != nil {
+				return nil, err
+			}
+			docs[f] = doc
+		}
+		reqs[i] = ClientRequest{IR: doc, DeadlineMS: deadlineMS}
+	}
+	return reqs, nil
+}
+
 // ClientRequest is one /compile body the driver will POST. The fields
 // mirror the server's wire schema; zero values are omitted.
 type ClientRequest struct {
