@@ -52,6 +52,9 @@ func main() {
 		brCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open time before a half-open probe")
 		allowDebug   = flag.Bool("allow-debug", false, "accept request debug blocks (injected sleeps/panics) — test rigs only")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		cacheDir     = flag.String("cache-dir", "", "persist the caches in this `directory` and warm-start from it (empty disables)")
+		cacheFsync   = flag.String("cache-fsync", "never", "cache store durability: never, interval or always")
+		cacheMax     = flag.Int64("cache-max-bytes", 64<<20, "cache store on-disk size cap before compaction (negative disables)")
 
 		drive          = flag.String("drive", "", "client mode: drive the laocd at this base `URL` instead of serving")
 		driveN         = flag.Int("n", 200, "client mode: number of requests")
@@ -81,6 +84,9 @@ func main() {
 		BreakerCooldown:  *brCooldown,
 		Metrics:          metrics.Default,
 		AllowDebug:       *allowDebug,
+		CacheDir:         *cacheDir,
+		StoreMaxBytes:    *cacheMax,
+		StoreFsync:       *cacheFsync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "laocd:", err)

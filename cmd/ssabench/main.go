@@ -80,6 +80,8 @@ func main() {
 	benchLiveness := flag.Bool("bench-liveness", false, "time the selected table workload (default: table 2) under both liveness engines, check byte-identical output, and report the speedup plus query/recompute counters")
 	benchThroughput := flag.Bool("bench-throughput", false, "measure whole-pipeline functions/sec at parallel=1/2/4/8 over a mixed compile+analyze workload and record it with the copy-on-write counter deltas")
 	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "write the -bench-throughput report to `file`")
+	benchPersist := flag.Bool("bench-persist", false, "measure the b1-vs-v2 wire codec over the Table 2 corpus and a laocd cold-vs-warm restart cycle on a persistent cache store")
+	persistOut := flag.String("persist-out", "BENCH_persist.json", "write the -bench-persist report to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, histograms, host stamp) to `file` at exit; cmd/perfgate compares these")
@@ -201,7 +203,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ssabench: serving metrics on http://%s/metrics\n", addr)
 			defer stop()
 		}
-		if *verifyMode && !*benchInterference && !*benchLiveness && !*benchThroughput {
+		if *verifyMode && !*benchInterference && !*benchLiveness && !*benchThroughput && !*benchPersist {
 			// Checked mode: cross-reference the registry's pass-counter
 			// mirror against an independent shadow sum of the trace-event
 			// counters. Any skew — a counter bumped without its event, or
@@ -236,6 +238,12 @@ func main() {
 
 	if *benchThroughput {
 		if err := runBenchThroughput(*throughputOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *benchPersist {
+		if err := runBenchPersist(*persistOut); err != nil {
 			fail(err)
 		}
 		return

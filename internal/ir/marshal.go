@@ -8,7 +8,7 @@
 // over the wire and still honor the Tables 1-5 byte-identity gate, and
 // what makes content hashes of the encoding stable cache keys.
 //
-// Two schemas coexist:
+// Three schemas coexist:
 //
 //   - "laoc-ir-v1" walks the CFG and emits one JSON object per block and
 //     instruction. It predates the SoA re-platform and is kept, reader
@@ -20,9 +20,17 @@
 //     and decoding reconstructs the arenas verbatim, so a v2 round trip
 //     is bit-exact down to span offsets (Clone-equivalent by memcmp, not
 //     just semantically).
+//   - "laoc-ir-b1" is the binary rendering of the same arena document:
+//     a magic/version/target-shape header followed by little-endian
+//     length-prefixed dumps of the value table and slabs (see
+//     marshalb.go). It shares v2's extract and build paths, so it
+//     inherits the same exact-round-trip guarantee at a fraction of the
+//     decode cost; it is also the on-disk record payload of
+//     internal/cachestore.
 //
-// Marshal emits v2; Unmarshal auto-detects either schema. The laocd
-// server negotiates per-request (see internal/server).
+// Marshal emits v2, MarshalBinary emits b1; Unmarshal auto-detects all
+// three (binary by magic prefix, JSON by schema tag). The laocd server
+// negotiates per-request (see internal/server).
 //
 // Both formats tie values to the function's own Target: the physical
 // register prefix of the value table (R0..R15, P0..P7, SP — created by
@@ -143,6 +151,18 @@ func Marshal(f *Func) ([]byte, error) { return MarshalV2(f) }
 // MarshalV2 encodes f's arenas directly (schema "laoc-ir-v2").
 func MarshalV2(f *Func) ([]byte, error) {
 	statMarshalsV2.Add(1)
+	w, err := extractArenas(f)
+	if err != nil {
+		return nil, err
+	}
+	w.Schema = WireSchemaV2
+	return json.Marshal(w)
+}
+
+// extractArenas dumps f's slabs into the shared arena document that
+// both the v2 (JSON) and b1 (binary) encoders render. The Schema field
+// is left for the caller.
+func extractArenas(f *Func) (*wireFuncV2, error) {
 	nphys := 0
 	for nphys < len(f.vals) && f.vals[nphys].kind == Physical {
 		nphys++
@@ -155,7 +175,7 @@ func MarshalV2(f *Func) ([]byte, error) {
 			return nil, fmt.Errorf("ir: marshal %s: value %d has no name", f.Name, i)
 		}
 	}
-	w := wireFuncV2{Schema: WireSchemaV2, Name: f.Name, NPhys: nphys}
+	w := wireFuncV2{Name: f.Name, NPhys: nphys}
 	w.VNames = make([]string, 0, len(f.vals)-nphys)
 	for i := nphys; i < len(f.vals); i++ {
 		w.VNames = append(w.VNames, f.vals[i].name)
@@ -196,7 +216,7 @@ func MarshalV2(f *Func) ([]byte, error) {
 	for i, b := range f.blockList {
 		w.Order[i] = int32(b.ID)
 	}
-	return json.Marshal(&w)
+	return &w, nil
 }
 
 // MarshalV1 encodes f in the legacy schema, for peers that have not
@@ -268,11 +288,15 @@ type wireSchema struct {
 	Schema string `json:"schema"`
 }
 
-// Unmarshal decodes a function from the wire format, accepting both the
-// v2 arena schema and the legacy v1 schema. The result owns a fresh
-// Target; the document's physical-register prefix must match the target
-// shape exactly.
+// Unmarshal decodes a function from the wire format, accepting the b1
+// binary schema (detected by its magic prefix), the v2 arena schema and
+// the legacy v1 schema. The result owns a fresh Target; the document's
+// physical-register prefix must match the target shape exactly.
 func Unmarshal(data []byte) (*Func, error) {
+	if IsBinary(data) {
+		statUnmarshalsB1.Add(1)
+		return unmarshalB1(data)
+	}
 	var probe wireSchema
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("ir: unmarshal: %v", err)
@@ -285,8 +309,26 @@ func Unmarshal(data []byte) (*Func, error) {
 		statUnmarshalsV1.Add(1)
 		return unmarshalV1(data)
 	default:
-		return nil, fmt.Errorf("ir: unmarshal: unknown schema %q (want %q or %q)", probe.Schema, WireSchemaV2, WireSchemaV1)
+		return nil, fmt.Errorf("ir: unmarshal: unknown schema %q (want %q, %q or %q)", probe.Schema, WireSchemaB1, WireSchemaV2, WireSchemaV1)
 	}
+}
+
+// DetectSchema reports which wire schema data carries ("" when it is
+// none of them). It inspects only the prefix/tag, not whole-document
+// validity.
+func DetectSchema(data []byte) string {
+	if IsBinary(data) {
+		return WireSchemaB1
+	}
+	var probe wireSchema
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return ""
+	}
+	switch probe.Schema {
+	case WireSchemaV2, WireSchemaV1:
+		return probe.Schema
+	}
+	return ""
 }
 
 func unmarshalV2(data []byte) (*Func, error) {
@@ -294,6 +336,15 @@ func unmarshalV2(data []byte) (*Func, error) {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, fmt.Errorf("ir: unmarshal: %v", err)
 	}
+	return buildArenas(&w)
+}
+
+// buildArenas reconstructs a function from the shared arena document,
+// validating every handle, span and edge before trusting it and
+// finishing with a full structural Verify. Both the v2 and b1 decoders
+// end here, so the two schemas cannot diverge in what they accept or
+// in the function they build.
+func buildArenas(w *wireFuncV2) (*Func, error) {
 	if w.Name == "" {
 		return nil, fmt.Errorf("ir: unmarshal: function has no name")
 	}

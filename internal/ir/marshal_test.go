@@ -55,6 +55,44 @@ func roundTrip(t *testing.T, f *ir.Func) *ir.Func {
 	if !bytes.Equal(v1, v12) {
 		t.Fatalf("%s: v1 encoding is not a fixed point of the round trip", f.Name)
 	}
+
+	b1, err := ir.MarshalBinary(f)
+	if err != nil {
+		t.Fatalf("%s: MarshalBinary: %v", f.Name, err)
+	}
+	if !ir.IsBinary(b1) || ir.DetectSchema(b1) != ir.WireSchemaB1 {
+		t.Fatalf("%s: b1 document not detected as binary", f.Name)
+	}
+	gb, err := ir.Unmarshal(b1)
+	if err != nil {
+		t.Fatalf("%s: Unmarshal(b1): %v", f.Name, err)
+	}
+	if got, want := gb.String(), f.String(); got != want {
+		t.Fatalf("%s: b1-decoded function prints differently:\n--- original\n%s\n--- decoded\n%s", f.Name, want, got)
+	}
+	// Arena exactness, not just print equality: the decoded function's
+	// slab bytes must witness-match the original's (memcmp-equivalent,
+	// like Clone), and re-encoding must be a byte fixed point.
+	if gb.ArenaChecksum() != f.ArenaChecksum() {
+		t.Fatalf("%s: b1 round trip changed the arena checksum", f.Name)
+	}
+	b12, err := ir.MarshalBinary(gb)
+	if err != nil {
+		t.Fatalf("%s: re-MarshalBinary: %v", f.Name, err)
+	}
+	if !bytes.Equal(b1, b12) {
+		t.Fatalf("%s: b1 encoding is not a fixed point of the round trip", f.Name)
+	}
+	// Cross-schema: the b1-decoded function must re-encode to the very
+	// same v2 bytes as the original — the schemas are views of one
+	// arena document.
+	vx, err := ir.Marshal(gb)
+	if err != nil {
+		t.Fatalf("%s: Marshal(b1-decoded): %v", f.Name, err)
+	}
+	if !bytes.Equal(data, vx) {
+		t.Fatalf("%s: b1-decoded function re-encodes to different v2 bytes", f.Name)
+	}
 	return g
 }
 

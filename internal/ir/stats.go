@@ -21,8 +21,10 @@ var (
 
 	statMarshalsV2   atomic.Int64
 	statMarshalsV1   atomic.Int64
+	statMarshalsB1   atomic.Int64
 	statUnmarshalsV2 atomic.Int64
 	statUnmarshalsV1 atomic.Int64
+	statUnmarshalsB1 atomic.Int64
 )
 
 // SlabStats is a snapshot of the package-wide slab-operation counters.
@@ -53,11 +55,14 @@ type SlabStats struct {
 	COWSlabCopies       int64
 	COWAdoptions        int64
 	// Marshal/Unmarshal counters split by wire schema; the v2 counters
-	// move on the arena fast path, v1 on the legacy per-instruction walk.
+	// move on the arena JSON path, v1 on the legacy per-instruction walk,
+	// b1 on the binary arena fast path.
 	MarshalsV2   int64
 	MarshalsV1   int64
+	MarshalsB1   int64
 	UnmarshalsV2 int64
 	UnmarshalsV1 int64
+	UnmarshalsB1 int64
 }
 
 // Stats returns a snapshot of the slab-operation counters.
@@ -73,7 +78,9 @@ func Stats() SlabStats {
 		COWAdoptions:        statCOWAdoptions.Load(),
 		MarshalsV2:          statMarshalsV2.Load(),
 		MarshalsV1:          statMarshalsV1.Load(),
+		MarshalsB1:          statMarshalsB1.Load(),
 		UnmarshalsV2:        statUnmarshalsV2.Load(),
 		UnmarshalsV1:        statUnmarshalsV1.Load(),
+		UnmarshalsB1:        statUnmarshalsB1.Load(),
 	}
 }

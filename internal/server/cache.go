@@ -6,19 +6,18 @@
 // serving them. An entry whose bytes no longer match its checksum —
 // torn write, bit rot, or the deliberate faultinject.InjectCachePoison
 // — is counted, evicted and recompiled, never served.
+//
+// The LRU mechanics live in the shared lru type; this file keeps only
+// the result-specific rules (the checksum discipline and the tamper
+// test seam).
 package server
 
-import (
-	"container/list"
-	"hash/fnv"
-	"sync"
-)
+import "hash/fnv"
 
 // cacheEntry is one cached translation. code is the rendered LAI text
 // of the translated function; the small result counters ride along so
 // a hit reproduces the full response.
 type cacheEntry struct {
-	key      uint64
 	code     []byte
 	checksum uint64 // fnvSum(code) at insert time
 	name     string
@@ -26,7 +25,6 @@ type cacheEntry struct {
 	instrs   int
 	fellBack bool
 	degraded bool
-	elem     *list.Element
 }
 
 // fnvSum is the checksum used for both cache keys (over request
@@ -40,71 +38,41 @@ func fnvSum(parts ...[]byte) uint64 {
 }
 
 // cache is a fixed-capacity LRU keyed by content hash. All methods are
-// safe for concurrent use. Lookups verify entry integrity; Get never
+// safe for concurrent use. Lookups verify entry integrity; get never
 // returns bytes that fail their checksum.
 type cache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[uint64]*cacheEntry
-	lru     *list.List // front = most recent; values are *cacheEntry
+	lru *lru[*cacheEntry]
 }
 
 func newCache(capacity int) *cache {
-	if capacity <= 0 {
-		capacity = 1024
-	}
-	return &cache{
-		cap:     capacity,
-		entries: make(map[uint64]*cacheEntry, capacity),
-		lru:     list.New(),
-	}
+	return &cache{lru: newLRU(capacity, func(e *cacheEntry) bool {
+		return fnvSum(e.code) == e.checksum
+	}, nil)}
 }
 
 // get returns the entry for key after re-verifying its checksum.
 // poisoned reports an entry that existed but failed verification; it
 // has already been evicted when get returns.
 func (c *cache) get(key uint64) (e *cacheEntry, ok, poisoned bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok = c.entries[key]
-	if !ok {
-		return nil, false, false
-	}
-	if fnvSum(e.code) != e.checksum {
-		c.removeLocked(e)
-		return nil, false, true
-	}
-	c.lru.MoveToFront(e.elem)
-	return e, true, false
+	return c.lru.get(key)
 }
 
 // put inserts (or replaces) the entry for key, evicting the least
 // recently used entry beyond capacity.
 func (c *cache) put(key uint64, e *cacheEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, ok := c.entries[key]; ok {
-		c.removeLocked(old)
-	}
-	e.key = key
 	e.checksum = fnvSum(e.code)
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	for c.lru.Len() > c.cap {
-		c.removeLocked(c.lru.Back().Value.(*cacheEntry))
-	}
+	c.lru.put(key, e)
 }
 
-func (c *cache) removeLocked(e *cacheEntry) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.elem)
+// contains reports residency without touching recency — the store's
+// compaction liveness probe.
+func (c *cache) contains(key uint64) bool {
+	return c.lru.contains(key)
 }
 
 // len reports the live entry count.
 func (c *cache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	return c.lru.len()
 }
 
 // tamper applies mutate to the stored code bytes of every entry until
@@ -114,12 +82,7 @@ func (c *cache) len() int {
 // must detect. Test seam only (the fault-injection tests drive it with
 // faultinject.InjectCachePoison); production code never calls it.
 func (c *cache) tamper(mutate func([]byte) bool) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		if mutate(el.Value.(*cacheEntry).code) {
-			return true
-		}
-	}
-	return false
+	return c.lru.each(func(_ uint64, e *cacheEntry) bool {
+		return mutate(e.code)
+	})
 }

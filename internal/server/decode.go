@@ -9,88 +9,74 @@
 //
 // The masters are immutable by construction (frozen before they are
 // published, only ever handed out as snapshots), which is what makes
-// the concurrent snapshot traffic safe; see ir.Snapshot.
+// the concurrent snapshot traffic safe; see ir.Snapshot. The LRU
+// mechanics live in the shared lru type; the onEvict hook carries the
+// decode-specific rule — dropping the family ref so the last
+// outstanding snapshot of an evicted master adopts the shared slabs
+// copy-free.
 package server
 
-import (
-	"container/list"
-	"sync"
-
-	"outofssa/internal/ir"
-)
-
-// decodeEntry is one interned master.
-type decodeEntry struct {
-	key    uint64
-	master *ir.Func
-	elem   *list.Element
-}
+import "outofssa/internal/ir"
 
 // decodeCache is a fixed-capacity LRU of frozen masters keyed by
 // content hash. All methods are safe for concurrent use.
 type decodeCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[uint64]*decodeEntry
-	lru     *list.List // front = most recent; values are *decodeEntry
+	lru *lru[*ir.Func]
 }
 
 func newDecodeCache(capacity int) *decodeCache {
-	if capacity <= 0 {
-		capacity = 1024
-	}
-	return &decodeCache{
-		cap:     capacity,
-		entries: make(map[uint64]*decodeEntry, capacity),
-		lru:     list.New(),
-	}
+	return &decodeCache{lru: newLRU(capacity, nil, func(_ uint64, master *ir.Func) {
+		master.Release()
+	})}
 }
 
 // snapshot returns a private copy-on-write snapshot of the master
-// interned for key, or (nil, false) on a miss. The Snapshot call is
-// inside the lock only to order it against a concurrent evict of the
-// same master; the copy itself is O(arena chunks).
+// interned for key, or (nil, false) on a miss. The Snapshot call runs
+// under the cache lock only to order it against a concurrent evict of
+// the same master; the copy itself is O(arena chunks).
 func (c *decodeCache) snapshot(key uint64) (*ir.Func, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if !ok {
-		return nil, false
-	}
-	c.lru.MoveToFront(e.elem)
-	return e.master.Snapshot(), true
+	var snap *ir.Func
+	ok := c.lru.with(key, func(master *ir.Func) {
+		snap = master.Snapshot()
+	})
+	return snap, ok
 }
 
 // intern freezes f, stores it as the master for key, and returns a
 // snapshot for the calling request to compile. If another request
 // interned the same key first, its master wins and f is discarded —
 // equal content decodes to an equivalent function, so either master
-// serves both.
-func (c *decodeCache) intern(key uint64, f *ir.Func) *ir.Func {
+// serves both. inserted reports whether f won; the caller uses it to
+// count hit/miss exactly (losing a decode race is a hit: the request
+// compiles the winner's snapshot).
+func (c *decodeCache) intern(key uint64, f *ir.Func) (snap *ir.Func, inserted bool) {
 	f.Freeze()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(e.elem)
-		return e.master.Snapshot()
-	}
-	e := &decodeEntry{key: key, master: f}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	for c.lru.Len() > c.cap {
-		old := c.lru.Back().Value.(*decodeEntry)
-		delete(c.entries, old.key)
-		c.lru.Remove(old.elem)
-		// Dropping the family ref lets the last outstanding snapshot of
-		// the evicted master adopt the shared slabs copy-free.
-		old.master.Release()
-	}
-	return e.master.Snapshot()
+	c.lru.intern(key, f, func(winner *ir.Func, won bool) {
+		snap, inserted = winner.Snapshot(), won
+	})
+	return snap, inserted
+}
+
+// warm freezes f and interns it as the master for key without taking
+// a snapshot — the warm-start path, which loads masters nobody is
+// compiling yet. It reports whether f became the master (a duplicate
+// record loses to the first).
+func (c *decodeCache) warm(key uint64, f *ir.Func) bool {
+	f.Freeze()
+	var won bool
+	c.lru.intern(key, f, func(_ *ir.Func, inserted bool) {
+		won = inserted
+	})
+	return won
+}
+
+// contains reports residency without touching recency — the store's
+// compaction liveness probe.
+func (c *decodeCache) contains(key uint64) bool {
+	return c.lru.contains(key)
 }
 
 // len reports the live master count.
 func (c *decodeCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	return c.lru.len()
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"testing"
 	"time"
@@ -12,11 +14,13 @@ import (
 
 // TestSuiteIdentityThroughServer keeps the Tables 1-5 byte-identity
 // gate honest across the network: compiling every stats-suite function
-// through the server path (raw-IR mode, both wire schemas) must yield
-// exactly the output of pipeline.Run locally — cold, and again warm
-// from the verified cache. Posting the v1 and v2 documents of one
-// function exercises the schema negotiation: the server dispatches on
-// the document's schema tag and both must land on identical output.
+// through the server path (raw-IR mode, all three wire schemas) must
+// yield exactly the output of pipeline.Run locally — cold, and again
+// warm from the verified cache. Posting the v1, v2 and binary b1
+// documents of one function exercises the schema negotiation: the
+// server dispatches on the document's schema (tag or magic) and all
+// must land on identical output. The server runs with persistence on,
+// so the identity gate also covers the write-behind path.
 func TestSuiteIdentityThroughServer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite identity run in -short mode")
@@ -27,8 +31,9 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 		QueueDepth:      256,
 		DefaultDeadline: 30 * time.Second,
 		MaxDeadline:     30 * time.Second,
-		CacheEntries:    1024,
+		CacheEntries:    4096,
 		Metrics:         reg,
+		CacheDir:        t.TempDir(),
 	})
 	_ = s
 
@@ -39,6 +44,7 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 	type wantRec struct {
 		docV2  []byte
 		docV1  []byte
+		docB1  []byte
 		output string
 		moves  int
 	}
@@ -53,8 +59,12 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", suite.Name, f.Name, err)
 			}
+			docB1, err := ir.MarshalBinary(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", suite.Name, f.Name, err)
+			}
 			out, res := localOutput(t, f.Clone(), s.conf.Experiment)
-			wants = append(wants, wantRec{docV2: docV2, docV1: docV1, output: out, moves: res.Moves})
+			wants = append(wants, wantRec{docV2: docV2, docV1: docV1, docB1: docB1, output: out, moves: res.Moves})
 		}
 	}
 
@@ -65,8 +75,13 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 	for _, p := range passes {
 		pass, wantCached := p.name, p.wantCached
 		for i, w := range wants {
-			for _, doc := range [][]byte{w.docV2, w.docV1} {
-				rep := postCompile(t, hs.URL, compileRequest{IR: doc})
+			for _, doc := range [][]byte{w.docV2, w.docV1, w.docB1} {
+				var rep compileReply
+				if ir.IsBinary(doc) {
+					rep = postRawCompile(t, hs.URL, doc)
+				} else {
+					rep = postCompile(t, hs.URL, compileRequest{IR: doc})
+				}
 				if rep.status != http.StatusOK {
 					t.Fatalf("%s pass, func %d: status %d (%s)", pass, i, rep.status, rep.errK)
 				}
@@ -85,7 +100,33 @@ func TestSuiteIdentityThroughServer(t *testing.T) {
 			}
 		}
 	}
-	if hits := counterValue(reg, MetricCacheHits); hits != int64(2*len(wants)) {
-		t.Fatalf("cache hits = %d, want %d (one per warm request, both schemas)", hits, 2*len(wants))
+	if hits := counterValue(reg, MetricCacheHits); hits != int64(3*len(wants)) {
+		t.Fatalf("cache hits = %d, want %d (one per warm request, all three schemas)", hits, 3*len(wants))
 	}
+}
+
+// postRawCompile posts a whole-body binary document (no JSON envelope).
+func postRawCompile(t *testing.T, url string, doc []byte) compileReply {
+	t.Helper()
+	hr, err := http.Post(url+"/compile", "application/octet-stream", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var rep compileReply
+	rep.status = hr.StatusCode
+	if hr.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(hr.Body).Decode(&rep.resp); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	var env struct {
+		Error *httpError `json:"error"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	rep.errK = env.Error.Kind
+	return rep
 }

@@ -1,0 +1,158 @@
+// The one LRU under both server caches. PR 7 grew two hand-rolled
+// LRUs (result cache, decode-master cache) with identical locking and
+// eviction but different integrity and teardown rules; unifying them
+// matters now that the persistent store hooks into cache liveness —
+// compaction asks "is this key still resident?" through one interface
+// instead of two.
+//
+// The type parameter carries the per-cache rules as hooks:
+//
+//   - check re-verifies an entry on every get (the result cache's
+//     checksum paranoia); an entry that fails is removed and reported
+//     as poisoned, never returned.
+//   - onEvict runs under the lock whenever an entry leaves the cache
+//     (capacity eviction, replacement, poison removal) — the decode
+//     cache releases its COW family ref there, which must be ordered
+//     against concurrent snapshot() calls, hence under the lock.
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+type lruSlot[V any] struct {
+	key uint64
+	val V
+}
+
+// lru is a fixed-capacity LRU keyed by content hash. All methods are
+// safe for concurrent use.
+type lru[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*list.Element
+	order   *list.List // front = most recent; values are *lruSlot[V]
+	check   func(V) bool
+	onEvict func(uint64, V)
+}
+
+func newLRU[V any](capacity int, check func(V) bool, onEvict func(uint64, V)) *lru[V] {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &lru[V]{
+		cap:     capacity,
+		entries: make(map[uint64]*list.Element, capacity),
+		order:   list.New(),
+		check:   check,
+		onEvict: onEvict,
+	}
+}
+
+// get returns the value for key after re-running the integrity check.
+// poisoned reports an entry that existed but failed the check; it has
+// already been removed when get returns.
+func (c *lru[V]) get(key uint64) (v V, ok, poisoned bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return v, false, false
+	}
+	slot := el.Value.(*lruSlot[V])
+	if c.check != nil && !c.check(slot.val) {
+		c.removeLocked(el)
+		return v, false, true
+	}
+	c.order.MoveToFront(el)
+	return slot.val, true, false
+}
+
+// with bumps key to MRU and runs use on its value under the lock;
+// it reports whether the key was present. The integrity check is NOT
+// applied — with is the decode cache's snapshot path, whose values
+// carry no checksum.
+func (c *lru[V]) with(key uint64, use func(V)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(el)
+	use(el.Value.(*lruSlot[V]).val)
+	return true
+}
+
+// put inserts (or replaces) the value for key, evicting past capacity.
+func (c *lru[V]) put(key uint64, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	c.entries[key] = c.order.PushFront(&lruSlot[V]{key: key, val: v})
+	c.evictLocked()
+}
+
+// intern inserts v for key if absent — an existing entry wins and v is
+// the loser — then runs use on the winner under the lock. inserted
+// reports whether v won.
+func (c *lru[V]) intern(key uint64, v V, use func(winner V, inserted bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		use(el.Value.(*lruSlot[V]).val, false)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruSlot[V]{key: key, val: v})
+	c.evictLocked()
+	use(v, true)
+}
+
+// contains reports residency without an MRU bump — the store's
+// compaction liveness probe, which must not distort recency.
+func (c *lru[V]) contains(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// each runs fn over the entries, most recent first, under the lock,
+// stopping when fn returns true; it reports whether fn ever did.
+func (c *lru[V]) each(fn func(uint64, V) bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		slot := el.Value.(*lruSlot[V])
+		if fn(slot.key, slot.val) {
+			return true
+		}
+	}
+	return false
+}
+
+// len reports the live entry count.
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *lru[V]) evictLocked() {
+	for c.order.Len() > c.cap {
+		c.removeLocked(c.order.Back())
+	}
+}
+
+func (c *lru[V]) removeLocked(el *list.Element) {
+	slot := el.Value.(*lruSlot[V])
+	delete(c.entries, slot.key)
+	c.order.Remove(el)
+	if c.onEvict != nil {
+		c.onEvict(slot.key, slot.val)
+	}
+}

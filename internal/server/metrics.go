@@ -52,6 +52,23 @@ const (
 	// MetricRequestWallNS is the end-to-end request latency
 	// distribution (accepted requests only).
 	MetricRequestWallNS = "laocd_request_wall_ns"
+
+	// laocd_store_* is the persistent cache store (see
+	// internal/cachestore and persist.go); present only when the daemon
+	// runs with -cache-dir. Most are bridges onto cachestore.Stats.
+	MetricStoreWarm           = "laocd_store_warm_total"
+	MetricStoreWarmSkipped    = "laocd_store_warm_skipped_total"
+	MetricStoreAppends        = "laocd_store_appends_total"
+	MetricStoreAppendBytes    = "laocd_store_append_bytes_total"
+	MetricStoreDropped        = "laocd_store_dropped_total"
+	MetricStoreFsyncs         = "laocd_store_fsyncs_total"
+	MetricStoreScanRecords    = "laocd_store_scan_records_total"
+	MetricStoreCorrupt        = "laocd_store_corrupt_total"
+	MetricStoreTruncated      = "laocd_store_truncated_bytes_total"
+	MetricStoreCompactions    = "laocd_store_compactions_total"
+	MetricStoreCompactDropped = "laocd_store_compact_dropped_total"
+	MetricStoreSizeBytes      = "laocd_store_size_bytes"
+	MetricStoreSegments       = "laocd_store_segments"
 )
 
 func registerHelp(reg *metrics.Registry) {
@@ -71,4 +88,17 @@ func registerHelp(reg *metrics.Registry) {
 	reg.SetHelp(MetricQueueDepth, "requests waiting for a worker")
 	reg.SetHelp(MetricInflight, "requests being compiled right now")
 	reg.SetHelp(MetricRequestWallNS, "end-to-end request latency (ns)")
+	reg.SetHelp(MetricStoreWarm, "cache entries warm-loaded from the store at startup, by kind")
+	reg.SetHelp(MetricStoreWarmSkipped, "store records that passed framing but failed decode at warm start (skipped, never served)")
+	reg.SetHelp(MetricStoreAppends, "records appended by the store's write-behind goroutine")
+	reg.SetHelp(MetricStoreAppendBytes, "encoded bytes appended to the store")
+	reg.SetHelp(MetricStoreDropped, "store appends dropped (full queue, closed store, write error)")
+	reg.SetHelp(MetricStoreFsyncs, "store fsync calls")
+	reg.SetHelp(MetricStoreScanRecords, "valid records yielded by store scans")
+	reg.SetHelp(MetricStoreCorrupt, "store records skipped for checksum/framing violations")
+	reg.SetHelp(MetricStoreTruncated, "torn-tail bytes truncated during store recovery")
+	reg.SetHelp(MetricStoreCompactions, "store compaction runs")
+	reg.SetHelp(MetricStoreCompactDropped, "dead or stale records dropped by store compaction")
+	reg.SetHelp(MetricStoreSizeBytes, "current on-disk store size (gauge-valued)")
+	reg.SetHelp(MetricStoreSegments, "current store segment count (gauge-valued)")
 }

@@ -29,6 +29,7 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"outofssa/internal/cachestore"
 	"outofssa/internal/ir"
 	"outofssa/internal/lai"
 	"outofssa/internal/obs/metrics"
@@ -74,6 +76,15 @@ type Config struct {
 	AllowDebug bool
 	// MaxBodyBytes bounds a request body (default 4 MiB).
 	MaxBodyBytes int64
+	// CacheDir enables cache persistence: both caches are warm-started
+	// from the cachestore in this directory at New and written behind on
+	// insert (empty disables persistence). StoreMaxBytes caps the
+	// on-disk size (0 = cachestore default, negative = no compaction);
+	// StoreFsync is the durability policy ("never", "interval",
+	// "always"; empty = never).
+	CacheDir      string
+	StoreMaxBytes int64
+	StoreFsync    string
 
 	// now overrides the clock for breaker tests.
 	now func() time.Time
@@ -94,6 +105,7 @@ type Server struct {
 	cache   *cache
 	decode  *decodeCache
 	breaker *breaker
+	store   *cachestore.Store // nil unless Config.CacheDir is set
 
 	sfMu sync.Mutex
 	sf   map[uint64]*call
@@ -196,6 +208,11 @@ func New(conf Config) (*Server, error) {
 			reg.Counter(MetricBreakerTrips, metrics.L("class", class)).Inc()
 		}
 	}
+	store, err := s.openStore()
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.store = store
 	return s, nil
 }
 
@@ -229,6 +246,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	// admission and response, so nothing will ever send again.
 	close(s.queue)
 	s.wg.Wait()
+	// Every accepted request's write-behind Put has been enqueued by
+	// now; Close flushes them to disk before returning.
+	if s.store != nil {
+		s.store.Close()
+	}
 	return nil
 }
 
@@ -252,10 +274,16 @@ func (s *Server) Handler() http.Handler {
 // --- request/response wire types -----------------------------------
 
 // compileRequest is the /compile body: exactly one of LAI (a single
-// function in LAI assembly) or IR (a laoc-ir-v1 or laoc-ir-v2 document,
-// see ir.Marshal / ir.MarshalV1) must be set; the schema tag in the
-// document selects the decoder, so clients on either wire version are
-// served transparently.
+// function in LAI assembly) or IR (a laoc-ir document) must be set;
+// the schema tag in the document selects the decoder, so clients on
+// any wire version are served transparently. The IR field carries a
+// JSON document (v1/v2) directly, or a binary b1 document base64'd as
+// a JSON string. A request whose whole body starts with the b1 magic
+// skips JSON entirely — the body IS the IR, with deadline/debug at
+// their defaults. Raw and base64 b1 bodies normalize to the same
+// content bytes, so they share decode- and result-cache keys. The
+// response is always the JSON compileResponse (rendered LAI text plus
+// counters), whatever the request schema.
 type compileRequest struct {
 	LAI        string          `json:"lai,omitempty"`
 	IR         json.RawMessage `json:"ir,omitempty"`
@@ -345,8 +373,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.conf.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.finish(w, t0, nil, errParse(fmt.Errorf("request body: %w", err)))
+		return
+	}
 	var req compileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if ir.IsBinary(body) {
+		// Schema negotiation: a raw b1 body is the IR document itself.
+		req.IR = body
+	} else if err := json.Unmarshal(body, &req); err != nil {
 		s.finish(w, t0, nil, errParse(fmt.Errorf("request body: %w", err)))
 		return
 	}
@@ -369,6 +405,22 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	mode := "lai"
 	if req.LAI == "" {
 		content, mode = req.IR, "ir"
+		if len(content) > 0 && content[0] == '"' {
+			// A JSON-string IR field is a base64'd binary document:
+			// normalize to the raw bytes so it keys identically to the
+			// same document posted as a raw body.
+			var b64 string
+			if err := json.Unmarshal(content, &b64); err != nil {
+				s.finish(w, t0, nil, errParse(fmt.Errorf("ir field: %w", err)))
+				return
+			}
+			raw, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				s.finish(w, t0, nil, errParse(fmt.Errorf("ir field: %w", err)))
+				return
+			}
+			content = raw
+		}
 	} else {
 		content = []byte(req.LAI)
 	}
@@ -381,14 +433,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if mode == "lai" {
 			f, err = lai.Parse(req.LAI)
 		} else {
-			f, err = ir.Unmarshal(req.IR)
+			f, err = ir.Unmarshal(content)
 		}
 		if err != nil {
 			s.finish(w, t0, nil, errParse(err))
 			return
 		}
-		s.decodeMiss.Inc()
-		f = s.decode.intern(key, f)
+		master := f
+		var inserted bool
+		f, inserted = s.decode.intern(key, master)
+		// Exact hit/miss accounting: a request that parsed but lost the
+		// intern race to a concurrent twin compiles the winner's snapshot
+		// — a hit. Misses therefore count interned masters, at most one
+		// per distinct content. Only the winner persists (the frozen
+		// master is immutable, so marshaling it after publication is
+		// safe); losers would only write duplicate records.
+		if inserted {
+			s.decodeMiss.Inc()
+			s.persistDecode(key, master)
+		} else {
+			s.decodeHits.Inc()
+		}
 	}
 
 	d := s.conf.DefaultDeadline
@@ -592,8 +657,10 @@ func (s *Server) runTask(t *task) {
 	t.resp = &compileResponse{Name: t.f.Name, Output: code, Moves: res.Moves,
 		Instrs: res.Instrs, FellBack: res.FellBack, Degraded: degraded}
 	if t.debug == nil {
-		s.cache.put(ckey, &cacheEntry{code: []byte(code), name: t.f.Name,
-			moves: res.Moves, instrs: res.Instrs, fellBack: res.FellBack, degraded: degraded})
+		e := &cacheEntry{code: []byte(code), name: t.f.Name,
+			moves: res.Moves, instrs: res.Instrs, fellBack: res.FellBack, degraded: degraded}
+		s.cache.put(ckey, e)
+		s.persistResult(ckey, e)
 	}
 }
 

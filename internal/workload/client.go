@@ -7,6 +7,7 @@ package workload
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -73,12 +74,16 @@ func PooledRequests(funcs []*ir.Func, n, deadlineMS int) ([]ClientRequest, error
 }
 
 // ClientRequest is one /compile body the driver will POST. The fields
-// mirror the server's wire schema; zero values are omitted.
+// mirror the server's wire schema; zero values are omitted. When
+// RawBody is set the request bypasses JSON entirely — Drive posts the
+// bytes verbatim (the server sniffs the b1 magic), so deadline and
+// debug riders cannot travel with it.
 type ClientRequest struct {
 	LAI        string          `json:"lai,omitempty"`
 	IR         json.RawMessage `json:"ir,omitempty"`
 	DeadlineMS int             `json:"deadline_ms,omitempty"`
 	Debug      *ClientDebug    `json:"debug,omitempty"`
+	RawBody    []byte          `json:"-"`
 }
 
 // ClientDebug is the chaos seam block (server must run -allow-debug).
@@ -87,13 +92,48 @@ type ClientDebug struct {
 	PanicPass string `json:"panic_pass,omitempty"`
 }
 
-// IRRequest builds a raw-IR ClientRequest for f.
+// IRRequest builds a raw-IR ClientRequest for f (v2 JSON schema).
 func IRRequest(f *ir.Func, deadlineMS int) (ClientRequest, error) {
 	doc, err := ir.Marshal(f)
 	if err != nil {
 		return ClientRequest{}, err
 	}
 	return ClientRequest{IR: doc, DeadlineMS: deadlineMS}, nil
+}
+
+// V1Request builds an IR ClientRequest carrying the v1 JSON schema.
+func V1Request(f *ir.Func, deadlineMS int) (ClientRequest, error) {
+	doc, err := ir.MarshalV1(f)
+	if err != nil {
+		return ClientRequest{}, err
+	}
+	return ClientRequest{IR: doc, DeadlineMS: deadlineMS}, nil
+}
+
+// B1Request builds an IR ClientRequest carrying the binary b1 schema
+// base64'd into the JSON "ir" field — the shape for clients that want
+// the binary codec but still need deadline/debug riders.
+func B1Request(f *ir.Func, deadlineMS int) (ClientRequest, error) {
+	doc, err := ir.MarshalBinary(f)
+	if err != nil {
+		return ClientRequest{}, err
+	}
+	quoted, err := json.Marshal(base64.StdEncoding.EncodeToString(doc))
+	if err != nil {
+		return ClientRequest{}, err
+	}
+	return ClientRequest{IR: quoted, DeadlineMS: deadlineMS}, nil
+}
+
+// B1RawRequest builds a whole-body binary request: the POST body is
+// the b1 document itself, no JSON envelope. The server normalizes raw
+// and base64 b1 to the same cache keys.
+func B1RawRequest(f *ir.Func) (ClientRequest, error) {
+	doc, err := ir.MarshalBinary(f)
+	if err != nil {
+		return ClientRequest{}, err
+	}
+	return ClientRequest{RawBody: doc}, nil
 }
 
 // DriveOptions configures Drive.
@@ -157,15 +197,20 @@ func Drive(baseURL string, reqs []ClientRequest, opt DriveOptions, outcomes []in
 				if i >= len(reqs) {
 					return
 				}
-				body, err := json.Marshal(&reqs[i])
-				if err != nil {
-					transport.Add(1)
-					if outcomes != nil {
-						outcomes[i] = -1
+				body, ctype := reqs[i].RawBody, "application/octet-stream"
+				if body == nil {
+					var err error
+					body, err = json.Marshal(&reqs[i])
+					if err != nil {
+						transport.Add(1)
+						if outcomes != nil {
+							outcomes[i] = -1
+						}
+						continue
 					}
-					continue
+					ctype = "application/json"
 				}
-				hr, err := client.Post(baseURL+"/compile", "application/json", bytes.NewReader(body))
+				hr, err := client.Post(baseURL+"/compile", ctype, bytes.NewReader(body))
 				if err != nil {
 					transport.Add(1)
 					if outcomes != nil {
@@ -238,13 +283,19 @@ func Drive(baseURL string, reqs []ClientRequest, opt DriveOptions, outcomes []in
 }
 
 // MixedRequests builds the smoke/chaos stream over funcs: mostly valid
-// raw-IR compiles, plus deterministic sprinkles keyed on the request
-// index — every malformedEvery-th request is an unparseable body,
-// every deadlineEvery-th carries a 1ms deadline with a debug sleep
-// (forced 504), and every faultEvery-th carries an injected pass panic
-// (the ISSUE's "1% injected pass-panics" knob is faultEvery=100). Any
-// knob ≤ 0 disables that sprinkle. Debug-carrying requests require the
-// server to run with -allow-debug.
+// IR compiles rotating through every wire schema, plus deterministic
+// sprinkles keyed on the request index — every malformedEvery-th
+// request is an unparseable body, every deadlineEvery-th carries a 1ms
+// deadline with a debug sleep (forced 504), and every faultEvery-th
+// carries an injected pass panic (the ISSUE's "1% injected
+// pass-panics" knob is faultEvery=100). Any knob ≤ 0 disables that
+// sprinkle. Debug-carrying requests require the server to run with
+// -allow-debug.
+//
+// The valid compiles rotate v2 JSON → v1 JSON → base64'd b1 → raw
+// binary b1 body by index, so one drive exercises the server's whole
+// schema negotiation surface. Sprinkle requests stay on JSON shapes
+// (debug riders cannot travel in a raw body).
 func MixedRequests(funcs []*ir.Func, deadlineMS, faultEvery, malformedEvery, deadlineEvery int) ([]ClientRequest, error) {
 	reqs := make([]ClientRequest, len(funcs))
 	for i, f := range funcs {
@@ -257,13 +308,28 @@ func MixedRequests(funcs []*ir.Func, deadlineMS, faultEvery, malformedEvery, dea
 				DeadlineMS: 1,
 				Debug:      &ClientDebug{SleepMS: 100},
 			}
-		default:
+		case faultEvery > 0 && i%faultEvery == 3%faultEvery:
 			r, err := IRRequest(f, deadlineMS)
 			if err != nil {
 				return nil, err
 			}
-			if faultEvery > 0 && i%faultEvery == 3%faultEvery {
-				r.Debug = &ClientDebug{PanicPass: "pinning-sp"}
+			r.Debug = &ClientDebug{PanicPass: "pinning-sp"}
+			reqs[i] = r
+		default:
+			var r ClientRequest
+			var err error
+			switch i % 4 {
+			case 0:
+				r, err = IRRequest(f, deadlineMS)
+			case 1:
+				r, err = V1Request(f, deadlineMS)
+			case 2:
+				r, err = B1Request(f, deadlineMS)
+			default:
+				r, err = B1RawRequest(f)
+			}
+			if err != nil {
+				return nil, err
 			}
 			reqs[i] = r
 		}
